@@ -1,0 +1,210 @@
+// Command millipage regenerates every table and figure of the paper's
+// evaluation (Section 4) on the simulated testbed.
+//
+// Usage:
+//
+//	millipage costs                  Table 1 + Section 4.2 microbenchmarks
+//	millipage mvoverhead [-fast]     Figure 5 (MultiView overhead sweep)
+//	millipage apps [flags]           Figure 6 + Table 2 (application suite)
+//	millipage chunking [flags]       Figure 7 (WATER chunking study)
+//	millipage all [flags]            everything above
+//
+// Common flags: -scale (problem scale, 1.0 = the paper's data sets),
+// -seed. The full-scale runs take a few minutes; -scale 0.1 gives a quick
+// qualitative pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"millipage/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "costs":
+		err = runCosts()
+	case "mvoverhead":
+		err = runMVOverhead(args)
+	case "apps":
+		err = runApps(args)
+	case "chunking":
+		err = runChunking(args)
+	case "ablation":
+		err = runAblation(args)
+	case "all":
+		err = runAll(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "millipage:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: millipage <costs|mvoverhead|apps|chunking|all> [flags]
+  costs                Table 1 and the Section 4.2 microbenchmarks
+  mvoverhead [-fast]   Figure 5: MultiView overhead vs number of views
+  apps [flags]         Figure 6 and Table 2: the five-application suite
+                         -scale F   problem scale (default 1.0 = paper)
+                         -hosts L   comma list of host counts (default 1,2,4,8)
+                         -only A    run a single application
+                         -seed N
+  chunking [flags]     Figure 7: chunking in WATER (-scale, -seed)
+  ablation [flags]     Section 5 / 3.5 ablations: LRC over chunking,
+                       NT timers vs ideal timers (-scale, -seed)
+  all [flags]          everything (-scale, -fast, -seed)`)
+}
+
+func runCosts() error {
+	bench.Table1(os.Stdout)
+	fmt.Println()
+	if err := bench.FetchCosts(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := bench.SynchCosts(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.DiffCosts(os.Stdout)
+	return nil
+}
+
+func runMVOverhead(args []string) error {
+	fs := flag.NewFlagSet("mvoverhead", flag.ExitOnError)
+	fast := fs.Bool("fast", false, "coarser sampling for a quick pass")
+	fs.Parse(args)
+	cfg := bench.DefaultFigure5()
+	cfg.Fast = *fast
+	pts := bench.Figure5(cfg)
+	bench.WriteFigure5(os.Stdout, cfg, pts)
+	fmt.Println()
+	bench.SmallViewOverheads(os.Stdout)
+	return nil
+}
+
+func parseHosts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad host count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runApps(args []string) error {
+	fs := flag.NewFlagSet("apps", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "problem scale (1.0 = the paper's data sets)")
+	hosts := fs.String("hosts", "1,2,4,8", "comma-separated host counts")
+	only := fs.String("only", "", "run a single application (SOR, IS, WATER, LU, TSP)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	cfg := bench.DefaultFigure6()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Only = *only
+	hs, err := parseHosts(*hosts)
+	if err != nil {
+		return err
+	}
+	cfg.Hosts = hs
+
+	fmt.Printf("running application suite at scale %.2f on hosts %v ...\n", *scale, hs)
+	runs, err := bench.Figure6(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.WriteFigure6(os.Stdout, cfg, runs)
+	fmt.Println()
+	bench.Table2(os.Stdout, cfg, runs)
+	return nil
+}
+
+func runChunking(args []string) error {
+	fs := flag.NewFlagSet("chunking", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "problem scale")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	cfg := bench.DefaultFigure7()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	fmt.Printf("running WATER chunking study at scale %.2f ...\n", *scale)
+	pts, err := bench.Figure7(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.WriteFigure7(os.Stdout, cfg, pts)
+	return nil
+}
+
+func runAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.25, "problem scale for the timer ablation")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+	if err := bench.Baseline(os.Stdout, 4, 32, 8); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := bench.PageGrainComparison(os.Stdout, 1.0, *seed); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := bench.AblationLRC(os.Stdout, 4, 256, 6, 8); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := bench.AblationComposedViews(os.Stdout, 1.0, *seed); err != nil {
+		return err
+	}
+	fmt.Println()
+	return bench.AblationTimers(os.Stdout, *scale, *seed)
+}
+
+func runAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "problem scale")
+	fast := fs.Bool("fast", false, "coarser Figure 5 sampling")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	fmt.Println("=== Table 1 and Section 4.2 ===")
+	if err := runCosts(); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 5 ===")
+	var mvArgs []string
+	if *fast {
+		mvArgs = append(mvArgs, "-fast")
+	}
+	if err := runMVOverhead(mvArgs); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 6 and Table 2 ===")
+	if err := runApps([]string{"-scale", fmt.Sprint(*scale), "-seed", fmt.Sprint(*seed)}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 7 ===")
+	return runChunking([]string{"-scale", fmt.Sprint(*scale), "-seed", fmt.Sprint(*seed)})
+}

@@ -1,0 +1,3 @@
+module millipage
+
+go 1.22

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	millipage "millipage"
+	"millipage/internal/sim"
+)
+
+// IS: the NAS Integer Sort kernel, 2^23 keys over 2^9 values. The shared
+// state is the small rank/histogram array (2 KB at 8 hosts), which the
+// paper's modification splits into per-host regions of 256 bytes so each
+// region is its own minipage: "we modified the allocation routine to have
+// these regions allocated separately" (Section 4.3).
+//
+// Each of the 10 ranking iterations histograms the host's local keys
+// (pure computation), then accumulates into the shared regions with a
+// skewed all-to-all schedule — in phase p, host h updates region
+// (h+p) mod H, so every region has exactly one writer per phase and no
+// locks are needed (Table 2 lists none). A final ranking phase reads the
+// host's own region. With the paper's 8 hosts this is 9 barriers per
+// iteration: 90 in all, matching Table 2.
+
+const (
+	isKeysFull = 1 << 23
+	isValues   = 1 << 9
+	isIters    = 10
+)
+
+// RunIS executes Integer Sort on p.Hosts hosts.
+func RunIS(p Params) (Result, error) {
+	p = p.withDefaults()
+	totalKeys := scaled(isKeysFull, p.Scale, 1<<12)
+	hosts := p.Hosts
+
+	// Region geometry: one region per host covering an equal slice of the
+	// value range, padded so regions are the allocation (= sharing) unit.
+	perRegion := (isValues + hosts - 1) / hosts
+	regionBytes := perRegion * 4
+
+	cluster, err := millipage.NewCluster(millipage.Config{
+		Hosts:           hosts,
+		SharedMemory:    64 << 10,
+		Views:           8, // Table 2's value
+		PageGranularity: p.PageGrain,
+		Seed:            p.Seed,
+		PerfectTimers:   p.PerfectTimers,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	regionAddr := make([]millipage.Addr, hosts)
+	checkAddr := make([]millipage.Addr, hosts)
+	var timed sim.Duration
+	var check float64
+
+	report, err := cluster.Run(func(w *millipage.Worker) {
+		h := w.Host()
+		if w.ThreadID() == 0 {
+			zero := make([]byte, regionBytes)
+			for r := 0; r < hosts; r++ {
+				regionAddr[r] = w.Malloc(regionBytes)
+				w.Write(regionAddr[r], zero)
+			}
+			for r := 0; r < hosts; r++ {
+				checkAddr[r] = w.Malloc(256)
+			}
+		}
+		w.Barrier()
+		w.ResetStats()
+		start := w.Now()
+
+		// Local keys: host h takes slice [h*n, (h+1)*n) of a key sequence
+		// defined by global index, so the key multiset — and hence the
+		// checksum — is identical for every host count.
+		nKeys := totalKeys / hosts
+		keys := make([]uint16, nKeys)
+		for i := range keys {
+			keys[i] = uint16(isKeyAt(uint64(h*nKeys+i), uint64(p.Seed)))
+		}
+		local := make([]uint32, isValues)
+
+		for it := 0; it < isIters; it++ {
+			// Histogram the local keys (the dominant computation).
+			for i := range local {
+				local[i] = 0
+			}
+			for _, k := range keys {
+				local[k]++
+			}
+			w.Compute(sim.Duration(nKeys) * isKey)
+
+			// Skewed all-to-all accumulation: one writer per region per
+			// phase, one barrier per phase.
+			buf := make([]byte, regionBytes)
+			for phase := 0; phase < hosts; phase++ {
+				r := (h + phase) % hosts
+				w.Read(regionAddr[r], buf)
+				lo := r * perRegion
+				for b := 0; b < perRegion && lo+b < isValues; b++ {
+					v := leU32(buf[4*b:]) + local[lo+b]
+					putU32(buf[4*b:], v)
+				}
+				w.Write(regionAddr[r], buf)
+				w.Compute(sim.Duration(perRegion) * isKey)
+				w.Barrier()
+			}
+
+			// Ranking: each host reads its own region, computes prefix
+			// sums and ranks its local keys, then resets the region for
+			// the next iteration.
+			w.Read(regionAddr[h], buf)
+			var sum uint64
+			lo := h * perRegion
+			for b := 0; b < perRegion && lo+b < isValues; b++ {
+				sum += uint64(leU32(buf[4*b:])) * uint64(lo+b)
+			}
+			w.Compute(sim.Duration(nKeys) * isKey / 2)
+			if it == isIters-1 {
+				w.WriteU64(checkAddr[h], sum)
+			} else {
+				w.Write(regionAddr[h], make([]byte, regionBytes))
+			}
+			w.Barrier() // 9th barrier of the iteration (at 8 hosts)
+		}
+		if w.ThreadID() == 0 {
+			timed = w.Now() - start
+			for r := 0; r < hosts; r++ {
+				check += float64(w.ReadU64(checkAddr[r]))
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	// The weighted bucket sum is a deterministic function of the keys, so
+	// it validates coherence exactly (integer arithmetic: no FP ordering).
+	return Result{Name: "IS", Hosts: hosts, Report: report, Timed: timed, Check: check, Checked: check != 0}, nil
+}
+
+// isKeyAt is a splitmix64-style hash of the global key index: a
+// deterministic uniform key stream independent of the host partitioning.
+func isKeyAt(i, seed uint64) uint64 {
+	z := i*0x9E3779B97F4A7C15 + seed*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z % isValues
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	millipage "millipage"
+	"millipage/internal/apps"
+	"millipage/internal/dsm"
+	"millipage/internal/lrc"
+	"millipage/internal/sim"
+)
+
+// This file holds the ablation studies for the design choices DESIGN.md
+// calls out:
+//
+//   - AblationLRC: the paper's Section 5 proposal — once chunking makes
+//     minipages coarser than the sharing unit, a lazy-release-consistency
+//     protocol can absorb the reintroduced false sharing. Compares
+//     sequential consistency at fine grain, SC on chunked minipages
+//     (ping-pong), and home-based LRC on the same chunked minipages.
+//
+//   - AblationTimers: Section 3.5's "once the fm polling problem is
+//     resolved and/or the operating system timer resolution is refined"
+//     — the suite with and without the NT timer pathology.
+
+// LRCRow is one configuration of the LRC ablation.
+type LRCRow struct {
+	Name        string
+	Elapsed     sim.Duration
+	WriteFaults uint64
+	Messages    uint64
+}
+
+// AblationLRC runs the regime Section 5 describes. Each iteration, every
+// host updates its own interleaved 64-byte slots (twice, so invalidations
+// bite), then reads the whole array, then barriers:
+//
+//   - SC at fine grain avoids false sharing but pays one fetch per tiny
+//     minipage in the read phase;
+//   - SC on chunked minipages fetches fewer, larger minipages but the
+//     interleaved writers ping-pong each chunk;
+//   - LRC on the same chunked minipages takes one twin per chunk per
+//     interval, merges run-length diffs at the barrier, and keeps the
+//     coarse fetch granularity — both advantages at once.
+func AblationLRC(w io.Writer, hosts, slots, iters, chunk int) error {
+	const slotBytes = 64
+	const writeRounds = 2
+	workPerSlot := 100 * sim.Microsecond
+
+	scRun := func(chunkLevel int) (LRCRow, error) {
+		cluster, err := millipage.NewCluster(millipage.Config{
+			Hosts:        hosts,
+			SharedMemory: 1 << 20,
+			Views:        16,
+			ChunkLevel:   chunkLevel,
+			Seed:         7,
+		})
+		if err != nil {
+			return LRCRow{}, err
+		}
+		vas := make([]millipage.Addr, slots)
+		_, err = cluster.Run(func(wk *millipage.Worker) {
+			if wk.Host() == 0 {
+				for i := range vas {
+					vas[i] = wk.Malloc(slotBytes)
+				}
+			}
+			wk.Barrier()
+			for it := 0; it < iters; it++ {
+				for round := 0; round < writeRounds; round++ {
+					for sIdx := wk.Host(); sIdx < slots; sIdx += hosts {
+						wk.WriteU32(vas[sIdx], uint32(it))
+						wk.Compute(workPerSlot)
+					}
+				}
+				for sIdx := 0; sIdx < slots; sIdx++ {
+					_ = wk.ReadU32(vas[sIdx])
+				}
+				wk.Barrier()
+			}
+		})
+		if err != nil {
+			return LRCRow{}, err
+		}
+		rep := cluster.System()
+		var msgs uint64
+		var wf uint64
+		for i := 0; i < hosts; i++ {
+			msgs += rep.Net.Endpoint(i).Stats().Sent
+			wf += rep.Host(i).AS.WriteFaults
+		}
+		return LRCRow{Elapsed: rep.Elapsed(), WriteFaults: wf, Messages: msgs}, nil
+	}
+
+	lrcRun := func(chunkLevel int) (LRCRow, error) {
+		sys, err := lrc.New(lrc.Options{
+			Hosts:      hosts,
+			SharedSize: 1 << 20,
+			Views:      16,
+			ChunkLevel: chunkLevel,
+			Seed:       7,
+			Costs:      dsm.DefaultCosts(),
+		})
+		if err != nil {
+			return LRCRow{}, err
+		}
+		vas := make([]uint64, slots)
+		err = sys.Run(func(t *lrc.Thread) {
+			if t.Host() == 0 {
+				for i := range vas {
+					vas[i] = t.Malloc(slotBytes)
+				}
+			}
+			t.Barrier()
+			for it := 0; it < iters; it++ {
+				for round := 0; round < writeRounds; round++ {
+					for sIdx := t.Host(); sIdx < slots; sIdx += hosts {
+						t.WriteU32(vas[sIdx], uint32(it))
+						t.Compute(workPerSlot)
+					}
+				}
+				for sIdx := 0; sIdx < slots; sIdx++ {
+					_ = t.ReadU32(vas[sIdx])
+				}
+				t.Barrier()
+			}
+		})
+		if err != nil {
+			return LRCRow{}, err
+		}
+		var msgs uint64
+		for i := 0; i < hosts; i++ {
+			msgs += sys.Net.Endpoint(i).Stats().Sent
+		}
+		return LRCRow{Elapsed: sys.Elapsed(), WriteFaults: sys.Stats.WriteFault, Messages: msgs}, nil
+	}
+
+	fine, err := scRun(1)
+	if err != nil {
+		return err
+	}
+	fine.Name = "SC, fine grain (1 slot/minipage)"
+	scChunk, err := scRun(chunk)
+	if err != nil {
+		return err
+	}
+	scChunk.Name = fmt.Sprintf("SC, chunked (%d slots/minipage)", chunk)
+	lrcChunk, err := lrcRun(chunk)
+	if err != nil {
+		return err
+	}
+	lrcChunk.Name = fmt.Sprintf("LRC, chunked (%d slots/minipage)", chunk)
+
+	fmt.Fprintf(w, "Ablation: reduced consistency over chunked minipages (Section 5)\n")
+	fmt.Fprintf(w, "%d hosts, %d slots x %d iterations, interleaved writers\n", hosts, slots, iters)
+	fmt.Fprintf(w, "%-36s %12s %13s %10s\n", "configuration", "elapsed", "write faults", "messages")
+	for _, r := range []LRCRow{fine, scChunk, lrcChunk} {
+		fmt.Fprintf(w, "%-36s %12v %13d %10d\n", r.Name, r.Elapsed, r.WriteFaults, r.Messages)
+	}
+	fmt.Fprintln(w, "(expected: SC-chunked ping-pongs; LRC absorbs the intra-minipage false")
+	fmt.Fprintln(w, " sharing while keeping the chunked layout's lower minipage count)")
+	return nil
+}
+
+// AblationComposedViews compares WATER's read-phase strategies at 8
+// hosts (Section 5's composed-views proposal): per-molecule minipages
+// with sequential faults, the paper's chunking compromise, and composed
+// views — fine-grain sharing with a gang-fetched read phase.
+func AblationComposedViews(w io.Writer, scale float64, seed int64) error {
+	type cfg struct {
+		name string
+		p    apps.Params
+	}
+	cfgs := []cfg{
+		{"fine grain (chunk 1)", apps.Params{Hosts: 8, Scale: scale, Seed: seed}},
+		{"chunked (level 5)", apps.Params{Hosts: 8, Scale: scale, Seed: seed, ChunkLevel: 5}},
+		{"composed views (gang read phase)", apps.Params{Hosts: 8, Scale: scale, Seed: seed, ComposedViews: true}},
+	}
+	fmt.Fprintln(w, "Ablation: WATER read-phase strategies at 8 hosts (Section 5, composed views)")
+	fmt.Fprintf(w, "%-36s %12s %10s %12s\n", "configuration", "timed", "faults", "competing")
+	for _, c := range cfgs {
+		res, err := apps.RunWATER(c.p)
+		if err != nil {
+			return err
+		}
+		rep := res.Report
+		fmt.Fprintf(w, "%-36s %12v %10d %12d\n",
+			c.name, res.Timed, rep.ReadFaults+rep.WriteFaults, rep.CompetingRequests)
+	}
+	fmt.Fprintln(w, "(composed views cut the read phase substantially while keeping per-molecule")
+	fmt.Fprintln(w, " sharing; chunking still wins overall for WATER because the force-combine")
+	fmt.Fprintln(w, " phase also benefits from aggregation — the arbitration Section 5 sketches")
+	fmt.Fprintln(w, " would want composed views there too)")
+	return nil
+}
+
+// AblationTimers compares the suite at 8 hosts with the NT timer
+// pathology (the paper's measured reality) and with ideal service
+// threads.
+func AblationTimers(w io.Writer, scale float64, seed int64) error {
+	fmt.Fprintln(w, "Ablation: NT timer pathology vs ideal service threads (Section 3.5)")
+	fmt.Fprintf(w, "%-8s %14s %14s %9s\n", "app", "NT timers", "ideal timers", "gain")
+	for _, app := range apps.Suite() {
+		real, err := app.Run(apps.Params{Hosts: 8, Scale: scale, Seed: seed})
+		if err != nil {
+			return err
+		}
+		ideal, err := app.Run(apps.Params{Hosts: 8, Scale: scale, Seed: seed, PerfectTimers: true})
+		if err != nil {
+			return err
+		}
+		gain := float64(real.Timed) / float64(ideal.Timed)
+		fmt.Fprintf(w, "%-8s %14v %14v %8.2fx\n", app.Name, real.Timed, ideal.Timed, gain)
+	}
+	fmt.Fprintln(w, "(the paper attributes ~2/3 of its 750us average fault service time to")
+	fmt.Fprintln(w, " late sweeper wakeups; ideal timers recover most of it)")
+	return nil
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"access fault", "26.0 us", "MPT lookup", "4 KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFetchCostsInPaperBallpark(t *testing.T) {
+	d, err := measureReadFetch(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := d.Microseconds()
+	// Paper: 204 us. Accept a generous band; the trend tests are below.
+	if us < 120 || us > 300 {
+		t.Fatalf("128B read fetch = %.0fus, want within [120,300] (paper 204)", us)
+	}
+	d4k, err := measureReadFetch(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4k <= d {
+		t.Fatalf("4KB fetch (%v) not slower than 128B fetch (%v)", d4k, d)
+	}
+}
+
+func TestWriteFetchGrowsWithCopies(t *testing.T) {
+	w1, err := measureWriteFetch(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w7, err := measureWriteFetch(128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w7 <= w1 {
+		t.Fatalf("write fetch with 7 copies (%v) not slower than with 1 (%v)", w7, w1)
+	}
+}
+
+func TestBarrierLinearInHosts(t *testing.T) {
+	b1, err := measureBarrier(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := measureBarrier(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b8 <= b1 {
+		t.Fatalf("8-host barrier (%v) not slower than 1-host (%v)", b8, b1)
+	}
+	// Paper: 59-153 us across 1..8 hosts.
+	if us := b8.Microseconds(); us < 90 || us > 250 {
+		t.Fatalf("8-host barrier = %.0fus, want within [90,250] (paper 153)", us)
+	}
+}
+
+func TestLockUnlockInPaperBand(t *testing.T) {
+	d, err := measureLockUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us := d.Microseconds(); us < 40 || us > 120 {
+		t.Fatalf("lock+unlock = %.0fus, want within [40,120] (paper 67-80)", us)
+	}
+}
+
+func TestFigure5ShapeSmallGrid(t *testing.T) {
+	// A reduced grid: one below-break cell and one beyond-break cell.
+	// Warmed-up passes: Fast mode skips the warmup and would count
+	// compulsory PTE misses as slowdown.
+	cfg := Figure5Config{
+		Sizes: []int{4 << 20},
+		Views: []int{16, 256},
+	}
+	pts := Figure5(cfg)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	below, beyond := pts[0], pts[1]
+	if below.Slowdown > 1.15 {
+		t.Fatalf("below-break slowdown = %.2f, want ~1", below.Slowdown)
+	}
+	if beyond.Slowdown < 1.5*below.Slowdown {
+		t.Fatalf("beyond-break slowdown %.2f not clearly above below-break %.2f",
+			beyond.Slowdown, below.Slowdown)
+	}
+	var buf bytes.Buffer
+	WriteFigure5(&buf, cfg, pts)
+	if !strings.Contains(buf.String(), "breaking points") {
+		t.Fatal("WriteFigure5 missing breaking-point annotation")
+	}
+}
+
+func TestFigure6SmallScale(t *testing.T) {
+	cfg := Figure6Config{Hosts: []int{1, 2}, Scale: 0.02, Seed: 1, ChunkWATER: 2, Only: "IS"}
+	runs, err := Figure6(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	if runs[1].Speedup <= 1.0 {
+		t.Fatalf("IS 2-host speedup = %.2f, want > 1", runs[1].Speedup)
+	}
+	var buf bytes.Buffer
+	WriteFigure6(&buf, cfg, runs)
+	if !strings.Contains(buf.String(), "IS") {
+		t.Fatal("WriteFigure6 missing IS row")
+	}
+}
+
+func TestFigure7SmallScale(t *testing.T) {
+	cfg := Figure7Config{Hosts: []int{4}, Levels: []int{1, 4, 0}, Scale: 0.04, Seed: 1}
+	pts, err := Figure7(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Chunking must reduce faults relative to unchunked.
+	if pts[1].Faults >= pts[0].Faults {
+		t.Fatalf("chunk-4 faults (%d) not below unchunked (%d)", pts[1].Faults, pts[0].Faults)
+	}
+	// Exactly one point per host count carries efficiency 1.0 (the best).
+	best := 0
+	for _, p := range pts {
+		if p.Efficiency > 0.999 && p.Efficiency < 1.001 {
+			best++
+		}
+	}
+	if best < 1 {
+		t.Fatalf("no best-efficiency point: %+v", pts)
+	}
+	var buf bytes.Buffer
+	WriteFigure7(&buf, cfg, pts)
+	if !strings.Contains(buf.String(), "chunking") {
+		t.Fatal("WriteFigure7 missing annotation")
+	}
+}
+
+func TestDiffCostsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	DiffCosts(&buf)
+	if !strings.Contains(buf.String(), "250.0 us") {
+		t.Fatalf("DiffCosts missing the paper's 250us point:\n%s", buf.String())
+	}
+}

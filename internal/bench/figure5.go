@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"millipage/internal/mmu"
+)
+
+// Figure5Point is one cell of the MultiView overhead study.
+type Figure5Point struct {
+	ArrayBytes int
+	Views      int
+	Slowdown   float64
+	ActivePTEs int
+}
+
+// Figure5Config controls the sweep grid.
+type Figure5Config struct {
+	Sizes []int // array sizes N
+	Views []int // view counts n
+	Fast  bool  // single pass, no warmup (quick look)
+}
+
+// DefaultFigure5 reproduces the paper's grid: N = 512 KB..16 MB, n = 16,
+// 64, 112, ... 496 (the x-axis ticks of Figure 5).
+func DefaultFigure5() Figure5Config {
+	var views []int
+	for n := 16; n <= 496; n += 48 {
+		views = append(views, n)
+	}
+	return Figure5Config{
+		Sizes: []int{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20},
+		Views: views,
+	}
+}
+
+// Figure5 runs the MultiView overhead microbenchmark of Section 4.1 over
+// the grid and returns the slowdown surface.
+func Figure5(cfg Figure5Config) []Figure5Point {
+	hw := mmu.PentiumII()
+	var out []Figure5Point
+	for _, n := range cfg.Sizes {
+		for _, v := range cfg.Views {
+			tr := mmu.Traversal{ArrayBytes: n, Views: v, Passes: 1, Warmup: 1}
+			if cfg.Fast {
+				tr.Warmup = 0
+				tr.Stride = 2
+			}
+			ratio, _, _ := tr.Slowdown(hw)
+			out = append(out, Figure5Point{
+				ArrayBytes: n,
+				Views:      v,
+				Slowdown:   ratio,
+				ActivePTEs: tr.ActivePTEs(hw),
+			})
+		}
+	}
+	return out
+}
+
+// WriteFigure5 renders the surface as the paper plots it: one series per
+// array size, slowdown vs number of views, with the predicted breaking
+// points (n*N = 512 MB*views) marked.
+func WriteFigure5(w io.Writer, cfg Figure5Config, pts []Figure5Point) {
+	fmt.Fprintln(w, "Figure 5: MultiView overhead (slowdown vs number of views)")
+	fmt.Fprintf(w, "%8s", "views")
+	for _, n := range cfg.Sizes {
+		fmt.Fprintf(w, " %8s", sizeLabel(n))
+	}
+	fmt.Fprintln(w)
+	for _, v := range cfg.Views {
+		fmt.Fprintf(w, "%8d", v)
+		for _, n := range cfg.Sizes {
+			for _, p := range pts {
+				if p.ArrayBytes == n && p.Views == v {
+					fmt.Fprintf(w, " %8.2f", p.Slowdown)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "predicted breaking points (n*N = 512, N in MB):")
+	for _, n := range cfg.Sizes {
+		fmt.Fprintf(w, "  %8s: n = %d\n", sizeLabel(n), 512<<20/n)
+	}
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	default:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+}
+
+// SmallViewOverheads reports the Section 4.1 claim that n <= 32 costs
+// less than ~4% for 512 KB <= N <= 16 MB.
+func SmallViewOverheads(w io.Writer) {
+	hw := mmu.PentiumII()
+	fmt.Fprintln(w, "Section 4.1: overhead for n <= 32 (paper: always < 4%)")
+	for _, n := range []int{512 << 10, 4 << 20, 16 << 20} {
+		for _, v := range []int{8, 16, 32} {
+			tr := mmu.Traversal{ArrayBytes: n, Views: v, Passes: 1, Warmup: 1}
+			ratio, _, _ := tr.Slowdown(hw)
+			fmt.Fprintf(w, "  N=%-6s n=%-3d overhead = %+5.1f%%\n", sizeLabel(n), v, (ratio-1)*100)
+		}
+	}
+}

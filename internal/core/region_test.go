@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"millipage/internal/vm"
+)
+
+func TestRegionErrorPaths(t *testing.T) {
+	l := mustLayout(t, 2*vm.PageSize, 2)
+	as := vm.NewAddressSpace()
+	r, err := NewRegion(l, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Addresses outside every view are rejected.
+	if _, err := r.PrivBytes(0x1, 8); err == nil {
+		t.Fatal("PrivBytes accepted a non-view address")
+	}
+	if err := r.WritePriv(0x1, []byte{1}); err == nil {
+		t.Fatal("WritePriv accepted a non-view address")
+	}
+	if _, err := r.ReadPriv(0x1, 8); err == nil {
+		t.Fatal("ReadPriv accepted a non-view address")
+	}
+	// Protect beyond the object range fails (unmapped vpages).
+	end := l.ViewBase(0) + uint64(l.ObjectSize)
+	if err := r.Protect(end, 8, vm.ReadOnly); err == nil {
+		t.Fatal("Protect past the view accepted")
+	}
+}
+
+func TestPrivBytesAliasesSinglePage(t *testing.T) {
+	l := mustLayout(t, 2*vm.PageSize, 2)
+	as := vm.NewAddressSpace()
+	r, err := NewRegion(l, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within one page: the returned slice aliases the frame (zero copy).
+	base := l.AppAddr(1, 100)
+	bs, err := r.PrivBytes(base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs[0] = 0xEE
+	if r.Obj.Frame(0)[100] != 0xEE {
+		t.Fatal("single-page PrivBytes is not aliased")
+	}
+	// Crossing pages: a copy is returned, but contents are correct.
+	base2 := l.AppAddr(0, vm.PageSize-8)
+	r.Obj.Frame(0)[vm.PageSize-1] = 0x11
+	r.Obj.Frame(1)[0] = 0x22
+	bs2, err := r.PrivBytes(base2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs2[7] != 0x11 || bs2[8] != 0x22 {
+		t.Fatalf("cross-page PrivBytes contents wrong: %x", bs2)
+	}
+}
+
+func TestLayoutVASpanGuardsAddressBudget(t *testing.T) {
+	// The paper was limited to about 1.63 GB of views: the layout exposes
+	// the span so callers can check it (we do not hard-fail, since the
+	// simulated address space is 64-bit).
+	l := mustLayout(t, 16<<20, 104) // the paper's N=16MB, n=104 example
+	span := l.VASpan()
+	if span < 104*16<<20 {
+		t.Fatalf("VASpan = %d, impossibly small", span)
+	}
+	if span > 4<<30 {
+		t.Fatalf("VASpan = %d, should be around 1.7GB for this configuration", span)
+	}
+}
+
+func TestChunkReservationDoesNotLeakAcrossSizes(t *testing.T) {
+	l := mustLayout(t, 64*vm.PageSize, 8)
+	mpt := NewMPT(l, GrainMinipage, 4)
+	a, _, _ := mpt.Alloc(100) // opens a 400-byte reservation
+	b, _, _ := mpt.Alloc(100) // joins the chunk
+	c, _, _ := mpt.Alloc(600) // different size: new chunk
+	if a != b {
+		t.Fatal("same-size allocations did not share the chunk")
+	}
+	if c == a {
+		t.Fatal("different-size allocation joined the chunk")
+	}
+	// The closed chunk never grows again, even for matching sizes.
+	d, _, _ := mpt.Alloc(100)
+	if d == a {
+		t.Fatal("closed chunk reopened")
+	}
+}
+
+func TestPageGrainLookupAnywhereInAllocation(t *testing.T) {
+	l := mustLayout(t, 8*vm.PageSize, 1)
+	mpt := NewMPT(l, GrainPage, 1)
+	// An allocation spanning pages: every interior address resolves to a
+	// page minipage.
+	_, va, err := mpt.Alloc(3 * vm.PageSize / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []uint64{0, 17, vm.PageSize - 1, vm.PageSize, vm.PageSize + 99} {
+		if _, ok := mpt.Lookup(va + off); !ok {
+			t.Fatalf("offset %d did not resolve", off)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"millipage/internal/vm"
+)
+
+// StaticMPT is the paper's static minipage layout (Section 2.3): every
+// page of the memory object is pre-divided into k equal minipages, so
+// minipage borders are computed arithmetically on a fault — no table
+// search. The paper notes this layout suits general-purpose caching and
+// global memory systems, where a fixed subpage transfer unit is wanted
+// (Jamrozik et al.'s subpages).
+//
+// Allocation is a bump over slots; every allocation must fit one slot.
+// Minipage identity is (page, slot), with slot s accessed through view s.
+type StaticMPT struct {
+	l        Layout
+	k        int // minipages per page
+	slotSize int
+	next     int // next unallocated slot index (page*k + slot)
+
+	mps []*Minipage // materialized minipages, indexed by slot index
+}
+
+// NewStaticMPT divides layout l into k minipages per page. k must divide
+// the page size and not exceed the number of views.
+func NewStaticMPT(l Layout, k int) (*StaticMPT, error) {
+	if k < 1 || vm.PageSize%k != 0 {
+		return nil, fmt.Errorf("core: static layout k=%d must divide the page size", k)
+	}
+	if k > l.NumViews {
+		return nil, fmt.Errorf("core: static layout k=%d exceeds %d views", k, l.NumViews)
+	}
+	return &StaticMPT{l: l, k: k, slotSize: vm.PageSize / k}, nil
+}
+
+// SlotSize returns the fixed minipage size.
+func (t *StaticMPT) SlotSize() int { return t.slotSize }
+
+// NumMinipages reports how many slots have been materialized.
+func (t *StaticMPT) NumMinipages() int { return len(t.mps) }
+
+// Minipages returns the materialized minipages in slot order.
+func (t *StaticMPT) Minipages() []*Minipage { return t.mps }
+
+// Alloc takes the next free slot. size must fit the fixed slot size.
+func (t *StaticMPT) Alloc(size int) (*Minipage, uint64, error) {
+	if size <= 0 || size > t.slotSize {
+		return nil, 0, fmt.Errorf("core: static slot is %d bytes; cannot allocate %d", t.slotSize, size)
+	}
+	page := t.next / t.k
+	if page >= t.l.NumPages {
+		return nil, 0, ErrOutOfMemory
+	}
+	slot := t.next % t.k
+	t.next++
+	mp := &Minipage{
+		ID:   len(t.mps),
+		View: slot,
+		Off:  page*vm.PageSize + slot*t.slotSize,
+		Size: t.slotSize,
+	}
+	t.mps = append(t.mps, mp)
+	return mp, t.l.AppAddr(mp.View, mp.Off), nil
+}
+
+// Lookup resolves a faulting address arithmetically — the static
+// layout's advantage: "it is easy to calculate the minipage borders when
+// a fault occurs", with no table search at all.
+func (t *StaticMPT) Lookup(va uint64) (*Minipage, bool) {
+	view, off, ok := t.l.Decompose(va)
+	if !ok || view >= t.l.NumViews {
+		return nil, false
+	}
+	page := off / vm.PageSize
+	slot := (off % vm.PageSize) / t.slotSize
+	if slot != view {
+		// The address is not in the view its slot is served through.
+		return nil, false
+	}
+	idx := page*t.k + slot
+	if idx >= len(t.mps) {
+		return nil, false // slot not yet allocated
+	}
+	return t.mps[idx], true
+}

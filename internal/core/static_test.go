@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"millipage/internal/vm"
+)
+
+func TestStaticLayoutValidation(t *testing.T) {
+	l := mustLayout(t, 4*vm.PageSize, 8)
+	if _, err := NewStaticMPT(l, 3); err == nil {
+		t.Fatal("k=3 does not divide 4096 but was accepted")
+	}
+	if _, err := NewStaticMPT(l, 16); err == nil {
+		t.Fatal("k=16 > 8 views but was accepted")
+	}
+	if _, err := NewStaticMPT(l, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticAllocAndLookup(t *testing.T) {
+	l := mustLayout(t, 2*vm.PageSize, 4)
+	mpt, err := NewStaticMPT(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpt.SlotSize() != 1024 {
+		t.Fatalf("slot size = %d", mpt.SlotSize())
+	}
+	var addrs []uint64
+	for i := 0; i < 8; i++ { // fills both pages
+		mp, va, err := mpt.Alloc(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp.Size != 1024 {
+			t.Fatalf("minipage size = %d, want slot size", mp.Size)
+		}
+		if mp.View != i%4 {
+			t.Fatalf("alloc %d view = %d, want %d", i, mp.View, i%4)
+		}
+		addrs = append(addrs, va)
+	}
+	if _, _, err := mpt.Alloc(8); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	for i, va := range addrs {
+		mp, ok := mpt.Lookup(va + 37) // interior address
+		if !ok || mp.ID != i {
+			t.Fatalf("Lookup(addrs[%d]) = %v, %v", i, mp, ok)
+		}
+	}
+}
+
+func TestStaticRejectsOversizedAlloc(t *testing.T) {
+	l := mustLayout(t, vm.PageSize, 4)
+	mpt, _ := NewStaticMPT(l, 4)
+	if _, _, err := mpt.Alloc(2000); err == nil {
+		t.Fatal("allocation larger than a slot accepted")
+	}
+}
+
+func TestStaticLookupWrongViewFails(t *testing.T) {
+	l := mustLayout(t, vm.PageSize, 4)
+	mpt, _ := NewStaticMPT(l, 4)
+	mp, va, _ := mpt.Alloc(64)
+	_, off, _ := l.Decompose(va)
+	other := (mp.View + 1) % 4
+	if _, ok := mpt.Lookup(l.AppAddr(other, off)); ok {
+		t.Fatal("lookup through wrong view succeeded")
+	}
+	if _, ok := mpt.Lookup(l.AppAddr(mp.View, off+mpt.SlotSize())); ok {
+		t.Fatal("unallocated slot resolved")
+	}
+}
+
+// Property: static allocation gives disjoint, arithmetically recoverable
+// slots for any valid k.
+func TestStaticSlotProperty(t *testing.T) {
+	f := func(kSel, count uint8) bool {
+		ks := []int{1, 2, 4, 8, 16}
+		k := ks[int(kSel)%len(ks)]
+		l, err := NewLayout(8*vm.PageSize, 16)
+		if err != nil {
+			return false
+		}
+		mpt, err := NewStaticMPT(l, k)
+		if err != nil {
+			return false
+		}
+		n := int(count)%32 + 1
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			mp, va, err := mpt.Alloc(mpt.SlotSize())
+			if err != nil {
+				break
+			}
+			if seen[mp.Off] {
+				return false
+			}
+			seen[mp.Off] = true
+			got, ok := mpt.Lookup(va)
+			if !ok || got != mp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package dsm implements Millipage: a fine-granularity, sequentially
+// consistent, page-based software DSM built on the MultiView technique
+// (internal/core), a simulated VM subsystem (internal/vm) and a simulated
+// FastMessages layer (internal/fastmsg).
+//
+// The protocol is the paper's Figure 3, verbatim in structure:
+//
+//   - Sequential Consistency via Single-Writer/Multiple-Readers.
+//   - One process per host; one of them (host 0) is the manager and owns
+//     the minipage table (MPT) and the directory.
+//   - A fault sends only the faulting address to the manager. The manager
+//     looks it up, writes the translation info (minipage base, size,
+//     privileged-view address) into reserved header space, and forwards
+//     the request; data then travels directly owner → requester.
+//   - The woken faulter sends an ack to the manager, which closes the
+//     transaction. Requests arriving for a minipage with an open
+//     transaction are queued at the manager (and counted: these are the
+//     paper's "competing requests"). Consequently a non-manager host can
+//     always service a request immediately — it is never mid-acquisition
+//     of the same minipage — so non-manager hosts need no queues at all.
+//   - DSM server threads access memory through the privileged view:
+//     updates are atomic with respect to the application views, and
+//     send/receive is zero-copy.
+package dsm
+
+import "millipage/internal/sim"
+
+// Costs is the table of local operation costs, calibrated to Table 1 of
+// the paper (all on the 300 MHz Pentium II / NT 4.0 testbed). Message
+// send/receive costs live in fastmsg.Params; these are the host-local
+// costs charged on top.
+type Costs struct {
+	AccessFault sim.Duration // taking the access violation and dispatching the handler
+	GetProt     sim.Duration // querying a vpage protection
+	SetProt     sim.Duration // VirtualProtect on a vpage run
+	MPTLookup   sim.Duration // manager's minipage-table lookup (Translate)
+	ThreadWake  sim.Duration // SetEvent + scheduler latency to resume the faulting thread
+	BlockThread sim.Duration // suspending the faulting thread on its event
+	FaultResume sim.Duration // SEH unwind and instruction retry after a serviced fault
+	BarrierBase sim.Duration // local bookkeeping of one barrier episode
+	MallocBase  sim.Duration // allocator bookkeeping at the manager
+
+	// InstallPerByte is the per-byte cost of landing received minipage
+	// contents (DMA completion handling, dirty-page bookkeeping).
+	InstallPerByte sim.Duration
+
+	HeaderSize int // bytes in a protocol header message
+}
+
+// DefaultCosts returns the Table-1 calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		AccessFault:    26 * sim.Microsecond,
+		GetProt:        7 * sim.Microsecond,
+		SetProt:        12 * sim.Microsecond,
+		MPTLookup:      7 * sim.Microsecond,
+		ThreadWake:     30 * sim.Microsecond,
+		BlockThread:    10 * sim.Microsecond,
+		FaultResume:    35 * sim.Microsecond,
+		BarrierBase:    8 * sim.Microsecond,
+		MallocBase:     5 * sim.Microsecond,
+		InstallPerByte: 4 * sim.Nanosecond,
+		HeaderSize:     32,
+	}
+}

@@ -1,0 +1,319 @@
+package dsm
+
+import (
+	"fmt"
+
+	"millipage/internal/core"
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+	"millipage/internal/trace"
+	"millipage/internal/vm"
+)
+
+// faultWait is the per-transaction rendezvous between a requesting thread
+// and its host's DSM server thread: the event the thread blocks on, plus
+// the translation info the reply carries back (which the thread needs for
+// its ack message).
+type faultWait struct {
+	ev    *sim.Event
+	info  core.Info
+	va    uint64 // for allocation replies
+	owner bool   // allocation reply: requester owns the new minipage
+}
+
+// Host is one Millipage process: an address space with the mapped views,
+// an FM endpoint whose service thread runs the protocol handlers, and the
+// application threads.
+type Host struct {
+	sys    *System
+	id     int
+	AS     *vm.AddressSpace
+	Region *core.Region
+	ep     *fastmsg.Endpoint
+
+	// pendingHdr pairs a reply header with the mData message that follows
+	// it on the same FIFO channel, keyed by source host.
+	pendingHdr map[int]*pmsg
+
+	// prefetchSpans tracks in-flight prefetch requests so a fault into a
+	// prefetched region is accounted as prefetch wait, not a read fault.
+	prefetchSpans []span
+
+	Stats HostStats
+}
+
+type span struct {
+	base uint64
+	size int
+}
+
+func (sp span) contains(va uint64) bool {
+	return va >= sp.base && va < sp.base+uint64(sp.size)
+}
+
+// HostStats aggregates per-host protocol activity.
+type HostStats struct {
+	RequestsServed uint64 // read/write forwards served by this host
+	Invalidations  uint64 // invalidate requests honored
+	PushesServed   uint64
+}
+
+// ID returns the host id.
+func (h *Host) ID() int { return h.id }
+
+func (h *Host) costs() Costs { return h.sys.Opt.Costs }
+func (h *Host) send(p *sim.Proc, to int, m *pmsg) {
+	h.sys.Opt.Trace.Recordf(h.sys.Eng.Now(), trace.Send, h.id, to, "%v mp=%d addr=%#x", m.Type, m.Info.ID, m.Addr)
+	h.ep.Send(p, to, &fastmsg.Message{Size: h.costs().HeaderSize, Payload: m})
+}
+
+// sendData ships raw minipage bytes (no header: FM delivers them directly
+// into the privileged view at the far side, the paper's zero-copy path).
+func (h *Host) sendData(p *sim.Proc, to int, data []byte) {
+	h.ep.Send(p, to, &fastmsg.Message{Size: len(data), Data: data, Payload: &pmsg{Type: mData}})
+}
+
+// readMinipage snapshots a minipage's bytes through the privileged view.
+func (h *Host) readMinipage(info core.Info) []byte {
+	data, err := h.Region.ReadPriv(info.Base, info.Size)
+	if err != nil {
+		panic(fmt.Sprintf("dsm: host %d: privileged read of %+v: %v", h.id, info, err))
+	}
+	return data
+}
+
+// onFault is the installed vm fault handler. It runs in the faulting
+// application thread's context — the analogue of the SEH handler the
+// wrapper routine installs around each application thread (Section 3.5.1).
+//
+// Per Figure 3 ("On Read or Write Fault"): build a request carrying only
+// the faulting address, send it to the manager, and wait on the thread's
+// event. On wakeup, send the transaction-closing ack.
+func (h *Host) onFault(ctx any, f vm.Fault) error {
+	t, ok := ctx.(*Thread)
+	if !ok {
+		return fmt.Errorf("dsm: fault at %#x outside an application thread", f.Addr)
+	}
+	c := h.costs()
+	start := t.p.Now()
+	h.sys.Opt.Trace.Recordf(start, trace.Fault, h.id, -1, "%v fault @%#x", f.Kind, f.Addr)
+	t.p.Sleep(c.AccessFault)
+
+	fw := &faultWait{ev: sim.NewEvent(h.sys.Eng)}
+	typ := mReadReq
+	if f.Kind == vm.Write {
+		typ = mWriteReq
+	}
+	h.send(t.p, managerHost, &pmsg{Type: typ, From: h.id, Addr: f.Addr, FW: fw})
+
+	t.p.Sleep(c.BlockThread)
+	h.ep.SetBusy(-1) // the host may go idle; the poller takes over
+	fw.ev.Wait(t.p)
+	h.ep.SetBusy(+1)
+	t.p.Sleep(c.ThreadWake + c.FaultResume)
+
+	// The ack that closes the transaction at the manager.
+	h.send(t.p, managerHost, &pmsg{Type: mAck, From: h.id, Info: fw.info, Write: f.Kind == vm.Write})
+
+	elapsed := t.p.Now().Sub(start)
+	switch {
+	case f.Kind == vm.Write:
+		t.Stats.WriteFaultTime += elapsed
+		t.Stats.WriteFaults++
+		t.Stats.WriteFaultHist.Add(elapsed)
+	case t.inPrefetchSpan(f.Addr):
+		t.Stats.PrefetchTime += elapsed
+		t.Stats.ReadFaults++
+		t.Stats.ReadFaultHist.Add(elapsed)
+	default:
+		t.Stats.ReadFaultTime += elapsed
+		t.Stats.ReadFaults++
+		t.Stats.ReadFaultHist.Add(elapsed)
+	}
+	return nil
+}
+
+// inPrefetchSpan reports whether va falls in a region with an in-flight
+// prefetch issued by this host.
+func (t *Thread) inPrefetchSpan(va uint64) bool {
+	for _, sp := range t.host.prefetchSpans {
+		if sp.contains(va) {
+			return true
+		}
+	}
+	return false
+}
+
+// onMessage dispatches one delivered message in the host's DSM server
+// thread. Manager-only types are routed to the manager state (which lives
+// on host 0); everything else is the thin non-manager protocol of
+// Figure 3 — note that it does no queuing, no table lookups and no
+// translation of any kind.
+func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
+	m := fm.Payload.(*pmsg)
+	h.sys.Opt.Trace.Recordf(p.Now(), trace.Handle, h.id, fm.From, "%v mp=%d", m.Type, m.Info.ID)
+	switch m.Type {
+	// ---- Manager-bound messages -------------------------------------
+	case mReadReq, mWriteReq, mAck, mInvalidateReply, mAllocReq,
+		mBarrierArrive, mLockReq, mUnlock, mPushReq, mPushAck:
+		if h.id != managerHost {
+			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.id, m.Type))
+		}
+		h.sys.mgr.dispatch(p, m)
+
+	// ---- Forwarded requests served by any host ----------------------
+	case mReadFwd:
+		// Handle Read Request: downgrade a writable copy, then reply with
+		// header and data straight out of the privileged view.
+		c := h.costs()
+		p.Sleep(c.GetProt)
+		if prot, _ := h.Region.ProtOf(m.Info.Base); prot == vm.ReadWrite {
+			p.Sleep(c.SetProt)
+			if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.ReadOnly); err != nil {
+				panic(err)
+			}
+		}
+		h.Stats.RequestsServed++
+		reply := *m
+		reply.Type = mReadReply
+		h.send(p, m.From, &reply)
+		h.sendData(p, m.From, h.readMinipage(m.Info))
+
+	case mWriteFwd:
+		// Handle Write Request: invalidate own copy, reply with data. The
+		// privileged view still reaches the bytes after the application
+		// views are NoAccess — that is what makes this safe and atomic.
+		c := h.costs()
+		p.Sleep(c.SetProt)
+		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.NoAccess); err != nil {
+			panic(err)
+		}
+		h.Stats.RequestsServed++
+		reply := *m
+		reply.Type = mWriteReply
+		h.send(p, m.From, &reply)
+		h.sendData(p, m.From, h.readMinipage(m.Info))
+
+	case mInvalidateReq:
+		c := h.costs()
+		p.Sleep(c.SetProt)
+		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.NoAccess); err != nil {
+			panic(err)
+		}
+		h.Stats.Invalidations++
+		h.send(p, managerHost, &pmsg{Type: mInvalidateReply, From: h.id, Info: m.Info, FW: m.FW})
+
+	// ---- Replies back at the requester ------------------------------
+	case mReadReply, mWriteReply, mPushData:
+		// Header first; the minipage bytes follow on the same channel.
+		h.pendingHdr[fm.From] = m
+
+	case mData:
+		hdr, ok := h.pendingHdr[fm.From]
+		if !ok {
+			panic(fmt.Sprintf("dsm: host %d: data from %d with no pending header", h.id, fm.From))
+		}
+		delete(h.pendingHdr, fm.From)
+		h.installMinipage(p, hdr, fm.Data)
+
+	case mUpgradeGrant:
+		c := h.costs()
+		p.Sleep(c.SetProt)
+		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.ReadWrite); err != nil {
+			panic(err)
+		}
+		m.FW.info = m.Info
+		m.FW.ev.Set()
+
+	case mAllocReply:
+		if m.FW.owner = m.Owner; m.Owner {
+			p.Sleep(h.costs().SetProt)
+			if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.ReadWrite); err != nil {
+				panic(err)
+			}
+		}
+		m.FW.info = m.Info
+		m.FW.va = m.AllocVA
+		m.FW.ev.Set()
+
+	case mBarrierRelease, mLockGrant:
+		m.FW.ev.Set()
+
+	case mPushOrder:
+		h.servePush(p, m)
+
+	default:
+		panic(fmt.Sprintf("dsm: host %d: unexpected message type %v", h.id, m.Type))
+	}
+}
+
+// installMinipage receives minipage contents into the privileged view,
+// raises the application-view protection, and releases whoever waits.
+// This is Figure 3's "Handle Read or Write Reply".
+func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
+	c := h.costs()
+	if len(data) != hdr.Info.Size {
+		panic(fmt.Sprintf("dsm: host %d: minipage %d size mismatch: got %d want %d",
+			h.id, hdr.Info.ID, len(data), hdr.Info.Size))
+	}
+	if err := h.Region.WritePriv(hdr.Info.Base, data); err != nil {
+		panic(err)
+	}
+	p.Sleep(sim.Duration(len(data))*c.InstallPerByte + c.SetProt)
+	prot := vm.ReadOnly
+	if hdr.Type == mWriteReply {
+		prot = vm.ReadWrite
+	}
+	if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, prot); err != nil {
+		panic(err)
+	}
+	switch {
+	case hdr.Type == mPushData:
+		// Pushed replica: ack to the manager; nobody is waiting.
+		h.send(p, managerHost, &pmsg{Type: mPushAck, From: h.id, Info: hdr.Info})
+	case hdr.Prefetch:
+		// Prefetch completion: the server thread closes the transaction.
+		h.clearPrefetchSpan(hdr.Info.Base)
+		h.send(p, managerHost, &pmsg{Type: mAck, From: h.id, Info: hdr.Info, Write: false})
+		if hdr.FW != nil {
+			hdr.FW.ev.Set()
+		}
+	default:
+		hdr.FW.info = hdr.Info
+		hdr.FW.ev.Set()
+	}
+}
+
+// servePush is the owner side of a push update: downgrade to ReadOnly,
+// then replicate the minipage to every other host.
+func (h *Host) servePush(p *sim.Proc, m *pmsg) {
+	c := h.costs()
+	p.Sleep(c.GetProt)
+	if prot, _ := h.Region.ProtOf(m.Info.Base); prot == vm.ReadWrite {
+		p.Sleep(c.SetProt)
+		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.ReadOnly); err != nil {
+			panic(err)
+		}
+	}
+	h.Stats.PushesServed++
+	data := h.readMinipage(m.Info)
+	for i := 0; i < h.sys.NumHosts(); i++ {
+		if i == h.id {
+			continue
+		}
+		hdr := *m
+		hdr.Type = mPushData
+		h.send(p, i, &hdr)
+		h.sendData(p, i, data)
+	}
+}
+
+// clearPrefetchSpan removes the in-flight marker for base.
+func (h *Host) clearPrefetchSpan(base uint64) {
+	for i, sp := range h.prefetchSpans {
+		if sp.base == base {
+			h.prefetchSpans = append(h.prefetchSpans[:i], h.prefetchSpans[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package dsm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"millipage/internal/core"
+	"millipage/internal/sim"
+)
+
+// dirEntry is the manager's directory record for one minipage: which
+// hosts hold copies, who the preferred source is, and the transaction
+// state. Requests arriving while a transaction is open are queued here —
+// and only here: non-manager hosts never queue (Section 3.3).
+type dirEntry struct {
+	copyset uint64 // bitmask of hosts holding a valid copy
+	owner   int    // preferred replica: last writer (or allocator)
+
+	busy  bool
+	queue []*pmsg
+
+	// In-flight write invalidation.
+	pendingWrite *pmsg
+	invAwait     int
+	upgrade      bool // pending write is an upgrade (requester already has the bytes)
+	writeSrc     int  // source replica once invalidations finish
+
+	// In-flight push.
+	pushAwait int
+
+	Competing uint64 // requests that found this entry busy (Figure 7's metric)
+}
+
+func hostBit(h int) uint64 { return 1 << uint(h) }
+
+// ManagerStats aggregates the manager's protocol activity.
+type ManagerStats struct {
+	ReadReqs          uint64
+	WriteReqs         uint64
+	Invalidations     uint64 // invalidate requests issued
+	CompetingRequests uint64 // requests queued behind an open transaction
+	BarrierEpisodes   uint64
+	LockAcquisitions  uint64
+	Allocs            uint64
+	Pushes            uint64
+}
+
+// manager is host 0's DSM management state: the minipage table, the
+// directory, barrier and lock state. Its handlers run in host 0's server
+// thread; its job is essentially "to mark and forward requests to hosts,
+// and to maintain the MPT".
+type manager struct {
+	sys *System
+	mpt *core.MPT
+	dir []*dirEntry
+
+	barrierArrivals []*pmsg
+	barrierGen      int
+
+	locks map[int]*lockState
+
+	Stats ManagerStats
+}
+
+type lockState struct {
+	held  bool
+	queue []*pmsg
+}
+
+func newManager(s *System, mpt *core.MPT) *manager {
+	return &manager{sys: s, mpt: mpt, locks: make(map[int]*lockState)}
+}
+
+// MPT exposes the minipage table (for statistics and tests).
+func (mg *manager) MPT() *core.MPT { return mg.mpt }
+
+// Directory returns the directory entries (for invariant checks in tests).
+func (mg *manager) Directory() []*dirEntry { return mg.dir }
+
+// Copyset returns the copyset bitmask and owner of minipage id.
+func (e *dirEntry) Copyset() (uint64, int) { return e.copyset, e.owner }
+
+// Busy reports whether a transaction is open on the entry.
+func (e *dirEntry) Busy() bool { return e.busy }
+
+func (mg *manager) host() *Host  { return mg.sys.hosts[managerHost] }
+func (mg *manager) costs() Costs { return mg.sys.Opt.Costs }
+func (mg *manager) entry(id int) *dirEntry {
+	if id < 0 || id >= len(mg.dir) {
+		panic(fmt.Sprintf("dsm: no directory entry for minipage %d", id))
+	}
+	return mg.dir[id]
+}
+
+// dispatch routes one manager-bound message.
+func (mg *manager) dispatch(p *sim.Proc, m *pmsg) {
+	switch m.Type {
+	case mReadReq:
+		mg.handleRead(p, m)
+	case mWriteReq:
+		mg.handleWrite(p, m)
+	case mAck:
+		mg.handleAck(p, m)
+	case mInvalidateReply:
+		mg.handleInvReply(p, m)
+	case mAllocReq:
+		mg.handleAlloc(p, m)
+	case mBarrierArrive:
+		mg.handleBarrier(p, m)
+	case mLockReq:
+		mg.handleLock(p, m)
+	case mUnlock:
+		mg.handleUnlock(p, m)
+	case mPushReq:
+		mg.handlePush(p, m)
+	case mPushAck:
+		mg.handlePushAck(p, m)
+	default:
+		panic(fmt.Sprintf("dsm: manager got %v", m.Type))
+	}
+}
+
+// translate performs the manager's Translate step of Figure 3: MPT lookup
+// of the faulting address, filling the reserved header space with the
+// minipage base, size and privileged-view address.
+func (mg *manager) translate(p *sim.Proc, m *pmsg) (*core.Minipage, *dirEntry) {
+	p.Sleep(mg.costs().MPTLookup)
+	mp, ok := mg.mpt.Lookup(m.Addr)
+	if !ok {
+		panic(fmt.Sprintf("dsm: access violation: %#x is not in any minipage", m.Addr))
+	}
+	m.Info = mp.Info(mg.sys.Layout)
+	return mp, mg.entry(mp.ID)
+}
+
+// enqueue records a competing request (Figure 7 counts these).
+func (mg *manager) enqueue(e *dirEntry, m *pmsg) {
+	e.queue = append(e.queue, m)
+	e.Competing++
+	mg.Stats.CompetingRequests++
+}
+
+// closeTxn ends the open transaction on e and dispatches the next queued
+// competing request, if any.
+func (mg *manager) closeTxn(p *sim.Proc, e *dirEntry) {
+	e.busy = false
+	if len(e.queue) == 0 {
+		return
+	}
+	next := e.queue[0]
+	e.queue = e.queue[1:]
+	next.Requeued = true
+	mg.dispatch(p, next)
+}
+
+// handleRead is Figure 3's "Manager: Handle Read Request": translate,
+// pick a replica, add the requester to the copyset, and forward.
+func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
+	if !m.Requeued {
+		mg.Stats.ReadReqs++
+	}
+	mp, e := mg.translate(p, m)
+	if e.busy {
+		mg.enqueue(e, m)
+		return
+	}
+	e.busy = true
+	src := mg.findReplica(e)
+	e.copyset |= hostBit(m.From)
+	fwd := *m
+	fwd.Type = mReadFwd
+	mg.host().send(p, src, &fwd)
+	_ = mp
+}
+
+// findReplica picks the host to source the minipage from: the owner if it
+// still holds a copy, otherwise the lowest-numbered replica.
+func (mg *manager) findReplica(e *dirEntry) int {
+	if e.copyset == 0 {
+		panic("dsm: findReplica on empty copyset")
+	}
+	if e.copyset&hostBit(e.owner) != 0 {
+		return e.owner
+	}
+	return bits.TrailingZeros64(e.copyset)
+}
+
+// handleWrite is "Manager: Handle Write Request": invalidate every other
+// replica, then have the remaining one ship the minipage (or grant an
+// upgrade if the requester already holds the only bytes).
+func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
+	if !m.Requeued {
+		mg.Stats.WriteReqs++
+	}
+	_, e := mg.translate(p, m)
+	if e.busy {
+		mg.enqueue(e, m)
+		return
+	}
+	e.busy = true
+	reqBit := hostBit(m.From)
+	others := e.copyset &^ reqBit
+
+	if others == 0 {
+		// Requester is the sole holder: pure protection upgrade.
+		if e.copyset != reqBit {
+			panic(fmt.Sprintf("dsm: write fault on minipage %d with empty copyset", m.Info.ID))
+		}
+		e.owner = m.From
+		grant := *m
+		grant.Type = mUpgradeGrant
+		mg.host().send(p, m.From, &grant)
+		return
+	}
+
+	if e.copyset&reqBit != 0 {
+		// Upgrade: the requester has the bytes; invalidate everyone else.
+		e.pendingWrite = m
+		e.upgrade = true
+		e.invAwait = bits.OnesCount64(others)
+		mg.sendInvalidates(p, m, others)
+		return
+	}
+
+	// The requester has nothing: pick a source, invalidate the rest.
+	src := e.owner
+	if e.copyset&hostBit(src) == 0 {
+		src = bits.TrailingZeros64(others)
+	}
+	invTargets := others &^ hostBit(src)
+	if invTargets == 0 {
+		mg.forwardWrite(p, e, m, src)
+		return
+	}
+	e.pendingWrite = m
+	e.upgrade = false
+	e.writeSrc = src
+	e.invAwait = bits.OnesCount64(invTargets)
+	mg.sendInvalidates(p, m, invTargets)
+}
+
+// sendInvalidates issues INVALIDATE_REQUESTs to every host in mask.
+func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask uint64) {
+	for h := 0; h < mg.sys.NumHosts(); h++ {
+		if mask&hostBit(h) == 0 {
+			continue
+		}
+		mg.Stats.Invalidations++
+		inv := pmsg{Type: mInvalidateReq, From: m.From, Info: m.Info}
+		mg.host().send(p, h, &inv)
+	}
+}
+
+// forwardWrite sends the translated write request to the chosen source,
+// transferring ownership to the requester.
+func (mg *manager) forwardWrite(p *sim.Proc, e *dirEntry, m *pmsg, src int) {
+	e.copyset = hostBit(m.From)
+	e.owner = m.From
+	fwd := *m
+	fwd.Type = mWriteFwd
+	mg.host().send(p, src, &fwd)
+}
+
+// handleInvReply is "Manager: Handle Invalidate Reply": once every
+// invalidation is confirmed, release the pending write.
+func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
+	e := mg.entry(m.Info.ID)
+	// The replying host no longer holds a copy.
+	e.copyset &^= hostBit(m.From)
+	if e.invAwait--; e.invAwait > 0 {
+		return
+	}
+	w := e.pendingWrite
+	e.pendingWrite = nil
+	if e.upgrade {
+		e.upgrade = false
+		e.copyset = hostBit(w.From)
+		e.owner = w.From
+		grant := *w
+		grant.Type = mUpgradeGrant
+		mg.host().send(p, w.From, &grant)
+		return
+	}
+	mg.forwardWrite(p, e, w, e.writeSrc)
+}
+
+// handleAck closes the transaction the woken faulting thread confirms,
+// and serves the next competing request.
+func (mg *manager) handleAck(p *sim.Proc, m *pmsg) {
+	mg.closeTxn(p, mg.entry(m.Info.ID))
+}
+
+// allocLocal carves minipage(s) for host `from` and creates directory
+// entries it owns. It is shared by the remote allocation path and the
+// manager host's local malloc (which, as in the real system, is an
+// in-process call, not a message).
+func (mg *manager) allocLocal(from, size int) (core.Info, uint64, bool) {
+	mg.Stats.Allocs++
+	mp, va, err := mg.mpt.Alloc(size)
+	if err != nil {
+		panic(fmt.Sprintf("dsm: allocation of %d bytes failed: %v", size, err))
+	}
+	for id := len(mg.dir); id < mg.mpt.NumMinipages(); id++ {
+		mg.dir = append(mg.dir, &dirEntry{copyset: hostBit(from), owner: from})
+	}
+	e := mg.entry(mp.ID)
+	return mp.Info(mg.sys.Layout), va, e.owner == from
+}
+
+// handleAlloc services the malloc-like API for non-manager hosts.
+func (mg *manager) handleAlloc(p *sim.Proc, m *pmsg) {
+	p.Sleep(mg.costs().MallocBase)
+	info, va, owner := mg.allocLocal(m.From, m.AllocSize)
+	reply := *m
+	reply.Type = mAllocReply
+	reply.Info = info
+	reply.AllocVA = va
+	reply.Owner = owner
+	mg.host().send(p, m.From, &reply)
+}
+
+// handleBarrier collects arrivals and releases everyone once the last
+// thread arrives.
+func (mg *manager) handleBarrier(p *sim.Proc, m *pmsg) {
+	mg.barrierArrivals = append(mg.barrierArrivals, m)
+	if len(mg.barrierArrivals) < mg.sys.totalThreads {
+		return
+	}
+	arrivals := mg.barrierArrivals
+	mg.barrierArrivals = nil
+	mg.barrierGen++
+	mg.Stats.BarrierEpisodes++
+	for _, a := range arrivals {
+		rel := pmsg{Type: mBarrierRelease, From: managerHost, Gen: mg.barrierGen, FW: a.FW}
+		mg.host().send(p, a.From, &rel)
+	}
+}
+
+// handleLock grants or queues a lock request (FIFO).
+func (mg *manager) handleLock(p *sim.Proc, m *pmsg) {
+	ls := mg.locks[m.LockID]
+	if ls == nil {
+		ls = &lockState{}
+		mg.locks[m.LockID] = ls
+	}
+	if ls.held {
+		ls.queue = append(ls.queue, m)
+		return
+	}
+	ls.held = true
+	mg.Stats.LockAcquisitions++
+	grant := pmsg{Type: mLockGrant, From: managerHost, LockID: m.LockID, FW: m.FW}
+	mg.host().send(p, m.From, &grant)
+}
+
+// handleUnlock passes the lock to the next waiter or frees it.
+func (mg *manager) handleUnlock(p *sim.Proc, m *pmsg) {
+	ls := mg.locks[m.LockID]
+	if ls == nil || !ls.held {
+		panic(fmt.Sprintf("dsm: unlock of free lock %d", m.LockID))
+	}
+	if len(ls.queue) == 0 {
+		ls.held = false
+		return
+	}
+	next := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	mg.Stats.LockAcquisitions++
+	grant := pmsg{Type: mLockGrant, From: managerHost, LockID: next.LockID, FW: next.FW}
+	mg.host().send(p, next.From, &grant)
+}
+
+// handlePush opens a push transaction: order the owner to replicate the
+// minipage to all hosts.
+func (mg *manager) handlePush(p *sim.Proc, m *pmsg) {
+	if !m.Requeued {
+		mg.Stats.Pushes++
+	}
+	_, e := mg.translate(p, m)
+	if e.busy {
+		mg.enqueue(e, m)
+		return
+	}
+	if mg.sys.NumHosts() == 1 {
+		return // nothing to replicate to
+	}
+	e.busy = true
+	e.pushAwait = mg.sys.NumHosts() - 1
+	order := *m
+	order.Type = mPushOrder
+	mg.host().send(p, mg.findReplica(e), &order)
+}
+
+// handlePushAck completes the push once every other host holds a copy.
+func (mg *manager) handlePushAck(p *sim.Proc, m *pmsg) {
+	e := mg.entry(m.Info.ID)
+	e.copyset |= hostBit(m.From)
+	if e.pushAwait--; e.pushAwait > 0 {
+		return
+	}
+	mg.closeTxn(p, e)
+}

@@ -1,0 +1,86 @@
+package dsm
+
+import (
+	"fmt"
+
+	"millipage/internal/core"
+)
+
+// managerHost is the elected manager process (Section 3.3: "one of the
+// processes is elected as the manager").
+const managerHost = 0
+
+// mtype enumerates the protocol message types of Figure 3, plus the
+// service messages (allocation, synchronization, push updates) the paper
+// describes in prose.
+type mtype int
+
+const (
+	mReadReq   mtype = iota // requester -> manager, carries only the fault address
+	mWriteReq               // requester -> manager
+	mReadFwd                // manager -> replica, carries translation info
+	mWriteFwd               // manager -> chosen owner
+	mReadReply              // owner -> requester header; an mData message follows
+	mWriteReply
+	mUpgradeGrant // manager -> requester that already holds the bytes
+	mData         // bulk minipage contents, received directly into the privileged view
+	mInvalidateReq
+	mInvalidateReply
+	mAck // faulting thread's transaction-closing ack to the manager
+
+	mAllocReq
+	mAllocReply
+
+	mBarrierArrive
+	mBarrierRelease
+	mLockReq
+	mLockGrant
+	mUnlock
+
+	mPushReq   // app thread asks the manager to replicate a minipage everywhere
+	mPushOrder // manager tells the owner to push
+	mPushData  // header for pushed contents (mData follows)
+	mPushAck
+)
+
+var mtypeNames = [...]string{
+	"READ_REQUEST", "WRITE_REQUEST", "READ_FWD", "WRITE_FWD",
+	"READ_REPLY", "WRITE_REPLY", "UPGRADE_GRANT", "DATA",
+	"INVALIDATE_REQUEST", "INVALIDATE_REPLY", "ACK",
+	"ALLOC_REQUEST", "ALLOC_REPLY",
+	"BARRIER_ARRIVE", "BARRIER_RELEASE", "LOCK_REQUEST", "LOCK_GRANT", "UNLOCK",
+	"PUSH_REQUEST", "PUSH_ORDER", "PUSH_DATA", "PUSH_ACK",
+}
+
+func (m mtype) String() string {
+	if int(m) >= 0 && int(m) < len(mtypeNames) {
+		return mtypeNames[m]
+	}
+	return fmt.Sprintf("mtype(%d)", int(m))
+}
+
+// pmsg is the protocol header. On the wire it is Costs.HeaderSize bytes
+// (32 in the paper's implementation: type, requester, faulting address,
+// and reserved translation-info space the manager fills in — Section 3.3).
+// The FW pointer models the requester-local event handle that rides in the
+// header; only the requester dereferences it.
+type pmsg struct {
+	Type mtype
+	From int    // original requester host
+	Addr uint64 // faulting address (all a request carries when it leaves the requester)
+
+	Info core.Info // translation info, filled in by the manager (reserved header space)
+
+	Write    bool // for mAck: closing a write transaction
+	Prefetch bool // request was issued by a prefetch: no thread is waiting
+	Requeued bool // dispatched again from a directory queue (stats count it once)
+
+	FW *faultWait // requester-local rendezvous (event + reply landing zone)
+
+	// Service fields.
+	AllocSize int    // mAllocReq
+	AllocVA   uint64 // mAllocReply: address handed to the application
+	Owner     bool   // mAllocReply: requester owns the (new) minipage
+	LockID    int    // mLockReq / mLockGrant / mUnlock
+	Gen       int    // mBarrierArrive / mBarrierRelease generation
+}

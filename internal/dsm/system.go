@@ -1,0 +1,162 @@
+package dsm
+
+import (
+	"fmt"
+
+	"millipage/internal/core"
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+	"millipage/internal/trace"
+	"millipage/internal/vm"
+)
+
+// Options configures a Millipage cluster.
+type Options struct {
+	Hosts          int // number of hosts (the paper's cluster: 1..8)
+	ThreadsPerHost int // application threads per host (paper: uniprocessors, 1)
+	SharedSize     int // bytes of shared memory (the memory object size)
+	Views          int // application views; see Table 2 for per-app values
+	ChunkLevel     int // the paper's chunking switch; <=1 means off
+	Grain          core.Grain
+	Seed           int64 // simulation seed (deterministic runs)
+
+	Net   fastmsg.Params
+	Costs Costs
+
+	// Trace, if non-nil, records protocol events (message sends, fault
+	// entries, handler dispatches) for debugging.
+	Trace *trace.Recorder
+}
+
+// withDefaults fills zero fields with the calibrated defaults.
+func (o Options) withDefaults() Options {
+	if o.Hosts == 0 {
+		o.Hosts = 1
+	}
+	if o.ThreadsPerHost == 0 {
+		o.ThreadsPerHost = 1
+	}
+	if o.Views == 0 {
+		o.Views = 1
+	}
+	if o.ChunkLevel == 0 {
+		o.ChunkLevel = 1
+	}
+	if o.Net == (fastmsg.Params{}) {
+		o.Net = fastmsg.DefaultParams()
+	}
+	if o.Costs == (Costs{}) {
+		o.Costs = DefaultCosts()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// System is one Millipage cluster: a simulation engine, a network, and a
+// process per host. Host 0 is the manager.
+type System struct {
+	Opt    Options
+	Eng    *sim.Engine
+	Net    *fastmsg.Network
+	Layout core.Layout
+
+	hosts []*Host
+	mgr   *manager
+
+	totalThreads int
+	threads      []*Thread
+}
+
+// New builds a cluster. The memory object, views and privileged view are
+// mapped identically in every host (Section 2.4: no address translation
+// between hosts is ever needed).
+func New(opt Options) (*System, error) {
+	opt = opt.withDefaults()
+	if opt.Hosts < 1 || opt.Hosts > 64 {
+		return nil, fmt.Errorf("dsm: Hosts = %d out of range [1,64]", opt.Hosts)
+	}
+	if opt.SharedSize <= 0 {
+		return nil, fmt.Errorf("dsm: SharedSize must be positive")
+	}
+	layout, err := core.NewLayout(opt.SharedSize, opt.Views)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(opt.Seed)
+	net := fastmsg.New(eng, opt.Hosts, opt.Net)
+	s := &System{Opt: opt, Eng: eng, Net: net, Layout: layout}
+
+	for i := 0; i < opt.Hosts; i++ {
+		as := vm.NewAddressSpace()
+		region, err := core.NewRegion(layout, as)
+		if err != nil {
+			return nil, fmt.Errorf("dsm: host %d: %w", i, err)
+		}
+		h := &Host{
+			sys:        s,
+			id:         i,
+			AS:         as,
+			Region:     region,
+			ep:         net.Endpoint(i),
+			pendingHdr: make(map[int]*pmsg),
+		}
+		as.SetFaultHandler(h.onFault)
+		h.ep.SetHandler(h.onMessage)
+		s.hosts = append(s.hosts, h)
+	}
+	s.mgr = newManager(s, core.NewMPT(layout, opt.Grain, opt.ChunkLevel))
+	return s, nil
+}
+
+// Host returns host i (0 is the manager).
+func (s *System) Host(i int) *Host { return s.hosts[i] }
+
+// NumHosts returns the cluster size.
+func (s *System) NumHosts() int { return s.Opt.Hosts }
+
+// Manager returns the manager state (directory, MPT, counters).
+func (s *System) Manager() *manager { return s.mgr }
+
+// Threads returns the application threads after Run (for statistics).
+func (s *System) Threads() []*Thread { return s.threads }
+
+// Run starts ThreadsPerHost application threads on every host, each
+// executing body, and drives the simulation until all of them finish.
+// body receives the thread context, which is the entire application-facing
+// DSM API (Malloc, memory access, Barrier, Lock/Unlock, Prefetch, Push).
+func (s *System) Run(body func(t *Thread)) error {
+	return s.RunPerHost(func(t *Thread) { body(t) })
+}
+
+// RunPerHost is Run with explicit control retained for symmetry; kept
+// separate so future per-host bodies don't change Run's signature.
+func (s *System) RunPerHost(body func(t *Thread)) error {
+	if body == nil {
+		return fmt.Errorf("dsm: nil thread body")
+	}
+	s.totalThreads = s.Opt.Hosts * s.Opt.ThreadsPerHost
+	gid := 0
+	for _, h := range s.hosts {
+		for j := 0; j < s.Opt.ThreadsPerHost; j++ {
+			t := &Thread{host: h, ID: gid, LID: j}
+			s.threads = append(s.threads, t)
+			gid++
+			h := h
+			s.Eng.Spawn(fmt.Sprintf("app-%d.%d", h.id, j), func(p *sim.Proc) {
+				t.p = p
+				h.ep.SetBusy(+1)
+				t.Stats.Start = p.Now()
+				body(t)
+				t.Stats.End = p.Now()
+				h.ep.SetBusy(-1)
+			})
+		}
+	}
+	return s.Eng.Run()
+}
+
+// Elapsed returns the virtual time at which the simulation stopped — the
+// parallel execution time of the application.
+func (s *System) Elapsed() sim.Duration { return sim.Duration(s.Eng.Now()) }

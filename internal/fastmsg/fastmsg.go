@@ -1,0 +1,338 @@
+// Package fastmsg simulates the messaging substrate of the Millipage paper:
+// Illinois FastMessages (FM) on a switched Myrinet LAN, as driven by
+// Millipage's DSM service threads on Windows NT.
+//
+// The model has three calibrated components, all in virtual time:
+//
+//   - per-message CPU cost at the sender and at the receiver (FM is a
+//     user-level library: send/receive cost is endpoint processing, not
+//     kernel crossings), plus a small wire latency. The constants are
+//     fitted to Table 1 of the paper (32-byte header send/recv 12 µs,
+//     0.5 KB 22 µs, 1 KB 34 µs, 4 KB 90 µs) and to the quoted 25 µs
+//     small-message roundtrip;
+//
+//   - the polling discipline: FM only delivers when the receiver polls.
+//     When the destination host is idle (its application threads are all
+//     blocked) the low-priority poller thread picks messages up almost
+//     immediately. When the host is computing, messages wait for the
+//     sweeper thread, which wakes on a nominal 1 ms multimedia timer;
+//
+//   - the NT timer pathology reported in the paper (after Jones & Regehr):
+//     timer events arrive either within tens of microseconds or after
+//     several milliseconds (σ ≈ 955 µs for a 1 ms timer). The sweeper's
+//     tick train is drawn from a bimodal gap distribution, which is what
+//     produces the paper's ~500 µs average service-thread delay.
+//
+// Messages between a pair of endpoints are reliable and FIFO, as FM
+// guarantees.
+package fastmsg
+
+import (
+	"fmt"
+
+	"millipage/internal/sim"
+)
+
+// Params holds the calibrated cost model. All durations are virtual time.
+type Params struct {
+	// Sender-side CPU per message: SendBase + size*SendPerByte.
+	SendBase    sim.Duration
+	SendPerByte sim.Duration // duration per byte (fractional ns folded into base)
+
+	// Wire/NIC latency between send completion and arrival at the
+	// destination adapter: WireBase + size*WirePerByte.
+	WireBase    sim.Duration
+	WirePerByte sim.Duration
+
+	// Receiver-side CPU per message, charged to the service thread before
+	// the handler runs: RecvBase + size*RecvPerByte.
+	RecvBase    sim.Duration
+	RecvPerByte sim.Duration
+
+	// PollIdle is how long an arrived message waits when the destination
+	// host is idle: the poller's loop latency.
+	PollIdle sim.Duration
+
+	// Sweeper tick-gap distribution for busy hosts (the NT timer model):
+	// with probability SweepShortProb the gap is uniform in
+	// [SweepShortLo, SweepShortHi], otherwise uniform in
+	// [SweepLongLo, SweepLongHi].
+	SweepShortProb float64
+	SweepShortLo   sim.Duration
+	SweepShortHi   sim.Duration
+	SweepLongLo    sim.Duration
+	SweepLongHi    sim.Duration
+
+	// PerfectTimers disables the sweeper pathology: busy hosts service
+	// messages after exactly SweepShortLo. Used by ablation benchmarks
+	// ("once the polling and timer-resolution problems are solved").
+	PerfectTimers bool
+}
+
+// DefaultParams returns the model calibrated to the paper's testbed
+// (300 MHz Pentium II, HPVM FM 1.0, Myrinet, NT 4.0 SP3).
+func DefaultParams() Params {
+	return Params{
+		// Fit to Table 1: send/recv of 32 B = 12 µs ... 4 KB = 90 µs.
+		SendBase:    4900 * sim.Nanosecond,
+		SendPerByte: 9,
+		WireBase:    1500 * sim.Nanosecond,
+		WirePerByte: 1,
+		RecvBase:    4900 * sim.Nanosecond,
+		RecvPerByte: 9,
+
+		PollIdle: 3 * sim.Microsecond,
+
+		// Bimodal NT-timer model: "most of them appear either within
+		// several tens of microseconds ... or take several milliseconds".
+		SweepShortProb: 0.55,
+		SweepShortLo:   20 * sim.Microsecond,
+		SweepShortHi:   80 * sim.Microsecond,
+		SweepLongLo:    500 * sim.Microsecond,
+		SweepLongHi:    2600 * sim.Microsecond,
+	}
+}
+
+// SendCPU returns the sender-side CPU cost for a message of size bytes.
+func (pr Params) SendCPU(size int) sim.Duration {
+	return pr.SendBase + sim.Duration(size)*pr.SendPerByte
+}
+
+// WireLatency returns the adapter-to-adapter latency for size bytes.
+func (pr Params) WireLatency(size int) sim.Duration {
+	return pr.WireBase + sim.Duration(size)*pr.WirePerByte
+}
+
+// RecvCPU returns the receiver-side CPU cost for size bytes.
+func (pr Params) RecvCPU(size int) sim.Duration {
+	return pr.RecvBase + sim.Duration(size)*pr.RecvPerByte
+}
+
+// OneWay returns the full uncontended cost of moving size bytes from a
+// sender process to a receiver handler on an idle host — the quantity
+// Table 1 reports as "message send/recv".
+func (pr Params) OneWay(size int) sim.Duration {
+	return pr.SendCPU(size) + pr.WireLatency(size) + pr.RecvCPU(size)
+}
+
+// Message is one FM message. Payload carries the protocol structure
+// (opaque to this package); Data carries bulk bytes (minipage contents).
+// Size is the wire size used by the cost model — protocols set it to the
+// header size plus len(Data).
+type Message struct {
+	From    int
+	To      int
+	Size    int
+	Payload any
+	Data    []byte
+}
+
+// Handler processes one delivered message in the destination's service
+// thread. It runs in process context: it may sleep (to charge protocol
+// CPU costs) and send further messages.
+type Handler func(p *sim.Proc, m *Message)
+
+// Network connects n endpoints over the simulated fabric.
+type Network struct {
+	eng    *sim.Engine
+	params Params
+	eps    []*Endpoint
+}
+
+// New creates a network of n endpoints on eng. Each endpoint gets a
+// daemon service-thread process that runs its handler.
+func New(eng *sim.Engine, n int, params Params) *Network {
+	nw := &Network{eng: eng, params: params}
+	nw.eps = make([]*Endpoint, n)
+	for i := range nw.eps {
+		ep := &Endpoint{
+			nw:          nw,
+			id:          i,
+			ready:       sim.NewQueue[*Message](eng),
+			lastDeliver: make([]sim.Time, n),
+		}
+		nw.eps[i] = ep
+		eng.SpawnDaemon(fmt.Sprintf("fm-server-%d", i), ep.serve)
+	}
+	return nw
+}
+
+// Endpoint returns endpoint i.
+func (nw *Network) Endpoint(i int) *Endpoint { return nw.eps[i] }
+
+// Size returns the number of endpoints.
+func (nw *Network) Size() int { return len(nw.eps) }
+
+// Params returns the network's cost model.
+func (nw *Network) Params() Params { return nw.params }
+
+// Stats aggregates per-endpoint message accounting.
+type Stats struct {
+	Sent         uint64
+	Received     uint64
+	BytesSent    uint64
+	ServiceDelay sim.Duration // total arrival→handler-start delay
+}
+
+// AvgServiceDelay reports the mean delay between a message's arrival and
+// its handler starting — the paper's "response of the server thread".
+func (s Stats) AvgServiceDelay() sim.Duration {
+	if s.Received == 0 {
+		return 0
+	}
+	return s.ServiceDelay / sim.Duration(s.Received)
+}
+
+// Endpoint is one host's attachment to the network.
+type Endpoint struct {
+	nw          *Network
+	id          int
+	handler     Handler
+	ready       *sim.Queue[*Message]
+	busy        int // number of runnable application threads on this host
+	lastDeliver []sim.Time
+	sweepTick   sim.Time
+	pending     []*pendingMsg
+	stats       Stats
+}
+
+type pendingMsg struct {
+	m       *Message
+	arrived sim.Time
+	fired   bool
+}
+
+// ID returns the endpoint's host id.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// Stats returns a copy of the endpoint's counters.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// SetHandler installs the message handler. It must be set before any
+// message arrives.
+func (ep *Endpoint) SetHandler(h Handler) { ep.handler = h }
+
+// SetBusy adjusts the count of runnable application threads on this host.
+// The transition to zero (host idle) releases any messages waiting for a
+// sweeper tick to the fast poller path — the poller only gets CPU when the
+// application does not need it.
+func (ep *Endpoint) SetBusy(delta int) {
+	was := ep.busy
+	ep.busy += delta
+	if ep.busy < 0 {
+		panic("fastmsg: negative busy count")
+	}
+	if was > 0 && ep.busy == 0 {
+		// Poller takes over: flush pending messages promptly.
+		for _, pm := range ep.pending {
+			if pm.fired {
+				continue
+			}
+			pm := pm
+			ep.nw.eng.After(ep.nw.params.PollIdle, func() { ep.fire(pm) })
+		}
+	}
+}
+
+// Busy reports whether any application thread on this host is runnable.
+func (ep *Endpoint) Busy() bool { return ep.busy > 0 }
+
+// Send transmits m to endpoint `to`. It charges the sending process the
+// sender-side CPU cost (p may be nil for engine-context sends, which
+// charge nothing). Delivery is reliable and FIFO per destination.
+func (ep *Endpoint) Send(p *sim.Proc, to int, m *Message) {
+	if m.Size <= 0 {
+		m.Size = len(m.Data)
+	}
+	m.From = ep.id
+	m.To = to
+	pr := ep.nw.params
+	if p != nil {
+		p.Sleep(pr.SendCPU(m.Size))
+	}
+	eng := ep.nw.eng
+	at := eng.Now().Add(pr.WireLatency(m.Size))
+	if at <= ep.lastDeliver[to] {
+		at = ep.lastDeliver[to] + 1 // preserve FIFO ordering per destination
+	}
+	ep.lastDeliver[to] = at
+	ep.stats.Sent++
+	ep.stats.BytesSent += uint64(m.Size)
+	dst := ep.nw.eps[to]
+	eng.At(at, func() { dst.arrive(m) })
+}
+
+// arrive runs in engine context when m reaches the destination adapter.
+func (ep *Endpoint) arrive(m *Message) {
+	eng := ep.nw.eng
+	pm := &pendingMsg{m: m, arrived: eng.Now()}
+	ep.pending = append(ep.pending, pm)
+	var wait sim.Duration
+	if ep.busy == 0 {
+		wait = ep.nw.params.PollIdle
+	} else {
+		wait = ep.nextSweepGap()
+	}
+	eng.After(wait, func() { ep.fire(pm) })
+}
+
+// fire hands a pending message to the service thread, exactly once.
+func (ep *Endpoint) fire(pm *pendingMsg) {
+	if pm.fired {
+		return
+	}
+	pm.fired = true
+	// Drop fired entries from the pending list's prefix.
+	i := 0
+	for i < len(ep.pending) && ep.pending[i].fired {
+		i++
+	}
+	ep.pending = ep.pending[i:]
+	ep.stats.Received++
+	ep.stats.ServiceDelay += ep.nw.eng.Now().Sub(pm.arrived)
+	ep.ready.Put(pm.m)
+}
+
+// nextSweepGap returns the wait until the busy host's sweeper next runs.
+func (ep *Endpoint) nextSweepGap() sim.Duration {
+	now := ep.nw.eng.Now()
+	if ep.sweepTick < now {
+		ep.sweepTick = now
+	}
+	for ep.sweepTick <= now {
+		ep.sweepTick = ep.sweepTick.Add(ep.sweepGap())
+	}
+	return ep.sweepTick.Sub(now)
+}
+
+// sweepGap draws one inter-tick gap from the NT timer model.
+func (ep *Endpoint) sweepGap() sim.Duration {
+	pr := ep.nw.params
+	rng := ep.nw.eng.Rand()
+	if pr.PerfectTimers {
+		return pr.SweepShortLo
+	}
+	uniform := func(lo, hi sim.Duration) sim.Duration {
+		if hi <= lo {
+			return lo
+		}
+		return lo + sim.Duration(rng.Int63n(int64(hi-lo)))
+	}
+	if rng.Float64() < pr.SweepShortProb {
+		return uniform(pr.SweepShortLo, pr.SweepShortHi)
+	}
+	return uniform(pr.SweepLongLo, pr.SweepLongHi)
+}
+
+// serve is the endpoint's service-thread body: receive, charge receive
+// CPU, run the protocol handler.
+func (ep *Endpoint) serve(p *sim.Proc) {
+	for {
+		m := ep.ready.Get(p)
+		p.Sleep(ep.nw.params.RecvCPU(m.Size))
+		if ep.handler == nil {
+			panic(fmt.Sprintf("fastmsg: endpoint %d received %T with no handler", ep.id, m.Payload))
+		}
+		ep.handler(p, m)
+	}
+}

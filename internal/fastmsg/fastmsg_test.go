@@ -1,0 +1,332 @@
+package fastmsg
+
+import (
+	"testing"
+
+	"millipage/internal/sim"
+)
+
+// newPair builds a 2-endpoint network with handler plumbing for tests.
+func newPair(t *testing.T, params Params) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	return eng, New(eng, 2, params)
+}
+
+func TestOneWayCostMatchesTable1(t *testing.T) {
+	// The paper's Table 1: header (32 B) 12 µs, 0.5 KB 22 µs, 1 KB 34 µs,
+	// 4 KB 90 µs. The calibrated model must land within 10% of each.
+	pr := DefaultParams()
+	cases := []struct {
+		size int
+		want float64 // µs
+	}{
+		{32, 12}, {512, 22}, {1024, 34}, {4096, 90},
+	}
+	for _, c := range cases {
+		got := pr.OneWay(c.size).Microseconds()
+		if got < c.want*0.90 || got > c.want*1.10 {
+			t.Errorf("OneWay(%d) = %.1fus, want %.1fus +-10%%", c.size, got, c.want)
+		}
+	}
+}
+
+func TestDeliveryToIdleHost(t *testing.T) {
+	eng, nw := newPair(t, DefaultParams())
+	var gotAt sim.Time
+	var got *Message
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {
+		got = m
+		gotAt = p.Now()
+	})
+	nw.Endpoint(0).SetHandler(func(p *sim.Proc, m *Message) {})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		nw.Endpoint(0).Send(p, 1, &Message{Size: 32, Payload: "ping"})
+		p.Sleep(sim.Millisecond) // keep the run alive through delivery
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("message not delivered")
+	}
+	if got.Payload != "ping" || got.From != 0 || got.To != 1 {
+		t.Fatalf("bad message: %+v", got)
+	}
+	want := DefaultParams().OneWay(32) + DefaultParams().PollIdle
+	d := sim.Duration(gotAt)
+	if d < want-sim.Microsecond || d > want+2*sim.Microsecond {
+		t.Fatalf("handled at %v, want about %v", d, want)
+	}
+}
+
+func TestFIFOPerDestination(t *testing.T) {
+	// A large message followed by a small one must not be overtaken.
+	eng, nw := newPair(t, DefaultParams())
+	var order []int
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {
+		order = append(order, m.Payload.(int))
+	})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		ep := nw.Endpoint(0)
+		// Engine-context sends (p=nil charges nothing) issued back-to-back
+		// so wire latency alone would reorder them.
+		ep.Send(nil, 1, &Message{Size: 65536, Payload: 1})
+		ep.Send(nil, 1, &Message{Size: 8, Payload: 2})
+		p.Sleep(sim.Second)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestBusyHostWaitsForSweeper(t *testing.T) {
+	pr := DefaultParams()
+	eng, nw := newPair(t, pr)
+	var handledAt sim.Time
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) { handledAt = p.Now() })
+	nw.Endpoint(1).SetBusy(+1) // host 1 is computing
+	var sentAt sim.Time
+	eng.Spawn("sender", func(p *sim.Proc) {
+		sentAt = p.Now()
+		nw.Endpoint(0).Send(p, 1, &Message{Size: 32})
+		p.Sleep(20 * sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delay := handledAt.Sub(sentAt)
+	if delay < pr.SweepShortLo {
+		t.Fatalf("busy-host delivery after %v, want at least a sweeper gap (>=%v)", delay, pr.SweepShortLo)
+	}
+}
+
+func TestIdleTransitionFlushesPending(t *testing.T) {
+	// Force a long sweeper gap, then make the host idle: the poller must
+	// pick the message up in ~PollIdle rather than waiting out the tick.
+	pr := DefaultParams()
+	pr.SweepShortProb = 0 // every gap is long
+	pr.SweepLongLo = 50 * sim.Millisecond
+	pr.SweepLongHi = 60 * sim.Millisecond
+	eng, nw := newPair(t, pr)
+	var handledAt sim.Time
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) { handledAt = p.Now() })
+	nw.Endpoint(1).SetBusy(+1)
+	eng.Spawn("sender", func(p *sim.Proc) {
+		nw.Endpoint(0).Send(p, 1, &Message{Size: 32})
+		p.Sleep(500 * sim.Microsecond)
+		nw.Endpoint(1).SetBusy(-1) // app thread blocks; host 1 goes idle
+		p.Sleep(5 * sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handledAt == 0 {
+		t.Fatal("message never handled")
+	}
+	if sim.Duration(handledAt) > 600*sim.Microsecond {
+		t.Fatalf("handled at %v, want shortly after the idle transition at 500us+send", handledAt)
+	}
+}
+
+func TestPerfectTimersServiceQuickly(t *testing.T) {
+	pr := DefaultParams()
+	pr.PerfectTimers = true
+	pr.SweepShortLo = 10 * sim.Microsecond
+	eng, nw := newPair(t, pr)
+	var handledAt sim.Time
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) { handledAt = p.Now() })
+	nw.Endpoint(1).SetBusy(+1)
+	eng.Spawn("sender", func(p *sim.Proc) {
+		nw.Endpoint(0).Send(p, 1, &Message{Size: 32})
+		p.Sleep(10 * sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Duration(handledAt) > 50*sim.Microsecond {
+		t.Fatalf("perfect-timer delivery took %v, want < 50us", sim.Duration(handledAt))
+	}
+}
+
+func TestHandlerCanReply(t *testing.T) {
+	eng, nw := newPair(t, DefaultParams())
+	done := false
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {
+		nw.Endpoint(1).Send(p, 0, &Message{Size: 32, Payload: "pong"})
+	})
+	nw.Endpoint(0).SetHandler(func(p *sim.Proc, m *Message) {
+		if m.Payload == "pong" {
+			done = true
+		}
+	})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		nw.Endpoint(0).Send(p, 1, &Message{Size: 32, Payload: "ping"})
+		p.Sleep(sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("no pong")
+	}
+}
+
+func TestRoundTripSmallMessageNearPaper(t *testing.T) {
+	// The paper measured a 25 µs roundtrip for 200-byte messages. Our
+	// model should be in the same ballpark (within 2x, it is a model).
+	eng, nw := newPair(t, DefaultParams())
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {
+		nw.Endpoint(1).Send(p, 0, &Message{Size: 200})
+	})
+	var rtt sim.Duration
+	evDone := sim.NewEvent(eng)
+	nw.Endpoint(0).SetHandler(func(p *sim.Proc, m *Message) { evDone.Set() })
+	eng.Spawn("pinger", func(p *sim.Proc) {
+		start := p.Now()
+		nw.Endpoint(0).Send(p, 1, &Message{Size: 200})
+		evDone.Wait(p)
+		rtt = p.Now().Sub(start)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	us := rtt.Microseconds()
+	if us < 15 || us > 50 {
+		t.Fatalf("200B roundtrip = %.1fus, want 15-50us (paper: 25us)", us)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	eng, nw := newPair(t, DefaultParams())
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			nw.Endpoint(0).Send(p, 1, &Message{Size: 100})
+		}
+		p.Sleep(sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := nw.Endpoint(0).Stats(), nw.Endpoint(1).Stats()
+	if s0.Sent != 5 || s0.BytesSent != 500 {
+		t.Fatalf("sender stats = %+v", s0)
+	}
+	if s1.Received != 5 {
+		t.Fatalf("receiver stats = %+v", s1)
+	}
+	if s1.AvgServiceDelay() <= 0 {
+		t.Fatal("no service delay recorded")
+	}
+}
+
+func TestSizeDefaultsToDataLength(t *testing.T) {
+	eng, nw := newPair(t, DefaultParams())
+	var gotSize int
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) { gotSize = m.Size })
+	eng.Spawn("s", func(p *sim.Proc) {
+		nw.Endpoint(0).Send(p, 1, &Message{Data: make([]byte, 77)})
+		p.Sleep(sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotSize != 77 {
+		t.Fatalf("Size = %d, want 77", gotSize)
+	}
+}
+
+func TestSelfSendDelivers(t *testing.T) {
+	eng := sim.NewEngine(4)
+	nw := New(eng, 1, DefaultParams())
+	var got *Message
+	nw.Endpoint(0).SetHandler(func(p *sim.Proc, m *Message) { got = m })
+	eng.Spawn("self", func(p *sim.Proc) {
+		nw.Endpoint(0).Send(p, 0, &Message{Size: 32, Payload: "loopback"})
+		p.Sleep(sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Payload != "loopback" || got.From != 0 {
+		t.Fatalf("self-send: %+v", got)
+	}
+}
+
+func TestNegativeBusyPanics(t *testing.T) {
+	eng := sim.NewEngine(4)
+	nw := New(eng, 1, DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative busy count did not panic")
+		}
+	}()
+	nw.Endpoint(0).SetBusy(-1)
+}
+
+func TestManyMessagesKeepPerPairOrder(t *testing.T) {
+	eng := sim.NewEngine(9)
+	nw := New(eng, 3, DefaultParams())
+	var got [3][]int
+	for i := 0; i < 3; i++ {
+		i := i
+		nw.Endpoint(i).SetHandler(func(p *sim.Proc, m *Message) {
+			got[i] = append(got[i], m.Payload.(int))
+		})
+	}
+	eng.Spawn("sender", func(p *sim.Proc) {
+		for k := 0; k < 30; k++ {
+			// Alternate sizes so naive latency would reorder.
+			size := 32
+			if k%2 == 0 {
+				size = 8192
+			}
+			nw.Endpoint(0).Send(p, 1+k%2, &Message{Size: size, Payload: k})
+		}
+		p.Sleep(20 * sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for dst := 1; dst <= 2; dst++ {
+		prev := -1
+		for _, v := range got[dst] {
+			if v < prev {
+				t.Fatalf("dst %d received out of order: %v", dst, got[dst])
+			}
+			prev = v
+		}
+		if len(got[dst]) != 15 {
+			t.Fatalf("dst %d received %d messages, want 15", dst, len(got[dst]))
+		}
+	}
+}
+
+func TestServiceDelayStatsAccumulate(t *testing.T) {
+	pr := DefaultParams()
+	eng := sim.NewEngine(3)
+	nw := New(eng, 2, pr)
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {})
+	nw.Endpoint(1).SetBusy(+1) // sweeper-bound deliveries
+	eng.Spawn("s", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			nw.Endpoint(0).Send(p, 1, &Message{Size: 32})
+			p.Sleep(sim.Millisecond)
+		}
+		p.Sleep(10 * sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Endpoint(1).Stats()
+	if s.Received != 20 {
+		t.Fatalf("received = %d", s.Received)
+	}
+	if avg := s.AvgServiceDelay(); avg < pr.SweepShortLo/2 {
+		t.Fatalf("avg service delay = %v, implausibly small for a busy host", avg)
+	}
+}

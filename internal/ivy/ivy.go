@@ -1,0 +1,507 @@
+// Package ivy implements a classic Li/Hudak-style page-based DSM — the
+// system family the Millipage paper is built against. It exists for
+// architectural comparison:
+//
+//   - the sharing unit is the virtual page, full stop: no views, no
+//     minipages — so false sharing is structural;
+//   - the directory is distributed statically (Li & Hudak's "fixed
+//     distributed manager"): page p's manager is host p mod N, rather
+//     than Millipage's single manager host;
+//   - otherwise the protocol is the same Single-Writer/Multiple-Readers
+//     invalidation scheme, over the same simulated substrate.
+//
+// Benchmarks use it for two comparisons: false sharing (pages vs
+// minipages) and directory placement (distributed vs Millipage's
+// centralized thin manager).
+package ivy
+
+import (
+	"fmt"
+
+	"millipage/internal/dsm"
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+	"millipage/internal/vm"
+)
+
+// Options configures an Ivy cluster.
+type Options struct {
+	Hosts      int
+	SharedSize int
+	Seed       int64
+	Net        fastmsg.Params
+	Costs      dsm.Costs
+}
+
+type mtype int
+
+const (
+	mReadReq mtype = iota
+	mWriteReq
+	mReadFwd
+	mWriteFwd
+	mReadReply
+	mWriteReply
+	mUpgrade
+	mData
+	mInvReq
+	mInvReply
+	mAck
+	mBarArrive
+	mBarRelease
+)
+
+type pmsg struct {
+	Type  mtype
+	From  int
+	Page  int
+	Write bool
+	FW    *wait
+}
+
+type wait struct {
+	ev *sim.Event
+}
+
+// dirEntry is one page's directory record at its manager host.
+type dirEntry struct {
+	copyset uint64
+	owner   int
+	busy    bool
+	queue   []*pmsg
+
+	pendingWrite *pmsg
+	invAwait     int
+	upgrade      bool
+	writeSrc     int
+
+	Competing uint64
+}
+
+// System is an Ivy cluster.
+type System struct {
+	Opt   Options
+	Eng   *sim.Engine
+	Net   *fastmsg.Network
+	hosts []*Host
+
+	numPages int
+	base     uint64
+
+	barrierArrivals []*pmsg
+
+	Stats Stats
+}
+
+// Stats aggregates cluster-wide counters.
+type Stats struct {
+	ReadFaults  uint64
+	WriteFaults uint64
+	Invalidates uint64
+	Competing   uint64
+}
+
+// Host is one Ivy process. Each host manages the directory entries of
+// its page residue class.
+type Host struct {
+	sys *System
+	id  int
+	AS  *vm.AddressSpace
+	obj *vm.MemObject
+	ep  *fastmsg.Endpoint
+
+	dir map[int]*dirEntry // pages this host manages
+
+	pendingHdr map[int]*pmsg
+}
+
+const base = uint64(0x4000_0000)
+
+// New builds the cluster. The shared region is mapped at the same base
+// address on every host, one view, page protection granularity.
+func New(opt Options) (*System, error) {
+	if opt.Hosts < 1 || opt.Hosts > 64 {
+		return nil, fmt.Errorf("ivy: bad host count %d", opt.Hosts)
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Net == (fastmsg.Params{}) {
+		opt.Net = fastmsg.DefaultParams()
+	}
+	if opt.Costs == (dsm.Costs{}) {
+		opt.Costs = dsm.DefaultCosts()
+	}
+	pages := (opt.SharedSize + vm.PageSize - 1) / vm.PageSize
+	if pages < 1 {
+		return nil, fmt.Errorf("ivy: shared size %d too small", opt.SharedSize)
+	}
+	eng := sim.NewEngine(opt.Seed)
+	net := fastmsg.New(eng, opt.Hosts, opt.Net)
+	s := &System{Opt: opt, Eng: eng, Net: net, numPages: pages, base: base}
+	for i := 0; i < opt.Hosts; i++ {
+		as := vm.NewAddressSpace()
+		obj := vm.NewMemObject(pages * vm.PageSize)
+		if err := as.MapView(base, obj, 0, pages, vm.NoAccess); err != nil {
+			return nil, err
+		}
+		h := &Host{
+			sys:        s,
+			id:         i,
+			AS:         as,
+			obj:        obj,
+			ep:         net.Endpoint(i),
+			dir:        make(map[int]*dirEntry),
+			pendingHdr: make(map[int]*pmsg),
+		}
+		as.SetFaultHandler(h.onFault)
+		h.ep.SetHandler(h.onMessage)
+		s.hosts = append(s.hosts, h)
+	}
+	// Pages start owned by their managers, writable there.
+	for p := 0; p < pages; p++ {
+		mgr := p % opt.Hosts
+		s.hosts[mgr].dir[p] = &dirEntry{copyset: 1 << uint(mgr), owner: mgr}
+		va := base + uint64(p*vm.PageSize)
+		if err := s.hosts[mgr].AS.Protect(va, 1, vm.ReadWrite); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Base returns the shared region's base address (identical on all hosts).
+func (s *System) Base() uint64 { return s.base }
+
+// Host returns host i.
+func (s *System) Host(i int) *Host { return s.hosts[i] }
+
+// Elapsed returns the run's virtual duration.
+func (s *System) Elapsed() sim.Duration { return sim.Duration(s.Eng.Now()) }
+
+// Messages returns the total messages sent.
+func (s *System) Messages() uint64 {
+	var n uint64
+	for _, h := range s.hosts {
+		n += h.ep.Stats().Sent
+	}
+	return n
+}
+
+// managerOf returns the host managing page p (static distribution).
+func (s *System) managerOf(p int) int { return p % s.Opt.Hosts }
+
+// Thread is one application thread's handle.
+type Thread struct {
+	host *Host
+	p    *sim.Proc
+}
+
+// Run starts one application thread per host.
+func (s *System) Run(body func(t *Thread)) error {
+	for _, h := range s.hosts {
+		h := h
+		t := &Thread{host: h}
+		s.Eng.Spawn(fmt.Sprintf("ivy-app-%d", h.id), func(p *sim.Proc) {
+			t.p = p
+			h.ep.SetBusy(+1)
+			body(t)
+			h.ep.SetBusy(-1)
+		})
+	}
+	return s.Eng.Run()
+}
+
+// Host returns the thread's host id.
+func (t *Thread) Host() int { return t.host.id }
+
+// NumHosts returns the cluster size.
+func (t *Thread) NumHosts() int { return len(t.host.sys.hosts) }
+
+// Compute charges computation time.
+func (t *Thread) Compute(d sim.Duration) { t.p.Sleep(d) }
+
+// Read copies shared bytes at va.
+func (t *Thread) Read(va uint64, buf []byte) {
+	if err := t.host.AS.Access(t, va, buf, vm.Read); err != nil {
+		panic(err)
+	}
+}
+
+// Write stores shared bytes at va.
+func (t *Thread) Write(va uint64, data []byte) {
+	if err := t.host.AS.Access(t, va, data, vm.Write); err != nil {
+		panic(err)
+	}
+}
+
+// ReadU32 reads a shared uint32.
+func (t *Thread) ReadU32(va uint64) uint32 {
+	v, err := t.host.AS.ReadU32(t, va)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// WriteU32 writes a shared uint32.
+func (t *Thread) WriteU32(va uint64, v uint32) {
+	if err := t.host.AS.WriteU32(t, va, v); err != nil {
+		panic(err)
+	}
+}
+
+// Barrier rendezvouses all threads (coordinated at host 0).
+func (t *Thread) Barrier() {
+	h := t.host
+	c := h.sys.Opt.Costs
+	t.p.Sleep(c.BarrierBase)
+	fw := &wait{ev: sim.NewEvent(h.sys.Eng)}
+	h.send(t.p, 0, &pmsg{Type: mBarArrive, From: h.id, FW: fw})
+	h.ep.SetBusy(-1)
+	fw.ev.Wait(t.p)
+	h.ep.SetBusy(+1)
+	t.p.Sleep(c.ThreadWake)
+}
+
+func (h *Host) send(p *sim.Proc, to int, m *pmsg) {
+	h.ep.Send(p, to, &fastmsg.Message{Size: h.sys.Opt.Costs.HeaderSize, Payload: m})
+}
+
+func (h *Host) sendPage(p *sim.Proc, to int, page int) {
+	data := make([]byte, vm.PageSize)
+	copy(data, h.obj.Frame(page))
+	h.ep.Send(p, to, &fastmsg.Message{Size: len(data), Data: data, Payload: &pmsg{Type: mData, Page: page}})
+}
+
+func (h *Host) pageVA(page int) uint64 { return h.sys.base + uint64(page*vm.PageSize) }
+
+// onFault sends the request to the page's distributed manager and waits.
+func (h *Host) onFault(ctx any, f vm.Fault) error {
+	t, ok := ctx.(*Thread)
+	if !ok {
+		return fmt.Errorf("ivy: fault outside app thread")
+	}
+	c := h.sys.Opt.Costs
+	t.p.Sleep(c.AccessFault)
+	page := int((f.Addr - h.sys.base) / vm.PageSize)
+	typ := mReadReq
+	if f.Kind == vm.Write {
+		typ = mWriteReq
+		h.sys.Stats.WriteFaults++
+	} else {
+		h.sys.Stats.ReadFaults++
+	}
+	fw := &wait{ev: sim.NewEvent(h.sys.Eng)}
+	h.send(t.p, h.sys.managerOf(page), &pmsg{Type: typ, From: h.id, Page: page, FW: fw})
+	t.p.Sleep(c.BlockThread)
+	h.ep.SetBusy(-1)
+	fw.ev.Wait(t.p)
+	h.ep.SetBusy(+1)
+	t.p.Sleep(c.ThreadWake + c.FaultResume)
+	h.send(t.p, h.sys.managerOf(page), &pmsg{Type: mAck, From: h.id, Page: page, Write: f.Kind == vm.Write})
+	return nil
+}
+
+// onMessage dispatches protocol messages; directory operations run at
+// the page's manager (this host, for its residue class).
+func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
+	m := fm.Payload.(*pmsg)
+	c := h.sys.Opt.Costs
+	switch m.Type {
+	case mReadReq, mWriteReq:
+		h.managerHandle(p, m)
+
+	case mAck:
+		e := h.dir[m.Page]
+		e.busy = false
+		if len(e.queue) > 0 {
+			next := e.queue[0]
+			e.queue = e.queue[1:]
+			h.managerHandle(p, next)
+		}
+
+	case mInvReply:
+		e := h.dir[m.Page]
+		e.copyset &^= 1 << uint(m.From)
+		if e.invAwait--; e.invAwait > 0 {
+			return
+		}
+		wr := e.pendingWrite
+		e.pendingWrite = nil
+		if e.upgrade {
+			e.upgrade = false
+			e.copyset = 1 << uint(wr.From)
+			e.owner = wr.From
+			grant := *wr
+			grant.Type = mUpgrade
+			h.send(p, wr.From, &grant)
+			return
+		}
+		e.copyset = 1 << uint(wr.From)
+		e.owner = wr.From
+		fwd := *wr
+		fwd.Type = mWriteFwd
+		h.send(p, e.writeSrc, &fwd)
+
+	case mReadFwd:
+		p.Sleep(c.GetProt)
+		va := h.pageVA(m.Page)
+		if prot, _ := h.AS.ProtOf(va); prot == vm.ReadWrite {
+			p.Sleep(c.SetProt)
+			h.AS.Protect(va, 1, vm.ReadOnly)
+		}
+		reply := *m
+		reply.Type = mReadReply
+		h.send(p, m.From, &reply)
+		h.sendPage(p, m.From, m.Page)
+
+	case mWriteFwd:
+		p.Sleep(c.SetProt)
+		h.AS.Protect(h.pageVA(m.Page), 1, vm.NoAccess)
+		reply := *m
+		reply.Type = mWriteReply
+		h.send(p, m.From, &reply)
+		h.sendPage(p, m.From, m.Page)
+
+	case mInvReq:
+		p.Sleep(c.SetProt)
+		h.AS.Protect(h.pageVA(m.Page), 1, vm.NoAccess)
+		h.sys.Stats.Invalidates++
+		h.send(p, h.sys.managerOf(m.Page), &pmsg{Type: mInvReply, From: h.id, Page: m.Page})
+
+	case mReadReply, mWriteReply:
+		h.pendingHdr[fm.From] = m
+
+	case mData:
+		hdr, ok := h.pendingHdr[fm.From]
+		if !ok {
+			panic("ivy: data without header")
+		}
+		delete(h.pendingHdr, fm.From)
+		copy(h.obj.Frame(hdr.Page), fm.Data)
+		p.Sleep(c.SetProt + sim.Duration(len(fm.Data))*c.InstallPerByte)
+		prot := vm.ReadOnly
+		if hdr.Type == mWriteReply {
+			prot = vm.ReadWrite
+		}
+		h.AS.Protect(h.pageVA(hdr.Page), 1, prot)
+		hdr.FW.ev.Set()
+
+	case mUpgrade:
+		p.Sleep(c.SetProt)
+		h.AS.Protect(h.pageVA(m.Page), 1, vm.ReadWrite)
+		m.FW.ev.Set()
+
+	case mBarArrive:
+		s := h.sys
+		s.barrierArrivals = append(s.barrierArrivals, m)
+		if len(s.barrierArrivals) < len(s.hosts) {
+			return
+		}
+		arrivals := s.barrierArrivals
+		s.barrierArrivals = nil
+		for _, a := range arrivals {
+			rel := pmsg{Type: mBarRelease, FW: a.FW}
+			h.send(p, a.From, &rel)
+		}
+
+	case mBarRelease:
+		m.FW.ev.Set()
+
+	default:
+		panic(fmt.Sprintf("ivy: unexpected message %d", int(m.Type)))
+	}
+}
+
+// managerHandle runs the SW/MR directory logic for a page this host
+// manages.
+func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
+	c := h.sys.Opt.Costs
+	p.Sleep(c.MPTLookup)
+	e := h.dir[m.Page]
+	if e == nil {
+		panic(fmt.Sprintf("ivy: host %d asked to manage page %d", h.id, m.Page))
+	}
+	if e.busy {
+		e.queue = append(e.queue, m)
+		e.Competing++
+		h.sys.Stats.Competing++
+		return
+	}
+	e.busy = true
+	reqBit := uint64(1) << uint(m.From)
+
+	if m.Type == mReadReq {
+		src := e.owner
+		if e.copyset&(1<<uint(src)) == 0 {
+			src = firstBit(e.copyset)
+		}
+		e.copyset |= reqBit
+		fwd := *m
+		fwd.Type = mReadFwd
+		h.send(p, src, &fwd)
+		return
+	}
+
+	// Write request.
+	others := e.copyset &^ reqBit
+	if others == 0 {
+		e.owner = m.From
+		grant := *m
+		grant.Type = mUpgrade
+		h.send(p, m.From, &grant)
+		return
+	}
+	if e.copyset&reqBit != 0 {
+		e.pendingWrite = m
+		e.upgrade = true
+		e.invAwait = popcount(others)
+		h.sendInvalidates(p, m.Page, others)
+		return
+	}
+	src := e.owner
+	if e.copyset&(1<<uint(src)) == 0 {
+		src = firstBit(others)
+	}
+	targets := others &^ (1 << uint(src))
+	if targets == 0 {
+		e.copyset = reqBit
+		e.owner = m.From
+		fwd := *m
+		fwd.Type = mWriteFwd
+		h.send(p, src, &fwd)
+		return
+	}
+	e.pendingWrite = m
+	e.upgrade = false
+	e.writeSrc = src
+	e.invAwait = popcount(targets)
+	h.sendInvalidates(p, m.Page, targets)
+}
+
+func (h *Host) sendInvalidates(p *sim.Proc, page int, mask uint64) {
+	for i := 0; i < len(h.sys.hosts); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			h.send(p, i, &pmsg{Type: mInvReq, From: h.id, Page: page})
+		}
+	}
+}
+
+func firstBit(m uint64) int {
+	for i := 0; i < 64; i++ {
+		if m&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	panic("ivy: empty copyset")
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,531 @@
+// Package lrc implements the paper's first future-work direction
+// (Section 5, "Reduced-Consistency Protocols"): a home-based lazy
+// release consistency DSM over minipages.
+//
+// The paper's observation: once chunking makes minipages larger than the
+// sharing unit, false sharing reappears *within* a minipage — and a
+// reduced-consistency protocol can absorb it. Under LRC, writers do not
+// invalidate each other between synchronization points: a write fault
+// takes a twin of the minipage and proceeds locally; at a barrier every
+// host run-length-diffs its dirty minipages against their twins and
+// flushes the diffs to the minipage's home, which applies them; after
+// the barrier releases, non-home copies are invalidated so the next
+// access refetches the merged contents. Data-race-free programs observe
+// the same results as under sequential consistency, while concurrent
+// writers to one (chunked) minipage never ping-pong.
+//
+// The protocol reuses the whole Millipage substrate: the MultiView
+// region and privileged view (internal/core), the VM fault upcalls
+// (internal/vm), the FastMessages model (internal/fastmsg) and the
+// twin/diff machinery with the paper's measured costs
+// (internal/twindiff). The cost Millipage's thin layer avoids — 250 us
+// per 4 KB diff — is charged here, which is exactly what the ablation
+// benchmarks compare.
+package lrc
+
+import (
+	"fmt"
+
+	"millipage/internal/core"
+	"millipage/internal/dsm"
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+	"millipage/internal/twindiff"
+	"millipage/internal/vm"
+)
+
+// Options configures an LRC cluster.
+type Options struct {
+	Hosts      int
+	SharedSize int
+	Views      int
+	ChunkLevel int
+	Seed       int64
+	Net        fastmsg.Params
+	Costs      dsm.Costs
+}
+
+// message types
+type mtype int
+
+const (
+	mFetchReq mtype = iota
+	mFetchReply
+	mFetchData
+	mDiffFlush
+	mDiffAck
+	mBarrierArrive
+	mBarrierRelease
+	mAllocReq
+	mAllocReply
+)
+
+type pmsg struct {
+	Type mtype
+	From int
+	Addr uint64
+	Info core.Info
+
+	Diff []byte // encoded run-length diff (mDiffFlush)
+
+	FW *wait
+
+	AllocSize int
+	AllocVA   uint64
+	Home      int
+}
+
+type wait struct {
+	ev   *sim.Event
+	info core.Info
+	va   uint64
+	home int
+}
+
+// System is an LRC cluster. Host 0 coordinates barriers and owns the
+// minipage table; every minipage's home is its allocating host.
+type System struct {
+	Opt    Options
+	Eng    *sim.Engine
+	Net    *fastmsg.Network
+	Layout core.Layout
+
+	mpt   *core.MPT
+	homes []int // minipage id -> home host
+
+	hosts []*Host
+
+	barrierArrivals []*pmsg
+
+	Stats Stats
+}
+
+// Stats aggregates protocol activity across the run.
+type Stats struct {
+	Fetches    uint64
+	DiffsSent  uint64
+	DiffBytes  uint64
+	TwinsMade  uint64
+	Barriers   uint64
+	WriteFault uint64
+	ReadFault  uint64
+}
+
+// Host is one LRC process.
+type Host struct {
+	sys    *System
+	id     int
+	AS     *vm.AddressSpace
+	Region *core.Region
+	ep     *fastmsg.Endpoint
+
+	twins      map[int][]byte // minipage id -> twin (dirty set)
+	dirtyInfo  map[int]core.Info
+	present    map[int]core.Info // non-home minipages currently mapped in
+	pendingHdr map[int]*pmsg
+
+	flushAwait int
+	flushDone  *sim.Event
+}
+
+// New builds an LRC cluster.
+func New(opt Options) (*System, error) {
+	if opt.Hosts < 1 || opt.Hosts > 64 {
+		return nil, fmt.Errorf("lrc: Hosts = %d out of range", opt.Hosts)
+	}
+	if opt.ChunkLevel < 1 {
+		opt.ChunkLevel = 1
+	}
+	if opt.Views < 1 {
+		opt.Views = 1
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Net == (fastmsg.Params{}) {
+		opt.Net = fastmsg.DefaultParams()
+	}
+	if opt.Costs == (dsm.Costs{}) {
+		opt.Costs = dsm.DefaultCosts()
+	}
+	layout, err := core.NewLayout(opt.SharedSize, opt.Views)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(opt.Seed)
+	net := fastmsg.New(eng, opt.Hosts, opt.Net)
+	s := &System{
+		Opt:    opt,
+		Eng:    eng,
+		Net:    net,
+		Layout: layout,
+		mpt:    core.NewMPT(layout, core.GrainMinipage, opt.ChunkLevel),
+	}
+	for i := 0; i < opt.Hosts; i++ {
+		as := vm.NewAddressSpace()
+		region, err := core.NewRegion(layout, as)
+		if err != nil {
+			return nil, err
+		}
+		h := &Host{
+			sys:        s,
+			id:         i,
+			AS:         as,
+			Region:     region,
+			ep:         net.Endpoint(i),
+			twins:      make(map[int][]byte),
+			dirtyInfo:  make(map[int]core.Info),
+			present:    make(map[int]core.Info),
+			pendingHdr: make(map[int]*pmsg),
+		}
+		as.SetFaultHandler(h.onFault)
+		h.ep.SetHandler(h.onMessage)
+		s.hosts = append(s.hosts, h)
+	}
+	return s, nil
+}
+
+// Host returns host i.
+func (s *System) Host(i int) *Host { return s.hosts[i] }
+
+// MPT exposes the minipage table.
+func (s *System) MPT() *core.MPT { return s.mpt }
+
+// Elapsed returns the virtual time at which the run stopped.
+func (s *System) Elapsed() sim.Duration { return sim.Duration(s.Eng.Now()) }
+
+// Thread is an application thread's handle on the LRC DSM.
+type Thread struct {
+	host *Host
+	ID   int
+	p    *sim.Proc
+}
+
+// Run starts one application thread per host and drives the simulation.
+func (s *System) Run(body func(t *Thread)) error {
+	for i, h := range s.hosts {
+		h := h
+		t := &Thread{host: h, ID: i}
+		s.Eng.Spawn(fmt.Sprintf("lrc-app-%d", i), func(p *sim.Proc) {
+			t.p = p
+			h.ep.SetBusy(+1)
+			body(t)
+			h.ep.SetBusy(-1)
+		})
+	}
+	return s.Eng.Run()
+}
+
+func (h *Host) costs() dsm.Costs { return h.sys.Opt.Costs }
+
+func (h *Host) send(p *sim.Proc, to int, m *pmsg, extra int) {
+	h.ep.Send(p, to, &fastmsg.Message{Size: h.costs().HeaderSize + extra, Payload: m})
+}
+
+// Host returns the thread's host id.
+func (t *Thread) Host() int { return t.host.id }
+
+// NumHosts returns the cluster size.
+func (t *Thread) NumHosts() int { return len(t.host.sys.hosts) }
+
+// Compute charges pure computation time.
+func (t *Thread) Compute(d sim.Duration) { t.p.Sleep(d) }
+
+// Malloc allocates shared memory; the allocating host becomes the
+// minipage's home.
+func (t *Thread) Malloc(size int) uint64 {
+	h := t.host
+	s := h.sys
+	if h.id == 0 {
+		t.p.Sleep(h.costs().MallocBase)
+		info, va, _ := s.allocLocal(h.id, size)
+		h.Region.Protect(info.Base, info.Size, vm.ReadWrite)
+		return va
+	}
+	fw := &wait{ev: sim.NewEvent(s.Eng)}
+	h.send(t.p, 0, &pmsg{Type: mAllocReq, From: h.id, AllocSize: size, FW: fw}, 0)
+	h.ep.SetBusy(-1)
+	fw.ev.Wait(t.p)
+	h.ep.SetBusy(+1)
+	t.p.Sleep(h.costs().ThreadWake)
+	if fw.home == h.id {
+		h.Region.Protect(fw.info.Base, fw.info.Size, vm.ReadWrite)
+	}
+	return fw.va
+}
+
+func (s *System) allocLocal(from, size int) (core.Info, uint64, int) {
+	mp, va, err := s.mpt.Alloc(size)
+	if err != nil {
+		panic(fmt.Sprintf("lrc: alloc %d: %v", size, err))
+	}
+	for id := len(s.homes); id < s.mpt.NumMinipages(); id++ {
+		s.homes = append(s.homes, from)
+	}
+	return mp.Info(s.Layout), va, s.homes[mp.ID]
+}
+
+// Read copies shared memory, faulting as needed.
+func (t *Thread) Read(va uint64, buf []byte) {
+	if err := t.host.AS.Access(t, va, buf, vm.Read); err != nil {
+		panic(err)
+	}
+}
+
+// Write stores into shared memory, faulting (and twinning) as needed.
+func (t *Thread) Write(va uint64, data []byte) {
+	if err := t.host.AS.Access(t, va, data, vm.Write); err != nil {
+		panic(err)
+	}
+}
+
+// ReadU32 reads a shared uint32.
+func (t *Thread) ReadU32(va uint64) uint32 {
+	v, err := t.host.AS.ReadU32(t, va)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// WriteU32 writes a shared uint32.
+func (t *Thread) WriteU32(va uint64, v uint32) {
+	if err := t.host.AS.WriteU32(t, va, v); err != nil {
+		panic(err)
+	}
+}
+
+// onFault services read and write faults in LRC fashion: fetch from home
+// if absent; on write, twin and proceed — never invalidate other hosts.
+func (h *Host) onFault(ctx any, f vm.Fault) error {
+	t, ok := ctx.(*Thread)
+	if !ok {
+		return fmt.Errorf("lrc: fault outside app thread at %#x", f.Addr)
+	}
+	c := h.costs()
+	t.p.Sleep(c.AccessFault)
+	s := h.sys
+
+	// Identify the minipage (homes and the MPT are replicated read-only
+	// state in this simplified realization).
+	mp, okk := s.mpt.Lookup(f.Addr)
+	if !okk {
+		return fmt.Errorf("lrc: %#x outside any minipage", f.Addr)
+	}
+	info := mp.Info(s.Layout)
+	home := s.homes[mp.ID]
+
+	if prot, _ := h.Region.ProtOf(info.Base); prot == vm.NoAccess && home != h.id {
+		// Fetch current contents from home.
+		s.Stats.Fetches++
+		if f.Kind == vm.Read {
+			s.Stats.ReadFault++
+		}
+		fw := &wait{ev: sim.NewEvent(s.Eng)}
+		h.send(t.p, home, &pmsg{Type: mFetchReq, From: h.id, Info: info, FW: fw}, 0)
+		h.ep.SetBusy(-1)
+		fw.ev.Wait(t.p)
+		h.ep.SetBusy(+1)
+		t.p.Sleep(c.ThreadWake + c.FaultResume)
+		h.present[mp.ID] = info
+	}
+
+	if f.Kind == vm.Write {
+		// Twin and write locally; the diff travels at the next barrier.
+		s.Stats.WriteFault++
+		if _, dirty := h.twins[mp.ID]; !dirty {
+			data, err := h.Region.ReadPriv(info.Base, info.Size)
+			if err != nil {
+				return err
+			}
+			h.twins[mp.ID] = twindiff.Twin(data)
+			h.dirtyInfo[mp.ID] = info
+			s.Stats.TwinsMade++
+			t.p.Sleep(twindiff.TwinCost(info.Size))
+		}
+		t.p.Sleep(c.SetProt)
+		return h.Region.Protect(info.Base, info.Size, vm.ReadWrite)
+	}
+	t.p.Sleep(c.SetProt)
+	return h.Region.Protect(info.Base, info.Size, vm.ReadOnly)
+}
+
+// Barrier flushes this host's dirty minipages to their homes, then
+// rendezvouses with every other thread; on release, non-home copies are
+// invalidated so subsequent accesses see the merged state.
+func (t *Thread) Barrier() {
+	h := t.host
+	s := h.sys
+	c := h.costs()
+
+	// Flush diffs and wait for the homes' acks.
+	dirty := make([]int, 0, len(h.twins))
+	for id := range h.twins {
+		dirty = append(dirty, id)
+	}
+	// Deterministic flush order.
+	for i := 1; i < len(dirty); i++ {
+		for j := i; j > 0 && dirty[j] < dirty[j-1]; j-- {
+			dirty[j], dirty[j-1] = dirty[j-1], dirty[j]
+		}
+	}
+	// Compute every diff first (charging the paper's diff-creation cost),
+	// then arm the completion latch and send, so an early ack can never
+	// release the latch while later diffs are still being encoded.
+	type flush struct {
+		home int
+		info core.Info
+		enc  []byte
+	}
+	var flushes []flush
+	for _, id := range dirty {
+		info := h.dirtyInfo[id]
+		home := s.homes[id]
+		cur, err := h.Region.ReadPriv(info.Base, info.Size)
+		if err != nil {
+			panic(err)
+		}
+		runs, err := twindiff.Diff(h.twins[id], cur)
+		if err != nil {
+			panic(err)
+		}
+		t.p.Sleep(twindiff.CreateCost(info.Size)) // the cost Millipage avoids
+		delete(h.twins, id)
+		delete(h.dirtyInfo, id)
+		if home == h.id {
+			continue // writes are already at home
+		}
+		flushes = append(flushes, flush{home: home, info: info, enc: twindiff.Encode(runs)})
+	}
+	if len(flushes) > 0 {
+		h.flushAwait = len(flushes)
+		h.flushDone = sim.NewEvent(s.Eng)
+		for _, f := range flushes {
+			s.Stats.DiffsSent++
+			s.Stats.DiffBytes += uint64(len(f.enc))
+			h.send(t.p, f.home, &pmsg{Type: mDiffFlush, From: h.id, Info: f.info, Diff: f.enc}, len(f.enc))
+		}
+		h.ep.SetBusy(-1)
+		h.flushDone.Wait(t.p)
+		h.ep.SetBusy(+1)
+		t.p.Sleep(c.ThreadWake)
+	}
+
+	// Rendezvous.
+	t.p.Sleep(c.BarrierBase)
+	fw := &wait{ev: sim.NewEvent(s.Eng)}
+	h.send(t.p, 0, &pmsg{Type: mBarrierArrive, From: h.id, FW: fw}, 0)
+	h.ep.SetBusy(-1)
+	fw.ev.Wait(t.p)
+	h.ep.SetBusy(+1)
+	t.p.Sleep(c.ThreadWake)
+
+	// Invalidate non-home copies: the next access refetches merged data.
+	for id, info := range h.present {
+		t.p.Sleep(c.SetProt)
+		if err := h.Region.Protect(info.Base, info.Size, vm.NoAccess); err != nil {
+			panic(err)
+		}
+		delete(h.present, id)
+	}
+}
+
+// onMessage is the LRC server-thread dispatcher.
+func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
+	m := fm.Payload.(*pmsg)
+	s := h.sys
+	c := h.costs()
+	switch m.Type {
+	case mAllocReq:
+		p.Sleep(c.MallocBase)
+		info, va, home := s.allocLocal(m.From, m.AllocSize)
+		reply := *m
+		reply.Type = mAllocReply
+		reply.Info = info
+		reply.AllocVA = va
+		reply.Home = home
+		h.send(p, m.From, &reply, 0)
+
+	case mAllocReply:
+		m.FW.info = m.Info
+		m.FW.va = m.AllocVA
+		m.FW.home = m.Home
+		m.FW.ev.Set()
+
+	case mFetchReq:
+		// Home ships its current copy (always readable at home via the
+		// privileged view).
+		data, err := h.Region.ReadPriv(m.Info.Base, m.Info.Size)
+		if err != nil {
+			panic(err)
+		}
+		reply := *m
+		reply.Type = mFetchReply
+		h.send(p, m.From, &reply, 0)
+		h.ep.Send(p, m.From, &fastmsg.Message{Size: len(data), Data: data, Payload: &pmsg{Type: mFetchData}})
+
+	case mFetchReply:
+		h.pendingHdr[fm.From] = m
+
+	case mFetchData:
+		hdr, ok := h.pendingHdr[fm.From]
+		if !ok {
+			panic("lrc: data without header")
+		}
+		delete(h.pendingHdr, fm.From)
+		if err := h.Region.WritePriv(hdr.Info.Base, fm.Data); err != nil {
+			panic(err)
+		}
+		p.Sleep(c.SetProt)
+		if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, vm.ReadOnly); err != nil {
+			panic(err)
+		}
+		hdr.FW.info = hdr.Info
+		hdr.FW.ev.Set()
+
+	case mDiffFlush:
+		runs, err := twindiff.Decode(m.Diff)
+		if err != nil {
+			panic(err)
+		}
+		cur, err := h.Region.ReadPriv(m.Info.Base, m.Info.Size)
+		if err != nil {
+			panic(err)
+		}
+		if err := twindiff.Apply(cur, runs); err != nil {
+			panic(err)
+		}
+		if err := h.Region.WritePriv(m.Info.Base, cur); err != nil {
+			panic(err)
+		}
+		p.Sleep(twindiff.ApplyCost(len(m.Diff)))
+		h.send(p, m.From, &pmsg{Type: mDiffAck, From: h.id, Info: m.Info}, 0)
+
+	case mDiffAck:
+		if h.flushAwait--; h.flushAwait == 0 {
+			h.flushDone.Set()
+		}
+
+	case mBarrierArrive:
+		if h.id != 0 {
+			panic("lrc: barrier arrive at non-coordinator")
+		}
+		s.barrierArrivals = append(s.barrierArrivals, m)
+		if len(s.barrierArrivals) < len(s.hosts) {
+			return
+		}
+		arrivals := s.barrierArrivals
+		s.barrierArrivals = nil
+		s.Stats.Barriers++
+		for _, a := range arrivals {
+			rel := pmsg{Type: mBarrierRelease, FW: a.FW}
+			h.send(p, a.From, &rel, 0)
+		}
+
+	case mBarrierRelease:
+		m.FW.ev.Set()
+
+	default:
+		panic(fmt.Sprintf("lrc: unexpected message %d", int(m.Type)))
+	}
+}

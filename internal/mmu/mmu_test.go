@@ -1,0 +1,153 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := newCache(1024, 32, 2)
+	if c.access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.access(0x1010) {
+		t.Fatal("same-line access missed")
+	}
+	if c.access(0x2000) {
+		t.Fatal("different line hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 32B lines, 2 sets (128 bytes total).
+	c := newCache(128, 32, 2)
+	// Three conflicting lines in set 0: 0, 128, 256 (line numbers 0,4,8
+	// all map to set 0 of 2 sets -> even lines).
+	c.access(0)   // miss, insert
+	c.access(128) // miss, insert; set full
+	c.access(0)   // hit, refreshes 0
+	if c.access(256) {
+		t.Fatal("conflict access hit")
+	}
+	// 128 was LRU and must be gone; 0 must survive.
+	if !c.access(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.access(128) {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tl := newTLB(4, 2)
+	if tl.access(7) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tl.access(7) {
+		t.Fatal("TLB re-access missed")
+	}
+}
+
+func TestMachineSequentialScanCosts(t *testing.T) {
+	// A sequential scan of one page: 1 TLB miss, 4096/32 = 128 data-line
+	// fetches, the rest L1 hits.
+	m := New(PentiumII())
+	for i := uint64(0); i < 4096; i++ {
+		m.Access(0x10000+i, 0x50000+i)
+	}
+	if m.S.TLBMisses != 1 {
+		t.Fatalf("TLB misses = %d, want 1", m.S.TLBMisses)
+	}
+	if m.S.L1Misses != 128 {
+		t.Fatalf("L1 misses = %d, want 128", m.S.L1Misses)
+	}
+	if m.S.Accesses != 4096 {
+		t.Fatalf("accesses = %d", m.S.Accesses)
+	}
+}
+
+func TestPTEWorkingSetDrivesSlowdown(t *testing.T) {
+	// Shrink the hardware so the experiment is fast: L2 of 4 KB holds
+	// 1024 PTEs. An array of 64 pages at 8 views has 512 active PTEs
+	// (fits); at 32 views it has 2048 (thrashes). The slowdown must jump.
+	cfg := PentiumII()
+	cfg.L2Size = 4 << 10
+	cfg.L1Size = 1 << 10
+	arr := 64 * cfg.PageSize
+
+	below := Traversal{ArrayBytes: arr, Views: 8, Passes: 2, Warmup: 1}
+	above := Traversal{ArrayBytes: arr, Views: 32, Passes: 2, Warmup: 1}
+	if got, want := below.ActivePTEs(cfg), 512; got != want {
+		t.Fatalf("ActivePTEs below = %d, want %d", got, want)
+	}
+	if got, want := above.ActivePTEs(cfg), 2048; got != want {
+		t.Fatalf("ActivePTEs above = %d, want %d", got, want)
+	}
+	rBelow, _, _ := below.Slowdown(cfg)
+	rAbove, mAbove, _ := above.Slowdown(cfg)
+	if rBelow >= rAbove {
+		t.Fatalf("slowdown below (%.2f) >= above (%.2f)", rBelow, rAbove)
+	}
+	if rAbove < 1.5 {
+		t.Fatalf("beyond the breaking point slowdown = %.2f, want substantial", rAbove)
+	}
+	if mAbove.S.PTEL2Miss == 0 {
+		t.Fatal("no PTE L2 misses beyond the breaking point")
+	}
+}
+
+func TestSmallViewCountsNegligibleOverhead(t *testing.T) {
+	// The paper: for n <= 32 and 512KB <= N <= 16MB the overhead is < 4%.
+	// Check a representative point with the real hardware config (small N
+	// to keep the test fast).
+	cfg := PentiumII()
+	tr := Traversal{ArrayBytes: 512 << 10, Views: 16, Passes: 1, Warmup: 1}
+	ratio, _, _ := tr.Slowdown(cfg)
+	if ratio > 1.06 {
+		t.Fatalf("slowdown at 16 views = %.3f, want <= ~1.04", ratio)
+	}
+}
+
+func TestTraversalTouchesEveryByte(t *testing.T) {
+	cfg := PentiumII()
+	m := New(cfg)
+	tr := Traversal{ArrayBytes: 3 * cfg.PageSize, Views: 4, Passes: 1}
+	tr.Run(m)
+	if m.S.Accesses != uint64(3*cfg.PageSize) {
+		t.Fatalf("accesses = %d, want %d", m.S.Accesses, 3*cfg.PageSize)
+	}
+}
+
+func TestSlowdownDeterministic(t *testing.T) {
+	cfg := PentiumII()
+	cfg.L2Size = 8 << 10
+	tr := Traversal{ArrayBytes: 32 * cfg.PageSize, Views: 16, Passes: 1, Warmup: 1}
+	a, _, _ := tr.Slowdown(cfg)
+	b, _, _ := tr.Slowdown(cfg)
+	if a != b {
+		t.Fatalf("nondeterministic slowdown: %v vs %v", a, b)
+	}
+}
+
+// Property: cycle cost is monotone under cache size — a machine with a
+// larger L2 never spends more cycles on the same traversal.
+func TestLargerL2NeverSlower(t *testing.T) {
+	f := func(viewsSeed, pagesSeed uint8) bool {
+		views := int(viewsSeed)%16 + 1
+		pages := int(pagesSeed)%32 + 4
+		small := PentiumII()
+		small.L2Size = 8 << 10
+		big := PentiumII()
+		big.L2Size = 64 << 10
+		tr := Traversal{ArrayBytes: pages * small.PageSize, Views: views, Passes: 1, Warmup: 1}
+		cs := tr.Run(New(small))
+		cb := tr.Run(New(big))
+		return cb <= cs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package mmu
+
+// This file implements the paper's standalone MultiView overhead
+// microbenchmark (Section 4.1): an array of N bytes is divided into
+// minipages of equal size, with the number of minipages per page equal to
+// the number of views n; the benchmark traverses the array reading each
+// element exactly once per pass. We replay the traversal's exact memory
+// reference stream (data references plus the page walks their vpages
+// induce) through the Machine model.
+
+// Traversal describes one run of the microbenchmark.
+type Traversal struct {
+	ArrayBytes int // N: size of the shared array
+	Views      int // n: minipages per page == number of views
+	Passes     int // measured passes over the array (>=1)
+	Warmup     int // unmeasured warmup passes
+	Stride     int // measure every Stride-th byte (1 = the paper's exact stream)
+}
+
+// viewLayout mirrors core.Layout's address arithmetic without importing
+// it: view v of an object of `pages` pages is a contiguous VA range.
+type viewLayout struct {
+	base     uint64
+	stride   uint64
+	pageSize uint64
+}
+
+func (l viewLayout) addr(view int, off uint64) uint64 {
+	return l.base + uint64(view)*l.stride + off
+}
+
+// Run replays the traversal on machine m and returns the measured cycle
+// count. The machine accumulates statistics across the whole run
+// (including warmup); the returned count covers only the measured passes.
+func (tr Traversal) Run(m *Machine) uint64 {
+	if tr.Views < 1 {
+		tr.Views = 1
+	}
+	if tr.Passes < 1 {
+		tr.Passes = 1
+	}
+	if tr.Stride < 1 {
+		tr.Stride = 1
+	}
+	pageSize := uint64(m.cfg.PageSize)
+	pages := (uint64(tr.ArrayBytes) + pageSize - 1) / pageSize
+	// Choose the inter-view guard gap so consecutive views' page-table
+	// lines are stride-coprime with the L2 set count (stridePages mod 16
+	// == 8 makes the PTE-line stride odd). Without this, particular
+	// (N, n) combinations alias all views' PTEs onto a few cache sets and
+	// produce conflict artifacts unrelated to the paper's capacity story.
+	guardPages := uint64(256)
+	if rem := (pages + guardPages) % 16; rem != 8 {
+		guardPages += (8 - rem + 16) % 16
+	}
+	layout := viewLayout{
+		base:     0x2000_0000,
+		stride:   (pages + guardPages) * pageSize,
+		pageSize: pageSize,
+	}
+	const physBase = 0x1000_0000
+	miniSize := pageSize / uint64(tr.Views)
+	if miniSize == 0 {
+		miniSize = 1
+	}
+
+	pass := func() {
+		n := uint64(tr.ArrayBytes)
+		for i := uint64(0); i < n; i += uint64(tr.Stride) {
+			page := i / pageSize
+			off := i % pageSize
+			slot := off / miniSize
+			if slot >= uint64(tr.Views) {
+				slot = uint64(tr.Views) - 1
+			}
+			va := layout.addr(int(slot), page*pageSize+off)
+			m.Access(va, physBase+i)
+		}
+	}
+
+	for w := 0; w < tr.Warmup; w++ {
+		pass()
+	}
+	before := m.S.Cycles
+	for p := 0; p < tr.Passes; p++ {
+		pass()
+	}
+	return m.S.Cycles - before
+}
+
+// Slowdown runs the traversal at tr.Views views and at one view on fresh
+// machines with configuration cfg, returning the ratio of cycle counts —
+// the quantity plotted in Figure 5.
+func (tr Traversal) Slowdown(cfg Config) (ratio float64, multi, single *Machine) {
+	multi = New(cfg)
+	mc := tr.Run(multi)
+
+	base := tr
+	base.Views = 1
+	single = New(cfg)
+	sc := base.Run(single)
+
+	if sc == 0 {
+		return 0, multi, single
+	}
+	return float64(mc) / float64(sc), multi, single
+}
+
+// ActivePTEs reports the number of distinct PTEs the traversal touches —
+// the paper's "active PT entries" (128 K at the breaking points).
+func (tr Traversal) ActivePTEs(cfg Config) int {
+	pages := (tr.ArrayBytes + cfg.PageSize - 1) / cfg.PageSize
+	views := tr.Views
+	if views < 1 {
+		views = 1
+	}
+	return pages * views
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// event is a single entry in the engine's calendar. Events with equal
+// timestamps fire in scheduling order (seq), which is what makes the engine
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+type procState int8
+
+const (
+	stateNew procState = iota
+	stateRunning
+	stateBlocked   // parked, waiting on a Signal; no event scheduled
+	stateScheduled // parked, a resume event is in the calendar
+	stateDone
+)
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; create one with NewEngine.
+//
+// All methods must be called either from the goroutine that calls Run (for
+// setup and engine callbacks) or from a simulated process's own goroutine
+// while that process is the running process. The engine enforces the
+// one-runnable-process-at-a-time discipline itself; callers never need
+// additional locking for simulation state.
+type Engine struct {
+	now     Time
+	seq     uint64
+	calQ    eventHeap
+	rng     *rand.Rand
+	parked  chan struct{} // a process signals here when it blocks or finishes
+	nextID  int
+	procs   map[int]*Proc
+	liveFG  int // live non-daemon processes
+	stopped bool
+	running bool
+	current *Proc // process currently executing, nil when engine code runs
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// Identical programs run on engines with identical seeds produce identical
+// event traces.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		procs:  make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. Simulation code
+// must use this source (never math/rand's global functions or wall-clock
+// entropy) so runs stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// schedule inserts fn into the calendar at absolute time at (clamped to
+// now: the past is not addressable).
+func (e *Engine) schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.calQ, event{at: at, seq: e.seq, fn: fn})
+}
+
+// At schedules fn to run in engine context at absolute virtual time at.
+// fn must not block on simulation primitives; it may schedule further
+// events, signal conditions, and spawn processes.
+func (e *Engine) At(at Time, fn func()) { e.schedule(at, fn) }
+
+// After schedules fn to run in engine context d from now. The same
+// restrictions as At apply.
+func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
+
+// Spawn creates a process named name running fn and schedules it to start
+// at the current virtual time. The process counts toward Run's completion
+// condition: Run returns once every non-daemon process has finished.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a process that does not keep Run alive: like a
+// daemon thread, it is abandoned once all non-daemon processes finish.
+// DSM server threads, pollers and timers are daemons.
+func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
+	e.nextID++
+	p := &Proc{
+		e:      e,
+		id:     e.nextID,
+		name:   name,
+		daemon: daemon,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	e.procs[p.id] = p
+	if !daemon {
+		e.liveFG++
+	}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.state = stateDone
+		delete(e.procs, p.id)
+		if !p.daemon {
+			e.liveFG--
+		}
+		e.parked <- struct{}{}
+	}()
+	p.state = stateScheduled
+	e.schedule(e.now, func() { e.resumeProc(p) })
+	return p
+}
+
+// resumeProc transfers control to p and waits until p parks again.
+func (e *Engine) resumeProc(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	p.state = stateRunning
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.parked
+	e.current = prev
+}
+
+// wake moves a blocked process into the calendar at the current time.
+// It is a no-op if the process is already scheduled, running, or done.
+func (e *Engine) wake(p *Proc) {
+	if p.state != stateBlocked {
+		return
+	}
+	p.state = stateScheduled
+	e.schedule(e.now, func() { e.resumeProc(p) })
+}
+
+// ErrDeadlock is returned by Run when no events remain but unfinished
+// non-daemon processes are still blocked.
+type ErrDeadlock struct {
+	At      Time
+	Blocked []string // names of the blocked processes
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: blocked processes %v", e.At, e.Blocked)
+}
+
+// Run drives the simulation until every non-daemon process has finished,
+// Stop is called, or no progress is possible. It returns *ErrDeadlock if
+// non-daemon processes remain blocked with an empty calendar, and nil
+// otherwise. Run must be called exactly once, from the goroutine that
+// created the engine.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Engine.Run called twice")
+	}
+	e.running = true
+	for !e.stopped {
+		if e.liveFG == 0 {
+			return nil
+		}
+		if e.calQ.Len() == 0 {
+			return e.deadlockError()
+		}
+		ev := heap.Pop(&e.calQ).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return nil
+}
+
+func (e *Engine) deadlockError() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if !p.daemon && p.state == stateBlocked {
+			blocked = append(blocked, p.name)
+		}
+	}
+	sort.Strings(blocked)
+	return &ErrDeadlock{At: e.now, Blocked: blocked}
+}
+
+// Stop makes Run return after the current event completes. It may be
+// called from process context or an engine callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Proc is a simulated process (thread). All Proc methods must be called
+// from the process's own goroutine while it is the running process.
+type Proc struct {
+	e      *Engine
+	id     int
+	name   string
+	daemon bool
+	resume chan struct{}
+	state  procState
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// park hands control back to the engine and blocks until resumed. The
+// caller must have arranged a wakeup (calendar event or Signal
+// registration) before calling park, or the process deadlocks.
+func (p *Proc) park(st procState) {
+	p.state = st
+	p.e.parked <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations
+// sleep zero time. Sleep(0) yields: other events at the current timestamp
+// run before the process continues.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	self := p
+	p.e.schedule(p.e.now.Add(d), func() { p.e.resumeProc(self) })
+	p.park(stateScheduled)
+}
+
+// Yield lets every other event scheduled for the current instant run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

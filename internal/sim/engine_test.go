@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		woke = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(5*Microsecond) {
+		t.Fatalf("woke at %v, want 5us", woke)
+	}
+}
+
+func TestEventOrderIsTimestampThenSeq(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "a")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "b")
+	})
+	e.Spawn("c", func(p *Proc) {
+		p.Sleep(5)
+		order = append(order, "c")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEngine(1)
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(3)
+		e.Spawn("child", func(q *Proc) {
+			q.Sleep(4)
+			childRan = true
+			if q.Now() != 7 {
+				t.Errorf("child woke at %v, want 7ns", q.Now())
+			}
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestSignalBroadcastFIFO(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal(e)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Duration(i)) // register in a known order
+			s.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Spawn("signaler", func(p *Proc) {
+		p.Sleep(100)
+		s.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wake order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEventLatch(t *testing.T) {
+	e := NewEngine(1)
+	ev := NewEvent(e)
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		ev.Wait(p)
+		at = p.Now()
+		ev.Wait(p) // already set: returns immediately
+		if p.Now() != at {
+			t.Error("second Wait on set event blocked")
+		}
+	})
+	e.Spawn("setter", func(p *Proc) {
+		p.Sleep(42)
+		ev.Set()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 42 {
+		t.Fatalf("waiter released at %v, want 42ns", at)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			q.Put(i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("got %v, want [0 1 2]", got)
+		}
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMutex(e)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("locker%d", i), func(p *Proc) {
+			m.Lock(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(7)
+			inside--
+			m.Unlock()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+	if e.Now() != Time(5*7) {
+		t.Fatalf("finished at %v, want 35ns (serialized)", e.Now())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal(e)
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	err := e.Run()
+	de, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrDeadlock", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v, want [stuck]", de.Blocked)
+	}
+}
+
+func TestDaemonDoesNotBlockRun(t *testing.T) {
+	e := NewEngine(1)
+	e.SpawnDaemon("forever", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+		}
+	})
+	e.Spawn("worker", func(p *Proc) { p.Sleep(10 * Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(10*Microsecond) {
+		t.Fatalf("ended at %v, want 10us", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("runner", func(p *Proc) {
+		for i := 0; ; i++ {
+			p.Sleep(Microsecond)
+			if p.Now() >= Time(5*Microsecond) {
+				e.Stop()
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("stopped at %v, want 5us", e.Now())
+	}
+}
+
+func TestEngineCallbacks(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.At(30, func() { fired = append(fired, e.Now()) })
+	e.At(10, func() { fired = append(fired, e.Now()) })
+	e.Spawn("w", func(p *Proc) { p.Sleep(100) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 30 {
+		t.Fatalf("fired = %v, want [10 30]", fired)
+	}
+}
+
+// Determinism: the same seed and program must produce the identical
+// interleaving, observed here as the exact sequence of (time, proc) pairs.
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []string {
+		e := NewEngine(seed)
+		var trace []string
+		q := NewQueue[int](e)
+		for i := 0; i < 3; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 4; j++ {
+					d := Duration(e.Rand().Intn(50))
+					p.Sleep(d)
+					q.Put(i)
+					trace = append(trace, fmt.Sprintf("%d@%d", i, p.Now()))
+				}
+			})
+		}
+		e.Spawn("drain", func(p *Proc) {
+			for j := 0; j < 12; j++ {
+				v := q.Get(p)
+				trace = append(trace, fmt.Sprintf("got%d@%d", v, p.Now()))
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of sleep durations, every process observes its own
+// cumulative sleep as its finish time, and the engine finishes at the max.
+func TestSleepAccumulationProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 64 {
+			durs = durs[:64]
+		}
+		e := NewEngine(3)
+		finish := make([]Time, len(durs))
+		var max Time
+		for i, d := range durs {
+			i, d := i, Duration(d)
+			if Time(d) > max {
+				max = Time(d)
+			}
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				finish[i] = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i, d := range durs {
+			if finish[i] != Time(d) {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+// Signal is a condition-variable-like wakeup primitive. Processes block on
+// it with Wait; any simulation code (another process or an engine callback)
+// releases them with Broadcast or Pulse. Waiters are released in FIFO
+// order, preserving determinism.
+//
+// As with condition variables, Wait returning does not by itself imply that
+// the awaited predicate holds: callers re-check in a loop.
+type Signal struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
+
+// Wait blocks p until the signal is pulsed or broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park(stateBlocked)
+}
+
+// Broadcast wakes every waiting process. The wakeups are delivered at the
+// current virtual time, after any events already scheduled for this
+// instant.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		s.e.wake(w)
+	}
+}
+
+// Pulse wakes the longest-waiting process, if any.
+func (s *Signal) Pulse() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.e.wake(w)
+}
+
+// Waiting reports the number of processes currently blocked on s.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Event is a one-shot latch, the analogue of a Win32 manual-reset event:
+// processes Wait until Set fires, after which Wait returns immediately
+// until Reset. Millipage's faulting threads block on an Event while their
+// request is serviced.
+type Event struct {
+	set bool
+	sig Signal
+}
+
+// NewEvent returns an unset event bound to e.
+func NewEvent(e *Engine) *Event { return &Event{sig: Signal{e: e}} }
+
+// Wait blocks p until the event is set. Returns immediately if already set.
+func (ev *Event) Wait(p *Proc) {
+	for !ev.set {
+		ev.sig.Wait(p)
+	}
+}
+
+// Set fires the event, releasing all current and future waiters.
+func (ev *Event) Set() {
+	if ev.set {
+		return
+	}
+	ev.set = true
+	ev.sig.Broadcast()
+}
+
+// Reset returns the event to the unset state.
+func (ev *Event) Reset() { ev.set = false }
+
+// IsSet reports whether the event is currently set.
+func (ev *Event) IsSet() bool { return ev.set }
+
+// Queue is an unbounded deterministic FIFO mailbox. Put never blocks; Get
+// blocks the calling process until an item is available. Concurrent
+// getters are served in arrival order.
+type Queue[T any] struct {
+	items []T
+	sig   Signal
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{sig: Signal{e: e}} }
+
+// Put appends v and wakes one waiting getter. It may be called from
+// process context or an engine callback.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.sig.Pulse()
+}
+
+// Get removes and returns the oldest item, blocking p while the queue is
+// empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.sig.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking. ok is false
+// if the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Mutex is a FIFO mutual-exclusion lock for simulated processes.
+type Mutex struct {
+	held bool
+	sig  Signal
+}
+
+// NewMutex returns an unlocked mutex bound to e.
+func NewMutex(e *Engine) *Mutex { return &Mutex{sig: Signal{e: e}} }
+
+// Lock blocks p until it acquires the mutex.
+func (m *Mutex) Lock(p *Proc) {
+	for m.held {
+		m.sig.Wait(p)
+	}
+	m.held = true
+}
+
+// Unlock releases the mutex and wakes the longest-waiting locker. It
+// panics if the mutex is not held.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("sim: Unlock of unlocked Mutex")
+	}
+	m.held = false
+	m.sig.Pulse()
+}

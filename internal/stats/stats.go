@@ -1,0 +1,162 @@
+// Package stats provides small, allocation-free statistics helpers for
+// the simulation: logarithmic latency histograms with quantile queries,
+// and running aggregates. The paper reports means ("an average delay of
+// about 750us"), but tail behaviour is what the NT timer pathology
+// actually produces — the histograms make it visible.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"millipage/internal/sim"
+)
+
+// Histogram is a log-scale latency histogram: bucket i covers durations
+// in [2^i, 2^(i+1)) microsecond-eighths, giving ~12% resolution from
+// 125 ns to over an hour with 64 buckets. The zero value is ready to use.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     sim.Duration
+	max     sim.Duration
+	min     sim.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d sim.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	// Units of 125ns so sub-microsecond costs still resolve.
+	v := uint64(d) / 125
+	if v == 0 {
+		return 0
+	}
+	b := 63 - leadingZeros(v)
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	if v == 0 {
+		return 64
+	}
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLow returns the lower bound of bucket i.
+func bucketLow(i int) sim.Duration {
+	return sim.Duration(uint64(125) << uint(i))
+}
+
+// Add records one observation.
+func (h *Histogram) Add(d sim.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.count)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Min reports the smallest observation.
+func (h *Histogram) Min() sim.Duration { return h.min }
+
+// Quantile reports an upper bound on the q-quantile (0 < q <= 1) at the
+// histogram's bucket resolution (~2x).
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			// Upper edge of the bucket bounds the quantile.
+			return bucketLow(i + 1)
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.count > 0 && (h.count == other.count || other.min < h.min) {
+		h.min = other.min
+	}
+}
+
+// Summary renders count/mean/quantiles on one line.
+func (h *Histogram) Summary() string {
+	if h.count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+// Dump writes an ASCII bar rendering of the non-empty buckets.
+func (h *Histogram) Dump(w io.Writer) {
+	var peak uint64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		bar := int(c * 40 / peak)
+		fmt.Fprintf(w, "%12v %8d %s\n", bucketLow(i), c, strings.Repeat("#", bar))
+	}
+}

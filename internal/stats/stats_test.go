@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"millipage/internal/sim"
+)
+
+func TestBasicAggregates(t *testing.T) {
+	var h Histogram
+	for _, d := range []sim.Duration{10 * sim.Microsecond, 20 * sim.Microsecond, 30 * sim.Microsecond} {
+		h.Add(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 20*sim.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 30*sim.Microsecond || h.Min() != 10*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 99 fast observations, one slow outlier (the NT timer shape).
+	for i := 0; i < 99; i++ {
+		h.Add(50 * sim.Microsecond)
+	}
+	h.Add(2 * sim.Millisecond)
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	p100 := h.Quantile(1.0)
+	if p50 < 50*sim.Microsecond || p50 > 200*sim.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < 50*sim.Microsecond || p99 > 200*sim.Microsecond {
+		t.Fatalf("p99 = %v (99/100 observations are 50us)", p99)
+	}
+	if p100 < 2*sim.Millisecond {
+		t.Fatalf("p100 = %v, must cover the outlier", p100)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(10 * sim.Microsecond)
+	b.Add(30 * sim.Microsecond)
+	b.Add(50 * sim.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Mean() != 30*sim.Microsecond {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+	if a.Min() != 10*sim.Microsecond || a.Max() != 50*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	var h Histogram
+	if h.Summary() != "n=0" {
+		t.Fatalf("empty summary = %q", h.Summary())
+	}
+	var buf bytes.Buffer
+	h.Dump(&buf)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty dump")
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(sim.Duration(i+1) * sim.Microsecond)
+	}
+	if !strings.Contains(h.Summary(), "n=100") {
+		t.Fatalf("summary = %q", h.Summary())
+	}
+	buf.Reset()
+	h.Dump(&buf)
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatal("dump has no bars")
+	}
+}
+
+// Property: the bucketed quantile is always an upper bound on the exact
+// quantile and within one bucket (2x) of it.
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []uint32, qSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		var h Histogram
+		ds := make([]sim.Duration, len(raw))
+		for i, r := range raw {
+			ds[i] = sim.Duration(r%10_000_000) + 1 // up to 10ms
+			h.Add(ds[i])
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		q := float64(qSel%100+1) / 100
+		// Same convention as Histogram.Quantile: the ceil(q*n)-th smallest.
+		idx := int(math.Ceil(q*float64(len(ds)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ds) {
+			idx = len(ds) - 1
+		}
+		exact := ds[idx]
+		got := h.Quantile(q)
+		// Upper bound within ~2x bucket resolution (plus one bucket slack).
+		return got >= exact/2 && (got <= 4*exact+sim.Microsecond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

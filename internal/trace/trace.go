@@ -1,0 +1,144 @@
+// Package trace is a lightweight event recorder for the simulated
+// cluster: protocol messages, faults and protection changes, timestamped
+// on the virtual clock. It exists for debugging protocol issues and for
+// the -trace mode of the tools; recording is allocation-bounded (a ring
+// buffer) so it can stay on during long runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"millipage/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	Send Kind = iota
+	Deliver
+	Handle
+	Fault
+	Protect
+	Note
+)
+
+var kindNames = [...]string{"SEND", "DELIVER", "HANDLE", "FAULT", "PROTECT", "NOTE"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Host int    // primary host (source for sends, location otherwise)
+	Peer int    // destination for sends/delivers; -1 otherwise
+	What string // free-form detail ("READ_REQUEST mp=12", "write fault @0x2000_0040")
+}
+
+func (e Event) String() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("%12v  %-8s h%d->h%d  %s", e.At, e.Kind, e.Host, e.Peer, e.What)
+	}
+	return fmt.Sprintf("%12v  %-8s h%d       %s", e.At, e.Kind, e.Host, e.What)
+}
+
+// Recorder is a bounded ring buffer of events. The zero value is
+// unusable; create one with NewRecorder. It is not safe for concurrent
+// OS-thread use, which matches the engine's one-process-at-a-time
+// execution model.
+type Recorder struct {
+	events  []Event
+	next    int
+	wrapped bool
+	total   uint64
+
+	// Filter, if set, drops events for which it returns false.
+	Filter func(Event) bool
+}
+
+// NewRecorder returns a recorder holding the last cap events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// Record appends an event (subject to the filter).
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if r.Filter != nil && !r.Filter(e) {
+		return
+	}
+	r.total++
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Recordf is Record with formatting.
+func (r *Recorder) Recordf(at sim.Time, kind Kind, host, peer int, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{At: at, Kind: kind, Host: host, Peer: peer, What: fmt.Sprintf(format, args...)})
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	if r.wrapped {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Total reports how many events were recorded overall (including those
+// that fell off the ring).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+	if dropped := r.total - uint64(r.Len()); dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", dropped)
+	}
+}
+
+// Grep returns the retained events whose rendering contains substr.
+func (r *Recorder) Grep(substr string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if strings.Contains(e.String(), substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

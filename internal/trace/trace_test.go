@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"millipage/internal/sim"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder(8)
+	r.Recordf(100, Send, 0, 1, "READ_REQUEST mp=%d", 3)
+	r.Recordf(200, Fault, 1, -1, "read fault @%#x", 0x2000)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].At != 100 || evs[0].Kind != Send || evs[0].Peer != 1 {
+		t.Fatalf("ev0 = %+v", evs[0])
+	}
+	if !strings.Contains(evs[1].String(), "FAULT") {
+		t.Fatalf("render: %s", evs[1])
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Recordf(sim.Time(i), Note, 0, -1, "e%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	// Chronological order, the last four.
+	for i, e := range evs {
+		want := "e" + string(rune('6'+i))
+		if e.What != want {
+			t.Fatalf("evs[%d] = %q, want %q", i, e.What, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder(8)
+	r.Filter = func(e Event) bool { return e.Kind == Fault }
+	r.Recordf(1, Send, 0, 1, "dropped")
+	r.Recordf(2, Fault, 0, -1, "kept")
+	if r.Len() != 1 || r.Events()[0].What != "kept" {
+		t.Fatalf("filter failed: %+v", r.Events())
+	}
+}
+
+func TestDumpAndGrep(t *testing.T) {
+	r := NewRecorder(2)
+	r.Recordf(1, Send, 0, 1, "alpha")
+	r.Recordf(2, Send, 1, 0, "beta")
+	r.Recordf(3, Send, 0, 1, "gamma")
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "gamma") || !strings.Contains(out, "1 earlier events dropped") {
+		t.Fatalf("dump:\n%s", out)
+	}
+	if hits := r.Grep("beta"); len(hits) != 1 {
+		t.Fatalf("grep = %+v", hits)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{}) // must not panic
+	r.Recordf(0, Note, 0, -1, "x")
+}

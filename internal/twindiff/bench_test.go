@@ -1,0 +1,42 @@
+package twindiff
+
+import "testing"
+
+func benchDiff(b *testing.B, dirtyStride int) {
+	page := make([]byte, 4096)
+	twin := Twin(page)
+	for i := 0; i < 4096; i += dirtyStride {
+		page[i] = 0xFF
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diff(twin, page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiffSparse: a page with 8 dirty words.
+func BenchmarkDiffSparse(b *testing.B) { benchDiff(b, 512) }
+
+// BenchmarkDiffDense: every 16th byte dirty (runs coalesce heavily).
+func BenchmarkDiffDense(b *testing.B) { benchDiff(b, 16) }
+
+// BenchmarkApply measures patch application.
+func BenchmarkApply(b *testing.B) {
+	page := make([]byte, 4096)
+	twin := Twin(page)
+	for i := 0; i < 4096; i += 128 {
+		page[i] = 0xAA
+	}
+	runs, err := Diff(twin, page)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Apply(twin, runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package twindiff
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"millipage/internal/sim"
+)
+
+func TestDiffEmptyWhenUnchanged(t *testing.T) {
+	page := make([]byte, 4096)
+	twin := Twin(page)
+	runs, err := Diff(twin, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("runs = %d, want 0", len(runs))
+	}
+}
+
+func TestDiffSingleChange(t *testing.T) {
+	page := make([]byte, 4096)
+	twin := Twin(page)
+	page[100] = 0xFF
+	runs, err := Diff(twin, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Off != 100 || len(runs[0].Data) != 1 {
+		t.Fatalf("runs = %+v", runs)
+	}
+}
+
+func TestDiffCoalescesNearbyChanges(t *testing.T) {
+	page := make([]byte, 4096)
+	twin := Twin(page)
+	page[10] = 1
+	page[14] = 2 // gap of 3 < minGap: coalesce
+	runs, _ := Diff(twin, page)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %+v, want single coalesced run", runs)
+	}
+	page2 := make([]byte, 4096)
+	twin2 := Twin(page2)
+	page2[10] = 1
+	page2[200] = 2 // far apart: separate runs
+	runs2, _ := Diff(twin2, page2)
+	if len(runs2) != 2 {
+		t.Fatalf("runs2 = %+v, want two runs", runs2)
+	}
+}
+
+func TestApplyRejectsOutOfRange(t *testing.T) {
+	page := make([]byte, 16)
+	if err := Apply(page, []Run{{Off: 12, Data: make([]byte, 8)}}); err == nil {
+		t.Fatal("out-of-range run applied")
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	if _, err := Diff(make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	runs := []Run{{Off: 3, Data: []byte{1, 2, 3}}, {Off: 4000, Data: []byte{9}}}
+	dec, err := Decode(Encode(runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 2 || dec[0].Off != 3 || !bytes.Equal(dec[1].Data, []byte{9}) {
+		t.Fatalf("decoded %+v", dec)
+	}
+	if Size(runs) != 4+3+4+1 {
+		t.Fatalf("Size = %d", Size(runs))
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := Decode([]byte{0, 0, 255, 0, 1}); err == nil {
+		t.Fatal("truncated data accepted")
+	}
+}
+
+// The fundamental diff property: apply(twin, diff(twin, page)) == page.
+func TestDiffApplyProperty(t *testing.T) {
+	f := func(orig []byte, edits []struct {
+		Off uint16
+		Val byte
+	}) bool {
+		if len(orig) == 0 {
+			orig = []byte{0}
+		}
+		if len(orig) > 4096 {
+			orig = orig[:4096]
+		}
+		twin := Twin(orig)
+		page := append([]byte(nil), orig...)
+		for _, e := range edits {
+			page[int(e.Off)%len(page)] = e.Val
+		}
+		runs, err := Diff(twin, page)
+		if err != nil {
+			return false
+		}
+		// Wire roundtrip included.
+		dec, err := Decode(Encode(runs))
+		if err != nil {
+			return false
+		}
+		restored := Twin(twin)
+		if err := Apply(restored, dec); err != nil {
+			return false
+		}
+		return bytes.Equal(restored, page)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostsMatchPaper(t *testing.T) {
+	// 250 µs for a 4 KB page, linear in size.
+	if got := CreateCost(4096); got != 250*sim.Microsecond {
+		t.Fatalf("CreateCost(4096) = %v", got)
+	}
+	if got := CreateCost(2048); got != 125*sim.Microsecond {
+		t.Fatalf("CreateCost(2048) = %v", got)
+	}
+	if TwinCost(4096) <= 0 || ApplyCost(100) <= 0 {
+		t.Fatal("non-positive auxiliary costs")
+	}
+}

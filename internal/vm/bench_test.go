@@ -1,0 +1,51 @@
+package vm
+
+import "testing"
+
+// BenchmarkAccessSamePage measures the fast path: protection check plus
+// copy within one mapped page.
+func BenchmarkAccessSamePage(b *testing.B) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 1, ReadWrite); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := as.Access(nil, 0x10000+uint64(i%64)*64, buf, Read); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessCrossPage measures a 256-byte access spanning pages.
+func BenchmarkAccessCrossPage(b *testing.B) {
+	mo := NewMemObject(2 * PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 2, ReadWrite); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	va := uint64(0x10000 + PageSize - 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := as.Access(nil, va, buf, Write); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtect measures protection flips (the DSM's hottest
+// metadata operation).
+func BenchmarkProtect(b *testing.B) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 1, ReadWrite); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Protect(0x10000, 1, Prot(i%3))
+	}
+}

@@ -1,0 +1,68 @@
+package vm
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Typed accessors. These are convenience wrappers over Access used by the
+// benchmark applications; all shared data is stored little-endian, the
+// byte order of the paper's Pentium II testbed.
+
+// ReadU32 reads a little-endian uint32 at va.
+func (as *AddressSpace) ReadU32(ctx any, va uint64) (uint32, error) {
+	var b [4]byte
+	if err := as.Access(ctx, va, b[:], Read); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteU32 writes a little-endian uint32 at va.
+func (as *AddressSpace) WriteU32(ctx any, va uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return as.Access(ctx, va, b[:], Write)
+}
+
+// ReadU64 reads a little-endian uint64 at va.
+func (as *AddressSpace) ReadU64(ctx any, va uint64) (uint64, error) {
+	var b [8]byte
+	if err := as.Access(ctx, va, b[:], Read); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 at va.
+func (as *AddressSpace) WriteU64(ctx any, va uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.Access(ctx, va, b[:], Write)
+}
+
+// ReadF64 reads a little-endian float64 at va.
+func (as *AddressSpace) ReadF64(ctx any, va uint64) (float64, error) {
+	v, err := as.ReadU64(ctx, va)
+	return math.Float64frombits(v), err
+}
+
+// WriteF64 writes a little-endian float64 at va.
+func (as *AddressSpace) WriteF64(ctx any, va uint64, v float64) error {
+	return as.WriteU64(ctx, va, math.Float64bits(v))
+}
+
+// ReadU8 reads the byte at va.
+func (as *AddressSpace) ReadU8(ctx any, va uint64) (byte, error) {
+	var b [1]byte
+	if err := as.Access(ctx, va, b[:], Read); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// WriteU8 writes one byte at va.
+func (as *AddressSpace) WriteU8(ctx any, va uint64, v byte) error {
+	b := [1]byte{v}
+	return as.Access(ctx, va, b[:], Write)
+}

@@ -1,0 +1,356 @@
+// Package vm is a software virtual-memory subsystem: memory objects backed
+// by page frames, per-host address spaces with page tables, per-page
+// protections, and synchronous fault upcalls.
+//
+// It stands in for the Windows-NT mechanisms the Millipage paper uses —
+// CreateFileMapping / MapViewOfFile / VirtualProtect and SEH page-fault
+// interception. The substitution preserves the paper's semantics exactly:
+// every access checks the protection of the virtual page it goes through;
+// an insufficient protection invokes the installed fault handler in the
+// faulting thread's context; the access retries once the handler returns.
+// The only difference is that the "trap" is a function call rather than a
+// CPU exception, which is what makes the system buildable in portable Go.
+//
+// The package is deliberately time-free: it never charges virtual time
+// itself. Cost accounting lives in the DSM layer (which knows what each
+// operation costs on the paper's hardware) and in the mmu package (which
+// models the TLB/cache behaviour of translations for the MultiView
+// overhead study).
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the architecture page size used throughout the reproduction,
+// matching the Intel Pentium II of the paper's testbed.
+const PageSize = 4096
+
+// Prot is a virtual-page protection, exactly the three states the paper's
+// protocol uses: NoAccess marks a non-present minipage, ReadOnly a read
+// copy, ReadWrite a writable copy.
+type Prot uint8
+
+const (
+	NoAccess Prot = iota
+	ReadOnly
+	ReadWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case NoAccess:
+		return "NoAccess"
+	case ReadOnly:
+		return "ReadOnly"
+	case ReadWrite:
+		return "ReadWrite"
+	default:
+		return fmt.Sprintf("Prot(%d)", uint8(p))
+	}
+}
+
+// AccessKind distinguishes read faults from write faults.
+type AccessKind uint8
+
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// allows reports whether protection p permits an access of kind k.
+func (p Prot) allows(k AccessKind) bool {
+	switch k {
+	case Read:
+		return p >= ReadOnly
+	case Write:
+		return p == ReadWrite
+	}
+	return false
+}
+
+// MemObject is a shared memory region backed by page frames — the analogue
+// of an NT memory section created with CreateFileMapping. Several views in
+// one or more address spaces may map (parts of) the same object; all views
+// alias the same frames.
+type MemObject struct {
+	data     []byte
+	numPages int
+}
+
+// NewMemObject creates a zero-filled memory object of the given size,
+// rounded up to a whole number of pages.
+func NewMemObject(size int) *MemObject {
+	if size <= 0 {
+		panic("vm: NewMemObject with non-positive size")
+	}
+	pages := (size + PageSize - 1) / PageSize
+	return &MemObject{data: make([]byte, pages*PageSize), numPages: pages}
+}
+
+// NumPages reports the number of page frames in the object.
+func (mo *MemObject) NumPages() int { return mo.numPages }
+
+// Size reports the object's size in bytes (always a multiple of PageSize).
+func (mo *MemObject) Size() int { return len(mo.data) }
+
+// Frame returns the backing bytes of frame i. The returned slice aliases
+// the object's storage: writes through it are visible through every view.
+func (mo *MemObject) Frame(i int) []byte {
+	return mo.data[i*PageSize : (i+1)*PageSize]
+}
+
+// Bytes returns the object's entire backing store, aliased.
+func (mo *MemObject) Bytes() []byte { return mo.data }
+
+// PTE is one page-table entry: which frame of which object a virtual page
+// maps, and with what protection.
+type PTE struct {
+	Obj   *MemObject
+	Frame int
+	Prot  Prot
+}
+
+// Fault describes a protection or presence violation, as delivered to the
+// installed fault handler.
+type Fault struct {
+	Addr uint64     // the faulting virtual address
+	Kind AccessKind // read or write
+	Prot Prot       // the protection found on the vpage
+}
+
+func (f Fault) Error() string {
+	return fmt.Sprintf("vm: %s fault at %#x (prot %v)", f.Kind, f.Addr, f.Prot)
+}
+
+// FaultHandler services a fault in the faulting thread's context. ctx is
+// an opaque per-thread value supplied by the accessor (the DSM passes its
+// thread state through it). The handler must raise the page's protection
+// so the access can succeed, or return an error to abort it.
+type FaultHandler func(ctx any, f Fault) error
+
+// Errors returned by address-space operations.
+var (
+	ErrUnmapped   = errors.New("vm: address not mapped")
+	ErrNoHandler  = errors.New("vm: fault with no handler installed")
+	ErrFaultStorm = errors.New("vm: access still faulting after repeated handler invocations")
+)
+
+// maxFaultRetries bounds handler-retry loops so a handler that fails to
+// raise the protection surfaces as an error instead of livelock.
+const maxFaultRetries = 8
+
+// AddressSpace is one host's (process's) virtual address space: a sparse
+// page table plus an installed fault handler. It is not safe for use from
+// multiple OS threads; in this reproduction all access is serialized by
+// the simulation engine.
+type AddressSpace struct {
+	ptes    map[uint64]*PTE // vpn -> entry
+	handler FaultHandler
+
+	// Counters, read by the DSM statistics layer.
+	ReadFaults  uint64
+	WriteFaults uint64
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{ptes: make(map[uint64]*PTE)}
+}
+
+// SetFaultHandler installs h as the space's fault handler, returning the
+// previous handler.
+func (as *AddressSpace) SetFaultHandler(h FaultHandler) FaultHandler {
+	old := as.handler
+	as.handler = h
+	return old
+}
+
+// MapView maps nPages pages of obj, starting at frame firstFrame, into the
+// space at virtual address va with protection prot — the analogue of
+// MapViewOfFile. va must be page-aligned. Remapping an already-mapped
+// vpage is an error; views never overlap.
+func (as *AddressSpace) MapView(va uint64, obj *MemObject, firstFrame, nPages int, prot Prot) error {
+	if va%PageSize != 0 {
+		return fmt.Errorf("vm: MapView at unaligned address %#x", va)
+	}
+	if firstFrame < 0 || firstFrame+nPages > obj.numPages {
+		return fmt.Errorf("vm: MapView frames [%d,%d) out of object range %d",
+			firstFrame, firstFrame+nPages, obj.numPages)
+	}
+	vpn := va / PageSize
+	for i := 0; i < nPages; i++ {
+		if _, dup := as.ptes[vpn+uint64(i)]; dup {
+			return fmt.Errorf("vm: MapView overlaps existing mapping at %#x", (vpn+uint64(i))*PageSize)
+		}
+	}
+	for i := 0; i < nPages; i++ {
+		as.ptes[vpn+uint64(i)] = &PTE{Obj: obj, Frame: firstFrame + i, Prot: prot}
+	}
+	return nil
+}
+
+// Unmap removes nPages mappings starting at page-aligned va.
+func (as *AddressSpace) Unmap(va uint64, nPages int) {
+	vpn := va / PageSize
+	for i := 0; i < nPages; i++ {
+		delete(as.ptes, vpn+uint64(i))
+	}
+}
+
+// Protect sets the protection of nPages vpages starting at the page
+// containing va — the analogue of VirtualProtect. It affects only these
+// vpages; other views of the same frames are untouched, which is the
+// property MultiView is built on.
+func (as *AddressSpace) Protect(va uint64, nPages int, prot Prot) error {
+	vpn := va / PageSize
+	for i := 0; i < nPages; i++ {
+		pte, ok := as.ptes[vpn+uint64(i)]
+		if !ok {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, (vpn+uint64(i))*PageSize)
+		}
+		pte.Prot = prot
+	}
+	return nil
+}
+
+// ProtOf returns the protection of the vpage containing va.
+func (as *AddressSpace) ProtOf(va uint64) (Prot, error) {
+	pte, ok := as.ptes[va/PageSize]
+	if !ok {
+		return NoAccess, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+	}
+	return pte.Prot, nil
+}
+
+// Lookup returns the PTE of the vpage containing va, if mapped. The
+// returned struct is a copy; use Protect to change protections.
+func (as *AddressSpace) Lookup(va uint64) (PTE, bool) {
+	pte, ok := as.ptes[va/PageSize]
+	if !ok {
+		return PTE{}, false
+	}
+	return *pte, true
+}
+
+// Mapped reports whether the vpage containing va is mapped.
+func (as *AddressSpace) Mapped(va uint64) bool {
+	_, ok := as.ptes[va/PageSize]
+	return ok
+}
+
+// resolve returns the frame bytes addressed by va..va+n (within one page)
+// after protection checking, faulting as needed. ctx is passed through to
+// the fault handler.
+func (as *AddressSpace) resolve(ctx any, va uint64, n int, kind AccessKind) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		pte, ok := as.ptes[va/PageSize]
+		if !ok {
+			return nil, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		if pte.Prot.allows(kind) {
+			off := int(va % PageSize)
+			return pte.Obj.Frame(pte.Frame)[off : off+n], nil
+		}
+		if kind == Write {
+			as.WriteFaults++
+		} else {
+			as.ReadFaults++
+		}
+		if as.handler == nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoHandler, Fault{Addr: va, Kind: kind, Prot: pte.Prot})
+		}
+		if attempt >= maxFaultRetries {
+			return nil, fmt.Errorf("%w: %v", ErrFaultStorm, Fault{Addr: va, Kind: kind, Prot: pte.Prot})
+		}
+		if err := as.handler(ctx, Fault{Addr: va, Kind: kind, Prot: pte.Prot}); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Access performs a read or write of len(buf) bytes at va through the
+// page-protection machinery, invoking the fault handler as needed. For
+// reads the bytes are copied into buf; for writes buf is copied into the
+// frames. Accesses may span pages (each page is checked independently,
+// as the hardware would).
+func (as *AddressSpace) Access(ctx any, va uint64, buf []byte, kind AccessKind) error {
+	for len(buf) > 0 {
+		n := PageSize - int(va%PageSize)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		mem, err := as.resolve(ctx, va, n, kind)
+		if err != nil {
+			return err
+		}
+		if kind == Write {
+			copy(mem, buf[:n])
+		} else {
+			copy(buf[:n], mem)
+		}
+		va += uint64(n)
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// ReadAt copies n bytes at va into a new slice, faulting as needed.
+func (as *AddressSpace) ReadAt(ctx any, va uint64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := as.Access(ctx, va, buf, Read); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteAt writes data at va, faulting as needed.
+func (as *AddressSpace) WriteAt(ctx any, va uint64, data []byte) error {
+	// Access never modifies buf on writes, but takes []byte for symmetry.
+	return as.Access(ctx, va, data, Write)
+}
+
+// Bypass returns the frame bytes for va..va+n ignoring protections — the
+// privileged-view path used by DSM server threads. The range must not
+// cross a page boundary and must be mapped. The returned slice aliases the
+// frame, enabling the paper's zero-copy send/receive.
+func (as *AddressSpace) Bypass(va uint64, n int) ([]byte, error) {
+	if int(va%PageSize)+n > PageSize {
+		return nil, fmt.Errorf("vm: Bypass range at %#x+%d crosses a page boundary", va, n)
+	}
+	pte, ok := as.ptes[va/PageSize]
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+	}
+	off := int(va % PageSize)
+	return pte.Obj.Frame(pte.Frame)[off : off+n], nil
+}
+
+// BypassRange is Bypass generalized to page-crossing ranges: it invokes fn
+// once per page-contiguous chunk with the chunk's aliased frame bytes.
+func (as *AddressSpace) BypassRange(va uint64, n int, fn func(chunk []byte) error) error {
+	for n > 0 {
+		c := PageSize - int(va%PageSize)
+		if c > n {
+			c = n
+		}
+		mem, err := as.Bypass(va, c)
+		if err != nil {
+			return err
+		}
+		if err := fn(mem); err != nil {
+			return err
+		}
+		va += uint64(c)
+		n -= c
+	}
+	return nil
+}

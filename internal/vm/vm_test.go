@@ -1,0 +1,305 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemObjectRoundsUpToPages(t *testing.T) {
+	mo := NewMemObject(PageSize + 1)
+	if mo.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", mo.NumPages())
+	}
+	if mo.Size() != 2*PageSize {
+		t.Fatalf("Size = %d, want %d", mo.Size(), 2*PageSize)
+	}
+}
+
+func TestMapViewAndAccess(t *testing.T) {
+	mo := NewMemObject(4 * PageSize)
+	as := NewAddressSpace()
+	const base = 0x10000
+	if err := as.MapView(base, mo, 0, 4, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("hello, millipage")
+	if err := as.WriteAt(nil, base+100, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadAt(nil, base+100, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestMapViewRejectsUnaligned(t *testing.T) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10001, mo, 0, 1, ReadWrite); err == nil {
+		t.Fatal("unaligned MapView succeeded")
+	}
+}
+
+func TestMapViewRejectsOverlap(t *testing.T) {
+	mo := NewMemObject(2 * PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 2, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapView(0x11000, mo, 0, 1, ReadWrite); err == nil {
+		t.Fatal("overlapping MapView succeeded")
+	}
+}
+
+func TestMapViewRejectsFrameRange(t *testing.T) {
+	mo := NewMemObject(2 * PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 1, 2, ReadWrite); err == nil {
+		t.Fatal("out-of-range frames accepted")
+	}
+}
+
+// The heart of MultiView: two views of the same frames alias each other,
+// but their protections are independent.
+func TestViewAliasingWithIndependentProtection(t *testing.T) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	const v1, v2 = 0x10000, 0x20000
+	if err := as.MapView(v1, mo, 0, 1, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapView(v2, mo, 0, 1, ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteAt(nil, v1+8, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.ReadU8(nil, v2+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0xAB {
+		t.Fatalf("write through view1 not visible through view2: got %#x", b)
+	}
+	// view2 is ReadOnly: a write must fault, and with no handler, error.
+	if err := as.WriteAt(nil, v2+8, []byte{1}); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("write through ReadOnly view: err = %v, want ErrNoHandler", err)
+	}
+	// view1 keeps its own protection.
+	if p, _ := as.ProtOf(v1); p != ReadWrite {
+		t.Fatalf("view1 prot = %v, want ReadWrite", p)
+	}
+}
+
+func TestFaultHandlerUpgradesProtection(t *testing.T) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	const base = 0x10000
+	if err := as.MapView(base, mo, 0, 1, NoAccess); err != nil {
+		t.Fatal(err)
+	}
+	var faults []Fault
+	as.SetFaultHandler(func(ctx any, f Fault) error {
+		faults = append(faults, f)
+		switch f.Kind {
+		case Read:
+			return as.Protect(f.Addr, 1, ReadOnly)
+		default:
+			return as.Protect(f.Addr, 1, ReadWrite)
+		}
+	})
+	if _, err := as.ReadU8(nil, base+5); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteU8(nil, base+5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("faults = %d, want 2 (one read upgrade, one write upgrade)", len(faults))
+	}
+	if faults[0].Kind != Read || faults[1].Kind != Write {
+		t.Fatalf("fault kinds = %v,%v want read,write", faults[0].Kind, faults[1].Kind)
+	}
+	if as.ReadFaults != 1 || as.WriteFaults != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", as.ReadFaults, as.WriteFaults)
+	}
+}
+
+func TestFaultStormDetected(t *testing.T) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 1, NoAccess); err != nil {
+		t.Fatal(err)
+	}
+	as.SetFaultHandler(func(ctx any, f Fault) error { return nil }) // never fixes
+	_, err := as.ReadU8(nil, 0x10000)
+	if !errors.Is(err, ErrFaultStorm) {
+		t.Fatalf("err = %v, want ErrFaultStorm", err)
+	}
+}
+
+func TestAccessSpansPagesWithPerPageChecks(t *testing.T) {
+	mo := NewMemObject(2 * PageSize)
+	as := NewAddressSpace()
+	const base = 0x10000
+	if err := as.MapView(base, mo, 0, 1, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapView(base+PageSize, mo, 1, 1, NoAccess); err != nil {
+		t.Fatal(err)
+	}
+	upgrades := 0
+	as.SetFaultHandler(func(ctx any, f Fault) error {
+		upgrades++
+		return as.Protect(f.Addr, 1, ReadWrite)
+	})
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// Write straddling the page boundary: second page must fault once.
+	if err := as.WriteAt(nil, base+uint64(PageSize)-50, data); err != nil {
+		t.Fatal(err)
+	}
+	if upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", upgrades)
+	}
+	got, err := as.ReadAt(nil, base+uint64(PageSize)-50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("straddling write/read mismatch")
+	}
+}
+
+func TestUnmappedAccess(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.ReadU8(nil, 0x999999); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 1, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	as.Unmap(0x10000, 1)
+	if as.Mapped(0x10000) {
+		t.Fatal("still mapped after Unmap")
+	}
+}
+
+func TestBypassIgnoresProtection(t *testing.T) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 1, NoAccess); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := as.Bypass(0x10000+16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(mem, "ZEROCOPY")
+	// Visible through the object's frames directly (aliasing, no copy).
+	if string(mo.Frame(0)[16:24]) != "ZEROCOPY" {
+		t.Fatal("Bypass write not aliased into frame")
+	}
+	if _, err := as.Bypass(0x10000+uint64(PageSize)-4, 8); err == nil {
+		t.Fatal("page-crossing Bypass accepted")
+	}
+}
+
+func TestBypassRangeCrossesPages(t *testing.T) {
+	mo := NewMemObject(2 * PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 2, NoAccess); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err := as.BypassRange(0x10000+uint64(PageSize)-10, 20, func(chunk []byte) error {
+		n += len(chunk)
+		for i := range chunk {
+			chunk[i] = 0x5A
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("visited %d bytes, want 20", n)
+	}
+	if mo.Frame(0)[PageSize-1] != 0x5A || mo.Frame(1)[9] != 0x5A {
+		t.Fatal("BypassRange did not write both pages")
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	mo := NewMemObject(PageSize)
+	as := NewAddressSpace()
+	if err := as.MapView(0x10000, mo, 0, 1, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteU32(nil, 0x10000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.ReadU32(nil, 0x10000); v != 0xDEADBEEF {
+		t.Fatalf("u32 = %#x", v)
+	}
+	if err := as.WriteU64(nil, 0x10008, 1<<40+7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.ReadU64(nil, 0x10008); v != 1<<40+7 {
+		t.Fatalf("u64 = %d", v)
+	}
+	if err := as.WriteF64(nil, 0x10010, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.ReadF64(nil, 0x10010); v != 3.25 {
+		t.Fatalf("f64 = %v", v)
+	}
+}
+
+// Property: data written through any view is read back identically through
+// any other view of the same frames, for arbitrary offsets and contents.
+func TestViewAliasProperty(t *testing.T) {
+	const pages = 4
+	mo := NewMemObject(pages * PageSize)
+	as := NewAddressSpace()
+	bases := []uint64{0x100000, 0x200000, 0x300000}
+	for _, b := range bases {
+		if err := as.MapView(b, mo, 0, pages, ReadWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(off uint16, data []byte, wi, ri uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 2*PageSize {
+			data = data[:2*PageSize]
+		}
+		o := uint64(off) % uint64(pages*PageSize-len(data))
+		w := bases[int(wi)%len(bases)]
+		r := bases[int(ri)%len(bases)]
+		if err := as.WriteAt(nil, w+o, data); err != nil {
+			return false
+		}
+		got, err := as.ReadAt(nil, r+o, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

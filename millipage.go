@@ -1,0 +1,154 @@
+// Package millipage is a Go reproduction of "MultiView and Millipage —
+// Fine-Grain Sharing in Page-Based DSMs" (Itzkovitz & Schuster, OSDI '99):
+// a page-based software distributed shared memory with sharing units
+// smaller than a page.
+//
+// The MultiView technique maps one memory object into several virtual
+// views; each view's pages carry independent protections, so sub-page
+// objects ("minipages") that share a physical page get individual access
+// control through the ordinary VM mechanism — false sharing disappears
+// without relaxing consistency. Millipage builds a sequentially
+// consistent Single-Writer/Multiple-Readers DSM on top, with a thin
+// manager-based protocol: no twins, no diffs, no code instrumentation.
+//
+// Because the original runs on Windows NT page protections, SEH fault
+// interception and a Myrinet cluster, this reproduction executes on a
+// deterministic simulated substrate: a software VM layer with real page
+// tables, protections and fault upcalls; a FastMessages-like network
+// calibrated to the paper's measured costs; and a virtual-time engine.
+// Applications written against this package perform real shared-memory
+// computation (the bytes are real; the protocol moves them); the clock
+// they observe is the calibrated virtual clock of the paper's testbed.
+//
+// # Quick start
+//
+//	cluster, err := millipage.NewCluster(millipage.Config{
+//		Hosts:        4,
+//		SharedMemory: 1 << 20,
+//		Views:        8,
+//	})
+//	if err != nil { ... }
+//	report, err := cluster.Run(func(w *millipage.Worker) {
+//		if w.Host() == 0 {
+//			addr := w.Malloc(256)
+//			w.WriteU32(addr, 42)
+//		}
+//		w.Barrier()
+//		// every host reads the shared value
+//	})
+//
+// See examples/ for complete programs and internal/apps for the paper's
+// five-application benchmark suite.
+package millipage
+
+import (
+	"fmt"
+
+	"millipage/internal/core"
+	"millipage/internal/dsm"
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+)
+
+// Addr is an address in the shared application-view address space, as
+// returned by Worker.Malloc. It is valid on every host without
+// translation.
+type Addr = uint64
+
+// Duration is virtual time on the simulated testbed's clock
+// (nanoseconds).
+type Duration = sim.Duration
+
+// Config describes a Millipage cluster.
+type Config struct {
+	// Hosts is the number of machines (the paper's cluster has 8).
+	// Default 1.
+	Hosts int
+
+	// ThreadsPerHost is the number of application threads per host.
+	// The paper's machines are uniprocessors; default 1.
+	ThreadsPerHost int
+
+	// SharedMemory is the size of the shared region in bytes. Required.
+	SharedMemory int
+
+	// Views is the number of application views, which bounds how many
+	// minipages can share one physical page (Section 2.4). Default 1.
+	Views int
+
+	// ChunkLevel aggregates this many successive same-size allocations
+	// into one minipage (Section 4.4's chunking switch). 0/1 = off.
+	ChunkLevel int
+
+	// PageGranularity selects the traditional page-based layout instead
+	// of MultiView: allocations pack with no regard for sharing units and
+	// the sharing grain is the full page. This is the false-sharing
+	// baseline (and Figure 7's "none" configuration).
+	PageGranularity bool
+
+	// Seed makes runs reproducible; equal seeds give identical traces.
+	// Default 1.
+	Seed int64
+
+	// PerfectTimers removes the NT multimedia-timer pathology from the
+	// service threads (Section 3.5.1) — the "once the polling and timer
+	// resolution problems are solved" ablation.
+	PerfectTimers bool
+}
+
+// Cluster is a Millipage DSM cluster ready to run one application.
+type Cluster struct {
+	sys *dsm.System
+	ran bool
+}
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	opt := dsm.Options{
+		Hosts:          cfg.Hosts,
+		ThreadsPerHost: cfg.ThreadsPerHost,
+		SharedSize:     cfg.SharedMemory,
+		Views:          cfg.Views,
+		ChunkLevel:     cfg.ChunkLevel,
+		Seed:           cfg.Seed,
+	}
+	if cfg.PageGranularity {
+		opt.Grain = core.GrainPage
+		if opt.Views == 0 {
+			opt.Views = 1
+		}
+	}
+	if cfg.PerfectTimers {
+		p := fastmsg.DefaultParams()
+		p.PerfectTimers = true
+		p.SweepShortLo = 30 * sim.Microsecond
+		opt.Net = p
+	}
+	sys, err := dsm.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{sys: sys}, nil
+}
+
+// Run executes body on ThreadsPerHost application threads on every host
+// and blocks until all of them finish, returning the run's Report. A
+// Cluster runs one application; create a new Cluster per run.
+func (c *Cluster) Run(body func(w *Worker)) (*Report, error) {
+	if c.ran {
+		return nil, fmt.Errorf("millipage: Cluster.Run called twice; create a new Cluster per run")
+	}
+	c.ran = true
+	err := c.sys.Run(func(t *dsm.Thread) {
+		body(&Worker{t: t})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.report(), nil
+}
+
+// System exposes the underlying DSM system for benchmarks and tests that
+// need raw access (statistics, directory state). Most applications never
+// need it.
+func (c *Cluster) System() *dsm.System { return c.sys }

@@ -1,0 +1,180 @@
+package millipage
+
+import (
+	"fmt"
+	"strings"
+
+	"millipage/internal/stats"
+)
+
+// Report summarizes one application run: parallel execution time,
+// per-thread time breakdowns (Figure 6 right), and protocol activity.
+type Report struct {
+	Hosts   int
+	Elapsed Duration // parallel execution time on the virtual clock
+
+	Threads []ThreadReport
+
+	// Protocol totals.
+	ReadFaults        uint64
+	WriteFaults       uint64
+	Invalidations     uint64
+	CompetingRequests uint64 // requests queued behind open transactions
+	Barriers          uint64
+	LockAcquisitions  uint64
+	MessagesSent      uint64
+	BytesSent         uint64
+
+	// DSM footprint (Table 2 columns).
+	Minipages  int
+	ViewsUsed  int
+	SharedUsed int // bytes of shared memory allocated
+
+	// Latency decomposition (the paper's Section 4.3.1 discussion: an
+	// average fault service of ~750us, most of it service-thread delay).
+	AvgReadFaultTime  Duration // mean time a thread spends in one read fault
+	AvgWriteFaultTime Duration
+	AvgServiceDelay   Duration // mean message wait for a service thread (polling/timers)
+
+	// Full latency distributions, merged across threads. The NT timer
+	// model makes fault times bimodal; the histograms expose the tails
+	// that the means above flatten.
+	ReadFaultLatency  stats.Histogram
+	WriteFaultLatency stats.Histogram
+}
+
+// ThreadReport is one thread's execution-time breakdown.
+type ThreadReport struct {
+	Host int
+
+	Total     Duration
+	Compute   Duration
+	Prefetch  Duration
+	ReadFault Duration
+	WriteFlt  Duration
+	Synch     Duration
+	Malloc    Duration
+	Other     Duration
+}
+
+// Breakdown returns the Figure 6 (right) fractions: computation (with
+// allocation and residual protocol time folded in, as the paper does),
+// prefetch, read fault, write fault and synchronization — summing to 1.
+func (tr ThreadReport) Breakdown() (comp, prefetch, readF, writeF, synch float64) {
+	tot := float64(tr.Total)
+	if tot == 0 {
+		return 1, 0, 0, 0, 0
+	}
+	prefetch = float64(tr.Prefetch) / tot
+	readF = float64(tr.ReadFault) / tot
+	writeF = float64(tr.WriteFlt) / tot
+	synch = float64(tr.Synch) / tot
+	comp = 1 - prefetch - readF - writeF - synch
+	return
+}
+
+func (c *Cluster) report() *Report {
+	sys := c.sys
+	r := &Report{
+		Hosts:   sys.NumHosts(),
+		Elapsed: sys.Elapsed(),
+	}
+	for _, t := range sys.Threads() {
+		st := t.Stats
+		r.Threads = append(r.Threads, ThreadReport{
+			Host:      t.Host(),
+			Total:     st.Total(),
+			Compute:   st.ComputeTime,
+			Prefetch:  st.PrefetchTime,
+			ReadFault: st.ReadFaultTime,
+			WriteFlt:  st.WriteFaultTime,
+			Synch:     st.SynchTime,
+			Malloc:    st.MallocTime,
+			Other:     st.Other(),
+		})
+	}
+	for i := 0; i < sys.NumHosts(); i++ {
+		r.ReadFaults += sys.Host(i).AS.ReadFaults
+		r.WriteFaults += sys.Host(i).AS.WriteFaults
+		es := sys.Net.Endpoint(i).Stats()
+		r.MessagesSent += es.Sent
+		r.BytesSent += es.BytesSent
+	}
+	// Latency decomposition.
+	var rfTime, wfTime Duration
+	var rfN, wfN uint64
+	for _, t := range sys.Threads() {
+		rfTime += t.Stats.ReadFaultTime + t.Stats.PrefetchTime
+		wfTime += t.Stats.WriteFaultTime
+		rfN += t.Stats.ReadFaults
+		wfN += t.Stats.WriteFaults
+		r.ReadFaultLatency.Merge(&t.Stats.ReadFaultHist)
+		r.WriteFaultLatency.Merge(&t.Stats.WriteFaultHist)
+	}
+	if rfN > 0 {
+		r.AvgReadFaultTime = rfTime / Duration(rfN)
+	}
+	if wfN > 0 {
+		r.AvgWriteFaultTime = wfTime / Duration(wfN)
+	}
+	var svc Duration
+	var recv uint64
+	for i := 0; i < sys.NumHosts(); i++ {
+		es := sys.Net.Endpoint(i).Stats()
+		svc += es.ServiceDelay
+		recv += es.Received
+	}
+	if recv > 0 {
+		r.AvgServiceDelay = svc / Duration(recv)
+	}
+
+	ms := sys.Manager().Stats
+	r.Invalidations = ms.Invalidations
+	r.CompetingRequests = ms.CompetingRequests
+	r.Barriers = ms.BarrierEpisodes
+	r.LockAcquisitions = ms.LockAcquisitions
+	mpt := sys.Manager().MPT()
+	r.Minipages = mpt.NumMinipages()
+	r.ViewsUsed = mpt.ViewsUsed()
+	r.SharedUsed = mpt.BytesAllocated()
+	return r
+}
+
+// AvgBreakdown averages the per-thread breakdowns — the bar the paper
+// plots per application at eight hosts.
+func (r *Report) AvgBreakdown() (comp, prefetch, readF, writeF, synch float64) {
+	if len(r.Threads) == 0 {
+		return 1, 0, 0, 0, 0
+	}
+	for _, tr := range r.Threads {
+		c, p, rf, wf, s := tr.Breakdown()
+		comp += c
+		prefetch += p
+		readF += rf
+		writeF += wf
+		synch += s
+	}
+	n := float64(len(r.Threads))
+	return comp / n, prefetch / n, readF / n, writeF / n, synch / n
+}
+
+// String renders a human-readable run summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hosts=%d elapsed=%v\n", r.Hosts, r.Elapsed)
+	fmt.Fprintf(&b, "faults: read=%d write=%d invalidations=%d competing=%d\n",
+		r.ReadFaults, r.WriteFaults, r.Invalidations, r.CompetingRequests)
+	fmt.Fprintf(&b, "synch: barriers=%d locks=%d\n", r.Barriers, r.LockAcquisitions)
+	fmt.Fprintf(&b, "net: msgs=%d bytes=%d\n", r.MessagesSent, r.BytesSent)
+	fmt.Fprintf(&b, "dsm: minipages=%d views=%d shared=%dB\n", r.Minipages, r.ViewsUsed, r.SharedUsed)
+	if r.ReadFaultLatency.Count() > 0 {
+		fmt.Fprintf(&b, "read-fault latency: %s\n", r.ReadFaultLatency.Summary())
+	}
+	if r.WriteFaultLatency.Count() > 0 {
+		fmt.Fprintf(&b, "write-fault latency: %s\n", r.WriteFaultLatency.Summary())
+	}
+	comp, pf, rf, wf, sy := r.AvgBreakdown()
+	fmt.Fprintf(&b, "breakdown: comp=%.1f%% prefetch=%.1f%% read=%.1f%% write=%.1f%% synch=%.1f%%",
+		comp*100, pf*100, rf*100, wf*100, sy*100)
+	return b.String()
+}
