@@ -42,6 +42,8 @@ func main() {
 		err = runChunking(args)
 	case "ablation":
 		err = runAblation(args)
+	case "managerload":
+		err = runManagerLoad(args)
 	case "all":
 		err = runAll(args)
 	default:
@@ -66,6 +68,8 @@ func usage() {
   chunking [flags]     Figure 7: chunking in WATER (-scale, -seed)
   ablation [flags]     Section 5 / 3.5 ablations: LRC over chunking,
                        NT timers vs ideal timers (-scale, -seed)
+  managerload [flags]  central vs home-based directory management on a
+                       write-heavy workload (-hosts, -vars, -rounds, -seed)
   all [flags]          everything (-scale, -fast, -seed)`)
 }
 
@@ -180,6 +184,18 @@ func runAblation(args []string) error {
 	}
 	fmt.Println()
 	return bench.AblationTimers(os.Stdout, *scale, *seed)
+}
+
+func runManagerLoad(args []string) error {
+	fs := flag.NewFlagSet("managerload", flag.ExitOnError)
+	cfg := bench.DefaultManagerLoad()
+	hosts := fs.Int("hosts", cfg.Hosts, "cluster size")
+	vars := fs.Int("vars", cfg.Vars, "shared variables")
+	rounds := fs.Int("rounds", cfg.Rounds, "write-heavy rounds")
+	seed := fs.Int64("seed", cfg.Seed, "simulation seed")
+	fs.Parse(args)
+	cfg.Hosts, cfg.Vars, cfg.Rounds, cfg.Seed = *hosts, *vars, *rounds, *seed
+	return bench.ManagerLoadCompare(os.Stdout, cfg)
 }
 
 func runAll(args []string) error {

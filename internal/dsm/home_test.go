@@ -1,0 +1,358 @@
+package dsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"millipage/internal/sim"
+	"millipage/internal/vm"
+)
+
+func TestHomeBasedBasicOperation(t *testing.T) {
+	// The TwoHostReadFetch scenario under home-based management: same
+	// application results, but the directory entry lives at the minipage's
+	// home shard, not (necessarily) host 0.
+	s := newSys(t, Options{Hosts: 2, SharedSize: 1 << 16, Views: 4, Management: HomeBased})
+	var vas [2]uint64
+	var got [2]uint32
+	err := s.Run(func(th *Thread) {
+		if th.Host() == 0 {
+			vas[0] = th.Malloc(128) // minipage 0, homed at host 0
+			vas[1] = th.Malloc(128) // minipage 1, homed at host 1
+			th.WriteU32(vas[0], 111)
+			th.WriteU32(vas[1], 222)
+		}
+		th.Barrier()
+		got[th.Host()] = th.ReadU32(vas[0]) + th.ReadU32(vas[1])
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 333 || got[1] != 333 {
+		t.Fatalf("got %v", got)
+	}
+	// Each shard holds exactly the entries it is home to.
+	for id := 0; id < 2; id++ {
+		home := s.homeOf(id)
+		if home != id%2 {
+			t.Fatalf("homeOf(%d) = %d, want %d", id, home, id%2)
+		}
+		for h := 0; h < 2; h++ {
+			e := s.ManagerAt(h).entryOrNil(id)
+			if (h == home) != (e != nil) {
+				t.Fatalf("minipage %d: entry presence at host %d = %v, home is %d",
+					id, h, e != nil, home)
+			}
+		}
+	}
+	// Host 1's read of minipage 1 was served by its own shard.
+	if rr := s.ManagerAt(1).Stats.ReadReqs; rr == 0 {
+		t.Fatal("host 1's shard served no read requests")
+	}
+}
+
+func TestHomeOfOverride(t *testing.T) {
+	// A custom HomeOf places every minipage at the last host.
+	s := newSys(t, Options{
+		Hosts: 3, SharedSize: 1 << 16, Views: 4,
+		Management: HomeBased,
+		HomeOf:     func(id, hosts int) int { return hosts - 1 },
+	})
+	var va uint64
+	err := s.Run(func(th *Thread) {
+		if th.Host() == 0 {
+			va = th.Malloc(64)
+			th.WriteU32(va, 7)
+		}
+		th.Barrier()
+		if got := th.ReadU32(va); got != 7 {
+			t.Errorf("host %d read %d", th.Host(), got)
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := s.ManagerAt(2).entryOrNil(0); e == nil {
+		t.Fatal("entry not at the overridden home")
+	}
+	if e := s.ManagerAt(0).entryOrNil(0); e != nil {
+		t.Fatal("host 0 kept a directory entry it is not home to")
+	}
+}
+
+// TestCentralHomeBasedEquivalence runs the same barrier-phased,
+// histogram-style workload under both management modes. The program is
+// DRF and phase-deterministic, so application results — final variable
+// values and per-host fault counts — must be byte-identical; only the
+// load placement (and hence timing) may differ.
+func TestCentralHomeBasedEquivalence(t *testing.T) {
+	const (
+		hosts  = 8
+		nVars  = 32
+		rounds = 4
+	)
+	type outcome struct {
+		vals    [nVars]uint32
+		rf, wf  [hosts]uint64
+		invs    uint64
+		shardRq [hosts]uint64
+	}
+	run := func(m Management) outcome {
+		s := newSys(t, Options{Hosts: hosts, SharedSize: 1 << 20, Views: 8, Seed: 42, Management: m})
+		var vas [nVars]uint64
+		var out outcome
+		err := s.Run(func(th *Thread) {
+			if th.Host() == 0 {
+				for v := range vas {
+					vas[v] = th.Malloc(96)
+					th.WriteU32(vas[v], uint32(v))
+				}
+			}
+			th.Barrier()
+			for r := 0; r < rounds; r++ {
+				// Accumulate phase: var v belongs to host (v+r) % hosts.
+				for v := 0; v < nVars; v++ {
+					if (v+r)%hosts == th.Host() {
+						th.WriteU32(vas[v], th.ReadU32(vas[v])+uint32(r+1))
+					}
+				}
+				th.Barrier()
+				// Read phase: every host scans the whole table.
+				for v := 0; v < nVars; v++ {
+					_ = th.ReadU32(vas[v])
+				}
+				th.Barrier()
+			}
+			if th.Host() == 0 {
+				for v := range vas {
+					out.vals[v] = th.ReadU32(vas[v])
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < hosts; i++ {
+			out.rf[i] = s.Host(i).AS.ReadFaults
+			out.wf[i] = s.Host(i).AS.WriteFaults
+			out.shardRq[i] = s.ManagerAt(i).Stats.ReadReqs + s.ManagerAt(i).Stats.WriteReqs
+		}
+		out.invs = s.ManagerStatsTotal().Invalidations
+		return out
+	}
+
+	central, homed := run(Central), run(HomeBased)
+
+	// Application results are identical.
+	want := func(v int) uint32 { return uint32(v) + rounds*(rounds+1)/2 }
+	for v := 0; v < nVars; v++ {
+		if central.vals[v] != want(v) {
+			t.Fatalf("central: var %d = %d, want %d", v, central.vals[v], want(v))
+		}
+		if homed.vals[v] != central.vals[v] {
+			t.Fatalf("var %d: central=%d home-based=%d", v, central.vals[v], homed.vals[v])
+		}
+	}
+	if central.rf != homed.rf {
+		t.Fatalf("read faults differ:\ncentral    %v\nhome-based %v", central.rf, homed.rf)
+	}
+	if central.wf != homed.wf {
+		t.Fatalf("write faults differ:\ncentral    %v\nhome-based %v", central.wf, homed.wf)
+	}
+	if central.invs != homed.invs {
+		t.Fatalf("invalidations differ: central=%d home-based=%d", central.invs, homed.invs)
+	}
+
+	// Load placement is what changed: central funnels every directory
+	// request through host 0; home-based spreads them over all shards
+	// (32 minipages mod 8 hosts touch every home).
+	for i := 1; i < hosts; i++ {
+		if central.shardRq[i] != 0 {
+			t.Fatalf("central: shard %d served %d requests, want 0", i, central.shardRq[i])
+		}
+	}
+	for i := 0; i < hosts; i++ {
+		if homed.shardRq[i] == 0 {
+			t.Fatalf("home-based: shard %d served no requests", i)
+		}
+	}
+}
+
+// TestHomeBasedShardInvariants runs randomized DRF programs under
+// home-based management and then audits the sharded directory: every
+// entry lives exactly at its minipage's home, is quiesced, and its
+// copyset agrees with the per-host view protections.
+func TestHomeBasedShardInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, hosts := range []int{3, 8} {
+			seed, hosts := seed, hosts
+			t.Run(fmt.Sprintf("seed=%d/hosts=%d", seed, hosts), func(t *testing.T) {
+				runShardInvariantProgram(t, seed, hosts)
+			})
+		}
+	}
+}
+
+func runShardInvariantProgram(t *testing.T, seed int64, hosts int) {
+	t.Helper()
+	prg := rand.New(rand.NewSource(seed * 31))
+	nVars := prg.Intn(20) + 6
+	rounds := prg.Intn(3) + 2
+	sizes := make([]int, nVars)
+	for v := range sizes {
+		sizes[v] = (prg.Intn(48) + 1) * 4
+	}
+	readSet := make([][][]int, rounds)
+	for r := range readSet {
+		readSet[r] = make([][]int, hosts)
+		for h := range readSet[r] {
+			n := prg.Intn(nVars)
+			for i := 0; i < n; i++ {
+				readSet[r][h] = append(readSet[r][h], prg.Intn(nVars))
+			}
+		}
+	}
+	val := func(v, r int) uint32 { return uint32(v*999983 + r*10007 + 7) }
+
+	s := newSys(t, Options{Hosts: hosts, SharedSize: 1 << 20, Views: 16, Seed: seed, Management: HomeBased})
+	vas := make([]uint64, nVars)
+	var finalErr error
+	err := s.Run(func(th *Thread) {
+		if th.Host() == 0 {
+			for v := range vas {
+				vas[v] = th.Malloc(sizes[v])
+			}
+		}
+		th.Barrier()
+		for r := 0; r < rounds; r++ {
+			for v := 0; v < nVars; v++ {
+				if (v+r)%th.NumThreads() == th.ID {
+					th.WriteU32(vas[v], val(v, r))
+				}
+			}
+			for _, v := range readSet[r][th.Host()] {
+				_ = th.ReadU32(vas[v])
+			}
+			th.Compute(sim.Duration(th.ID) * 20 * sim.Microsecond)
+			th.Barrier()
+		}
+		if th.ID == 0 {
+			defer th.Compute(10 * sim.Millisecond) // let the last acks drain
+			for v := 0; v < nVars; v++ {
+				if got, want := th.ReadU32(vas[v]), val(v, rounds-1); got != want {
+					finalErr = fmt.Errorf("var %d = %d, want %d", v, got, want)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalErr != nil {
+		t.Fatal(finalErr)
+	}
+
+	mpt := s.Manager().MPT()
+	for id := 0; id < mpt.NumMinipages(); id++ {
+		home := s.homeOf(id)
+		// Placement: the entry exists at the home shard and nowhere else.
+		for h := 0; h < hosts; h++ {
+			e := s.ManagerAt(h).entryOrNil(id)
+			if (h == home) != (e != nil) {
+				t.Fatalf("minipage %d: entry presence at host %d = %v, home is %d",
+					id, h, e != nil, home)
+			}
+		}
+		e := s.ManagerAt(home).entry(id)
+		if e.Busy() || len(e.queue) != 0 {
+			t.Fatalf("minipage %d not quiesced at home %d", id, home)
+		}
+		mp, _ := mpt.ByID(id)
+		info := mp.Info(s.Layout)
+		// Copyset agrees with view protections on every host.
+		cs, _ := e.Copyset()
+		for h := 0; h < hosts; h++ {
+			prot, perr := s.Host(h).Region.ProtOf(info.Base)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			inSet := cs&hostBit(h) != 0
+			readable := prot >= vm.ReadOnly
+			if inSet != readable {
+				t.Fatalf("minipage %d host %d: copyset bit %v but protection %v", id, h, inSet, prot)
+			}
+		}
+		checkSWMR(t, s, info)
+	}
+	// No request may still be parked waiting for a DIR_INIT.
+	for h, mg := range s.mgrs {
+		if len(mg.waitInit) != 0 {
+			t.Fatalf("host %d shard has %d minipages with parked requests", h, len(mg.waitInit))
+		}
+	}
+}
+
+func TestHomeBasedDeterministic(t *testing.T) {
+	run := func() (sim.Duration, uint64) {
+		s := newSys(t, Options{Hosts: 4, SharedSize: 1 << 16, Views: 4, Seed: 17, Management: HomeBased})
+		var va uint64
+		err := s.Run(func(th *Thread) {
+			if th.Host() == 0 {
+				va = th.Malloc(64)
+				th.WriteU32(va, 0)
+			}
+			th.Barrier()
+			for i := 0; i < 5; i++ {
+				th.Lock(2)
+				th.WriteU32(va, th.ReadU32(va)+1)
+				th.Unlock(2)
+				th.Compute(100 * sim.Microsecond)
+			}
+			th.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Elapsed(), s.ManagerStatsTotal().CompetingRequests
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	if e1 != e2 || c1 != c2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", e1, c1, e2, c2)
+	}
+}
+
+func TestHomeBasedPushAndChunking(t *testing.T) {
+	// Push and chunked allocation both work against remote homes.
+	s := newSys(t, Options{Hosts: 4, SharedSize: 1 << 20, Views: 6, ChunkLevel: 4, Management: HomeBased})
+	var va uint64
+	err := s.Run(func(th *Thread) {
+		if th.Host() == 1 {
+			va = th.Malloc(128) // remote malloc; chunked minipage
+			th.WriteU32(va, 41)
+			th.WriteU32(va, 42)
+			th.Push(va)
+		}
+		th.Barrier()
+		th.Compute(20 * sim.Millisecond)
+		th.Barrier()
+		if got := th.ReadU32(va); got != 42 {
+			t.Errorf("host %d read %d", th.Host(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if i == 1 {
+			continue
+		}
+		if rf := s.Host(i).AS.ReadFaults; rf != 0 {
+			t.Fatalf("host %d read faults = %d, want 0 (push should predeliver)", i, rf)
+		}
+	}
+}

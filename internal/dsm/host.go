@@ -63,8 +63,37 @@ func (h *Host) ID() int { return h.id }
 
 func (h *Host) costs() Costs { return h.sys.Opt.Costs }
 func (h *Host) send(p *sim.Proc, to int, m *pmsg) {
-	h.sys.Opt.Trace.Recordf(h.sys.Eng.Now(), trace.Send, h.id, to, "%v mp=%d addr=%#x", m.Type, m.Info.ID, m.Addr)
+	h.sys.Opt.Trace.RecordfHome(h.sys.Eng.Now(), trace.Send, h.id, to, h.homeOfMsg(m),
+		"%v mp=%d addr=%#x", m.Type, m.Info.ID, m.Addr)
 	h.ep.Send(p, to, &fastmsg.Message{Size: h.costs().HeaderSize, Payload: m})
+}
+
+// homeOfMsg returns the home host of the minipage a message concerns,
+// or -1 for messages that carry no translation record (untranslated
+// requests, synchronization and allocation traffic).
+func (h *Host) homeOfMsg(m *pmsg) int {
+	if m.Info.Size == 0 {
+		return -1
+	}
+	return h.sys.homeOf(m.Info.ID)
+}
+
+// route returns the host that runs the directory transaction for the
+// minipage backing va. Under Central management that is host 0 and the
+// request leaves untranslated (the manager performs the MPT lookup);
+// under HomeBased management the requester resolves va against its MPT
+// replica — charging the same MPTLookup the manager would have — and
+// returns the translation so the home can skip its own lookup.
+func (h *Host) route(p *sim.Proc, va uint64) (int, core.Info) {
+	if h.sys.Opt.Management == Central {
+		return managerHost, core.Info{}
+	}
+	p.Sleep(h.costs().MPTLookup)
+	mp, ok := h.sys.mpt.Lookup(va)
+	if !ok {
+		panic(fmt.Sprintf("dsm: access violation: %#x is not in any minipage", va))
+	}
+	return h.sys.homeOf(mp.ID), mp.Info(h.sys.Layout)
 }
 
 // sendData ships raw minipage bytes (no header: FM delivers them directly
@@ -104,7 +133,8 @@ func (h *Host) onFault(ctx any, f vm.Fault) error {
 	if f.Kind == vm.Write {
 		typ = mWriteReq
 	}
-	h.send(t.p, managerHost, &pmsg{Type: typ, From: h.id, Addr: f.Addr, FW: fw})
+	home, info := h.route(t.p, f.Addr)
+	h.send(t.p, home, &pmsg{Type: typ, From: h.id, Addr: f.Addr, Info: info, FW: fw})
 
 	t.p.Sleep(c.BlockThread)
 	h.ep.SetBusy(-1) // the host may go idle; the poller takes over
@@ -112,8 +142,8 @@ func (h *Host) onFault(ctx any, f vm.Fault) error {
 	h.ep.SetBusy(+1)
 	t.p.Sleep(c.ThreadWake + c.FaultResume)
 
-	// The ack that closes the transaction at the manager.
-	h.send(t.p, managerHost, &pmsg{Type: mAck, From: h.id, Info: fw.info, Write: f.Kind == vm.Write})
+	// The ack that closes the transaction at the minipage's home.
+	h.send(t.p, h.sys.homeOf(fw.info.ID), &pmsg{Type: mAck, From: h.id, Info: fw.info, Write: f.Kind == vm.Write})
 
 	elapsed := t.p.Now().Sub(start)
 	switch {
@@ -145,21 +175,28 @@ func (t *Thread) inPrefetchSpan(va uint64) bool {
 }
 
 // onMessage dispatches one delivered message in the host's DSM server
-// thread. Manager-only types are routed to the manager state (which lives
-// on host 0); everything else is the thin non-manager protocol of
-// Figure 3 — note that it does no queuing, no table lookups and no
-// translation of any kind.
+// thread. Directory traffic is routed to this host's shard (the whole
+// directory under Central management, where only host 0 receives it);
+// allocation and synchronization stay with host 0. Everything else is
+// the thin non-manager protocol of Figure 3 — note that it does no
+// queuing, no table lookups and no translation of any kind.
 func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 	m := fm.Payload.(*pmsg)
-	h.sys.Opt.Trace.Recordf(p.Now(), trace.Handle, h.id, fm.From, "%v mp=%d", m.Type, m.Info.ID)
+	h.sys.Opt.Trace.RecordfHome(p.Now(), trace.Handle, h.id, fm.From, h.homeOfMsg(m), "%v mp=%d", m.Type, m.Info.ID)
 	switch m.Type {
-	// ---- Manager-bound messages -------------------------------------
-	case mReadReq, mWriteReq, mAck, mInvalidateReply, mAllocReq,
-		mBarrierArrive, mLockReq, mUnlock, mPushReq, mPushAck:
+	// ---- Directory traffic, handled by the minipage's home ----------
+	case mReadReq, mWriteReq, mAck, mInvalidateReply, mPushReq, mPushAck, mDirInit:
+		if h.sys.Opt.Management == Central && h.id != managerHost {
+			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.id, m.Type))
+		}
+		h.sys.mgrs[h.id].dispatch(p, m)
+
+	// ---- Allocation and synchronization, centralized on host 0 ------
+	case mAllocReq, mBarrierArrive, mLockReq, mUnlock:
 		if h.id != managerHost {
 			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.id, m.Type))
 		}
-		h.sys.mgr.dispatch(p, m)
+		h.sys.mgrs[managerHost].dispatch(p, m)
 
 	// ---- Forwarded requests served by any host ----------------------
 	case mReadFwd:
@@ -201,7 +238,8 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 			panic(err)
 		}
 		h.Stats.Invalidations++
-		h.send(p, managerHost, &pmsg{Type: mInvalidateReply, From: h.id, Info: m.Info, FW: m.FW})
+		// The reply returns to whichever home issued the invalidation.
+		h.send(p, fm.From, &pmsg{Type: mInvalidateReply, From: h.id, Info: m.Info, FW: m.FW})
 
 	// ---- Replies back at the requester ------------------------------
 	case mReadReply, mWriteReply, mPushData:
@@ -267,14 +305,15 @@ func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
 	if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, prot); err != nil {
 		panic(err)
 	}
+	home := h.sys.homeOf(hdr.Info.ID)
 	switch {
 	case hdr.Type == mPushData:
-		// Pushed replica: ack to the manager; nobody is waiting.
-		h.send(p, managerHost, &pmsg{Type: mPushAck, From: h.id, Info: hdr.Info})
+		// Pushed replica: ack to the home; nobody is waiting.
+		h.send(p, home, &pmsg{Type: mPushAck, From: h.id, Info: hdr.Info})
 	case hdr.Prefetch:
 		// Prefetch completion: the server thread closes the transaction.
-		h.clearPrefetchSpan(hdr.Info.Base)
-		h.send(p, managerHost, &pmsg{Type: mAck, From: h.id, Info: hdr.Info, Write: false})
+		h.clearPrefetchSpan(hdr.Info)
+		h.send(p, home, &pmsg{Type: mAck, From: h.id, Info: hdr.Info, Write: false})
 		if hdr.FW != nil {
 			hdr.FW.ev.Set()
 		}
@@ -308,12 +347,23 @@ func (h *Host) servePush(p *sim.Proc, m *pmsg) {
 	}
 }
 
-// clearPrefetchSpan removes the in-flight marker for base.
-func (h *Host) clearPrefetchSpan(base uint64) {
-	for i, sp := range h.prefetchSpans {
-		if sp.base == base {
-			h.prefetchSpans = append(h.prefetchSpans[:i], h.prefetchSpans[i+1:]...)
-			return
+// clearPrefetchSpan removes the in-flight markers satisfied by the
+// installed minipage. A span is recorded at the address the application
+// passed to Prefetch/GangFetch, which need not be minipage-aligned, so
+// matching is by containment — the span whose base lies inside the
+// fetched minipage was resolved to exactly this minipage when the
+// request was issued. Matching on base equality instead would leak the
+// span forever for unaligned prefetches, misclassifying every later
+// fault in the range as a prefetch wait and silently disabling every
+// later Prefetch of it.
+func (h *Host) clearPrefetchSpan(info core.Info) {
+	end := info.Base + uint64(info.Size)
+	kept := h.prefetchSpans[:0]
+	for _, sp := range h.prefetchSpans {
+		if sp.base >= info.Base && sp.base < end {
+			continue
 		}
+		kept = append(kept, sp)
 	}
+	h.prefetchSpans = kept
 }

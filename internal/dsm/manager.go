@@ -45,14 +45,29 @@ type ManagerStats struct {
 	Pushes            uint64
 }
 
-// manager is host 0's DSM management state: the minipage table, the
-// directory, barrier and lock state. Its handlers run in host 0's server
-// thread; its job is essentially "to mark and forward requests to hosts,
-// and to maintain the MPT".
+// manager is one host's directory shard: the transaction state for every
+// minipage homed at that host. Its handlers run in the host's server
+// thread; the job is essentially "to mark and forward requests to hosts".
+// Host 0's instance is additionally the allocation authority (the MPT
+// grows only there) and runs the centralized barrier and lock services.
+// Under Central management host 0 is home to every minipage and the
+// other shards stay empty.
 type manager struct {
 	sys *System
-	mpt *core.MPT
+	me  int // the host this shard runs on
+
+	// dir is sparse: index = minipage id; nil for minipages homed
+	// elsewhere (or whose DIR_INIT has not arrived yet).
 	dir []*dirEntry
+
+	// waitInit holds requests that reached this home before the
+	// allocation authority's DIR_INIT seeded the shard entry (message
+	// ordering across sender pairs is not guaranteed).
+	waitInit map[int][]*pmsg
+
+	// dirInited (allocation authority only) counts minipages whose
+	// directory entries have been placed, locally or via DIR_INIT.
+	dirInited int
 
 	barrierArrivals []*pmsg
 	barrierGen      int
@@ -67,14 +82,16 @@ type lockState struct {
 	queue []*pmsg
 }
 
-func newManager(s *System, mpt *core.MPT) *manager {
-	return &manager{sys: s, mpt: mpt, locks: make(map[int]*lockState)}
+func newManager(s *System, me int) *manager {
+	return &manager{sys: s, me: me, waitInit: make(map[int][]*pmsg), locks: make(map[int]*lockState)}
 }
 
 // MPT exposes the minipage table (for statistics and tests).
-func (mg *manager) MPT() *core.MPT { return mg.mpt }
+func (mg *manager) MPT() *core.MPT { return mg.sys.mpt }
 
-// Directory returns the directory entries (for invariant checks in tests).
+// Directory returns the shard's directory entries, indexed by minipage
+// id. Entries homed at other hosts are nil (under Central management,
+// host 0's shard has every entry).
 func (mg *manager) Directory() []*dirEntry { return mg.dir }
 
 // Copyset returns the copyset bitmask and owner of minipage id.
@@ -83,13 +100,27 @@ func (e *dirEntry) Copyset() (uint64, int) { return e.copyset, e.owner }
 // Busy reports whether a transaction is open on the entry.
 func (e *dirEntry) Busy() bool { return e.busy }
 
-func (mg *manager) host() *Host  { return mg.sys.hosts[managerHost] }
+func (mg *manager) host() *Host  { return mg.sys.hosts[mg.me] }
 func (mg *manager) costs() Costs { return mg.sys.Opt.Costs }
 func (mg *manager) entry(id int) *dirEntry {
+	if e := mg.entryOrNil(id); e != nil {
+		return e
+	}
+	panic(fmt.Sprintf("dsm: host %d has no directory entry for minipage %d", mg.me, id))
+}
+
+func (mg *manager) entryOrNil(id int) *dirEntry {
 	if id < 0 || id >= len(mg.dir) {
-		panic(fmt.Sprintf("dsm: no directory entry for minipage %d", id))
+		return nil
 	}
 	return mg.dir[id]
+}
+
+func (mg *manager) setEntry(id int, e *dirEntry) {
+	for len(mg.dir) <= id {
+		mg.dir = append(mg.dir, nil)
+	}
+	mg.dir[id] = e
 }
 
 // dispatch routes one manager-bound message.
@@ -115,22 +146,62 @@ func (mg *manager) dispatch(p *sim.Proc, m *pmsg) {
 		mg.handlePush(p, m)
 	case mPushAck:
 		mg.handlePushAck(p, m)
+	case mDirInit:
+		mg.handleDirInit(p, m)
 	default:
 		panic(fmt.Sprintf("dsm: manager got %v", m.Type))
 	}
 }
 
-// translate performs the manager's Translate step of Figure 3: MPT lookup
-// of the faulting address, filling the reserved header space with the
-// minipage base, size and privileged-view address.
-func (mg *manager) translate(p *sim.Proc, m *pmsg) (*core.Minipage, *dirEntry) {
-	p.Sleep(mg.costs().MPTLookup)
-	mp, ok := mg.mpt.Lookup(m.Addr)
-	if !ok {
-		panic(fmt.Sprintf("dsm: access violation: %#x is not in any minipage", m.Addr))
+// resolve performs the directory side of Figure 3's Translate step and
+// locates the shard entry. Under Central management the manager always
+// does the MPT lookup itself (the request carries only the fault
+// address); under HomeBased management the requester has already
+// resolved the address against its MPT replica and filled m.Info, so
+// the home only fetches its entry. ok is false when the request had to
+// be parked until the allocation authority's DIR_INIT arrives.
+func (mg *manager) resolve(p *sim.Proc, m *pmsg) (e *dirEntry, ok bool) {
+	if mg.sys.Opt.Management == Central || m.Info.Size == 0 {
+		p.Sleep(mg.costs().MPTLookup)
+		mp, found := mg.sys.mpt.Lookup(m.Addr)
+		if !found {
+			panic(fmt.Sprintf("dsm: access violation: %#x is not in any minipage", m.Addr))
+		}
+		m.Info = mp.Info(mg.sys.Layout)
 	}
-	m.Info = mp.Info(mg.sys.Layout)
-	return mp, mg.entry(mp.ID)
+	id := m.Info.ID
+	if home := mg.sys.homeOf(id); home != mg.me {
+		panic(fmt.Sprintf("dsm: host %d got request for minipage %d homed at host %d", mg.me, id, home))
+	}
+	if e := mg.entryOrNil(id); e != nil {
+		return e, true
+	}
+	if mg.sys.Opt.Management == Central {
+		panic(fmt.Sprintf("dsm: no directory entry for minipage %d", id))
+	}
+	mg.waitInit[id] = append(mg.waitInit[id], m)
+	return nil, false
+}
+
+// handleDirInit seeds the shard entry for a freshly allocated minipage
+// (copyset and ownership start at the allocating host) and replays any
+// requests that raced ahead of the init.
+func (mg *manager) handleDirInit(p *sim.Proc, m *pmsg) {
+	id := m.Info.ID
+	if home := mg.sys.homeOf(id); home != mg.me {
+		panic(fmt.Sprintf("dsm: host %d got DIR_INIT for minipage %d homed at host %d", mg.me, id, home))
+	}
+	if mg.entryOrNil(id) != nil {
+		panic(fmt.Sprintf("dsm: duplicate DIR_INIT for minipage %d", id))
+	}
+	mg.setEntry(id, &dirEntry{copyset: hostBit(m.From), owner: m.From})
+	if q := mg.waitInit[id]; len(q) > 0 {
+		delete(mg.waitInit, id)
+		for _, held := range q {
+			held.Requeued = true
+			mg.dispatch(p, held)
+		}
+	}
 }
 
 // enqueue records a competing request (Figure 7 counts these).
@@ -159,7 +230,10 @@ func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
 	if !m.Requeued {
 		mg.Stats.ReadReqs++
 	}
-	mp, e := mg.translate(p, m)
+	e, ok := mg.resolve(p, m)
+	if !ok {
+		return
+	}
 	if e.busy {
 		mg.enqueue(e, m)
 		return
@@ -170,7 +244,6 @@ func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
 	fwd := *m
 	fwd.Type = mReadFwd
 	mg.host().send(p, src, &fwd)
-	_ = mp
 }
 
 // findReplica picks the host to source the minipage from: the owner if it
@@ -192,7 +265,10 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 	if !m.Requeued {
 		mg.Stats.WriteReqs++
 	}
-	_, e := mg.translate(p, m)
+	e, ok := mg.resolve(p, m)
+	if !ok {
+		return
+	}
 	if e.busy {
 		mg.enqueue(e, m)
 		return
@@ -291,26 +367,51 @@ func (mg *manager) handleAck(p *sim.Proc, m *pmsg) {
 }
 
 // allocLocal carves minipage(s) for host `from` and creates directory
-// entries it owns. It is shared by the remote allocation path and the
-// manager host's local malloc (which, as in the real system, is an
-// in-process call, not a message).
-func (mg *manager) allocLocal(from, size int) (core.Info, uint64, bool) {
+// entries it owns — locally when this host is the minipage's home,
+// via a DIR_INIT message to the home otherwise. It runs only on host 0
+// (the allocation authority: the MPT grows nowhere else) and is shared
+// by the remote allocation path and the manager host's local malloc
+// (which, as in the real system, is an in-process call, not a message).
+func (mg *manager) allocLocal(p *sim.Proc, from, size int) (core.Info, uint64, bool) {
+	if mg.me != managerHost {
+		panic(fmt.Sprintf("dsm: host %d is not the allocation authority", mg.me))
+	}
 	mg.Stats.Allocs++
-	mp, va, err := mg.mpt.Alloc(size)
+	mpt := mg.sys.mpt
+	mp, va, err := mpt.Alloc(size)
 	if err != nil {
 		panic(fmt.Sprintf("dsm: allocation of %d bytes failed: %v", size, err))
 	}
-	for id := len(mg.dir); id < mg.mpt.NumMinipages(); id++ {
-		mg.dir = append(mg.dir, &dirEntry{copyset: hostBit(from), owner: from})
+	firstNew := mg.dirInited
+	for id := firstNew; id < mpt.NumMinipages(); id++ {
+		if home := mg.sys.homeOf(id); home == mg.me {
+			mg.setEntry(id, &dirEntry{copyset: hostBit(from), owner: from})
+		} else {
+			nmp, _ := mpt.ByID(id)
+			init := pmsg{Type: mDirInit, From: from, Info: nmp.Info(mg.sys.Layout)}
+			mg.host().send(p, home, &init)
+		}
 	}
-	e := mg.entry(mp.ID)
-	return mp.Info(mg.sys.Layout), va, e.owner == from
+	mg.dirInited = mpt.NumMinipages()
+
+	// Does the requester own the minipage (and so get it writable with
+	// no fault)? Fresh minipages: always — nobody else can hold a copy
+	// yet. Chunk-extended minipages whose directory lives here: ask the
+	// live entry, exactly as the central manager does. Chunk-extended
+	// minipages homed remotely: conservatively no — the first write
+	// faults to the home instead, which keeps SW/MR without another
+	// round-trip from the allocation path.
+	owner := mp.ID >= firstNew
+	if !owner && mg.sys.homeOf(mp.ID) == mg.me {
+		owner = mg.entry(mp.ID).owner == from
+	}
+	return mp.Info(mg.sys.Layout), va, owner
 }
 
 // handleAlloc services the malloc-like API for non-manager hosts.
 func (mg *manager) handleAlloc(p *sim.Proc, m *pmsg) {
 	p.Sleep(mg.costs().MallocBase)
-	info, va, owner := mg.allocLocal(m.From, m.AllocSize)
+	info, va, owner := mg.allocLocal(p, m.From, m.AllocSize)
 	reply := *m
 	reply.Type = mAllocReply
 	reply.Info = info
@@ -376,7 +477,10 @@ func (mg *manager) handlePush(p *sim.Proc, m *pmsg) {
 	if !m.Requeued {
 		mg.Stats.Pushes++
 	}
-	_, e := mg.translate(p, m)
+	e, ok := mg.resolve(p, m)
+	if !ok {
+		return
+	}
 	if e.busy {
 		mg.enqueue(e, m)
 		return

@@ -41,6 +41,8 @@ const (
 	mPushOrder // manager tells the owner to push
 	mPushData  // header for pushed contents (mData follows)
 	mPushAck
+
+	mDirInit // allocation authority -> home: seed the directory shard entry
 )
 
 var mtypeNames = [...]string{
@@ -50,6 +52,7 @@ var mtypeNames = [...]string{
 	"ALLOC_REQUEST", "ALLOC_REPLY",
 	"BARRIER_ARRIVE", "BARRIER_RELEASE", "LOCK_REQUEST", "LOCK_GRANT", "UNLOCK",
 	"PUSH_REQUEST", "PUSH_ORDER", "PUSH_DATA", "PUSH_ACK",
+	"DIR_INIT",
 }
 
 func (m mtype) String() string {

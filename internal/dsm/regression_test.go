@@ -1,0 +1,104 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"millipage/internal/sim"
+)
+
+// TestPrefetchSpanClearedWhenUnaligned covers the prefetch-span leak: a
+// span is recorded at the address the application passed to Prefetch,
+// which need not be minipage-aligned, but used to be cleared only by
+// base equality against the fetched minipage's base. An unaligned
+// prefetch then leaked its span forever — later faults in the range were
+// misclassified as prefetch waits and, worse, later Prefetch calls for
+// the range were silently swallowed.
+func TestPrefetchSpanClearedWhenUnaligned(t *testing.T) {
+	s := newSys(t, Options{Hosts: 2, SharedSize: 1 << 16, Views: 4})
+	var va uint64
+	err := s.Run(func(th *Thread) {
+		if th.Host() == 0 {
+			va = th.Malloc(256)
+			th.Write(va, make([]byte, 256))
+		}
+		th.Barrier()
+		if th.Host() == 1 {
+			th.Prefetch(va+8, 64) // unaligned: 8 bytes into the minipage
+			th.Compute(20 * sim.Millisecond)
+			if n := len(th.host.prefetchSpans); n != 0 {
+				t.Errorf("unaligned prefetch leaked %d span(s) after completion", n)
+			}
+		}
+		th.Barrier()
+		if th.Host() == 0 {
+			th.WriteU32(va, 7) // invalidate host 1's copy again
+		}
+		th.Barrier()
+		if th.Host() == 1 {
+			before := th.Stats.Prefetches
+			th.Prefetch(va+8, 64)
+			if th.Stats.Prefetches != before+1 {
+				t.Error("re-Prefetch after invalidation was swallowed by a stale span")
+			}
+			th.Compute(20 * sim.Millisecond)
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGangFetchSpansClearedWhenUnaligned is the same leak through the
+// composed-views path, with several unaligned members at once.
+func TestGangFetchSpansClearedWhenUnaligned(t *testing.T) {
+	s := newSys(t, Options{Hosts: 2, SharedSize: 1 << 18, Views: 8})
+	var vas [3]uint64
+	err := s.Run(func(th *Thread) {
+		if th.Host() == 0 {
+			for i := range vas {
+				vas[i] = th.Malloc(256)
+				th.Write(vas[i], make([]byte, 256))
+			}
+		}
+		th.Barrier()
+		if th.Host() == 1 {
+			th.GangFetch([]Span{
+				{Addr: vas[0] + 4, Size: 32},
+				{Addr: vas[1] + 12, Size: 32},
+				{Addr: vas[2] + 20, Size: 32},
+			})
+			// GangFetch blocks until every member is installed; the spans
+			// must be gone the moment it returns.
+			if n := len(th.host.prefetchSpans); n != 0 {
+				t.Errorf("gang fetch leaked %d span(s)", n)
+			}
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunReuseRejected covers the Run-twice guard: a System drives one
+// application; reusing it would restart a spent simulation engine over
+// stale protocol state.
+func TestRunReuseRejected(t *testing.T) {
+	s := newSys(t, Options{Hosts: 2, SharedSize: 1 << 14, Views: 1})
+	if err := s.Run(func(th *Thread) { th.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Run(func(th *Thread) {})
+	if err == nil {
+		t.Fatal("second Run on the same System succeeded")
+	}
+	if !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// RunPerHost shares the guard.
+	if err := s.RunPerHost(func(th *Thread) {}); err == nil {
+		t.Fatal("RunPerHost after Run succeeded")
+	}
+}

@@ -10,6 +10,27 @@ import (
 	"millipage/internal/vm"
 )
 
+// Management selects how directory duties are placed across the cluster.
+type Management int
+
+const (
+	// Central is the paper's Section 3.3 configuration: host 0 handles
+	// every fault, invalidation reply, ack and push for every minipage.
+	Central Management = iota
+	// HomeBased shards the directory: each minipage has a statically
+	// assigned home host (Options.HomeOf, default id % Hosts) that runs
+	// its transactions. Host 0 remains the allocation authority, and
+	// barriers/locks stay centralized there.
+	HomeBased
+)
+
+func (m Management) String() string {
+	if m == HomeBased {
+		return "home-based"
+	}
+	return "central"
+}
+
 // Options configures a Millipage cluster.
 type Options struct {
 	Hosts          int // number of hosts (the paper's cluster: 1..8)
@@ -19,6 +40,15 @@ type Options struct {
 	ChunkLevel     int // the paper's chunking switch; <=1 means off
 	Grain          core.Grain
 	Seed           int64 // simulation seed (deterministic runs)
+
+	// Management places directory duties: Central (the default, host 0
+	// does everything) or HomeBased (per-minipage home hosts).
+	Management Management
+
+	// HomeOf maps a minipage id to its home host under HomeBased
+	// management. Nil selects the static default, id % hosts. It must be
+	// a pure function: every host computes homes independently.
+	HomeOf func(id, hosts int) int
 
 	Net   fastmsg.Params
 	Costs Costs
@@ -51,11 +81,17 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.HomeOf == nil {
+		o.HomeOf = func(id, hosts int) int { return id % hosts }
+	}
 	return o
 }
 
 // System is one Millipage cluster: a simulation engine, a network, and a
-// process per host. Host 0 is the manager.
+// process per host. Host 0 is the allocation authority and, under
+// Central management, the sole directory manager; under HomeBased
+// management every host runs the directory shard for the minipages it
+// is home to.
 type System struct {
 	Opt    Options
 	Eng    *sim.Engine
@@ -63,8 +99,10 @@ type System struct {
 	Layout core.Layout
 
 	hosts []*Host
-	mgr   *manager
+	mpt   *core.MPT  // grown only on host 0; read-only replica elsewhere
+	mgrs  []*manager // one directory shard per host
 
+	ran          bool
 	totalThreads int
 	threads      []*Thread
 }
@@ -106,7 +144,10 @@ func New(opt Options) (*System, error) {
 		h.ep.SetHandler(h.onMessage)
 		s.hosts = append(s.hosts, h)
 	}
-	s.mgr = newManager(s, core.NewMPT(layout, opt.Grain, opt.ChunkLevel))
+	s.mpt = core.NewMPT(layout, opt.Grain, opt.ChunkLevel)
+	for i := 0; i < opt.Hosts; i++ {
+		s.mgrs = append(s.mgrs, newManager(s, i))
+	}
 	return s, nil
 }
 
@@ -116,8 +157,39 @@ func (s *System) Host(i int) *Host { return s.hosts[i] }
 // NumHosts returns the cluster size.
 func (s *System) NumHosts() int { return s.Opt.Hosts }
 
-// Manager returns the manager state (directory, MPT, counters).
-func (s *System) Manager() *manager { return s.mgr }
+// Manager returns host 0's manager state (directory, MPT, counters).
+// Under Central management it holds every directory entry.
+func (s *System) Manager() *manager { return s.mgrs[managerHost] }
+
+// ManagerAt returns host i's directory shard. Under Central management
+// only host 0's shard is populated.
+func (s *System) ManagerAt(i int) *manager { return s.mgrs[i] }
+
+// ManagerStatsTotal sums the protocol counters over every directory
+// shard. Under Central management it equals Manager().Stats.
+func (s *System) ManagerStatsTotal() ManagerStats {
+	var tot ManagerStats
+	for _, mg := range s.mgrs {
+		tot.ReadReqs += mg.Stats.ReadReqs
+		tot.WriteReqs += mg.Stats.WriteReqs
+		tot.Invalidations += mg.Stats.Invalidations
+		tot.CompetingRequests += mg.Stats.CompetingRequests
+		tot.BarrierEpisodes += mg.Stats.BarrierEpisodes
+		tot.LockAcquisitions += mg.Stats.LockAcquisitions
+		tot.Allocs += mg.Stats.Allocs
+		tot.Pushes += mg.Stats.Pushes
+	}
+	return tot
+}
+
+// homeOf returns the host that runs the directory for minipage id:
+// host 0 under Central management, Options.HomeOf otherwise.
+func (s *System) homeOf(id int) int {
+	if s.Opt.Management == Central {
+		return managerHost
+	}
+	return s.Opt.HomeOf(id, s.Opt.Hosts)
+}
 
 // Threads returns the application threads after Run (for statistics).
 func (s *System) Threads() []*Thread { return s.threads }
@@ -136,6 +208,10 @@ func (s *System) RunPerHost(body func(t *Thread)) error {
 	if body == nil {
 		return fmt.Errorf("dsm: nil thread body")
 	}
+	if s.ran {
+		return fmt.Errorf("dsm: System.Run called twice; create a new System per run")
+	}
+	s.ran = true
 	s.totalThreads = s.Opt.Hosts * s.Opt.ThreadsPerHost
 	gid := 0
 	for _, h := range s.hosts {

@@ -90,9 +90,10 @@ func (t *Thread) Malloc(size int) uint64 {
 	c := t.host.costs()
 	if t.host.id == managerHost {
 		// On the manager host, malloc is an in-process call on the MPT,
-		// as in the real library — no protocol messages.
+		// as in the real library — no protocol messages (though DIR_INITs
+		// may be sent to remote homes under HomeBased management).
 		t.p.Sleep(c.MallocBase + c.MPTLookup)
-		info, va, owner := t.host.sys.mgr.allocLocal(t.host.id, size)
+		info, va, owner := t.host.sys.mgrs[managerHost].allocLocal(t.p, t.host.id, size)
 		if owner {
 			t.p.Sleep(c.SetProt)
 			if err := t.host.Region.Protect(info.Base, info.Size, vm.ReadWrite); err != nil {
@@ -227,7 +228,8 @@ func (t *Thread) Prefetch(va uint64, size int) {
 	}
 	t.host.prefetchSpans = append(t.host.prefetchSpans, span{base: va, size: size})
 	fw := &faultWait{ev: sim.NewEvent(t.host.sys.Eng)}
-	t.host.send(t.p, managerHost, &pmsg{Type: mReadReq, From: t.host.id, Addr: va, Prefetch: true, FW: fw})
+	home, info := t.host.route(t.p, va)
+	t.host.send(t.p, home, &pmsg{Type: mReadReq, From: t.host.id, Addr: va, Info: info, Prefetch: true, FW: fw})
 	t.Stats.Prefetches++
 	t.Stats.PrefetchTime += t.p.Now().Sub(start)
 }
@@ -237,7 +239,8 @@ func (t *Thread) Prefetch(va uint64, size int) {
 // paper's modification to TSP's minimal-tour bound: "it pushes readable
 // copies of the new value to all hosts".
 func (t *Thread) Push(va uint64) {
-	t.host.send(t.p, managerHost, &pmsg{Type: mPushReq, From: t.host.id, Addr: va})
+	home, info := t.host.route(t.p, va)
+	t.host.send(t.p, home, &pmsg{Type: mPushReq, From: t.host.id, Addr: va, Info: info})
 }
 
 // Span names a shared region for group operations.
@@ -266,7 +269,8 @@ func (t *Thread) GangFetch(spans []Span) {
 		}
 		h.prefetchSpans = append(h.prefetchSpans, span{base: sp.Addr, size: sp.Size})
 		fw := &faultWait{ev: sim.NewEvent(h.sys.Eng)}
-		h.send(t.p, managerHost, &pmsg{Type: mReadReq, From: h.id, Addr: sp.Addr, Prefetch: true, FW: fw})
+		home, info := h.route(t.p, sp.Addr)
+		h.send(t.p, home, &pmsg{Type: mReadReq, From: h.id, Addr: sp.Addr, Info: info, Prefetch: true, FW: fw})
 		evs = append(evs, fw.ev)
 		t.Stats.Prefetches++
 	}

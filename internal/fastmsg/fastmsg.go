@@ -282,12 +282,17 @@ func (ep *Endpoint) fire(pm *pendingMsg) {
 		return
 	}
 	pm.fired = true
-	// Drop fired entries from the pending list's prefix.
-	i := 0
-	for i < len(ep.pending) && ep.pending[i].fired {
-		i++
+	// Remove the fired entry itself, wherever it sits. Dropping only the
+	// fired prefix would strand any entry fired out of arrival order
+	// (e.g. after a busy/idle transition re-timed part of the list)
+	// behind a still-pending one, leaving it re-walked by every idle
+	// flush in SetBusy and retained until the whole prefix clears.
+	for i, q := range ep.pending {
+		if q == pm {
+			ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
+			break
+		}
 	}
-	ep.pending = ep.pending[i:]
 	ep.stats.Received++
 	ep.stats.ServiceDelay += ep.nw.eng.Now().Sub(pm.arrived)
 	ep.ready.Put(pm.m)

@@ -40,14 +40,19 @@ type Event struct {
 	Kind Kind
 	Host int    // primary host (source for sends, location otherwise)
 	Peer int    // destination for sends/delivers; -1 otherwise
+	Home int    // home host of the minipage involved; -1 when inapplicable
 	What string // free-form detail ("READ_REQUEST mp=12", "write fault @0x2000_0040")
 }
 
 func (e Event) String() string {
-	if e.Peer >= 0 {
-		return fmt.Sprintf("%12v  %-8s h%d->h%d  %s", e.At, e.Kind, e.Host, e.Peer, e.What)
+	home := ""
+	if e.Home >= 0 {
+		home = fmt.Sprintf("  home=h%d", e.Home)
 	}
-	return fmt.Sprintf("%12v  %-8s h%d       %s", e.At, e.Kind, e.Host, e.What)
+	if e.Peer >= 0 {
+		return fmt.Sprintf("%12v  %-8s h%d->h%d  %s%s", e.At, e.Kind, e.Host, e.Peer, e.What, home)
+	}
+	return fmt.Sprintf("%12v  %-8s h%d       %s%s", e.At, e.Kind, e.Host, e.What, home)
 }
 
 // Recorder is a bounded ring buffer of events. The zero value is
@@ -89,12 +94,19 @@ func (r *Recorder) Record(e Event) {
 	}
 }
 
-// Recordf is Record with formatting.
+// Recordf is Record with formatting (no home host attached).
 func (r *Recorder) Recordf(at sim.Time, kind Kind, host, peer int, format string, args ...any) {
+	r.RecordfHome(at, kind, host, peer, -1, format, args...)
+}
+
+// RecordfHome is Recordf with the home host of the involved minipage —
+// the host whose directory shard runs the transaction (host 0 under
+// central management).
+func (r *Recorder) RecordfHome(at sim.Time, kind Kind, host, peer, home int, format string, args ...any) {
 	if r == nil {
 		return
 	}
-	r.Record(Event{At: at, Kind: kind, Host: host, Peer: peer, What: fmt.Sprintf(format, args...)})
+	r.Record(Event{At: at, Kind: kind, Host: host, Peer: peer, Home: home, What: fmt.Sprintf(format, args...)})
 }
 
 // Len reports the number of retained events.

@@ -86,6 +86,15 @@ type Config struct {
 	// baseline (and Figure 7's "none" configuration).
 	PageGranularity bool
 
+	// HomeBasedManagement shards directory duties across the cluster:
+	// each minipage is managed by a statically assigned home host
+	// (id % Hosts) instead of funneling every fault, invalidation and
+	// ack through host 0. Host 0 remains the allocation authority and
+	// keeps the barrier and lock services. Application results are
+	// identical to the central configuration; only the protocol load
+	// distribution (and hence timing) changes.
+	HomeBasedManagement bool
+
 	// Seed makes runs reproducible; equal seeds give identical traces.
 	// Default 1.
 	Seed int64
@@ -111,6 +120,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Views:          cfg.Views,
 		ChunkLevel:     cfg.ChunkLevel,
 		Seed:           cfg.Seed,
+	}
+	if cfg.HomeBasedManagement {
+		opt.Management = dsm.HomeBased
 	}
 	if cfg.PageGranularity {
 		opt.Grain = core.GrainPage

@@ -128,7 +128,9 @@ func (c *Cluster) report() *Report {
 		r.AvgServiceDelay = svc / Duration(recv)
 	}
 
-	ms := sys.Manager().Stats
+	// Sum over every directory shard (under central management only
+	// host 0's is populated).
+	ms := sys.ManagerStatsTotal()
 	r.Invalidations = ms.Invalidations
 	r.CompetingRequests = ms.CompetingRequests
 	r.Barriers = ms.BarrierEpisodes
