@@ -7,17 +7,25 @@
 //	millipage mvoverhead [-fast]     Figure 5 (MultiView overhead sweep)
 //	millipage apps [flags]           Figure 6 + Table 2 (application suite)
 //	millipage chunking [flags]       Figure 7 (WATER chunking study)
+//	millipage bench [-out F]         simulator wall-clock benchmarks
 //	millipage all [flags]            everything above
 //
 // Common flags: -scale (problem scale, 1.0 = the paper's data sets),
 // -seed. The full-scale runs take a few minutes; -scale 0.1 gives a quick
 // qualitative pass.
+//
+// Global flags (before the subcommand):
+//
+//	millipage -cpuprofile cpu.out -memprofile mem.out apps -scale 0.1
+//	millipage -workers 1 chunking
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -25,39 +33,82 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
+	workers := flag.Int("workers", bench.Workers, "parallel replica-sweep width (1 = sequential)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "costs":
-		err = runCosts()
-	case "mvoverhead":
-		err = runMVOverhead(args)
-	case "apps":
-		err = runApps(args)
-	case "chunking":
-		err = runChunking(args)
-	case "ablation":
-		err = runAblation(args)
-	case "managerload":
-		err = runManagerLoad(args)
-	case "all":
-		err = runAll(args)
-	default:
-		usage()
-		os.Exit(2)
+	bench.Workers = *workers
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "millipage:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "millipage:", err)
+			os.Exit(1)
+		}
 	}
+
+	err := dispatch(cmd, args)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "millipage:", ferr)
+			os.Exit(1)
+		}
+		runtime.GC() // flush dead objects so the profile shows live state
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fmt.Fprintln(os.Stderr, "millipage:", ferr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "millipage:", err)
 		os.Exit(1)
 	}
 }
 
+func dispatch(cmd string, args []string) error {
+	switch cmd {
+	case "costs":
+		return runCosts()
+	case "mvoverhead":
+		return runMVOverhead(args)
+	case "apps":
+		return runApps(args)
+	case "chunking":
+		return runChunking(args)
+	case "ablation":
+		return runAblation(args)
+	case "managerload":
+		return runManagerLoad(args)
+	case "bench":
+		return runBench(args)
+	case "all":
+		return runAll(args)
+	default:
+		usage()
+		os.Exit(2)
+		return nil
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: millipage <costs|mvoverhead|apps|chunking|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: millipage [global flags] <costs|mvoverhead|apps|chunking|ablation|managerload|bench|all> [flags]
   costs                Table 1 and the Section 4.2 microbenchmarks
   mvoverhead [-fast]   Figure 5: MultiView overhead vs number of views
   apps [flags]         Figure 6 and Table 2: the five-application suite
@@ -70,7 +121,14 @@ func usage() {
                        NT timers vs ideal timers (-scale, -seed)
   managerload [flags]  central vs home-based directory management on a
                        write-heavy workload (-hosts, -vars, -rounds, -seed)
-  all [flags]          everything (-scale, -fast, -seed)`)
+  bench [-out F]       simulator wall-clock benchmarks vs the frozen
+                       pre-optimization baseline (default -out BENCH_sim.json)
+  all [flags]          everything (-scale, -fast, -seed)
+
+global flags (before the subcommand):
+  -cpuprofile F        write a CPU profile of the run to F
+  -memprofile F        write a heap profile at exit to F
+  -workers N           parallel replica-sweep width (default GOMAXPROCS)`)
 }
 
 func runCosts() error {
@@ -196,6 +254,13 @@ func runManagerLoad(args []string) error {
 	fs.Parse(args)
 	cfg.Hosts, cfg.Vars, cfg.Rounds, cfg.Seed = *hosts, *vars, *rounds, *seed
 	return bench.ManagerLoadCompare(os.Stdout, cfg)
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_sim.json", "machine-readable report path (empty = table only)")
+	fs.Parse(args)
+	return bench.WritePerfBench(os.Stdout, *out)
 }
 
 func runAll(args []string) error {

@@ -78,15 +78,15 @@ func (r Result) String() string {
 // Runner is one suite application.
 type Runner func(p Params) (Result, error)
 
-// Suite maps application names to runners, in the paper's Table 2 order.
-func Suite() []struct {
+// App is a named suite entry.
+type App struct {
 	Name string
 	Run  Runner
-} {
-	return []struct {
-		Name string
-		Run  Runner
-	}{
+}
+
+// Suite maps application names to runners, in the paper's Table 2 order.
+func Suite() []App {
+	return []App{
 		{"SOR", RunSOR},
 		{"IS", RunIS},
 		{"WATER", RunWATER},

@@ -136,26 +136,27 @@ func AblationLRC(w io.Writer, hosts, slots, iters, chunk int) error {
 		return LRCRow{Elapsed: sys.Elapsed(), WriteFaults: sys.Stats.WriteFault, Messages: msgs}, nil
 	}
 
-	fine, err := scRun(1)
+	runs := []struct {
+		name string
+		run  func() (LRCRow, error)
+	}{
+		{"SC, fine grain (1 slot/minipage)", func() (LRCRow, error) { return scRun(1) }},
+		{fmt.Sprintf("SC, chunked (%d slots/minipage)", chunk), func() (LRCRow, error) { return scRun(chunk) }},
+		{fmt.Sprintf("LRC, chunked (%d slots/minipage)", chunk), func() (LRCRow, error) { return lrcRun(chunk) }},
+	}
+	rows, err := sweep(len(runs), func(i int) (LRCRow, error) {
+		r, err := runs[i].run()
+		r.Name = runs[i].name
+		return r, err
+	})
 	if err != nil {
 		return err
 	}
-	fine.Name = "SC, fine grain (1 slot/minipage)"
-	scChunk, err := scRun(chunk)
-	if err != nil {
-		return err
-	}
-	scChunk.Name = fmt.Sprintf("SC, chunked (%d slots/minipage)", chunk)
-	lrcChunk, err := lrcRun(chunk)
-	if err != nil {
-		return err
-	}
-	lrcChunk.Name = fmt.Sprintf("LRC, chunked (%d slots/minipage)", chunk)
 
 	fmt.Fprintf(w, "Ablation: reduced consistency over chunked minipages (Section 5)\n")
 	fmt.Fprintf(w, "%d hosts, %d slots x %d iterations, interleaved writers\n", hosts, slots, iters)
 	fmt.Fprintf(w, "%-36s %12s %13s %10s\n", "configuration", "elapsed", "write faults", "messages")
-	for _, r := range []LRCRow{fine, scChunk, lrcChunk} {
+	for _, r := range rows {
 		fmt.Fprintf(w, "%-36s %12v %13d %10d\n", r.Name, r.Elapsed, r.WriteFaults, r.Messages)
 	}
 	fmt.Fprintln(w, "(expected: SC-chunked ping-pongs; LRC absorbs the intra-minipage false")
@@ -177,13 +178,16 @@ func AblationComposedViews(w io.Writer, scale float64, seed int64) error {
 		{"chunked (level 5)", apps.Params{Hosts: 8, Scale: scale, Seed: seed, ChunkLevel: 5}},
 		{"composed views (gang read phase)", apps.Params{Hosts: 8, Scale: scale, Seed: seed, ComposedViews: true}},
 	}
+	results, err := sweep(len(cfgs), func(i int) (apps.Result, error) {
+		return apps.RunWATER(cfgs[i].p)
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Ablation: WATER read-phase strategies at 8 hosts (Section 5, composed views)")
 	fmt.Fprintf(w, "%-36s %12s %10s %12s\n", "configuration", "timed", "faults", "competing")
-	for _, c := range cfgs {
-		res, err := apps.RunWATER(c.p)
-		if err != nil {
-			return err
-		}
+	for i, c := range cfgs {
+		res := results[i]
 		rep := res.Report
 		fmt.Fprintf(w, "%-36s %12v %10d %12d\n",
 			c.name, res.Timed, rep.ReadFaults+rep.WriteFaults, rep.CompetingRequests)
@@ -199,17 +203,20 @@ func AblationComposedViews(w io.Writer, scale float64, seed int64) error {
 // pathology (the paper's measured reality) and with ideal service
 // threads.
 func AblationTimers(w io.Writer, scale float64, seed int64) error {
+	suite := apps.Suite()
+	// Two runs per application (with and without the pathology), all
+	// independent: flatten to a 2-wide grid.
+	results, err := sweep(2*len(suite), func(i int) (apps.Result, error) {
+		p := apps.Params{Hosts: 8, Scale: scale, Seed: seed, PerfectTimers: i%2 == 1}
+		return suite[i/2].Run(p)
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Ablation: NT timer pathology vs ideal service threads (Section 3.5)")
 	fmt.Fprintf(w, "%-8s %14s %14s %9s\n", "app", "NT timers", "ideal timers", "gain")
-	for _, app := range apps.Suite() {
-		real, err := app.Run(apps.Params{Hosts: 8, Scale: scale, Seed: seed})
-		if err != nil {
-			return err
-		}
-		ideal, err := app.Run(apps.Params{Hosts: 8, Scale: scale, Seed: seed, PerfectTimers: true})
-		if err != nil {
-			return err
-		}
+	for i, app := range suite {
+		real, ideal := results[2*i], results[2*i+1]
 		gain := float64(real.Timed) / float64(ideal.Timed)
 		fmt.Fprintf(w, "%-8s %14v %14v %8.2fx\n", app.Name, real.Timed, ideal.Timed, gain)
 	}

@@ -33,38 +33,56 @@ func DefaultFigure6() Figure6Config {
 }
 
 // Figure6 runs the five-application suite over the host counts and
-// returns speedups relative to each application's 1-host run.
+// returns speedups relative to each application's 1-host run. The grid's
+// cells are independent simulations, so they run Workers-wide; speedups
+// and progress lines are derived afterwards in grid order, making the
+// output byte-identical to a sequential sweep.
 func Figure6(cfg Figure6Config, progress io.Writer) ([]AppRun, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1.0
 	}
-	var out []AppRun
+	type cell struct {
+		app   apps.App
+		hosts int
+	}
+	var grid []cell
 	for _, app := range apps.Suite() {
 		if cfg.Only != "" && cfg.Only != app.Name {
 			continue
 		}
-		var base sim.Duration
 		for _, h := range cfg.Hosts {
-			p := apps.Params{Hosts: h, Scale: cfg.Scale, Seed: cfg.Seed}
-			if app.Name == "WATER" {
-				p.ChunkLevel = cfg.ChunkWATER
-			}
-			res, err := app.Run(p)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %d hosts: %w", app.Name, h, err)
-			}
-			if h == cfg.Hosts[0] {
-				base = res.Timed
-			}
-			sp := 0.0
-			if res.Timed > 0 {
-				sp = float64(base) / float64(res.Timed) * float64(cfg.Hosts[0])
-			}
-			run := AppRun{Name: app.Name, Hosts: h, Timed: res.Timed, Speedup: sp, Result: res}
-			out = append(out, run)
-			if progress != nil {
-				fmt.Fprintf(progress, "  %-6s %d hosts: %10v  speedup %.2f\n", app.Name, h, res.Timed, sp)
-			}
+			grid = append(grid, cell{app, h})
+		}
+	}
+	results, err := sweep(len(grid), func(i int) (apps.Result, error) {
+		c := grid[i]
+		p := apps.Params{Hosts: c.hosts, Scale: cfg.Scale, Seed: cfg.Seed}
+		if c.app.Name == "WATER" {
+			p.ChunkLevel = cfg.ChunkWATER
+		}
+		res, err := c.app.Run(p)
+		if err != nil {
+			return res, fmt.Errorf("%s on %d hosts: %w", c.app.Name, c.hosts, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AppRun
+	var base sim.Duration
+	for i, c := range grid {
+		res := results[i]
+		if c.hosts == cfg.Hosts[0] {
+			base = res.Timed
+		}
+		sp := 0.0
+		if res.Timed > 0 {
+			sp = float64(base) / float64(res.Timed) * float64(cfg.Hosts[0])
+		}
+		out = append(out, AppRun{Name: c.app.Name, Hosts: c.hosts, Timed: res.Timed, Speedup: sp, Result: res})
+		if progress != nil {
+			fmt.Fprintf(progress, "  %-6s %d hosts: %10v  speedup %.2f\n", c.app.Name, c.hosts, res.Timed, sp)
 		}
 	}
 	return out, nil
@@ -112,17 +130,23 @@ func WriteFigure6(w io.Writer, cfg Figure6Config, runs []AppRun) {
 // granularity) and renders the summary.
 func Table2(w io.Writer, cfg Figure6Config, _ []AppRun) {
 	maxH := cfg.Hosts[len(cfg.Hosts)-1]
-	var runs []AppRun
+	var suite []apps.App
 	for _, app := range apps.Suite() {
 		if cfg.Only != "" && cfg.Only != app.Name {
 			continue
 		}
-		res, err := app.Run(apps.Params{Hosts: maxH, Scale: cfg.Scale, Seed: cfg.Seed})
-		if err != nil {
-			fmt.Fprintf(w, "Table 2: %s failed: %v\n", app.Name, err)
-			return
-		}
-		runs = append(runs, AppRun{Name: app.Name, Hosts: maxH, Result: res})
+		suite = append(suite, app)
+	}
+	results, err := sweep(len(suite), func(i int) (apps.Result, error) {
+		return suite[i].Run(apps.Params{Hosts: maxH, Scale: cfg.Scale, Seed: cfg.Seed})
+	})
+	if err != nil {
+		fmt.Fprintf(w, "Table 2: %v\n", err)
+		return
+	}
+	var runs []AppRun
+	for i, app := range suite {
+		runs = append(runs, AppRun{Name: app.Name, Hosts: maxH, Result: results[i]})
 	}
 	fmt.Fprintf(w, "Table 2: application suite at %d hosts (paper values in parentheses)\n", maxH)
 	paper := map[string][5]string{

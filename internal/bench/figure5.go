@@ -36,26 +36,32 @@ func DefaultFigure5() Figure5Config {
 }
 
 // Figure5 runs the MultiView overhead microbenchmark of Section 4.1 over
-// the grid and returns the slowdown surface.
+// the grid and returns the slowdown surface. Each cell simulates its own
+// TLB/cache machine, so the grid fans out Workers-wide.
 func Figure5(cfg Figure5Config) []Figure5Point {
 	hw := mmu.PentiumII()
-	var out []Figure5Point
+	type cell struct{ n, v int }
+	var grid []cell
 	for _, n := range cfg.Sizes {
 		for _, v := range cfg.Views {
-			tr := mmu.Traversal{ArrayBytes: n, Views: v, Passes: 1, Warmup: 1}
-			if cfg.Fast {
-				tr.Warmup = 0
-				tr.Stride = 2
-			}
-			ratio, _, _ := tr.Slowdown(hw)
-			out = append(out, Figure5Point{
-				ArrayBytes: n,
-				Views:      v,
-				Slowdown:   ratio,
-				ActivePTEs: tr.ActivePTEs(hw),
-			})
+			grid = append(grid, cell{n, v})
 		}
 	}
+	out, _ := sweep(len(grid), func(i int) (Figure5Point, error) {
+		c := grid[i]
+		tr := mmu.Traversal{ArrayBytes: c.n, Views: c.v, Passes: 1, Warmup: 1}
+		if cfg.Fast {
+			tr.Warmup = 0
+			tr.Stride = 2
+		}
+		ratio, _, _ := tr.Slowdown(hw)
+		return Figure5Point{
+			ArrayBytes: c.n,
+			Views:      c.v,
+			Slowdown:   ratio,
+			ActivePTEs: tr.ActivePTEs(hw),
+		}, nil
+	})
 	return out
 }
 

@@ -49,7 +49,39 @@ func Figure7(cfg Figure7Config, progress io.Writer) ([]Figure7Point, error) {
 	if cfg.Repeats < 1 {
 		cfg.Repeats = 1
 	}
+	// Every (host, level, repeat) cell is an independent WATER run;
+	// flatten the whole grid and fan it out, then aggregate in grid order
+	// so averages, efficiency normalization and progress output match a
+	// sequential sweep exactly.
+	type cell struct {
+		h, lvl, r int
+	}
+	var grid []cell
+	for _, h := range cfg.Hosts {
+		for _, lvl := range cfg.Levels {
+			for r := 0; r < cfg.Repeats; r++ {
+				grid = append(grid, cell{h, lvl, r})
+			}
+		}
+	}
+	results, err := sweep(len(grid), func(i int) (apps.Result, error) {
+		c := grid[i]
+		p := apps.Params{Hosts: c.h, Scale: cfg.Scale, Seed: cfg.Seed + int64(c.r)*101, ChunkLevel: c.lvl}
+		if c.lvl == 0 {
+			p.ChunkLevel = 0
+			p.PageGrain = true // "no false-sharing control"
+		}
+		res, err := apps.RunWATER(p)
+		if err != nil {
+			return res, fmt.Errorf("WATER chunk=%d on %d hosts: %w", c.lvl, c.h, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Figure7Point
+	ri := 0
 	for _, h := range cfg.Hosts {
 		var best sim.Duration
 		idx := len(out)
@@ -57,15 +89,8 @@ func Figure7(cfg Figure7Config, progress io.Writer) ([]Figure7Point, error) {
 			var timed sim.Duration
 			var competing, faults uint64
 			for r := 0; r < cfg.Repeats; r++ {
-				p := apps.Params{Hosts: h, Scale: cfg.Scale, Seed: cfg.Seed + int64(r)*101, ChunkLevel: lvl}
-				if lvl == 0 {
-					p.ChunkLevel = 0
-					p.PageGrain = true // "no false-sharing control"
-				}
-				res, err := apps.RunWATER(p)
-				if err != nil {
-					return nil, fmt.Errorf("WATER chunk=%d on %d hosts: %w", lvl, h, err)
-				}
+				res := results[ri]
+				ri++
 				timed += res.Timed
 				competing += res.Report.CompetingRequests
 				faults += res.Report.ReadFaults + res.Report.WriteFaults

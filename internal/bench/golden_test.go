@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"millipage/internal/apps"
+	"millipage/internal/dsm"
+	"millipage/internal/trace"
+)
+
+// The constants below are virtual-time digests captured from the
+// pre-optimization simulator (container/heap calendar, eager tracing,
+// allocating message path, sequential sweeps). The hot-path rework —
+// typed calendar, Sleep fast path, pooled envelopes, lazy trace
+// rendering, parallel sweeps — is required to be a pure wall-clock
+// optimization: every simulated result must stay bit-identical. A
+// failure here means an optimization changed simulation semantics, not
+// just speed.
+
+func TestGoldenManagerLoad(t *testing.T) {
+	cfg := ManagerLoadConfig{Hosts: 4, Vars: 16, Rounds: 3, Seed: 21}
+	want := []struct {
+		m        dsm.Management
+		elapsed  int64
+		pershard string
+	}{
+		{dsm.Central, 16165735, "[200 0 0 0]"},
+		{dsm.HomeBased, 13953191, "[44 52 52 52]"},
+	}
+	const wantChecksum = uint64(0xc91651f70709a3a9)
+	for _, w := range want {
+		r, err := ManagerLoad(cfg, w.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(r.Elapsed) != w.elapsed {
+			t.Errorf("%v elapsed = %d, want %d", w.m, int64(r.Elapsed), w.elapsed)
+		}
+		if r.Checksum != wantChecksum {
+			t.Errorf("%v checksum = %#x, want %#x", w.m, r.Checksum, wantChecksum)
+		}
+		if got := fmt.Sprint(r.PerShard); got != w.pershard {
+			t.Errorf("%v pershard = %s, want %s", w.m, got, w.pershard)
+		}
+	}
+}
+
+func TestGoldenSOR(t *testing.T) {
+	r, err := apps.RunSOR(apps.Params{Hosts: 4, Scale: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(r.Timed) != 56048170 {
+		t.Errorf("timed = %d, want 56048170", int64(r.Timed))
+	}
+	if got := fmt.Sprint(r.Check); got != "64" {
+		t.Errorf("check = %s, want 64", got)
+	}
+	if r.Report.ReadFaults != 72 || r.Report.WriteFaults != 1286 {
+		t.Errorf("faults = %d/%d, want 72/1286", r.Report.ReadFaults, r.Report.WriteFaults)
+	}
+}
+
+func TestGoldenWATER(t *testing.T) {
+	r, err := apps.RunWATER(apps.Params{Hosts: 4, Scale: 0.05, Seed: 3, ChunkLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(r.Timed) != 77775594 {
+		t.Errorf("timed = %d, want 77775594", int64(r.Timed))
+	}
+	if got := fmt.Sprint(r.Check); got != "0.01788228018444332" {
+		t.Errorf("check = %s, want 0.01788228018444332", got)
+	}
+}
+
+// TestGoldenTraceDigest drives a three-host HomeBased run with tracing on
+// and hashes the rendered dump. The digest pins down both the protocol's
+// virtual-time behaviour and the trace text itself, so it proves the lazy
+// renderer reproduces the historical eager format byte for byte.
+func TestGoldenTraceDigest(t *testing.T) {
+	rec := trace.NewRecorder(1 << 16)
+	s, err := dsm.New(dsm.Options{Hosts: 3, SharedSize: 1 << 16, Views: 4, Seed: 9,
+		Management: dsm.HomeBased, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vas [8]uint64
+	err = s.Run(func(th *dsm.Thread) {
+		if th.Host() == 0 {
+			for i := range vas {
+				vas[i] = th.Malloc(64)
+				th.WriteU32(vas[i], uint32(i))
+			}
+		}
+		th.Barrier()
+		for r := 0; r < 2; r++ {
+			for v := range vas {
+				if (v+r)%3 == th.Host() {
+					th.WriteU32(vas[v], th.ReadU32(vas[v])*7+uint32(r))
+				}
+			}
+			th.Barrier()
+			for v := range vas {
+				_ = th.ReadU32(vas[v])
+			}
+			th.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total() != 615 {
+		t.Errorf("trace total = %d, want 615", rec.Total())
+	}
+	if int64(s.Elapsed()) != 4813760 {
+		t.Errorf("elapsed = %d, want 4813760", int64(s.Elapsed()))
+	}
+	var buf bytes.Buffer
+	rec.Dump(&buf)
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	if got := h.Sum64(); got != 0x9f5c539ef8a29fe9 {
+		t.Errorf("trace dump digest = %#x, want 0x9f5c539ef8a29fe9", got)
+	}
+}
+
+// TestSweepParallelMatchesSequential forces the sweep helper through both
+// its sequential and its multi-worker path over the same grid and
+// requires identical results and identical progress bytes. GOMAXPROCS
+// does not matter: parallel sweeps must only reorder wall-clock work.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	saved := Workers
+	defer func() { Workers = saved }()
+
+	run := func(workers int) ([]Figure7Point, string) {
+		Workers = workers
+		var progress bytes.Buffer
+		cfg := Figure7Config{Hosts: []int{2, 3}, Levels: []int{1, 2}, Scale: 0.05, Seed: 5, Repeats: 2}
+		pts, err := Figure7(cfg, &progress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts, progress.String()
+	}
+
+	seqPts, seqOut := run(1)
+	parPts, parOut := run(4)
+	if len(seqPts) != len(parPts) {
+		t.Fatalf("point counts differ: %d vs %d", len(seqPts), len(parPts))
+	}
+	for i := range seqPts {
+		if seqPts[i] != parPts[i] {
+			t.Errorf("point %d: sequential %+v, parallel %+v", i, seqPts[i], parPts[i])
+		}
+	}
+	if seqOut != parOut {
+		t.Errorf("progress output differs:\n--- sequential ---\n%s--- parallel ---\n%s", seqOut, parOut)
+	}
+}
+
+// TestSweepErrorPropagates exercises the sweep helper's error path on the
+// parallel branch: every job runs, the lowest-index error surfaces.
+func TestSweepErrorPropagates(t *testing.T) {
+	saved := Workers
+	defer func() { Workers = saved }()
+	Workers = 3
+
+	ran := make([]bool, 7)
+	_, err := sweep(len(ran), func(i int) (int, error) {
+		ran[i] = true
+		if i == 2 || i == 5 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 2 failed" {
+		t.Fatalf("err = %v, want job 2 failed", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("job %d never ran", i)
+		}
+	}
+}

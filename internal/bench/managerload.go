@@ -118,14 +118,14 @@ func ManagerLoad(cfg ManagerLoadConfig, m dsm.Management) (ManagerLoadResult, er
 // management and renders the comparison: identical application results,
 // different directory load placement.
 func ManagerLoadCompare(w io.Writer, cfg ManagerLoadConfig) error {
-	central, err := ManagerLoad(cfg, dsm.Central)
+	modes := []dsm.Management{dsm.Central, dsm.HomeBased}
+	rows, err := sweep(len(modes), func(i int) (ManagerLoadResult, error) {
+		return ManagerLoad(cfg, modes[i])
+	})
 	if err != nil {
 		return err
 	}
-	homed, err := ManagerLoad(cfg, dsm.HomeBased)
-	if err != nil {
-		return err
-	}
+	central, homed := rows[0], rows[1]
 	fmt.Fprintf(w, "Manager load: %d hosts, %d variables, %d write-heavy rounds\n",
 		cfg.Hosts, cfg.Vars, cfg.Rounds)
 	fmt.Fprintf(w, "%-12s %12s %10s %-28s %18s\n",

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the number of goroutines replica sweeps fan out over.
+// Every simulated run builds its own Engine, Network and System and the
+// simulator packages keep no mutable package-level state, so runs are
+// independent and their virtual-time results are identical whatever the
+// parallelism — sweeps only reorder wall-clock work, never outcomes.
+// Tests pin it to 1 and to >1 to prove exactly that.
+var Workers = runtime.GOMAXPROCS(0)
+
+// sweep runs job(0..n-1) across min(Workers, n) goroutines and returns
+// the results in index order. All jobs run to completion even when one
+// fails; the lowest-index error is returned.
+func sweep[T any](n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = job(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = job(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"millipage/internal/apps"
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+)
+
+// This file measures the simulator itself — wall-clock nanoseconds and
+// heap allocations per operation, not virtual time. The "before" columns
+// are frozen measurements of the pre-optimization simulator (container/
+// heap calendar with boxed events, closure-allocating Sleep/After, eager
+// string tracing, per-message envelope and pending-record allocation,
+// map-based page tables) taken on the same workloads; the runner reports
+// current numbers next to them so regressions are visible at a glance.
+
+// PerfBaseline is a frozen pre-optimization measurement.
+type PerfBaseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// PerfPoint is one measured simulator benchmark with its baseline.
+type PerfPoint struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	Baseline     PerfBaseline `json:"baseline"`
+	Speedup      float64      `json:"speedup"`       // baseline ns / current ns
+	AllocsFactor float64      `json:"allocs_factor"` // baseline allocs / current allocs (+Inf -> 0 allocs now)
+}
+
+// perfSuite lists the simulator benchmarks with their frozen baselines.
+var perfSuite = []struct {
+	name     string
+	baseline PerfBaseline
+	run      func(b *testing.B)
+}{
+	{"EventDispatch", PerfBaseline{88.31, 2}, benchEventDispatch},
+	{"ProcessSwitch", PerfBaseline{575.0, 3}, benchProcessSwitch},
+	{"MsgHop", PerfBaseline{2387, 18}, benchMsgHop},
+	{"E2ESOR8", PerfBaseline{114463687, 455085}, benchE2ESOR8},
+}
+
+// benchEventDispatch: schedule-and-fire throughput of the engine calendar.
+func benchEventDispatch(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Spawn("driver", func(p *sim.Proc) {
+		for n < b.N {
+			p.Sleep(1000)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchProcessSwitch: one Sleep per iteration (fast-path when the
+// calendar allows, park/resume handshake otherwise).
+func benchProcessSwitch(b *testing.B) {
+	e := sim.NewEngine(1)
+	e.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchMsgHop: the full fastmsg one-hop path with pooled envelopes and
+// tracing off — the message hot path exactly as the DSM drives it.
+func benchMsgHop(b *testing.B) {
+	eng := sim.NewEngine(1)
+	nw := fastmsg.New(eng, 2, fastmsg.DefaultParams())
+	got := 0
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *fastmsg.Message) { got++ })
+	eng.Spawn("sender", func(p *sim.Proc) {
+		ep := nw.Endpoint(0)
+		for i := 0; i < b.N; i++ {
+			m := ep.AllocMessage()
+			m.Size = 32
+			ep.Send(p, 1, m)
+		}
+		for got < b.N {
+			p.Sleep(10 * sim.Millisecond)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchE2ESOR8: the end-to-end wall-clock cost of simulating an 8-host
+// SOR run (reduced scale), the acceptance workload for the hot-path work.
+func benchE2ESOR8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.RunSOR(apps.Params{Hosts: 8, Scale: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RunPerfBench measures the simulator benchmark suite.
+func RunPerfBench() []PerfPoint {
+	var out []PerfPoint
+	for _, s := range perfSuite {
+		r := testing.Benchmark(s.run)
+		p := PerfPoint{
+			Name:        s.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Baseline:    s.baseline,
+		}
+		if p.NsPerOp > 0 {
+			p.Speedup = p.Baseline.NsPerOp / p.NsPerOp
+		}
+		if p.AllocsPerOp > 0 {
+			p.AllocsFactor = float64(p.Baseline.AllocsPerOp) / float64(p.AllocsPerOp)
+		} else if p.Baseline.AllocsPerOp > 0 {
+			p.AllocsFactor = 0 // rendered as "now allocation-free"
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WritePerfBench runs the suite, renders a table to w, and (when path is
+// non-empty) writes the machine-readable report to path.
+func WritePerfBench(w io.Writer, path string) error {
+	pts := RunPerfBench()
+	fmt.Fprintln(w, "Simulator wall-clock benchmarks (before = pre-optimization baseline)")
+	fmt.Fprintf(w, "%-15s %14s %14s %8s %13s %13s\n",
+		"benchmark", "before ns/op", "now ns/op", "speedup", "before allocs", "now allocs")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-15s %14.1f %14.1f %7.2fx %13d %13d\n",
+			p.Name, p.Baseline.NsPerOp, p.NsPerOp, p.Speedup, p.Baseline.AllocsPerOp, p.AllocsPerOp)
+	}
+	if path == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		Note       string      `json:"note"`
+		Benchmarks []PerfPoint `json:"benchmarks"`
+	}{
+		Note:       "wall-clock simulator performance; baseline = pre-optimization simulator on the same workloads",
+		Benchmarks: pts,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(report written to %s)\n", path)
+	return nil
+}

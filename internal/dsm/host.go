@@ -32,8 +32,8 @@ type Host struct {
 	ep     *fastmsg.Endpoint
 
 	// pendingHdr pairs a reply header with the mData message that follows
-	// it on the same FIFO channel, keyed by source host.
-	pendingHdr map[int]*pmsg
+	// it on the same FIFO channel, indexed by source host id.
+	pendingHdr []*pmsg
 
 	// prefetchSpans tracks in-flight prefetch requests so a fault into a
 	// prefetched region is accounted as prefetch wait, not a read fault.
@@ -63,9 +63,14 @@ func (h *Host) ID() int { return h.id }
 
 func (h *Host) costs() Costs { return h.sys.Opt.Costs }
 func (h *Host) send(p *sim.Proc, to int, m *pmsg) {
-	h.sys.Opt.Trace.RecordfHome(h.sys.Eng.Now(), trace.Send, h.id, to, h.homeOfMsg(m),
-		"%v mp=%d addr=%#x", m.Type, m.Info.ID, m.Addr)
-	h.ep.Send(p, to, &fastmsg.Message{Size: h.costs().HeaderSize, Payload: m})
+	if tr := h.sys.Opt.Trace; tr.Enabled() {
+		tr.RecordMsg(h.sys.Eng.Now(), trace.Send, h.id, to, h.homeOfMsg(m),
+			uint16(m.Type), m.Info.ID, m.Addr)
+	}
+	fm := h.ep.AllocMessage()
+	fm.Size = h.costs().HeaderSize
+	fm.Payload = m
+	h.ep.Send(p, to, fm)
 }
 
 // homeOfMsg returns the home host of the minipage a message concerns,
@@ -99,7 +104,11 @@ func (h *Host) route(p *sim.Proc, va uint64) (int, core.Info) {
 // sendData ships raw minipage bytes (no header: FM delivers them directly
 // into the privileged view at the far side, the paper's zero-copy path).
 func (h *Host) sendData(p *sim.Proc, to int, data []byte) {
-	h.ep.Send(p, to, &fastmsg.Message{Size: len(data), Data: data, Payload: &pmsg{Type: mData}})
+	fm := h.ep.AllocMessage()
+	fm.Size = len(data)
+	fm.Data = data
+	fm.Payload = dataMarker
+	h.ep.Send(p, to, fm)
 }
 
 // readMinipage snapshots a minipage's bytes through the privileged view.
@@ -125,10 +134,12 @@ func (h *Host) onFault(ctx any, f vm.Fault) error {
 	}
 	c := h.costs()
 	start := t.p.Now()
-	h.sys.Opt.Trace.Recordf(start, trace.Fault, h.id, -1, "%v fault @%#x", f.Kind, f.Addr)
+	if tr := h.sys.Opt.Trace; tr.Enabled() {
+		tr.RecordFault(start, h.id, f.Kind == vm.Write, f.Addr)
+	}
 	t.p.Sleep(c.AccessFault)
 
-	fw := &faultWait{ev: sim.NewEvent(h.sys.Eng)}
+	fw := t.waitSlot()
 	typ := mReadReq
 	if f.Kind == vm.Write {
 		typ = mWriteReq
@@ -182,7 +193,10 @@ func (t *Thread) inPrefetchSpan(va uint64) bool {
 // queuing, no table lookups and no translation of any kind.
 func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 	m := fm.Payload.(*pmsg)
-	h.sys.Opt.Trace.RecordfHome(p.Now(), trace.Handle, h.id, fm.From, h.homeOfMsg(m), "%v mp=%d", m.Type, m.Info.ID)
+	if tr := h.sys.Opt.Trace; tr.Enabled() {
+		tr.RecordMsg(p.Now(), trace.Handle, h.id, fm.From, h.homeOfMsg(m),
+			uint16(m.Type), m.Info.ID, 0)
+	}
 	switch m.Type {
 	// ---- Directory traffic, handled by the minipage's home ----------
 	case mReadReq, mWriteReq, mAck, mInvalidateReply, mPushReq, mPushAck, mDirInit:
@@ -247,11 +261,11 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		h.pendingHdr[fm.From] = m
 
 	case mData:
-		hdr, ok := h.pendingHdr[fm.From]
-		if !ok {
+		hdr := h.pendingHdr[fm.From]
+		if hdr == nil {
 			panic(fmt.Sprintf("dsm: host %d: data from %d with no pending header", h.id, fm.From))
 		}
-		delete(h.pendingHdr, fm.From)
+		h.pendingHdr[fm.From] = nil
 		h.installMinipage(p, hdr, fm.Data)
 
 	case mUpgradeGrant:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"millipage/internal/core"
+	"millipage/internal/trace"
 )
 
 // managerHost is the elected manager process (Section 3.3: "one of the
@@ -55,12 +56,21 @@ var mtypeNames = [...]string{
 	"DIR_INIT",
 }
 
+// The trace recorder stores message types as raw codes and renders the
+// names only at dump time.
+func init() { trace.RegisterOpNames(mtypeNames[:]) }
+
 func (m mtype) String() string {
 	if int(m) >= 0 && int(m) < len(mtypeNames) {
 		return mtypeNames[m]
 	}
 	return fmt.Sprintf("mtype(%d)", int(m))
 }
+
+// dataMarker is the shared payload of every bulk mData message: the
+// header that matters was sent separately, so data messages all carry
+// the same immutable marker instead of allocating a header apiece.
+var dataMarker = &pmsg{Type: mData}
 
 // pmsg is the protocol header. On the wire it is Costs.HeaderSize bytes
 // (32 in the paper's implementation: type, requester, faulting address,

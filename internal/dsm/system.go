@@ -138,7 +138,7 @@ func New(opt Options) (*System, error) {
 			AS:         as,
 			Region:     region,
 			ep:         net.Endpoint(i),
-			pendingHdr: make(map[int]*pmsg),
+			pendingHdr: make([]*pmsg, opt.Hosts),
 		}
 		as.SetFaultHandler(h.onFault)
 		h.ep.SetHandler(h.onMessage)

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 
+	"millipage/internal/core"
 	"millipage/internal/sim"
 	"millipage/internal/stats"
 	"millipage/internal/vm"
@@ -17,7 +18,28 @@ type Thread struct {
 	LID  int // local index on the host
 	p    *sim.Proc
 
+	// fw is the thread's reusable rendezvous for synchronous blocking
+	// operations (faults, malloc, barriers, locks). A thread blocks on at
+	// most one of these at a time, so a single record per thread suffices;
+	// prefetch paths allocate fresh records because their rendezvous
+	// outlives the issuing call.
+	fw *faultWait
+
 	Stats ThreadStats
+}
+
+// waitSlot returns the thread's rendezvous, reset for a new transaction.
+func (t *Thread) waitSlot() *faultWait {
+	if t.fw == nil {
+		t.fw = &faultWait{ev: sim.NewEvent(t.host.sys.Eng)}
+		return t.fw
+	}
+	fw := t.fw
+	fw.ev.Reset()
+	fw.info = core.Info{}
+	fw.va = 0
+	fw.owner = false
+	return fw
 }
 
 // ThreadStats is the per-thread execution-time breakdown reported in
@@ -103,7 +125,7 @@ func (t *Thread) Malloc(size int) uint64 {
 		t.Stats.MallocTime += t.p.Now().Sub(start)
 		return va
 	}
-	fw := &faultWait{ev: sim.NewEvent(t.host.sys.Eng)}
+	fw := t.waitSlot()
 	t.host.send(t.p, managerHost, &pmsg{Type: mAllocReq, From: t.host.id, AllocSize: size, FW: fw})
 	t.host.ep.SetBusy(-1)
 	fw.ev.Wait(t.p)
@@ -181,7 +203,7 @@ func (t *Thread) Barrier() {
 	start := t.p.Now()
 	c := t.host.costs()
 	t.p.Sleep(c.BarrierBase)
-	fw := &faultWait{ev: sim.NewEvent(t.host.sys.Eng)}
+	fw := t.waitSlot()
 	t.host.send(t.p, managerHost, &pmsg{Type: mBarrierArrive, From: t.host.id, FW: fw})
 	t.host.ep.SetBusy(-1)
 	fw.ev.Wait(t.p)
@@ -195,7 +217,7 @@ func (t *Thread) Barrier() {
 // manager).
 func (t *Thread) Lock(id int) {
 	start := t.p.Now()
-	fw := &faultWait{ev: sim.NewEvent(t.host.sys.Eng)}
+	fw := t.waitSlot()
 	t.host.send(t.p, managerHost, &pmsg{Type: mLockReq, From: t.host.id, LockID: id, FW: fw})
 	t.host.ep.SetBusy(-1)
 	fw.ev.Wait(t.p)

@@ -119,12 +119,21 @@ func (pr Params) OneWay(size int) sim.Duration {
 // (opaque to this package); Data carries bulk bytes (minipage contents).
 // Size is the wire size used by the cost model — protocols set it to the
 // header size plus len(Data).
+//
+// Allocation-sensitive senders obtain envelopes with AllocMessage
+// instead of allocating literals. A pool envelope is sent at most once
+// and is recycled as soon as the destination's handler returns, so
+// neither sender nor handler may retain it. Literal-constructed
+// messages keep the historical ownership: the receiver may hold on to
+// them indefinitely.
 type Message struct {
 	From    int
 	To      int
 	Size    int
 	Payload any
 	Data    []byte
+
+	pooled bool // lifecycle managed by the network free pool
 }
 
 // Handler processes one delivered message in the destination's service
@@ -134,9 +143,10 @@ type Handler func(p *sim.Proc, m *Message)
 
 // Network connects n endpoints over the simulated fabric.
 type Network struct {
-	eng    *sim.Engine
-	params Params
-	eps    []*Endpoint
+	eng     *sim.Engine
+	params  Params
+	eps     []*Endpoint
+	freeMsg []*Message // recycled envelopes; engine-serial, so no locking
 }
 
 // New creates a network of n endpoints on eng. Each endpoint gets a
@@ -151,10 +161,31 @@ func New(eng *sim.Engine, n int, params Params) *Network {
 			ready:       sim.NewQueue[*Message](eng),
 			lastDeliver: make([]sim.Time, n),
 		}
+		// Bind the hot-path callbacks once so scheduling an arrival or a
+		// service-thread handoff never allocates a closure.
+		ep.arriveFn = ep.arriveAny
+		ep.fireFn = ep.fireAny
 		nw.eps[i] = ep
 		eng.SpawnDaemon(fmt.Sprintf("fm-server-%d", i), ep.serve)
 	}
 	return nw
+}
+
+// allocMessage reuses a recycled envelope when one is available.
+func (nw *Network) allocMessage() *Message {
+	if n := len(nw.freeMsg); n > 0 {
+		m := nw.freeMsg[n-1]
+		nw.freeMsg = nw.freeMsg[:n-1]
+		m.pooled = true
+		return m
+	}
+	return &Message{pooled: true}
+}
+
+// recycleMessage returns a delivered pool envelope to the pool.
+func (nw *Network) recycleMessage(m *Message) {
+	*m = Message{}
+	nw.freeMsg = append(nw.freeMsg, m)
 }
 
 // Endpoint returns endpoint i.
@@ -192,7 +223,11 @@ type Endpoint struct {
 	busy        int // number of runnable application threads on this host
 	lastDeliver []sim.Time
 	sweepTick   sim.Time
-	pending     []*pendingMsg
+	pending     []*pendingMsg // in-flight arrivals, live from pendHead
+	pendHead    int           // head index: popping with [1:] would shed capacity and realloc per message
+	freePM      []*pendingMsg // recycled pending records
+	arriveFn    func(any)     // ep.arriveAny, bound once at New
+	fireFn      func(any)     // ep.fireAny, bound once at New
 	stats       Stats
 }
 
@@ -200,6 +235,7 @@ type pendingMsg struct {
 	m       *Message
 	arrived sim.Time
 	fired   bool
+	refs    int // fire events in the calendar still referencing this record
 }
 
 // ID returns the endpoint's host id.
@@ -224,18 +260,23 @@ func (ep *Endpoint) SetBusy(delta int) {
 	}
 	if was > 0 && ep.busy == 0 {
 		// Poller takes over: flush pending messages promptly.
-		for _, pm := range ep.pending {
+		for _, pm := range ep.pending[ep.pendHead:] {
 			if pm.fired {
 				continue
 			}
-			pm := pm
-			ep.nw.eng.After(ep.nw.params.PollIdle, func() { ep.fire(pm) })
+			pm.refs++
+			ep.nw.eng.AfterArg(ep.nw.params.PollIdle, ep.fireFn, pm)
 		}
 	}
 }
 
 // Busy reports whether any application thread on this host is runnable.
 func (ep *Endpoint) Busy() bool { return ep.busy > 0 }
+
+// AllocMessage returns a zeroed envelope, reusing one whose handler has
+// already completed when possible. See the Message doc for the
+// single-send lifecycle this implies.
+func (ep *Endpoint) AllocMessage() *Message { return ep.nw.allocMessage() }
 
 // Send transmits m to endpoint `to`. It charges the sending process the
 // sender-side CPU cost (p may be nil for engine-context sends, which
@@ -259,13 +300,15 @@ func (ep *Endpoint) Send(p *sim.Proc, to int, m *Message) {
 	ep.stats.Sent++
 	ep.stats.BytesSent += uint64(m.Size)
 	dst := ep.nw.eps[to]
-	eng.At(at, func() { dst.arrive(m) })
+	eng.AtArg(at, dst.arriveFn, m)
 }
 
-// arrive runs in engine context when m reaches the destination adapter.
-func (ep *Endpoint) arrive(m *Message) {
+// arriveAny runs in engine context when a message reaches this
+// endpoint's adapter.
+func (ep *Endpoint) arriveAny(a any) {
+	m := a.(*Message)
 	eng := ep.nw.eng
-	pm := &pendingMsg{m: m, arrived: eng.Now()}
+	pm := ep.newPending(m, eng.Now())
 	ep.pending = append(ep.pending, pm)
 	var wait sim.Duration
 	if ep.busy == 0 {
@@ -273,7 +316,33 @@ func (ep *Endpoint) arrive(m *Message) {
 	} else {
 		wait = ep.nextSweepGap()
 	}
-	eng.After(wait, func() { ep.fire(pm) })
+	pm.refs++
+	eng.AfterArg(wait, ep.fireFn, pm)
+}
+
+// newPending reuses a recycled pending record when one is available.
+func (ep *Endpoint) newPending(m *Message, at sim.Time) *pendingMsg {
+	if n := len(ep.freePM); n > 0 {
+		pm := ep.freePM[n-1]
+		ep.freePM = ep.freePM[:n-1]
+		pm.m, pm.arrived = m, at
+		return pm
+	}
+	return &pendingMsg{m: m, arrived: at}
+}
+
+// fireAny is the calendar-side entry: it drops the event's reference and
+// recycles the record once the last scheduled fire has passed through
+// (a record can be referenced by its arrival event and by busy→idle
+// flushes at once, so reuse must wait for all of them).
+func (ep *Endpoint) fireAny(a any) {
+	pm := a.(*pendingMsg)
+	pm.refs--
+	ep.fire(pm)
+	if pm.fired && pm.refs == 0 {
+		*pm = pendingMsg{}
+		ep.freePM = append(ep.freePM, pm)
+	}
 }
 
 // fire hands a pending message to the service thread, exactly once.
@@ -282,15 +351,26 @@ func (ep *Endpoint) fire(pm *pendingMsg) {
 		return
 	}
 	pm.fired = true
-	// Remove the fired entry itself, wherever it sits. Dropping only the
-	// fired prefix would strand any entry fired out of arrival order
-	// (e.g. after a busy/idle transition re-timed part of the list)
-	// behind a still-pending one, leaving it re-walked by every idle
-	// flush in SetBusy and retained until the whole prefix clears.
-	for i, q := range ep.pending {
-		if q == pm {
-			ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
-			break
+	// Remove the fired entry itself, wherever it sits. The head is the
+	// overwhelmingly common case (FIFO delivery), made O(1) here; the
+	// scan below covers entries fired out of arrival order after a
+	// busy/idle transition re-timed part of the list — dropping only a
+	// fired prefix instead would strand such entries behind a
+	// still-pending one, re-walked by every idle flush in SetBusy and
+	// retained until the whole prefix clears.
+	if ep.pendHead < len(ep.pending) && ep.pending[ep.pendHead] == pm {
+		ep.pending[ep.pendHead] = nil
+		ep.pendHead++
+		if ep.pendHead == len(ep.pending) {
+			ep.pending = ep.pending[:0]
+			ep.pendHead = 0
+		}
+	} else {
+		for i := ep.pendHead; i < len(ep.pending); i++ {
+			if ep.pending[i] == pm {
+				ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
+				break
+			}
 		}
 	}
 	ep.stats.Received++
@@ -330,7 +410,7 @@ func (ep *Endpoint) sweepGap() sim.Duration {
 }
 
 // serve is the endpoint's service-thread body: receive, charge receive
-// CPU, run the protocol handler.
+// CPU, run the protocol handler, recycle the envelope.
 func (ep *Endpoint) serve(p *sim.Proc) {
 	for {
 		m := ep.ready.Get(p)
@@ -339,5 +419,8 @@ func (ep *Endpoint) serve(p *sim.Proc) {
 			panic(fmt.Sprintf("fastmsg: endpoint %d received %T with no handler", ep.id, m.Payload))
 		}
 		ep.handler(p, m)
+		if m.pooled {
+			ep.nw.recycleMessage(m)
+		}
 	}
 }

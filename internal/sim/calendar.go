@@ -1,0 +1,97 @@
+package sim
+
+// The calendar is a concrete 4-ary min-heap of event values ordered by
+// (at, seq). It replaces the earlier container/heap-based implementation,
+// which boxed every event into an interface on Push and Pop — the single
+// largest allocation site in end-to-end runs. A 4-ary heap halves the
+// tree depth of the binary heap, trading slightly wider sift-down scans
+// (three extra comparisons per level) for fewer cache-missing levels;
+// with value-typed 48-byte events the wider nodes still sit on one or
+// two cache lines.
+//
+// Event records are typed rather than closures: the common operations —
+// resuming a parked process, delivering a message — are encoded as a
+// *Proc pointer or a (func(any), arg) pair, so the hot paths schedule
+// without allocating. Plain func() callbacks ride in arg behind a
+// package-level trampoline.
+
+// event is a single entry in the engine's calendar. Events with equal
+// timestamps fire in scheduling order (seq), which is what makes the
+// engine deterministic. Exactly one of proc / fn is set: a resume event
+// hands control to proc, a callback event invokes fn(arg) in engine
+// context.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func(any)
+	arg  any
+}
+
+// callFunc0 is the trampoline that lets argument-less callbacks share
+// the typed event record: the func() itself travels in arg.
+func callFunc0(a any) { a.(func())() }
+
+func (ev event) before(other event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
+	}
+	return ev.seq < other.seq
+}
+
+// calendar is the 4-ary heap. The zero value is an empty calendar.
+type calendar struct {
+	ev []event
+}
+
+func (c *calendar) Len() int { return len(c.ev) }
+
+// min returns the earliest event without removing it. The calendar must
+// be non-empty.
+func (c *calendar) min() *event { return &c.ev[0] }
+
+func (c *calendar) push(ev event) {
+	c.ev = append(c.ev, ev)
+	// Sift up.
+	i := len(c.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !c.ev[i].before(c.ev[parent]) {
+			break
+		}
+		c.ev[i], c.ev[parent] = c.ev[parent], c.ev[i]
+		i = parent
+	}
+}
+
+func (c *calendar) pop() event {
+	top := c.ev[0]
+	n := len(c.ev) - 1
+	c.ev[0] = c.ev[n]
+	c.ev[n] = event{} // release the arg/proc references
+	c.ev = c.ev[:n]
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if c.ev[j].before(c.ev[best]) {
+				best = j
+			}
+		}
+		if !c.ev[best].before(c.ev[i]) {
+			break
+		}
+		c.ev[i], c.ev[best] = c.ev[best], c.ev[i]
+		i = best
+	}
+	return top
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refQueue is the retired container/heap calendar, kept here as the
+// ordering oracle: (at, seq) lexicographic, exactly what the engine ran
+// on before the typed 4-ary heap replaced it.
+type refEvent struct {
+	at  Time
+	seq uint64
+}
+
+type refQueue []refEvent
+
+func (q refQueue) Len() int      { return len(q) }
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q *refQueue) Push(x any)  { *q = append(*q, x.(refEvent)) }
+func (q *refQueue) Pop() any    { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// TestCalendarMatchesHeapReference drives the typed calendar and the
+// container/heap oracle through identical interleaved push/pop schedules
+// — bursts of events with heavy timestamp collisions — and requires the
+// same pop order, including the seq tiebreak for equal times.
+func TestCalendarMatchesHeapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var cal calendar
+		ref := &refQueue{}
+		var seq uint64
+		pending := 0
+		for op := 0; op < 2000; op++ {
+			if pending == 0 || rng.Intn(3) != 0 {
+				// Coarse timestamps force collisions so the tiebreak matters.
+				at := Time(rng.Int63n(50))
+				seq++
+				cal.push(event{at: at, seq: seq})
+				heap.Push(ref, refEvent{at: at, seq: seq})
+				pending++
+			} else {
+				got := cal.pop()
+				want := heap.Pop(ref).(refEvent)
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("trial %d op %d: pop = (at=%d seq=%d), reference (at=%d seq=%d)",
+						trial, op, got.at, got.seq, want.at, want.seq)
+				}
+				pending--
+			}
+		}
+		for pending > 0 {
+			got := cal.pop()
+			want := heap.Pop(ref).(refEvent)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("trial %d drain: pop = (at=%d seq=%d), reference (at=%d seq=%d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+			pending--
+		}
+		if cal.Len() != 0 {
+			t.Fatalf("trial %d: calendar not empty after drain", trial)
+		}
+	}
+}
+
+// TestCalendarPopClearsSlot guards the pop-side hygiene: the vacated tail
+// slot must be zeroed so the calendar never pins a dead Proc or callback
+// argument for the garbage collector.
+func TestCalendarPopClearsSlot(t *testing.T) {
+	var cal calendar
+	p := &Proc{}
+	cal.push(event{at: 1, seq: 1, proc: p})
+	cal.push(event{at: 2, seq: 2, proc: p})
+	cal.pop()
+	cal.pop()
+	tail := cal.ev[:cap(cal.ev)]
+	for i := range tail {
+		if tail[i].proc != nil || tail[i].fn != nil || tail[i].arg != nil {
+			t.Fatalf("slot %d retains references after pop: %+v", i, tail[i])
+		}
+	}
+}

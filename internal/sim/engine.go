@@ -1,39 +1,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 )
-
-// event is a single entry in the engine's calendar. Events with equal
-// timestamps fire in scheduling order (seq), which is what makes the engine
-// deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
-}
 
 type procState int8
 
@@ -56,7 +27,7 @@ const (
 type Engine struct {
 	now     Time
 	seq     uint64
-	calQ    eventHeap
+	calQ    calendar
 	rng     *rand.Rand
 	parked  chan struct{} // a process signals here when it blocks or finishes
 	nextID  int
@@ -86,24 +57,45 @@ func (e *Engine) Now() Time { return e.now }
 // entropy) so runs stay reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// schedule inserts fn into the calendar at absolute time at (clamped to
-// now: the past is not addressable).
-func (e *Engine) schedule(at Time, fn func()) {
+// clamp bounds at to the present: the past is not addressable.
+func (e *Engine) clamp(at Time) Time {
 	if at < e.now {
-		at = e.now
+		return e.now
 	}
+	return at
+}
+
+// scheduleResume inserts a resume record for p at absolute time at.
+func (e *Engine) scheduleResume(at Time, p *Proc) {
 	e.seq++
-	heap.Push(&e.calQ, event{at: at, seq: e.seq, fn: fn})
+	e.calQ.push(event{at: e.clamp(at), seq: e.seq, proc: p})
+}
+
+// scheduleFn inserts a callback record at absolute time at.
+func (e *Engine) scheduleFn(at Time, fn func(any), arg any) {
+	e.seq++
+	e.calQ.push(event{at: e.clamp(at), seq: e.seq, fn: fn, arg: arg})
 }
 
 // At schedules fn to run in engine context at absolute virtual time at.
 // fn must not block on simulation primitives; it may schedule further
 // events, signal conditions, and spawn processes.
-func (e *Engine) At(at Time, fn func()) { e.schedule(at, fn) }
+func (e *Engine) At(at Time, fn func()) { e.scheduleFn(at, callFunc0, fn) }
 
 // After schedules fn to run in engine context d from now. The same
 // restrictions as At apply.
-func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
+func (e *Engine) After(d Duration, fn func()) { e.scheduleFn(e.now.Add(d), callFunc0, fn) }
+
+// AtArg schedules fn(arg) to run in engine context at absolute virtual
+// time at. Unlike At it does not force a closure: callers on allocation-
+// sensitive paths keep one fn per receiver and thread the per-event state
+// through arg (boxing a pointer into any does not allocate).
+func (e *Engine) AtArg(at Time, fn func(any), arg any) { e.scheduleFn(at, fn, arg) }
+
+// AfterArg schedules fn(arg) to run in engine context d from now.
+func (e *Engine) AfterArg(d Duration, fn func(any), arg any) {
+	e.scheduleFn(e.now.Add(d), fn, arg)
+}
 
 // Spawn creates a process named name running fn and schedules it to start
 // at the current virtual time. The process counts toward Run's completion
@@ -144,7 +136,7 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 		e.parked <- struct{}{}
 	}()
 	p.state = stateScheduled
-	e.schedule(e.now, func() { e.resumeProc(p) })
+	e.scheduleResume(e.now, p)
 	return p
 }
 
@@ -168,7 +160,7 @@ func (e *Engine) wake(p *Proc) {
 		return
 	}
 	p.state = stateScheduled
-	e.schedule(e.now, func() { e.resumeProc(p) })
+	e.scheduleResume(e.now, p)
 }
 
 // ErrDeadlock is returned by Run when no events remain but unfinished
@@ -199,9 +191,13 @@ func (e *Engine) Run() error {
 		if e.calQ.Len() == 0 {
 			return e.deadlockError()
 		}
-		ev := heap.Pop(&e.calQ).(event)
+		ev := e.calQ.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.resumeProc(ev.proc)
+		} else {
+			ev.fn(ev.arg)
+		}
 	}
 	return nil
 }
@@ -254,12 +250,25 @@ func (p *Proc) park(st procState) {
 // Sleep suspends the process for d of virtual time. Negative durations
 // sleep zero time. Sleep(0) yields: other events at the current timestamp
 // run before the process continues.
+//
+// Fast path: when no calendar event precedes the wakeup, the resume
+// record this Sleep would push is exactly the event the engine would pop
+// next. The process then advances the clock itself and keeps running —
+// same execution order, no heap traffic, and no goroutine handshake.
+// Events already scheduled for the wakeup instant have smaller sequence
+// numbers than the would-be resume, so the fast path requires the
+// calendar minimum to lie strictly after the wakeup time.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	self := p
-	p.e.schedule(p.e.now.Add(d), func() { p.e.resumeProc(self) })
+	e := p.e
+	at := e.now.Add(d)
+	if !e.stopped && (e.calQ.Len() == 0 || at < e.calQ.min().at) {
+		e.now = at
+		return
+	}
+	e.scheduleResume(at, p)
 	p.park(stateScheduled)
 }
 

@@ -1,5 +1,11 @@
 package sim
 
+// The FIFO collections here (Signal waiters, Queue items) are consumed
+// from the front. Popping with s = s[1:] would shed front capacity until
+// every append reallocates — a steady-state allocation per operation on
+// the simulator's hottest paths — so they keep an explicit head index
+// and reset to the start of the backing array whenever they drain.
+
 // Signal is a condition-variable-like wakeup primitive. Processes block on
 // it with Wait; any simulation code (another process or an engine callback)
 // releases them with Broadcast or Pulse. Waiters are released in FIFO
@@ -10,6 +16,7 @@ package sim
 type Signal struct {
 	e       *Engine
 	waiters []*Proc
+	head    int
 }
 
 // NewSignal returns a Signal bound to e.
@@ -25,25 +32,33 @@ func (s *Signal) Wait(p *Proc) {
 // current virtual time, after any events already scheduled for this
 // instant.
 func (s *Signal) Broadcast() {
-	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
+	// wake only schedules resume events, so no new waiter can appear
+	// while this loop runs (the engine is serial).
+	for _, w := range s.waiters[s.head:] {
 		s.e.wake(w)
 	}
+	clear(s.waiters)
+	s.waiters = s.waiters[:0]
+	s.head = 0
 }
 
 // Pulse wakes the longest-waiting process, if any.
 func (s *Signal) Pulse() {
-	if len(s.waiters) == 0 {
+	if s.head == len(s.waiters) {
 		return
 	}
-	w := s.waiters[0]
-	s.waiters = s.waiters[1:]
+	w := s.waiters[s.head]
+	s.waiters[s.head] = nil
+	s.head++
+	if s.head == len(s.waiters) {
+		s.waiters = s.waiters[:0]
+		s.head = 0
+	}
 	s.e.wake(w)
 }
 
 // Waiting reports the number of processes currently blocked on s.
-func (s *Signal) Waiting() int { return len(s.waiters) }
+func (s *Signal) Waiting() int { return len(s.waiters) - s.head }
 
 // Event is a one-shot latch, the analogue of a Win32 manual-reset event:
 // processes Wait until Set fires, after which Wait returns immediately
@@ -79,49 +94,6 @@ func (ev *Event) Reset() { ev.set = false }
 // IsSet reports whether the event is currently set.
 func (ev *Event) IsSet() bool { return ev.set }
 
-// Queue is an unbounded deterministic FIFO mailbox. Put never blocks; Get
-// blocks the calling process until an item is available. Concurrent
-// getters are served in arrival order.
-type Queue[T any] struct {
-	items []T
-	sig   Signal
-}
-
-// NewQueue returns an empty queue bound to e.
-func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{sig: Signal{e: e}} }
-
-// Put appends v and wakes one waiting getter. It may be called from
-// process context or an engine callback.
-func (q *Queue[T]) Put(v T) {
-	q.items = append(q.items, v)
-	q.sig.Pulse()
-}
-
-// Get removes and returns the oldest item, blocking p while the queue is
-// empty.
-func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
-		q.sig.Wait(p)
-	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
-}
-
-// TryGet removes and returns the oldest item without blocking. ok is false
-// if the queue is empty.
-func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
-		return v, false
-	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
-}
-
-// Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
-
 // Mutex is a FIFO mutual-exclusion lock for simulated processes.
 type Mutex struct {
 	held bool
@@ -148,3 +120,59 @@ func (m *Mutex) Unlock() {
 	m.held = false
 	m.sig.Pulse()
 }
+
+// Queue is an unbounded deterministic FIFO mailbox. Put never blocks; Get
+// blocks the calling process until an item is available. Concurrent
+// getters are served in arrival order.
+type Queue[T any] struct {
+	items []T
+	head  int
+	sig   Signal
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{sig: Signal{e: e}} }
+
+// Put appends v and wakes one waiting getter. It may be called from
+// process context or an engine callback.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.sig.Pulse()
+}
+
+// Get removes and returns the oldest item, blocking p while the queue is
+// empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for q.head == len(q.items) {
+		q.sig.Wait(p)
+	}
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release the reference
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking. ok is false
+// if the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if q.head == len(q.items) {
+		return v, false
+	}
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }

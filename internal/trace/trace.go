@@ -3,11 +3,18 @@
 // on the virtual clock. It exists for debugging protocol issues and for
 // the -trace mode of the tools; recording is allocation-bounded (a ring
 // buffer) so it can stay on during long runs.
+//
+// The hot path stores typed fields (kind, hosts, operation code,
+// minipage id, address) in the ring and defers all string formatting to
+// Dump/Events/String time: recording an event performs no allocation,
+// and a nil *Recorder is inert, so instrumented code guards its
+// field-gathering work behind Enabled().
 package trace
 
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"millipage/internal/sim"
@@ -34,14 +41,66 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Event is one recorded occurrence.
+// opNames maps protocol operation codes (Event.Op) to display names. It
+// is registered once, from an init function of the protocol package, and
+// read-only afterwards.
+var opNames []string
+
+// RegisterOpNames installs the display names for protocol operation
+// codes carried in Event.Op. Intended for an init function; the last
+// registration wins.
+func RegisterOpNames(names []string) { opNames = names }
+
+func opName(op uint16) string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "op(" + strconv.Itoa(int(op)) + ")"
+}
+
+// Fault-kind codes for Event.Op when Kind == Fault.
+const (
+	FaultRead  uint16 = 0
+	FaultWrite uint16 = 1
+)
+
+// Event is one recorded occurrence. Message and fault events carry their
+// payload in the typed fields (Op, MP, Addr) with Structured set; What
+// holds free-form detail for Note events and the formatted legacy API,
+// and overrides the typed rendering when non-empty.
 type Event struct {
 	At   sim.Time
 	Kind Kind
-	Host int    // primary host (source for sends, location otherwise)
-	Peer int    // destination for sends/delivers; -1 otherwise
-	Home int    // home host of the minipage involved; -1 when inapplicable
+	Host int // primary host (source for sends, location otherwise)
+	Peer int // destination for sends/delivers; -1 otherwise
+	Home int // home host of the minipage involved; -1 when inapplicable
+
+	Op         uint16 // protocol op code (RegisterOpNames); fault kind for Fault events
+	MP         int32  // minipage id; -1 when inapplicable
+	Addr       uint64
+	Structured bool // typed fields are meaningful; render from them
+
 	What string // free-form detail ("READ_REQUEST mp=12", "write fault @0x2000_0040")
+}
+
+// detail renders the event-specific text: What verbatim when set,
+// otherwise the structured fields in the historical format.
+func (e Event) detail() string {
+	if e.What != "" || !e.Structured {
+		return e.What
+	}
+	switch e.Kind {
+	case Fault:
+		word := "read"
+		if e.Op == FaultWrite {
+			word = "write"
+		}
+		return fmt.Sprintf("%s fault @%#x", word, e.Addr)
+	case Handle, Deliver:
+		return fmt.Sprintf("%s mp=%d", opName(e.Op), e.MP)
+	default:
+		return fmt.Sprintf("%s mp=%d addr=%#x", opName(e.Op), e.MP, e.Addr)
+	}
 }
 
 func (e Event) String() string {
@@ -50,9 +109,9 @@ func (e Event) String() string {
 		home = fmt.Sprintf("  home=h%d", e.Home)
 	}
 	if e.Peer >= 0 {
-		return fmt.Sprintf("%12v  %-8s h%d->h%d  %s%s", e.At, e.Kind, e.Host, e.Peer, e.What, home)
+		return fmt.Sprintf("%12v  %-8s h%d->h%d  %s%s", e.At, e.Kind, e.Host, e.Peer, e.detail(), home)
 	}
-	return fmt.Sprintf("%12v  %-8s h%d       %s%s", e.At, e.Kind, e.Host, e.What, home)
+	return fmt.Sprintf("%12v  %-8s h%d       %s%s", e.At, e.Kind, e.Host, e.detail(), home)
 }
 
 // Recorder is a bounded ring buffer of events. The zero value is
@@ -77,7 +136,12 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{events: make([]Event, capacity)}
 }
 
-// Record appends an event (subject to the filter).
+// Enabled reports whether events are being recorded. Instrumented code
+// checks it before gathering event fields so that tracing costs nothing
+// when no recorder is attached (the receiver may be nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record appends an event (subject to the filter). It does not allocate.
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
@@ -94,7 +158,32 @@ func (r *Recorder) Record(e Event) {
 	}
 }
 
-// Recordf is Record with formatting (no home host attached).
+// RecordMsg records a protocol-message event (Send/Deliver/Handle) from
+// typed fields, deferring all formatting to render time.
+func (r *Recorder) RecordMsg(at sim.Time, kind Kind, host, peer, home int, op uint16, mp int, addr uint64) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{At: at, Kind: kind, Host: host, Peer: peer, Home: home,
+		Op: op, MP: int32(mp), Addr: addr, Structured: true})
+}
+
+// RecordFault records a read/write fault event from typed fields.
+func (r *Recorder) RecordFault(at sim.Time, host int, write bool, addr uint64) {
+	if r == nil {
+		return
+	}
+	op := FaultRead
+	if write {
+		op = FaultWrite
+	}
+	r.Record(Event{At: at, Kind: Fault, Host: host, Peer: -1, Home: -1,
+		Op: op, Addr: addr, Structured: true})
+}
+
+// Recordf is Record with formatting (no home host attached). Unlike the
+// typed entry points it allocates for the formatted string; it remains
+// for free-form notes and callers without a protocol op code.
 func (r *Recorder) Recordf(at sim.Time, kind Kind, host, peer int, format string, args ...any) {
 	r.RecordfHome(at, kind, host, peer, -1, format, args...)
 }
@@ -144,13 +233,65 @@ func (r *Recorder) Dump(w io.Writer) {
 	}
 }
 
-// Grep returns the retained events whose rendering contains substr.
-func (r *Recorder) Grep(substr string) []Event {
+// Grep returns the retained events matching query, testing structured
+// fields instead of rendering each event to a string. Supported query
+// forms:
+//
+//   - "h<N>"    — host N appears as source, peer, or home
+//   - "mp=<N>"  — the event concerns minipage N
+//   - a kind name ("SEND", "FAULT", ...) — all events of that kind
+//   - anything else — substring of the op name, the fault description
+//     ("read fault" / "write fault"), or the free-form What text
+func (r *Recorder) Grep(query string) []Event {
+	if r == nil {
+		return nil
+	}
+	match := compileQuery(query)
 	var out []Event
 	for _, e := range r.Events() {
-		if strings.Contains(e.String(), substr) {
+		if match(e) {
 			out = append(out, e)
 		}
 	}
 	return out
+}
+
+// compileQuery parses query once and returns the per-event predicate.
+func compileQuery(query string) func(Event) bool {
+	if n, ok := strings.CutPrefix(query, "h"); ok {
+		if id, err := strconv.Atoi(n); err == nil {
+			return func(e Event) bool {
+				return e.Host == id || e.Peer == id || e.Home == id
+			}
+		}
+	}
+	if n, ok := strings.CutPrefix(query, "mp="); ok {
+		if mp, err := strconv.Atoi(n); err == nil {
+			return func(e Event) bool {
+				return e.Structured && e.Kind != Fault && e.MP == int32(mp)
+			}
+		}
+	}
+	for k, name := range kindNames {
+		if query == name {
+			k := Kind(k)
+			return func(e Event) bool { return e.Kind == k }
+		}
+	}
+	return func(e Event) bool {
+		if strings.Contains(e.What, query) {
+			return true
+		}
+		if !e.Structured {
+			return false
+		}
+		if e.Kind == Fault {
+			word := "read fault"
+			if e.Op == FaultWrite {
+				word = "write fault"
+			}
+			return strings.Contains(word, query)
+		}
+		return strings.Contains(opName(e.Op), query)
+	}
 }

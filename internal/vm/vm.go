@@ -148,12 +148,19 @@ var (
 // raise the protection surfaces as an error instead of livelock.
 const maxFaultRetries = 8
 
-// AddressSpace is one host's (process's) virtual address space: a sparse
-// page table plus an installed fault handler. It is not safe for use from
+// AddressSpace is one host's (process's) virtual address space: a page
+// table plus an installed fault handler. It is not safe for use from
 // multiple OS threads; in this reproduction all access is serialized by
 // the simulation engine.
+//
+// The page table is a dense slice covering the mapped span. Every user of
+// this package maps compact contiguous view ranges (the layout places all
+// views back to back), so density costs little memory and makes the
+// per-access translation an index instead of a map probe — the single
+// hottest operation in the whole simulator.
 type AddressSpace struct {
-	ptes    map[uint64]*PTE // vpn -> entry
+	base    uint64 // vpn of pt[0]
+	pt      []PTE  // dense page table; a nil Obj marks an unmapped slot
 	handler FaultHandler
 
 	// Counters, read by the DSM statistics layer.
@@ -163,7 +170,42 @@ type AddressSpace struct {
 
 // NewAddressSpace returns an empty address space.
 func NewAddressSpace() *AddressSpace {
-	return &AddressSpace{ptes: make(map[uint64]*PTE)}
+	return &AddressSpace{}
+}
+
+// slot returns the live entry for vpn, or nil if the page is unmapped.
+func (as *AddressSpace) slot(vpn uint64) *PTE {
+	if vpn < as.base || vpn >= as.base+uint64(len(as.pt)) {
+		return nil
+	}
+	pte := &as.pt[vpn-as.base]
+	if pte.Obj == nil {
+		return nil
+	}
+	return pte
+}
+
+// ensure grows the table to cover vpns [lo, hi).
+func (as *AddressSpace) ensure(lo, hi uint64) {
+	if as.pt == nil {
+		as.base = lo
+		as.pt = make([]PTE, hi-lo)
+		return
+	}
+	end := as.base + uint64(len(as.pt))
+	nb, ne := as.base, end
+	if lo < nb {
+		nb = lo
+	}
+	if hi > ne {
+		ne = hi
+	}
+	if nb == as.base && ne == end {
+		return
+	}
+	np := make([]PTE, ne-nb)
+	copy(np[as.base-nb:], as.pt)
+	as.base, as.pt = nb, np
 }
 
 // SetFaultHandler installs h as the space's fault handler, returning the
@@ -187,13 +229,14 @@ func (as *AddressSpace) MapView(va uint64, obj *MemObject, firstFrame, nPages in
 			firstFrame, firstFrame+nPages, obj.numPages)
 	}
 	vpn := va / PageSize
+	as.ensure(vpn, vpn+uint64(nPages))
 	for i := 0; i < nPages; i++ {
-		if _, dup := as.ptes[vpn+uint64(i)]; dup {
+		if as.pt[vpn-as.base+uint64(i)].Obj != nil {
 			return fmt.Errorf("vm: MapView overlaps existing mapping at %#x", (vpn+uint64(i))*PageSize)
 		}
 	}
 	for i := 0; i < nPages; i++ {
-		as.ptes[vpn+uint64(i)] = &PTE{Obj: obj, Frame: firstFrame + i, Prot: prot}
+		as.pt[vpn-as.base+uint64(i)] = PTE{Obj: obj, Frame: firstFrame + i, Prot: prot}
 	}
 	return nil
 }
@@ -202,7 +245,9 @@ func (as *AddressSpace) MapView(va uint64, obj *MemObject, firstFrame, nPages in
 func (as *AddressSpace) Unmap(va uint64, nPages int) {
 	vpn := va / PageSize
 	for i := 0; i < nPages; i++ {
-		delete(as.ptes, vpn+uint64(i))
+		if p := vpn + uint64(i); p >= as.base && p < as.base+uint64(len(as.pt)) {
+			as.pt[p-as.base] = PTE{}
+		}
 	}
 }
 
@@ -213,8 +258,8 @@ func (as *AddressSpace) Unmap(va uint64, nPages int) {
 func (as *AddressSpace) Protect(va uint64, nPages int, prot Prot) error {
 	vpn := va / PageSize
 	for i := 0; i < nPages; i++ {
-		pte, ok := as.ptes[vpn+uint64(i)]
-		if !ok {
+		pte := as.slot(vpn + uint64(i))
+		if pte == nil {
 			return fmt.Errorf("%w: %#x", ErrUnmapped, (vpn+uint64(i))*PageSize)
 		}
 		pte.Prot = prot
@@ -224,8 +269,8 @@ func (as *AddressSpace) Protect(va uint64, nPages int, prot Prot) error {
 
 // ProtOf returns the protection of the vpage containing va.
 func (as *AddressSpace) ProtOf(va uint64) (Prot, error) {
-	pte, ok := as.ptes[va/PageSize]
-	if !ok {
+	pte := as.slot(va / PageSize)
+	if pte == nil {
 		return NoAccess, fmt.Errorf("%w: %#x", ErrUnmapped, va)
 	}
 	return pte.Prot, nil
@@ -234,8 +279,8 @@ func (as *AddressSpace) ProtOf(va uint64) (Prot, error) {
 // Lookup returns the PTE of the vpage containing va, if mapped. The
 // returned struct is a copy; use Protect to change protections.
 func (as *AddressSpace) Lookup(va uint64) (PTE, bool) {
-	pte, ok := as.ptes[va/PageSize]
-	if !ok {
+	pte := as.slot(va / PageSize)
+	if pte == nil {
 		return PTE{}, false
 	}
 	return *pte, true
@@ -243,8 +288,7 @@ func (as *AddressSpace) Lookup(va uint64) (PTE, bool) {
 
 // Mapped reports whether the vpage containing va is mapped.
 func (as *AddressSpace) Mapped(va uint64) bool {
-	_, ok := as.ptes[va/PageSize]
-	return ok
+	return as.slot(va/PageSize) != nil
 }
 
 // resolve returns the frame bytes addressed by va..va+n (within one page)
@@ -252,8 +296,8 @@ func (as *AddressSpace) Mapped(va uint64) bool {
 // the fault handler.
 func (as *AddressSpace) resolve(ctx any, va uint64, n int, kind AccessKind) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
-		pte, ok := as.ptes[va/PageSize]
-		if !ok {
+		pte := as.slot(va / PageSize)
+		if pte == nil {
 			return nil, fmt.Errorf("%w: %#x", ErrUnmapped, va)
 		}
 		if pte.Prot.allows(kind) {
@@ -326,8 +370,8 @@ func (as *AddressSpace) Bypass(va uint64, n int) ([]byte, error) {
 	if int(va%PageSize)+n > PageSize {
 		return nil, fmt.Errorf("vm: Bypass range at %#x+%d crosses a page boundary", va, n)
 	}
-	pte, ok := as.ptes[va/PageSize]
-	if !ok {
+	pte := as.slot(va / PageSize)
+	if pte == nil {
 		return nil, fmt.Errorf("%w: %#x", ErrUnmapped, va)
 	}
 	off := int(va % PageSize)
