@@ -112,9 +112,10 @@ func usage() {
   costs                Table 1 and the Section 4.2 microbenchmarks
   mvoverhead [-fast]   Figure 5: MultiView overhead vs number of views
   apps [flags]         Figure 6 and Table 2: the five-application suite
-                         -scale F   problem scale (default 1.0 = paper)
-                         -hosts L   comma list of host counts (default 1,2,4,8)
-                         -only A    run a single application
+                         -scale F      problem scale (default 1.0 = paper)
+                         -hosts L      comma list of host counts (default 1,2,4,8)
+                         -only A       run a single application
+                         -protocol P   coherence protocol: millipage, ivy, lrc
                          -seed N
   chunking [flags]     Figure 7: chunking in WATER (-scale, -seed)
   ablation [flags]     Section 5 / 3.5 ablations: LRC over chunking,
@@ -177,19 +178,21 @@ func runApps(args []string) error {
 	hosts := fs.String("hosts", "1,2,4,8", "comma-separated host counts")
 	only := fs.String("only", "", "run a single application (SOR, IS, WATER, LU, TSP)")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	protocol := fs.String("protocol", "millipage", "coherence protocol (millipage, ivy, lrc)")
 	fs.Parse(args)
 
 	cfg := bench.DefaultFigure6()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Only = *only
+	cfg.Protocol = *protocol
 	hs, err := parseHosts(*hosts)
 	if err != nil {
 		return err
 	}
 	cfg.Hosts = hs
 
-	fmt.Printf("running application suite at scale %.2f on hosts %v ...\n", *scale, hs)
+	fmt.Printf("running application suite under %s at scale %.2f on hosts %v ...\n", *protocol, *scale, hs)
 	runs, err := bench.Figure6(cfg, os.Stdout)
 	if err != nil {
 		return err

@@ -1,10 +1,14 @@
-// Command mvtrace runs a tiny Millipage workload with protocol tracing
-// and prints the complete transcript: every message, fault and handler
+// Command mvtrace runs a tiny DSM workload with protocol tracing and
+// prints the complete transcript: every message, fault and handler
 // dispatch on the virtual clock. It is the fastest way to see the
 // Figure-3 protocol operate — a read miss, a write upgrade with
-// invalidation, and a competing request queued at the manager.
+// invalidation, and a competing request queued at the manager — and,
+// with -protocol, how Ivy's page-grain protocol or home-based LRC
+// handles the same access pattern.
 //
 // Usage: mvtrace [-hosts N] [-kind read|write|competing|lock]
+//
+//	[-protocol millipage|ivy|lrc]
 package main
 
 import (
@@ -12,7 +16,10 @@ import (
 	"fmt"
 	"os"
 
+	"millipage/internal/cluster"
 	"millipage/internal/dsm"
+	"millipage/internal/ivy"
+	"millipage/internal/lrc"
 	"millipage/internal/sim"
 	"millipage/internal/trace"
 )
@@ -20,23 +27,15 @@ import (
 func main() {
 	hosts := flag.Int("hosts", 3, "cluster size")
 	kind := flag.String("kind", "write", "scenario: read, write, competing, or lock")
+	protocol := flag.String("protocol", "millipage", "coherence protocol: millipage, ivy, or lrc")
 	flag.Parse()
 
 	rec := trace.NewRecorder(4096)
-	sys, err := dsm.New(dsm.Options{
-		Hosts:      *hosts,
-		SharedSize: 1 << 16,
-		Views:      4,
-		Seed:       1,
-		Trace:      rec,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mvtrace:", err)
-		os.Exit(1)
-	}
 
+	// The scenarios use only the protocol-independent application API, so
+	// one body runs under every protocol.
 	var va uint64
-	scenario := func(t *dsm.Thread) {
+	scenario := func(t cluster.AppThread) {
 		switch *kind {
 		case "read":
 			// Host 1 read-misses a minipage owned by host 0.
@@ -50,7 +49,8 @@ func main() {
 			}
 		case "write":
 			// All hosts take read copies, then the last host writes:
-			// the manager invalidates every replica first.
+			// the manager invalidates every replica first (under LRC the
+			// readers instead refetch from the home after the barrier).
 			if t.Host() == 0 {
 				va = t.Malloc(128)
 				t.WriteU32(va, 1)
@@ -89,12 +89,66 @@ func main() {
 		t.Compute(5 * sim.Millisecond) // let trailing acks drain into the trace
 	}
 
-	if err := sys.Run(scenario); err != nil {
+	// tail prints the protocol-specific postscript after the transcript.
+	var run func() (tail func(), err error)
+	switch *protocol {
+	case "millipage":
+		run = func() (func(), error) {
+			sys, err := dsm.New(dsm.Options{
+				Hosts: *hosts, SharedSize: 1 << 16, Views: 4, Seed: 1, Trace: rec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+					fmt.Printf("\ncompeting requests queued at the manager: %d\n",
+						sys.Manager().Stats.CompetingRequests)
+				}, sys.Run(func(t *dsm.Thread) {
+					scenario(t)
+				})
+		}
+	case "ivy":
+		run = func() (func(), error) {
+			sys, err := ivy.New(ivy.Options{
+				Hosts: *hosts, SharedSize: 1 << 16, Seed: 1, Trace: rec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+					fmt.Printf("\ninvalidations: %d  competing requests: %d\n",
+						sys.Stats.Invalidates, sys.Stats.Competing)
+				}, sys.Run(func(t *ivy.Thread) {
+					scenario(t)
+				})
+		}
+	case "lrc":
+		run = func() (func(), error) {
+			sys, err := lrc.New(lrc.Options{
+				Hosts: *hosts, SharedSize: 1 << 16, Views: 4, Seed: 1, Trace: rec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+					fmt.Printf("\nfetches: %d  diffs flushed: %d (%d bytes)  twins made: %d\n",
+						sys.Stats.Fetches, sys.Stats.DiffsSent, sys.Stats.DiffBytes, sys.Stats.TwinsMade)
+				}, sys.Run(func(t *lrc.Thread) {
+					scenario(t)
+				})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mvtrace: unknown protocol %q (want millipage, ivy or lrc)\n", *protocol)
+		os.Exit(2)
+	}
+
+	tail, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvtrace:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("scenario %q on %d hosts — %d events:\n\n", *kind, *hosts, rec.Total())
+	fmt.Printf("scenario %q under %s on %d hosts — %d events:\n\n", *kind, *protocol, *hosts, rec.Total())
 	rec.Dump(os.Stdout)
-	fmt.Printf("\ncompeting requests queued at the manager: %d\n", sys.Manager().Stats.CompetingRequests)
+	tail()
 }

@@ -29,6 +29,11 @@ import (
 
 // Params selects a cluster configuration shared by all applications.
 type Params struct {
+	// Protocol selects the coherence protocol (millipage.Config.Protocol):
+	// "" or "millipage", "ivy", or "lrc". Every application is
+	// data-race-free (barrier/lock structured), so the suite runs — and
+	// its checksums hold — under any of the three.
+	Protocol      string
 	Hosts         int
 	ChunkLevel    int  // WATER's chunking switch
 	PageGrain     bool // run on the traditional page-based layout instead

@@ -37,6 +37,7 @@ func RunIS(p Params) (Result, error) {
 	regionBytes := perRegion * 4
 
 	cluster, err := millipage.NewCluster(millipage.Config{
+		Protocol:        p.Protocol,
 		Hosts:           hosts,
 		SharedMemory:    64 << 10,
 		Views:           8, // Table 2's value

@@ -35,6 +35,7 @@ func RunLU(p Params) (Result, error) {
 	nb := n / luBlock // blocks per dimension
 
 	cluster, err := millipage.NewCluster(millipage.Config{
+		Protocol:        p.Protocol,
 		Hosts:           p.Hosts,
 		SharedMemory:    nb*nb*luBlockSz + (64 << 10),
 		Views:           1, // Table 2's value: a block is a full page

@@ -34,6 +34,7 @@ func RunSOR(p Params) (Result, error) {
 	iters := sorIterFull
 
 	cluster, err := millipage.NewCluster(millipage.Config{
+		Protocol:        p.Protocol,
 		Hosts:           p.Hosts,
 		SharedMemory:    rows*sorRowBytes + (64 << 10),
 		Views:           16, // 4096/256: Table 2's value

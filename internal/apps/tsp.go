@@ -46,6 +46,7 @@ func RunTSP(p Params) (Result, error) {
 	bnd := makeBounds(dist)
 
 	cluster, err := millipage.NewCluster(millipage.Config{
+		Protocol:        p.Protocol,
 		Hosts:           p.Hosts,
 		SharedMemory:    2 << 20,
 		Views:           27, // floor(4096/148): Table 2's value

@@ -49,6 +49,7 @@ func RunWATER(p Params) (Result, error) {
 	// so 6 remains sufficient for every chunking level.
 	views := 6
 	cluster, err := millipage.NewCluster(millipage.Config{
+		Protocol:        p.Protocol,
 		Hosts:           p.Hosts,
 		SharedMemory:    mols*4096/4 + (256 << 10), // molecules plus slack
 		Views:           views,

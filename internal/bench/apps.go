@@ -19,6 +19,7 @@ type AppRun struct {
 
 // Figure6Config controls the application sweep.
 type Figure6Config struct {
+	Protocol   string  // coherence protocol ("" = millipage; "ivy", "lrc")
 	Hosts      []int   // cluster sizes (paper: 1..8)
 	Scale      float64 // 1.0 = the paper's data sets
 	Seed       int64
@@ -56,7 +57,7 @@ func Figure6(cfg Figure6Config, progress io.Writer) ([]AppRun, error) {
 	}
 	results, err := sweep(len(grid), func(i int) (apps.Result, error) {
 		c := grid[i]
-		p := apps.Params{Hosts: c.hosts, Scale: cfg.Scale, Seed: cfg.Seed}
+		p := apps.Params{Protocol: cfg.Protocol, Hosts: c.hosts, Scale: cfg.Scale, Seed: cfg.Seed}
 		if c.app.Name == "WATER" {
 			p.ChunkLevel = cfg.ChunkWATER
 		}
@@ -138,7 +139,7 @@ func Table2(w io.Writer, cfg Figure6Config, _ []AppRun) {
 		suite = append(suite, app)
 	}
 	results, err := sweep(len(suite), func(i int) (apps.Result, error) {
-		return suite[i].Run(apps.Params{Hosts: maxH, Scale: cfg.Scale, Seed: cfg.Seed})
+		return suite[i].Run(apps.Params{Protocol: cfg.Protocol, Hosts: maxH, Scale: cfg.Scale, Seed: cfg.Seed})
 	})
 	if err != nil {
 		fmt.Fprintf(w, "Table 2: %v\n", err)

@@ -5,35 +5,49 @@ import (
 	"io"
 
 	millipage "millipage"
-	"millipage/internal/ivy"
 	"millipage/internal/sim"
 	"millipage/internal/vm"
 )
 
-// Baseline compares Millipage against a classic Li/Hudak-style
-// page-based DSM (internal/ivy, with Ivy's distributed page managers) on
-// the paper's motivating scenario: hosts updating small unrelated
-// variables that share pages. It is the quantified version of the
-// paper's introduction — what MultiView buys over the systems that came
-// before.
+// protocolLabels names the three protocols in presentation order, with
+// the row labels the sweep table prints.
+var protocolLabels = []struct {
+	proto string
+	label string
+}{
+	{"millipage", "Millipage (minipage granularity)"},
+	{"ivy", "Ivy (page granularity, dist. mgr)"},
+	{"lrc", "LRC (home-based, twins+diffs)"},
+}
+
+// Baseline runs the paper's motivating scenario — hosts updating small
+// unrelated variables that pack onto shared pages — through every
+// protocol behind the root API: Millipage's minipage-grain SW/MR
+// protocol, a classic Li/Hudak page-based DSM (internal/ivy), and
+// home-based lazy release consistency (internal/lrc). One driver, one
+// workload; only Config.Protocol changes. It is the quantified version
+// of the paper's introduction: page-grain false sharing is the problem,
+// MultiView minipages and relaxed consistency are the two escapes.
 func Baseline(w io.Writer, hosts, varsPerHost, iters int) error {
 	const varBytes = 64
 	work := 1 * sim.Millisecond
 	totalVars := hosts * varsPerHost
 
-	// Millipage: each variable is its own minipage.
-	mpRun := func() (sim.Duration, uint64, uint64, error) {
+	run := func(protocol string) (*millipage.Report, error) {
 		cluster, err := millipage.NewCluster(millipage.Config{
+			Protocol:     protocol,
 			Hosts:        hosts,
 			SharedMemory: 1 << 20,
 			Views:        16,
 			Seed:         3,
 		})
 		if err != nil {
-			return 0, 0, 0, err
+			return nil, err
 		}
+		// 64-byte allocations pack onto shared pages in every protocol;
+		// Millipage alone gives each one its own coherence unit.
 		vas := make([]millipage.Addr, totalVars)
-		_, err = cluster.Run(func(wk *millipage.Worker) {
+		return cluster.Run(func(wk *millipage.Worker) {
 			if wk.Host() == 0 {
 				for i := range vas {
 					vas[i] = wk.Malloc(varBytes)
@@ -48,55 +62,35 @@ func Baseline(w io.Writer, hosts, varsPerHost, iters int) error {
 			}
 			wk.Barrier()
 		})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		sys := cluster.System()
-		var wf, msgs uint64
-		for i := 0; i < hosts; i++ {
-			wf += sys.Host(i).AS.WriteFaults
-			msgs += sys.Net.Endpoint(i).Stats().Sent
-		}
-		return sys.Elapsed(), wf, msgs, nil
 	}
 
-	// Ivy: variables packed on pages, page-grain coherence.
-	ivyRun := func() (sim.Duration, uint64, uint64, error) {
-		sys, err := ivy.New(ivy.Options{Hosts: hosts, SharedSize: 1 << 20, Seed: 3})
+	reports := make(map[string]*millipage.Report, len(protocolLabels))
+	for _, pl := range protocolLabels {
+		rep, err := run(pl.proto)
 		if err != nil {
-			return 0, 0, 0, err
+			return fmt.Errorf("baseline %s: %w", pl.proto, err)
 		}
-		err = sys.Run(func(t *ivy.Thread) {
-			for it := 0; it < iters; it++ {
-				for v := t.Host(); v < totalVars; v += hosts {
-					t.WriteU32(sys.Base()+uint64(v*varBytes), uint32(it))
-					t.Compute(work)
-				}
-			}
-			t.Barrier()
-		})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		return sys.Elapsed(), sys.Stats.WriteFaults, sys.Messages(), nil
+		reports[pl.proto] = rep
 	}
 
-	mpT, mpF, mpM, err := mpRun()
-	if err != nil {
-		return err
-	}
-	ivT, ivF, ivM, err := ivyRun()
-	if err != nil {
-		return err
-	}
 	pagesTouched := (totalVars*varBytes + vm.PageSize - 1) / vm.PageSize
 	fmt.Fprintf(w, "Baseline: %d hosts updating %d interleaved 64B variables (%d pages), %d rounds\n",
 		hosts, totalVars, pagesTouched, iters)
 	fmt.Fprintf(w, "%-34s %12s %13s %10s\n", "system", "elapsed", "write faults", "messages")
-	fmt.Fprintf(w, "%-34s %12v %13d %10d\n", "Millipage (minipage granularity)", mpT, mpF, mpM)
-	fmt.Fprintf(w, "%-34s %12v %13d %10d\n", "Ivy (page granularity, dist. mgr)", ivT, ivF, ivM)
+	for _, pl := range protocolLabels {
+		rep := reports[pl.proto]
+		fmt.Fprintf(w, "%-34s %12v %13d %10d\n", pl.label, rep.Elapsed, rep.WriteFaults, rep.MessagesSent)
+	}
+	mpF, ivF := reports["millipage"].WriteFaults, reports["ivy"].WriteFaults
 	if mpF > 0 {
 		fmt.Fprintf(w, "false-sharing fault ratio: %.1fx\n", float64(ivF)/float64(mpF))
+	}
+	fmt.Fprintf(w, "\nexecution breakdown (Figure 6 right, per protocol)\n")
+	fmt.Fprintf(w, "%-34s %7s %9s %10s %11s %7s\n", "system", "comp%", "prefetch%", "readflt%", "writeflt%", "synch%")
+	for _, pl := range protocolLabels {
+		c, p, rf, wf, s := reports[pl.proto].AvgBreakdown()
+		fmt.Fprintf(w, "%-34s %7.1f %9.1f %10.1f %11.1f %7.1f\n",
+			pl.label, c*100, p*100, rf*100, wf*100, s*100)
 	}
 	return nil
 }

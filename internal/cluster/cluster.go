@@ -1,0 +1,158 @@
+// Package cluster is the shared runtime substrate under every DSM
+// protocol in this repository (dsm's Millipage, ivy, lrc): host and
+// application-thread lifecycle, the fault/message rendezvous, message
+// endpoint wiring with pooled envelopes, per-thread time-breakdown
+// accounting, trace hooks, and the barrier/lock/queue services the
+// protocols' coordinator hosts run.
+//
+// A protocol implements the HostHandler interface — fault handling,
+// message handling and trace description — and otherwise consists purely
+// of policy: what a fault sends where, what a message does to the
+// directory, where allocations live. Everything mechanical (spawning
+// threads, busy-reference counting around blocking points, envelope
+// pooling, stats) lives here exactly once.
+//
+// Determinism contract: the runtime performs no virtual-time operation
+// of its own — every Sleep, Send and Wait is issued by the protocol — so
+// porting a protocol onto this package is bit-identical in virtual time
+// as long as the protocol issues the same sequence of operations.
+package cluster
+
+import (
+	"fmt"
+
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+	"millipage/internal/trace"
+	"millipage/internal/vm"
+)
+
+// Config describes the substrate of one simulated cluster.
+type Config struct {
+	// Name prefixes error messages ("dsm", "ivy", "lrc").
+	Name string
+
+	Hosts          int
+	ThreadsPerHost int
+	Seed           int64
+
+	Net   fastmsg.Params
+	Costs Costs
+
+	// Trace, if non-nil, records protocol events (message sends, fault
+	// entries, handler dispatches) for debugging.
+	Trace *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "cluster"
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 1
+	}
+	if c.ThreadsPerHost == 0 {
+		c.ThreadsPerHost = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Net == (fastmsg.Params{}) {
+		c.Net = fastmsg.DefaultParams()
+	}
+	if c.Costs == (Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	return c
+}
+
+// Runtime is one cluster's substrate: the simulation engine, the network,
+// the hosts and the application threads. Protocol packages wrap it in
+// their System types; host-count validation stays with them (each has its
+// own documented range and error text).
+type Runtime struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Net   *fastmsg.Network
+	Trace *trace.Recorder
+
+	hosts   []*Host
+	threads []*Thread
+
+	totalThreads int
+	ran          bool
+}
+
+// New builds the engine and network for cfg. Hosts are attached
+// afterwards with NewHost, one call per host in id order.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine(cfg.Seed)
+	net := fastmsg.New(eng, cfg.Hosts, cfg.Net)
+	return &Runtime{Cfg: cfg, Eng: eng, Net: net, Trace: cfg.Trace}
+}
+
+// NewHost attaches the next host (ids are assigned in call order) and
+// wires its fault and message entry points to hh, with the runtime's
+// trace recording layered on top.
+func (rt *Runtime) NewHost(as *vm.AddressSpace, hh HostHandler) *Host {
+	id := len(rt.hosts)
+	h := &Host{rt: rt, id: id, AS: as, EP: rt.Net.Endpoint(id), handler: hh}
+	as.SetFaultHandler(h.onFault)
+	h.EP.SetHandler(h.onMessage)
+	rt.hosts = append(rt.hosts, h)
+	return h
+}
+
+// Host returns host i.
+func (rt *Runtime) Host(i int) *Host { return rt.hosts[i] }
+
+// NumHosts returns the cluster size.
+func (rt *Runtime) NumHosts() int { return rt.Cfg.Hosts }
+
+// Threads returns the application threads after Run (for statistics).
+func (rt *Runtime) Threads() []*Thread { return rt.threads }
+
+// TotalThreads returns the application thread count (set by Run).
+func (rt *Runtime) TotalThreads() int { return rt.totalThreads }
+
+// Elapsed returns the virtual time at which the simulation stopped — the
+// parallel execution time of the application.
+func (rt *Runtime) Elapsed() sim.Duration { return sim.Duration(rt.Eng.Now()) }
+
+// Run starts ThreadsPerHost application threads on every host and drives
+// the simulation until all of them finish. mk is called once per thread,
+// in global-id order, with the thread's substrate record; it returns the
+// body to execute. A protocol's mk typically allocates its own thread
+// wrapper around t, installs it with t.SetSelf (so faults carry the
+// wrapper as context) and closes over it.
+func (rt *Runtime) Run(mk func(t *Thread) func()) error {
+	if mk == nil {
+		return fmt.Errorf("%s: nil thread body", rt.Cfg.Name)
+	}
+	if rt.ran {
+		return fmt.Errorf("%s: System.Run called twice; create a new System per run", rt.Cfg.Name)
+	}
+	rt.ran = true
+	rt.totalThreads = rt.Cfg.Hosts * rt.Cfg.ThreadsPerHost
+	gid := 0
+	for _, h := range rt.hosts {
+		for j := 0; j < rt.Cfg.ThreadsPerHost; j++ {
+			t := &Thread{h: h, ID: gid, LID: j}
+			t.self = t
+			rt.threads = append(rt.threads, t)
+			gid++
+			h := h
+			body := mk(t)
+			rt.Eng.Spawn(fmt.Sprintf("app-%d.%d", h.id, j), func(p *sim.Proc) {
+				t.p = p
+				h.EP.SetBusy(+1)
+				t.Stats.Start = p.Now()
+				body()
+				t.Stats.End = p.Now()
+				h.EP.SetBusy(-1)
+			})
+		}
+	}
+	return rt.Eng.Run()
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+	"millipage/internal/trace"
+	"millipage/internal/vm"
+)
+
+// HostHandler is the per-host half of the Protocol interface: the policy
+// callbacks the runtime invokes for the events it cannot interpret
+// itself. See docs/PROTOCOL.md ("The Protocol interface") for the full
+// contract, including determinism rules and trace obligations.
+type HostHandler interface {
+	// HandleFault services an application-thread access fault. ctx is the
+	// value installed with Thread.SetSelf (the protocol's thread wrapper).
+	// It runs in the faulting thread's simulated context and may Sleep,
+	// Send and block.
+	HandleFault(ctx any, f vm.Fault) error
+
+	// HandleMessage dispatches one delivered protocol message in the
+	// host's DSM server thread.
+	HandleMessage(p *sim.Proc, fm *fastmsg.Message)
+
+	// DescribeMsg extracts the trace fields from a protocol payload: the
+	// registered op code (trace.RegisterOps base + message type), the
+	// sharing-unit id, the address, and the home host (-1 when the message
+	// carries none). Called only when tracing is enabled.
+	DescribeMsg(payload any) (op uint16, mp int, addr uint64, home int)
+}
+
+// Host is one process of the simulated cluster: an address space, an FM
+// endpoint whose service thread runs the protocol handlers, and the
+// protocol's policy hooks.
+type Host struct {
+	rt      *Runtime
+	id      int
+	handler HostHandler
+
+	AS *vm.AddressSpace
+	EP *fastmsg.Endpoint
+}
+
+// ID returns the host id.
+func (h *Host) ID() int { return h.id }
+
+// Runtime returns the owning cluster runtime.
+func (h *Host) Runtime() *Runtime { return h.rt }
+
+// Costs returns the cluster's host-local cost table.
+func (h *Host) Costs() Costs { return h.rt.Cfg.Costs }
+
+// onFault is the installed vm fault handler: record the fault, then
+// delegate to the protocol. It runs in the faulting application thread's
+// context — the analogue of the SEH handler the wrapper routine installs
+// around each application thread (Section 3.5.1 of the paper).
+func (h *Host) onFault(ctx any, f vm.Fault) error {
+	if tr := h.rt.Trace; tr.Enabled() {
+		tr.RecordFault(h.rt.Eng.Now(), h.id, f.Kind == vm.Write, f.Addr)
+	}
+	return h.handler.HandleFault(ctx, f)
+}
+
+// onMessage records the dispatch, then delegates to the protocol's
+// message handler in the host's DSM server thread.
+func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
+	if tr := h.rt.Trace; tr.Enabled() {
+		op, mp, _, home := h.handler.DescribeMsg(fm.Payload)
+		tr.RecordMsg(p.Now(), trace.Handle, h.id, fm.From, home, op, mp, 0)
+	}
+	h.handler.HandleMessage(p, fm)
+}
+
+// Send ships a header-sized protocol message to host `to` in a pooled
+// envelope (the envelope is recycled after the destination handler
+// returns; the payload object survives).
+func (h *Host) Send(p *sim.Proc, to int, payload any) {
+	h.SendSized(p, to, payload, h.rt.Cfg.Costs.HeaderSize)
+}
+
+// SendSized is Send with an explicit wire size, for protocols whose
+// headers carry variable-length extras (lrc's encoded diffs).
+func (h *Host) SendSized(p *sim.Proc, to int, payload any, size int) {
+	if tr := h.rt.Trace; tr.Enabled() {
+		op, mp, addr, home := h.handler.DescribeMsg(payload)
+		tr.RecordMsg(h.rt.Eng.Now(), trace.Send, h.id, to, home, op, mp, addr)
+	}
+	fm := h.EP.AllocMessage()
+	fm.Size = size
+	fm.Payload = payload
+	h.EP.Send(p, to, fm)
+}
+
+// SendData ships raw sharing-unit bytes (no header: FM delivers them
+// directly into the destination's memory, the paper's zero-copy path).
+// marker is the protocol's shared immutable data-message payload; bulk
+// data is deliberately not traced — the preceding header send is.
+func (h *Host) SendData(p *sim.Proc, to int, data []byte, marker any) {
+	fm := h.EP.AllocMessage()
+	fm.Size = len(data)
+	fm.Data = data
+	fm.Payload = marker
+	h.EP.Send(p, to, fm)
+}

@@ -1,0 +1,111 @@
+package cluster
+
+// FIFO is a head-indexed queue. Pop advances a head index instead of
+// re-slicing away the front: the q = q[1:] pattern sheds the array's
+// front capacity, so a queue that cycles under load re-allocates on
+// every append. The backing array is reset (and references released)
+// once drained.
+type FIFO[T any] struct {
+	items []T
+	head  int
+}
+
+// Len reports the number of queued items.
+func (q *FIFO[T]) Len() int { return len(q.items) - q.head }
+
+// Push appends v.
+func (q *FIFO[T]) Push(v T) { q.items = append(q.items, v) }
+
+// Pop removes and returns the oldest item; ok is false when empty.
+func (q *FIFO[T]) Pop() (v T, ok bool) {
+	var zero T
+	if q.head == len(q.items) {
+		return zero, false
+	}
+	v = q.items[q.head]
+	q.items[q.head] = zero // drop the reference for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v, true
+}
+
+// BarrierService collects barrier arrivals at the coordinating host.
+// T is the protocol's arrival record (typically its message type).
+type BarrierService[T any] struct {
+	arrivals []T
+
+	Gen      int    // completed episodes, as carried in release messages
+	Episodes uint64 // same count, as a stats counter
+}
+
+// Arrive records one arrival. When the total-th thread arrives, the
+// episode completes: the generation advances and every arrival is
+// returned for release (done = true).
+func (b *BarrierService[T]) Arrive(m T, total int) (arrivals []T, done bool) {
+	b.arrivals = append(b.arrivals, m)
+	if len(b.arrivals) < total {
+		return nil, false
+	}
+	arrivals = b.arrivals
+	b.arrivals = nil
+	b.Gen++
+	b.Episodes++
+	return arrivals, true
+}
+
+// LockService is a FIFO lock table for the coordinating host. T is the
+// protocol's queued waiter record.
+type LockService[T any] struct {
+	locks map[int]*lockState[T]
+
+	Acquisitions uint64 // grants handed out (immediate and queued)
+}
+
+type lockState[T any] struct {
+	held  bool
+	queue FIFO[T]
+}
+
+// NewLockService returns an empty lock table.
+func NewLockService[T any]() *LockService[T] {
+	return &LockService[T]{locks: make(map[int]*lockState[T])}
+}
+
+// Acquire grants lock id immediately (true) or queues the waiter behind
+// the current holder (false); grants are FIFO.
+func (l *LockService[T]) Acquire(id int, m T) bool {
+	ls := l.locks[id]
+	if ls == nil {
+		ls = &lockState[T]{}
+		l.locks[id] = ls
+	}
+	if ls.held {
+		ls.queue.Push(m)
+		return false
+	}
+	ls.held = true
+	l.Acquisitions++
+	return true
+}
+
+// Release frees lock id or passes it to the next queued waiter (granted
+// = true and next is that waiter's record). wasHeld is false for a
+// release of a lock nobody holds — a protocol error the caller turns
+// into its own panic or message.
+func (l *LockService[T]) Release(id int) (next T, granted, wasHeld bool) {
+	var zero T
+	ls := l.locks[id]
+	if ls == nil || !ls.held {
+		return zero, false, false
+	}
+	n, ok := ls.queue.Pop()
+	if !ok {
+		ls.held = false
+		return zero, false, true
+	}
+	l.Acquisitions++
+	return n, true, true
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import "testing"
+
+func TestFIFOOrderAndDrainReset(t *testing.T) {
+	var q FIFO[int]
+	if q.Len() != 0 {
+		t.Fatalf("empty Len = %d", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d, %v; want %d, true", i, v, ok, i)
+		}
+	}
+	// Fully drained: the backing array must reset so the next cycle
+	// reuses it instead of growing.
+	if q.head != 0 || len(q.items) != 0 {
+		t.Fatalf("drained queue not reset: head=%d len=%d", q.head, len(q.items))
+	}
+	// Interleaved push/pop keeps FIFO order across the head index.
+	q.Push(10)
+	q.Push(11)
+	if v, _ := q.Pop(); v != 10 {
+		t.Fatalf("interleaved Pop = %d, want 10", v)
+	}
+	q.Push(12)
+	for want := 11; want <= 12; want++ {
+		if v, ok := q.Pop(); !ok || v != want {
+			t.Fatalf("Pop = %d, %v; want %d", v, ok, want)
+		}
+	}
+}
+
+func TestFIFOReleasesReferences(t *testing.T) {
+	var q FIFO[*int]
+	x := new(int)
+	q.Push(x)
+	q.Push(new(int))
+	q.Pop()
+	// The popped slot must be zeroed so the queue does not pin the
+	// element for the garbage collector.
+	if q.items[0] != nil {
+		t.Fatal("popped slot still references the element")
+	}
+}
+
+func TestBarrierServiceEpisodes(t *testing.T) {
+	var b BarrierService[int]
+	for ep := 0; ep < 3; ep++ {
+		for i := 0; i < 3; i++ {
+			arrivals, done := b.Arrive(100*ep+i, 4)
+			if done || arrivals != nil {
+				t.Fatalf("episode %d: barrier completed after %d arrivals", ep, i+1)
+			}
+		}
+		arrivals, done := b.Arrive(100*ep+3, 4)
+		if !done || len(arrivals) != 4 {
+			t.Fatalf("episode %d: done=%v arrivals=%d, want true, 4", ep, done, len(arrivals))
+		}
+		for i, a := range arrivals {
+			if a != 100*ep+i {
+				t.Fatalf("episode %d: arrival %d = %d (order lost)", ep, i, a)
+			}
+		}
+		if b.Gen != ep+1 || b.Episodes != uint64(ep+1) {
+			t.Fatalf("episode %d: Gen=%d Episodes=%d", ep, b.Gen, b.Episodes)
+		}
+	}
+}
+
+func TestLockServiceFIFOGrants(t *testing.T) {
+	l := NewLockService[string]()
+	if !l.Acquire(7, "a") {
+		t.Fatal("first Acquire not granted immediately")
+	}
+	if l.Acquire(7, "b") || l.Acquire(7, "c") {
+		t.Fatal("Acquire of a held lock granted immediately")
+	}
+	// Another lock id is independent.
+	if !l.Acquire(8, "x") {
+		t.Fatal("independent lock id not granted")
+	}
+	next, granted, wasHeld := l.Release(7)
+	if !wasHeld || !granted || next != "b" {
+		t.Fatalf("Release = %q, %v, %v; want b, true, true", next, granted, wasHeld)
+	}
+	next, granted, wasHeld = l.Release(7)
+	if !wasHeld || !granted || next != "c" {
+		t.Fatalf("Release = %q, %v, %v; want c, true, true", next, granted, wasHeld)
+	}
+	if _, granted, wasHeld = l.Release(7); granted || !wasHeld {
+		t.Fatalf("final Release granted=%v wasHeld=%v; want false, true", granted, wasHeld)
+	}
+	if l.Acquisitions != 4 {
+		t.Fatalf("Acquisitions = %d, want 4", l.Acquisitions)
+	}
+	// Releasing a free lock is the caller's protocol error, reported via
+	// wasHeld, not a panic here.
+	if _, granted, wasHeld := l.Release(7); granted || wasHeld {
+		t.Fatalf("Release of free lock = granted=%v wasHeld=%v", granted, wasHeld)
+	}
+	if _, _, wasHeld := l.Release(99); wasHeld {
+		t.Fatal("Release of never-acquired lock reported wasHeld")
+	}
+}

@@ -429,8 +429,8 @@ func TestManagerQueueDrainsInOrder(t *testing.T) {
 		if e.Busy() {
 			t.Fatalf("minipage %d directory entry still busy after run", id)
 		}
-		if len(e.queue) != 0 {
-			t.Fatalf("minipage %d has %d stranded queued requests", id, len(e.queue))
+		if e.queue.Len() != 0 {
+			t.Fatalf("minipage %d has %d stranded queued requests", id, e.queue.Len())
 		}
 	}
 }
@@ -596,7 +596,7 @@ func TestManyMinipagesStress(t *testing.T) {
 		t.Fatal(err)
 	}
 	for id, e := range s.Manager().Directory() {
-		if e.Busy() || len(e.queue) != 0 {
+		if e.Busy() || e.queue.Len() != 0 {
 			t.Fatalf("entry %d not quiesced", id)
 		}
 		cs, _ := e.Copyset()

@@ -63,7 +63,7 @@ func TestGangFetchOverlapsLatency(t *testing.T) {
 			}
 			th.Barrier()
 			if th.Host() == 1 {
-				start := th.p.Now()
+				start := th.Now()
 				if gang {
 					spans := make([]Span, n)
 					for i := range spans {
@@ -74,7 +74,7 @@ func TestGangFetchOverlapsLatency(t *testing.T) {
 				for i := range vas {
 					_ = th.ReadU32(vas[i])
 				}
-				spent = th.p.Now().Sub(start)
+				spent = th.Now().Sub(start)
 			}
 			th.Barrier()
 		})

@@ -268,7 +268,7 @@ func runShardInvariantProgram(t *testing.T, seed int64, hosts int) {
 			}
 		}
 		e := s.ManagerAt(home).entry(id)
-		if e.Busy() || len(e.queue) != 0 {
+		if e.Busy() || e.queue.Len() != 0 {
 			t.Fatalf("minipage %d not quiesced at home %d", id, home)
 		}
 		mp, _ := mpt.ByID(id)

@@ -3,33 +3,26 @@ package dsm
 import (
 	"fmt"
 
+	"millipage/internal/cluster"
 	"millipage/internal/core"
 	"millipage/internal/fastmsg"
 	"millipage/internal/sim"
-	"millipage/internal/trace"
 	"millipage/internal/vm"
 )
 
 // faultWait is the per-transaction rendezvous between a requesting thread
-// and its host's DSM server thread: the event the thread blocks on, plus
-// the translation info the reply carries back (which the thread needs for
-// its ack message).
-type faultWait struct {
-	ev    *sim.Event
-	info  core.Info
-	va    uint64 // for allocation replies
-	owner bool   // allocation reply: requester owns the new minipage
-}
+// and its host's DSM server thread — the shared substrate record (the
+// event the thread blocks on, plus the translation info the reply carries
+// back, which the thread needs for its ack message).
+type faultWait = cluster.Wait
 
-// Host is one Millipage process: an address space with the mapped views,
-// an FM endpoint whose service thread runs the protocol handlers, and the
-// application threads.
+// Host is one Millipage process: the substrate host (address space, FM
+// endpoint whose service thread runs the protocol handlers) plus the
+// MultiView region and the protocol's per-host state.
 type Host struct {
+	*cluster.Host
 	sys    *System
-	id     int
-	AS     *vm.AddressSpace
 	Region *core.Region
-	ep     *fastmsg.Endpoint
 
 	// pendingHdr pairs a reply header with the mData message that follows
 	// it on the same FIFO channel, indexed by source host id.
@@ -58,19 +51,11 @@ type HostStats struct {
 	PushesServed   uint64
 }
 
-// ID returns the host id.
-func (h *Host) ID() int { return h.id }
-
-func (h *Host) costs() Costs { return h.sys.Opt.Costs }
-func (h *Host) send(p *sim.Proc, to int, m *pmsg) {
-	if tr := h.sys.Opt.Trace; tr.Enabled() {
-		tr.RecordMsg(h.sys.Eng.Now(), trace.Send, h.id, to, h.homeOfMsg(m),
-			uint16(m.Type), m.Info.ID, m.Addr)
-	}
-	fm := h.ep.AllocMessage()
-	fm.Size = h.costs().HeaderSize
-	fm.Payload = m
-	h.ep.Send(p, to, fm)
+// DescribeMsg extracts the trace fields from a protocol header (the
+// cluster runtime calls it only when tracing is enabled).
+func (h *Host) DescribeMsg(payload any) (op uint16, mp int, addr uint64, home int) {
+	m := payload.(*pmsg)
+	return opBase + uint16(m.Type), m.Info.ID, m.Addr, h.homeOfMsg(m)
 }
 
 // homeOfMsg returns the home host of the minipage a message concerns,
@@ -93,7 +78,7 @@ func (h *Host) route(p *sim.Proc, va uint64) (int, core.Info) {
 	if h.sys.Opt.Management == Central {
 		return managerHost, core.Info{}
 	}
-	p.Sleep(h.costs().MPTLookup)
+	p.Sleep(h.Costs().MPTLookup)
 	mp, ok := h.sys.mpt.Lookup(va)
 	if !ok {
 		panic(fmt.Sprintf("dsm: access violation: %#x is not in any minipage", va))
@@ -101,62 +86,48 @@ func (h *Host) route(p *sim.Proc, va uint64) (int, core.Info) {
 	return h.sys.homeOf(mp.ID), mp.Info(h.sys.Layout)
 }
 
-// sendData ships raw minipage bytes (no header: FM delivers them directly
-// into the privileged view at the far side, the paper's zero-copy path).
-func (h *Host) sendData(p *sim.Proc, to int, data []byte) {
-	fm := h.ep.AllocMessage()
-	fm.Size = len(data)
-	fm.Data = data
-	fm.Payload = dataMarker
-	h.ep.Send(p, to, fm)
-}
-
 // readMinipage snapshots a minipage's bytes through the privileged view.
 func (h *Host) readMinipage(info core.Info) []byte {
 	data, err := h.Region.ReadPriv(info.Base, info.Size)
 	if err != nil {
-		panic(fmt.Sprintf("dsm: host %d: privileged read of %+v: %v", h.id, info, err))
+		panic(fmt.Sprintf("dsm: host %d: privileged read of %+v: %v", h.ID(), info, err))
 	}
 	return data
 }
 
-// onFault is the installed vm fault handler. It runs in the faulting
-// application thread's context — the analogue of the SEH handler the
-// wrapper routine installs around each application thread (Section 3.5.1).
+// HandleFault services one application access fault. It runs in the
+// faulting thread's context; the cluster runtime has already recorded the
+// fault event.
 //
 // Per Figure 3 ("On Read or Write Fault"): build a request carrying only
 // the faulting address, send it to the manager, and wait on the thread's
 // event. On wakeup, send the transaction-closing ack.
-func (h *Host) onFault(ctx any, f vm.Fault) error {
+func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 	t, ok := ctx.(*Thread)
 	if !ok {
 		return fmt.Errorf("dsm: fault at %#x outside an application thread", f.Addr)
 	}
-	c := h.costs()
-	start := t.p.Now()
-	if tr := h.sys.Opt.Trace; tr.Enabled() {
-		tr.RecordFault(start, h.id, f.Kind == vm.Write, f.Addr)
-	}
-	t.p.Sleep(c.AccessFault)
+	c := h.Costs()
+	p := t.Proc()
+	start := p.Now()
+	p.Sleep(c.AccessFault)
 
-	fw := t.waitSlot()
+	fw := t.WaitSlot()
 	typ := mReadReq
 	if f.Kind == vm.Write {
 		typ = mWriteReq
 	}
-	home, info := h.route(t.p, f.Addr)
-	h.send(t.p, home, &pmsg{Type: typ, From: h.id, Addr: f.Addr, Info: info, FW: fw})
+	home, info := h.route(p, f.Addr)
+	h.Send(p, home, &pmsg{Type: typ, From: h.ID(), Addr: f.Addr, Info: info, FW: fw})
 
-	t.p.Sleep(c.BlockThread)
-	h.ep.SetBusy(-1) // the host may go idle; the poller takes over
-	fw.ev.Wait(t.p)
-	h.ep.SetBusy(+1)
-	t.p.Sleep(c.ThreadWake + c.FaultResume)
+	p.Sleep(c.BlockThread)
+	t.Block(fw) // the host may go idle; the poller takes over
+	p.Sleep(c.ThreadWake + c.FaultResume)
 
 	// The ack that closes the transaction at the minipage's home.
-	h.send(t.p, h.sys.homeOf(fw.info.ID), &pmsg{Type: mAck, From: h.id, Info: fw.info, Write: f.Kind == vm.Write})
+	h.Send(p, h.sys.homeOf(fw.Info.ID), &pmsg{Type: mAck, From: h.ID(), Info: fw.Info, Write: f.Kind == vm.Write})
 
-	elapsed := t.p.Now().Sub(start)
+	elapsed := p.Now().Sub(start)
 	switch {
 	case f.Kind == vm.Write:
 		t.Stats.WriteFaultTime += elapsed
@@ -185,30 +156,26 @@ func (t *Thread) inPrefetchSpan(va uint64) bool {
 	return false
 }
 
-// onMessage dispatches one delivered message in the host's DSM server
+// HandleMessage dispatches one delivered message in the host's DSM server
 // thread. Directory traffic is routed to this host's shard (the whole
 // directory under Central management, where only host 0 receives it);
 // allocation and synchronization stay with host 0. Everything else is
 // the thin non-manager protocol of Figure 3 — note that it does no
 // queuing, no table lookups and no translation of any kind.
-func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
+func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	m := fm.Payload.(*pmsg)
-	if tr := h.sys.Opt.Trace; tr.Enabled() {
-		tr.RecordMsg(p.Now(), trace.Handle, h.id, fm.From, h.homeOfMsg(m),
-			uint16(m.Type), m.Info.ID, 0)
-	}
 	switch m.Type {
 	// ---- Directory traffic, handled by the minipage's home ----------
 	case mReadReq, mWriteReq, mAck, mInvalidateReply, mPushReq, mPushAck, mDirInit:
-		if h.sys.Opt.Management == Central && h.id != managerHost {
-			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.id, m.Type))
+		if h.sys.Opt.Management == Central && h.ID() != managerHost {
+			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.ID(), m.Type))
 		}
-		h.sys.mgrs[h.id].dispatch(p, m)
+		h.sys.mgrs[h.ID()].dispatch(p, m)
 
 	// ---- Allocation and synchronization, centralized on host 0 ------
 	case mAllocReq, mBarrierArrive, mLockReq, mUnlock:
-		if h.id != managerHost {
-			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.id, m.Type))
+		if h.ID() != managerHost {
+			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.ID(), m.Type))
 		}
 		h.sys.mgrs[managerHost].dispatch(p, m)
 
@@ -216,7 +183,7 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 	case mReadFwd:
 		// Handle Read Request: downgrade a writable copy, then reply with
 		// header and data straight out of the privileged view.
-		c := h.costs()
+		c := h.Costs()
 		p.Sleep(c.GetProt)
 		if prot, _ := h.Region.ProtOf(m.Info.Base); prot == vm.ReadWrite {
 			p.Sleep(c.SetProt)
@@ -227,14 +194,14 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		h.Stats.RequestsServed++
 		reply := *m
 		reply.Type = mReadReply
-		h.send(p, m.From, &reply)
-		h.sendData(p, m.From, h.readMinipage(m.Info))
+		h.Send(p, m.From, &reply)
+		h.SendData(p, m.From, h.readMinipage(m.Info), dataMarker)
 
 	case mWriteFwd:
 		// Handle Write Request: invalidate own copy, reply with data. The
 		// privileged view still reaches the bytes after the application
 		// views are NoAccess — that is what makes this safe and atomic.
-		c := h.costs()
+		c := h.Costs()
 		p.Sleep(c.SetProt)
 		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.NoAccess); err != nil {
 			panic(err)
@@ -242,18 +209,18 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		h.Stats.RequestsServed++
 		reply := *m
 		reply.Type = mWriteReply
-		h.send(p, m.From, &reply)
-		h.sendData(p, m.From, h.readMinipage(m.Info))
+		h.Send(p, m.From, &reply)
+		h.SendData(p, m.From, h.readMinipage(m.Info), dataMarker)
 
 	case mInvalidateReq:
-		c := h.costs()
+		c := h.Costs()
 		p.Sleep(c.SetProt)
 		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.NoAccess); err != nil {
 			panic(err)
 		}
 		h.Stats.Invalidations++
 		// The reply returns to whichever home issued the invalidation.
-		h.send(p, fm.From, &pmsg{Type: mInvalidateReply, From: h.id, Info: m.Info, FW: m.FW})
+		h.Send(p, fm.From, &pmsg{Type: mInvalidateReply, From: h.ID(), Info: m.Info, FW: m.FW})
 
 	// ---- Replies back at the requester ------------------------------
 	case mReadReply, mWriteReply, mPushData:
@@ -263,39 +230,39 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 	case mData:
 		hdr := h.pendingHdr[fm.From]
 		if hdr == nil {
-			panic(fmt.Sprintf("dsm: host %d: data from %d with no pending header", h.id, fm.From))
+			panic(fmt.Sprintf("dsm: host %d: data from %d with no pending header", h.ID(), fm.From))
 		}
 		h.pendingHdr[fm.From] = nil
 		h.installMinipage(p, hdr, fm.Data)
 
 	case mUpgradeGrant:
-		c := h.costs()
+		c := h.Costs()
 		p.Sleep(c.SetProt)
 		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.ReadWrite); err != nil {
 			panic(err)
 		}
-		m.FW.info = m.Info
-		m.FW.ev.Set()
+		m.FW.Info = m.Info
+		m.FW.Ev.Set()
 
 	case mAllocReply:
-		if m.FW.owner = m.Owner; m.Owner {
-			p.Sleep(h.costs().SetProt)
+		if m.FW.Owner = m.Owner; m.Owner {
+			p.Sleep(h.Costs().SetProt)
 			if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.ReadWrite); err != nil {
 				panic(err)
 			}
 		}
-		m.FW.info = m.Info
-		m.FW.va = m.AllocVA
-		m.FW.ev.Set()
+		m.FW.Info = m.Info
+		m.FW.VA = m.AllocVA
+		m.FW.Ev.Set()
 
 	case mBarrierRelease, mLockGrant:
-		m.FW.ev.Set()
+		m.FW.Ev.Set()
 
 	case mPushOrder:
 		h.servePush(p, m)
 
 	default:
-		panic(fmt.Sprintf("dsm: host %d: unexpected message type %v", h.id, m.Type))
+		panic(fmt.Sprintf("dsm: host %d: unexpected message type %v", h.ID(), m.Type))
 	}
 }
 
@@ -303,10 +270,10 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 // raises the application-view protection, and releases whoever waits.
 // This is Figure 3's "Handle Read or Write Reply".
 func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
-	c := h.costs()
+	c := h.Costs()
 	if len(data) != hdr.Info.Size {
 		panic(fmt.Sprintf("dsm: host %d: minipage %d size mismatch: got %d want %d",
-			h.id, hdr.Info.ID, len(data), hdr.Info.Size))
+			h.ID(), hdr.Info.ID, len(data), hdr.Info.Size))
 	}
 	if err := h.Region.WritePriv(hdr.Info.Base, data); err != nil {
 		panic(err)
@@ -323,24 +290,24 @@ func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
 	switch {
 	case hdr.Type == mPushData:
 		// Pushed replica: ack to the home; nobody is waiting.
-		h.send(p, home, &pmsg{Type: mPushAck, From: h.id, Info: hdr.Info})
+		h.Send(p, home, &pmsg{Type: mPushAck, From: h.ID(), Info: hdr.Info})
 	case hdr.Prefetch:
 		// Prefetch completion: the server thread closes the transaction.
 		h.clearPrefetchSpan(hdr.Info)
-		h.send(p, home, &pmsg{Type: mAck, From: h.id, Info: hdr.Info, Write: false})
+		h.Send(p, home, &pmsg{Type: mAck, From: h.ID(), Info: hdr.Info, Write: false})
 		if hdr.FW != nil {
-			hdr.FW.ev.Set()
+			hdr.FW.Ev.Set()
 		}
 	default:
-		hdr.FW.info = hdr.Info
-		hdr.FW.ev.Set()
+		hdr.FW.Info = hdr.Info
+		hdr.FW.Ev.Set()
 	}
 }
 
 // servePush is the owner side of a push update: downgrade to ReadOnly,
 // then replicate the minipage to every other host.
 func (h *Host) servePush(p *sim.Proc, m *pmsg) {
-	c := h.costs()
+	c := h.Costs()
 	p.Sleep(c.GetProt)
 	if prot, _ := h.Region.ProtOf(m.Info.Base); prot == vm.ReadWrite {
 		p.Sleep(c.SetProt)
@@ -351,13 +318,13 @@ func (h *Host) servePush(p *sim.Proc, m *pmsg) {
 	h.Stats.PushesServed++
 	data := h.readMinipage(m.Info)
 	for i := 0; i < h.sys.NumHosts(); i++ {
-		if i == h.id {
+		if i == h.ID() {
 			continue
 		}
 		hdr := *m
 		hdr.Type = mPushData
-		h.send(p, i, &hdr)
-		h.sendData(p, i, data)
+		h.Send(p, i, &hdr)
+		h.SendData(p, i, data, dataMarker)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"millipage/internal/cluster"
 	"millipage/internal/core"
 	"millipage/internal/sim"
 )
@@ -17,7 +18,7 @@ type dirEntry struct {
 	owner   int    // preferred replica: last writer (or allocator)
 
 	busy  bool
-	queue []*pmsg
+	queue cluster.FIFO[*pmsg]
 
 	// In-flight write invalidation.
 	pendingWrite *pmsg
@@ -69,21 +70,14 @@ type manager struct {
 	// directory entries have been placed, locally or via DIR_INIT.
 	dirInited int
 
-	barrierArrivals []*pmsg
-	barrierGen      int
-
-	locks map[int]*lockState
+	barrier cluster.BarrierService[*pmsg]
+	locks   *cluster.LockService[*pmsg]
 
 	Stats ManagerStats
 }
 
-type lockState struct {
-	held  bool
-	queue []*pmsg
-}
-
 func newManager(s *System, me int) *manager {
-	return &manager{sys: s, me: me, waitInit: make(map[int][]*pmsg), locks: make(map[int]*lockState)}
+	return &manager{sys: s, me: me, waitInit: make(map[int][]*pmsg), locks: cluster.NewLockService[*pmsg]()}
 }
 
 // MPT exposes the minipage table (for statistics and tests).
@@ -206,7 +200,7 @@ func (mg *manager) handleDirInit(p *sim.Proc, m *pmsg) {
 
 // enqueue records a competing request (Figure 7 counts these).
 func (mg *manager) enqueue(e *dirEntry, m *pmsg) {
-	e.queue = append(e.queue, m)
+	e.queue.Push(m)
 	e.Competing++
 	mg.Stats.CompetingRequests++
 }
@@ -215,11 +209,10 @@ func (mg *manager) enqueue(e *dirEntry, m *pmsg) {
 // competing request, if any.
 func (mg *manager) closeTxn(p *sim.Proc, e *dirEntry) {
 	e.busy = false
-	if len(e.queue) == 0 {
+	next, ok := e.queue.Pop()
+	if !ok {
 		return
 	}
-	next := e.queue[0]
-	e.queue = e.queue[1:]
 	next.Requeued = true
 	mg.dispatch(p, next)
 }
@@ -243,7 +236,7 @@ func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
 	e.copyset |= hostBit(m.From)
 	fwd := *m
 	fwd.Type = mReadFwd
-	mg.host().send(p, src, &fwd)
+	mg.host().Send(p, src, &fwd)
 }
 
 // findReplica picks the host to source the minipage from: the owner if it
@@ -285,7 +278,7 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 		e.owner = m.From
 		grant := *m
 		grant.Type = mUpgradeGrant
-		mg.host().send(p, m.From, &grant)
+		mg.host().Send(p, m.From, &grant)
 		return
 	}
 
@@ -323,7 +316,7 @@ func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask uint64) {
 		}
 		mg.Stats.Invalidations++
 		inv := pmsg{Type: mInvalidateReq, From: m.From, Info: m.Info}
-		mg.host().send(p, h, &inv)
+		mg.host().Send(p, h, &inv)
 	}
 }
 
@@ -334,7 +327,7 @@ func (mg *manager) forwardWrite(p *sim.Proc, e *dirEntry, m *pmsg, src int) {
 	e.owner = m.From
 	fwd := *m
 	fwd.Type = mWriteFwd
-	mg.host().send(p, src, &fwd)
+	mg.host().Send(p, src, &fwd)
 }
 
 // handleInvReply is "Manager: Handle Invalidate Reply": once every
@@ -354,7 +347,7 @@ func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
 		e.owner = w.From
 		grant := *w
 		grant.Type = mUpgradeGrant
-		mg.host().send(p, w.From, &grant)
+		mg.host().Send(p, w.From, &grant)
 		return
 	}
 	mg.forwardWrite(p, e, w, e.writeSrc)
@@ -389,7 +382,7 @@ func (mg *manager) allocLocal(p *sim.Proc, from, size int) (core.Info, uint64, b
 		} else {
 			nmp, _ := mpt.ByID(id)
 			init := pmsg{Type: mDirInit, From: from, Info: nmp.Info(mg.sys.Layout)}
-			mg.host().send(p, home, &init)
+			mg.host().Send(p, home, &init)
 		}
 	}
 	mg.dirInited = mpt.NumMinipages()
@@ -417,58 +410,45 @@ func (mg *manager) handleAlloc(p *sim.Proc, m *pmsg) {
 	reply.Info = info
 	reply.AllocVA = va
 	reply.Owner = owner
-	mg.host().send(p, m.From, &reply)
+	mg.host().Send(p, m.From, &reply)
 }
 
 // handleBarrier collects arrivals and releases everyone once the last
 // thread arrives.
 func (mg *manager) handleBarrier(p *sim.Proc, m *pmsg) {
-	mg.barrierArrivals = append(mg.barrierArrivals, m)
-	if len(mg.barrierArrivals) < mg.sys.totalThreads {
+	arrivals, done := mg.barrier.Arrive(m, mg.sys.rt.TotalThreads())
+	if !done {
 		return
 	}
-	arrivals := mg.barrierArrivals
-	mg.barrierArrivals = nil
-	mg.barrierGen++
 	mg.Stats.BarrierEpisodes++
 	for _, a := range arrivals {
-		rel := pmsg{Type: mBarrierRelease, From: managerHost, Gen: mg.barrierGen, FW: a.FW}
-		mg.host().send(p, a.From, &rel)
+		rel := pmsg{Type: mBarrierRelease, From: managerHost, Gen: mg.barrier.Gen, FW: a.FW}
+		mg.host().Send(p, a.From, &rel)
 	}
 }
 
 // handleLock grants or queues a lock request (FIFO).
 func (mg *manager) handleLock(p *sim.Proc, m *pmsg) {
-	ls := mg.locks[m.LockID]
-	if ls == nil {
-		ls = &lockState{}
-		mg.locks[m.LockID] = ls
-	}
-	if ls.held {
-		ls.queue = append(ls.queue, m)
+	if !mg.locks.Acquire(m.LockID, m) {
 		return
 	}
-	ls.held = true
 	mg.Stats.LockAcquisitions++
 	grant := pmsg{Type: mLockGrant, From: managerHost, LockID: m.LockID, FW: m.FW}
-	mg.host().send(p, m.From, &grant)
+	mg.host().Send(p, m.From, &grant)
 }
 
 // handleUnlock passes the lock to the next waiter or frees it.
 func (mg *manager) handleUnlock(p *sim.Proc, m *pmsg) {
-	ls := mg.locks[m.LockID]
-	if ls == nil || !ls.held {
+	next, granted, wasHeld := mg.locks.Release(m.LockID)
+	if !wasHeld {
 		panic(fmt.Sprintf("dsm: unlock of free lock %d", m.LockID))
 	}
-	if len(ls.queue) == 0 {
-		ls.held = false
+	if !granted {
 		return
 	}
-	next := ls.queue[0]
-	ls.queue = ls.queue[1:]
 	mg.Stats.LockAcquisitions++
 	grant := pmsg{Type: mLockGrant, From: managerHost, LockID: next.LockID, FW: next.FW}
-	mg.host().send(p, next.From, &grant)
+	mg.host().Send(p, next.From, &grant)
 }
 
 // handlePush opens a push transaction: order the owner to replicate the
@@ -492,7 +472,7 @@ func (mg *manager) handlePush(p *sim.Proc, m *pmsg) {
 	e.pushAwait = mg.sys.NumHosts() - 1
 	order := *m
 	order.Type = mPushOrder
-	mg.host().send(p, mg.findReplica(e), &order)
+	mg.host().Send(p, mg.findReplica(e), &order)
 }
 
 // handlePushAck completes the push once every other host holds a copy.

@@ -56,9 +56,10 @@ var mtypeNames = [...]string{
 	"DIR_INIT",
 }
 
-// The trace recorder stores message types as raw codes and renders the
-// names only at dump time.
-func init() { trace.RegisterOpNames(mtypeNames[:]) }
+// The trace recorder stores message types as raw codes (offset by the
+// package's registered base, so dsm/ivy/lrc coexist in one binary) and
+// renders the names only at dump time.
+var opBase = trace.RegisterOps(mtypeNames[:])
 
 func (m mtype) String() string {
 	if int(m) >= 0 && int(m) < len(mtypeNames) {

@@ -108,7 +108,7 @@ func runRandomProgram(t *testing.T, seed int64, hosts int) {
 	}
 	// Post-run protocol invariants: quiesced directory, SW/MR protections.
 	for id, e := range s.Manager().Directory() {
-		if e.Busy() || len(e.queue) != 0 {
+		if e.Busy() || e.queue.Len() != 0 {
 			t.Fatalf("minipage %d not quiesced", id)
 		}
 		mp, _ := s.Manager().MPT().ByID(id)

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 
+	"millipage/internal/cluster"
 	"millipage/internal/core"
 	"millipage/internal/fastmsg"
 	"millipage/internal/sim"
@@ -87,24 +88,23 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// System is one Millipage cluster: a simulation engine, a network, and a
-// process per host. Host 0 is the allocation authority and, under
-// Central management, the sole directory manager; under HomeBased
-// management every host runs the directory shard for the minipages it
-// is home to.
+// System is one Millipage cluster: the shared cluster runtime plus the
+// protocol state — the MPT and one directory shard per host. Host 0 is
+// the allocation authority and, under Central management, the sole
+// directory manager; under HomeBased management every host runs the
+// directory shard for the minipages it is home to.
 type System struct {
 	Opt    Options
 	Eng    *sim.Engine
 	Net    *fastmsg.Network
 	Layout core.Layout
 
+	rt    *cluster.Runtime
 	hosts []*Host
 	mpt   *core.MPT  // grown only on host 0; read-only replica elsewhere
 	mgrs  []*manager // one directory shard per host
 
-	ran          bool
-	totalThreads int
-	threads      []*Thread
+	threads []*Thread
 }
 
 // New builds a cluster. The memory object, views and privileged view are
@@ -122,9 +122,16 @@ func New(opt Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine(opt.Seed)
-	net := fastmsg.New(eng, opt.Hosts, opt.Net)
-	s := &System{Opt: opt, Eng: eng, Net: net, Layout: layout}
+	rt := cluster.New(cluster.Config{
+		Name:           "dsm",
+		Hosts:          opt.Hosts,
+		ThreadsPerHost: opt.ThreadsPerHost,
+		Seed:           opt.Seed,
+		Net:            opt.Net,
+		Costs:          opt.Costs,
+		Trace:          opt.Trace,
+	})
+	s := &System{Opt: opt, Eng: rt.Eng, Net: rt.Net, Layout: layout, rt: rt}
 
 	for i := 0; i < opt.Hosts; i++ {
 		as := vm.NewAddressSpace()
@@ -134,14 +141,10 @@ func New(opt Options) (*System, error) {
 		}
 		h := &Host{
 			sys:        s,
-			id:         i,
-			AS:         as,
 			Region:     region,
-			ep:         net.Endpoint(i),
 			pendingHdr: make([]*pmsg, opt.Hosts),
 		}
-		as.SetFaultHandler(h.onFault)
-		h.ep.SetHandler(h.onMessage)
+		h.Host = rt.NewHost(as, h)
 		s.hosts = append(s.hosts, h)
 	}
 	s.mpt = core.NewMPT(layout, opt.Grain, opt.ChunkLevel)
@@ -156,6 +159,10 @@ func (s *System) Host(i int) *Host { return s.hosts[i] }
 
 // NumHosts returns the cluster size.
 func (s *System) NumHosts() int { return s.Opt.Hosts }
+
+// Runtime returns the shared cluster substrate (engine, network, threads),
+// for protocol-independent reporting.
+func (s *System) Runtime() *cluster.Runtime { return s.rt }
 
 // Manager returns host 0's manager state (directory, MPT, counters).
 // Under Central management it holds every directory entry.
@@ -208,29 +215,12 @@ func (s *System) RunPerHost(body func(t *Thread)) error {
 	if body == nil {
 		return fmt.Errorf("dsm: nil thread body")
 	}
-	if s.ran {
-		return fmt.Errorf("dsm: System.Run called twice; create a new System per run")
-	}
-	s.ran = true
-	s.totalThreads = s.Opt.Hosts * s.Opt.ThreadsPerHost
-	gid := 0
-	for _, h := range s.hosts {
-		for j := 0; j < s.Opt.ThreadsPerHost; j++ {
-			t := &Thread{host: h, ID: gid, LID: j}
-			s.threads = append(s.threads, t)
-			gid++
-			h := h
-			s.Eng.Spawn(fmt.Sprintf("app-%d.%d", h.id, j), func(p *sim.Proc) {
-				t.p = p
-				h.ep.SetBusy(+1)
-				t.Stats.Start = p.Now()
-				body(t)
-				t.Stats.End = p.Now()
-				h.ep.SetBusy(-1)
-			})
-		}
-	}
-	return s.Eng.Run()
+	return s.rt.Run(func(ct *cluster.Thread) func() {
+		t := &Thread{Thread: ct, host: s.hosts[ct.Host()]}
+		ct.SetSelf(t)
+		s.threads = append(s.threads, t)
+		return func() { body(t) }
+	})
 }
 
 // Elapsed returns the virtual time at which the simulation stopped — the

@@ -1,238 +1,91 @@
 package dsm
 
 import (
-	"fmt"
-
-	"millipage/internal/core"
+	"millipage/internal/cluster"
 	"millipage/internal/sim"
-	"millipage/internal/stats"
 	"millipage/internal/vm"
 )
 
 // Thread is one application thread's view of the DSM: the entire
-// user-facing Millipage API (Section 3.4's library interface). All methods
-// must be called from the thread's own body function.
+// user-facing Millipage API (Section 3.4's library interface). The
+// generic surface (memory access, Compute, stats) is the embedded
+// substrate thread; this type adds the Millipage protocol operations.
+// All methods must be called from the thread's own body function.
 type Thread struct {
+	*cluster.Thread
 	host *Host
-	ID   int // global thread id
-	LID  int // local index on the host
-	p    *sim.Proc
-
-	// fw is the thread's reusable rendezvous for synchronous blocking
-	// operations (faults, malloc, barriers, locks). A thread blocks on at
-	// most one of these at a time, so a single record per thread suffices;
-	// prefetch paths allocate fresh records because their rendezvous
-	// outlives the issuing call.
-	fw *faultWait
-
-	Stats ThreadStats
-}
-
-// waitSlot returns the thread's rendezvous, reset for a new transaction.
-func (t *Thread) waitSlot() *faultWait {
-	if t.fw == nil {
-		t.fw = &faultWait{ev: sim.NewEvent(t.host.sys.Eng)}
-		return t.fw
-	}
-	fw := t.fw
-	fw.ev.Reset()
-	fw.info = core.Info{}
-	fw.va = 0
-	fw.owner = false
-	return fw
 }
 
 // ThreadStats is the per-thread execution-time breakdown reported in
-// Figure 6 (right): computation, prefetch, read faults, write faults and
-// synchronization.
-type ThreadStats struct {
-	Start, End sim.Time
-
-	ComputeTime    sim.Duration
-	ReadFaultTime  sim.Duration
-	WriteFaultTime sim.Duration
-	PrefetchTime   sim.Duration // waits attributable to in-flight prefetches, plus issue cost
-	SynchTime      sim.Duration // barriers and locks
-	MallocTime     sim.Duration
-
-	ReadFaults  uint64
-	WriteFaults uint64
-	Prefetches  uint64
-	Barriers    uint64
-	LockOps     uint64
-
-	// Latency histograms (log-scale) for tail analysis: the paper's mean
-	// service delays hide the NT timers' bimodal shape.
-	ReadFaultHist  stats.Histogram
-	WriteFaultHist stats.Histogram
-}
-
-// Total returns the thread's wall time.
-func (st ThreadStats) Total() sim.Duration { return st.End.Sub(st.Start) }
-
-// ResetStats zeroes the thread's accumulated statistics and restarts its
-// clock. Benchmarks call it when the timed section begins so setup
-// (allocation, data distribution) is excluded from the breakdown.
-func (t *Thread) ResetStats() {
-	t.Stats = ThreadStats{Start: t.p.Now()}
-}
-
-// Other returns time not attributed to any category (protocol sends,
-// residual bookkeeping); Figure 6 folds this into computation.
-func (st ThreadStats) Other() sim.Duration {
-	return st.Total() - st.ComputeTime - st.ReadFaultTime - st.WriteFaultTime -
-		st.PrefetchTime - st.SynchTime - st.MallocTime
-}
-
-// Host returns the hosting process's id.
-func (t *Thread) Host() int { return t.host.id }
-
-// NumHosts returns the cluster size.
-func (t *Thread) NumHosts() int { return t.host.sys.NumHosts() }
-
-// NumThreads returns the total application thread count.
-func (t *Thread) NumThreads() int { return t.host.sys.totalThreads }
-
-// Now returns the current virtual time.
-func (t *Thread) Now() sim.Time { return t.p.Now() }
-
-// Compute charges d of pure computation to the thread — the modeled cost
-// of the application code between shared-memory operations.
-func (t *Thread) Compute(d sim.Duration) {
-	t.Stats.ComputeTime += d
-	t.p.Sleep(d)
-}
+// Figure 6 (right); it lives in internal/cluster so every protocol
+// reports the same categories.
+type ThreadStats = cluster.ThreadStats
 
 // Malloc allocates size bytes of shared memory via the manager and
 // returns the application-view address, exactly like the paper's
 // malloc-like API: the pointer is used normally afterwards; sharing is
 // managed per-minipage underneath.
 func (t *Thread) Malloc(size int) uint64 {
-	start := t.p.Now()
-	c := t.host.costs()
-	if t.host.id == managerHost {
+	p := t.Proc()
+	start := p.Now()
+	c := t.host.Costs()
+	if t.host.ID() == managerHost {
 		// On the manager host, malloc is an in-process call on the MPT,
 		// as in the real library — no protocol messages (though DIR_INITs
 		// may be sent to remote homes under HomeBased management).
-		t.p.Sleep(c.MallocBase + c.MPTLookup)
-		info, va, owner := t.host.sys.mgrs[managerHost].allocLocal(t.p, t.host.id, size)
+		p.Sleep(c.MallocBase + c.MPTLookup)
+		info, va, owner := t.host.sys.mgrs[managerHost].allocLocal(p, t.host.ID(), size)
 		if owner {
-			t.p.Sleep(c.SetProt)
+			p.Sleep(c.SetProt)
 			if err := t.host.Region.Protect(info.Base, info.Size, vm.ReadWrite); err != nil {
 				panic(err)
 			}
 		}
-		t.Stats.MallocTime += t.p.Now().Sub(start)
+		t.Stats.MallocTime += p.Now().Sub(start)
 		return va
 	}
-	fw := t.waitSlot()
-	t.host.send(t.p, managerHost, &pmsg{Type: mAllocReq, From: t.host.id, AllocSize: size, FW: fw})
-	t.host.ep.SetBusy(-1)
-	fw.ev.Wait(t.p)
-	t.host.ep.SetBusy(+1)
-	t.p.Sleep(c.ThreadWake)
-	t.Stats.MallocTime += t.p.Now().Sub(start)
-	return fw.va
-}
-
-// Read copies len(buf) bytes of shared memory at va into buf, faulting
-// and fetching minipages as needed.
-func (t *Thread) Read(va uint64, buf []byte) {
-	if err := t.host.AS.Access(t, va, buf, vm.Read); err != nil {
-		panic(fmt.Sprintf("dsm: thread %d: read %#x: %v", t.ID, va, err))
-	}
-}
-
-// Write stores data into shared memory at va.
-func (t *Thread) Write(va uint64, data []byte) {
-	if err := t.host.AS.Access(t, va, data, vm.Write); err != nil {
-		panic(fmt.Sprintf("dsm: thread %d: write %#x: %v", t.ID, va, err))
-	}
-}
-
-// ReadU32 reads a shared little-endian uint32.
-func (t *Thread) ReadU32(va uint64) uint32 {
-	v, err := t.host.AS.ReadU32(t, va)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
-// WriteU32 writes a shared little-endian uint32.
-func (t *Thread) WriteU32(va uint64, v uint32) {
-	if err := t.host.AS.WriteU32(t, va, v); err != nil {
-		panic(err)
-	}
-}
-
-// ReadU64 reads a shared little-endian uint64.
-func (t *Thread) ReadU64(va uint64) uint64 {
-	v, err := t.host.AS.ReadU64(t, va)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
-// WriteU64 writes a shared little-endian uint64.
-func (t *Thread) WriteU64(va uint64, v uint64) {
-	if err := t.host.AS.WriteU64(t, va, v); err != nil {
-		panic(err)
-	}
-}
-
-// ReadF64 reads a shared float64.
-func (t *Thread) ReadF64(va uint64) float64 {
-	v, err := t.host.AS.ReadF64(t, va)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
-// WriteF64 writes a shared float64.
-func (t *Thread) WriteF64(va uint64, v float64) {
-	if err := t.host.AS.WriteF64(t, va, v); err != nil {
-		panic(err)
-	}
+	fw := t.WaitSlot()
+	t.host.Send(p, managerHost, &pmsg{Type: mAllocReq, From: t.host.ID(), AllocSize: size, FW: fw})
+	t.Block(fw)
+	p.Sleep(c.ThreadWake)
+	t.Stats.MallocTime += p.Now().Sub(start)
+	return fw.VA
 }
 
 // Barrier blocks until every application thread in the cluster arrives.
 func (t *Thread) Barrier() {
-	start := t.p.Now()
-	c := t.host.costs()
-	t.p.Sleep(c.BarrierBase)
-	fw := t.waitSlot()
-	t.host.send(t.p, managerHost, &pmsg{Type: mBarrierArrive, From: t.host.id, FW: fw})
-	t.host.ep.SetBusy(-1)
-	fw.ev.Wait(t.p)
-	t.host.ep.SetBusy(+1)
-	t.p.Sleep(c.ThreadWake)
-	t.Stats.SynchTime += t.p.Now().Sub(start)
+	p := t.Proc()
+	start := p.Now()
+	c := t.host.Costs()
+	p.Sleep(c.BarrierBase)
+	fw := t.WaitSlot()
+	t.host.Send(p, managerHost, &pmsg{Type: mBarrierArrive, From: t.host.ID(), FW: fw})
+	t.Block(fw)
+	p.Sleep(c.ThreadWake)
+	t.Stats.SynchTime += p.Now().Sub(start)
 	t.Stats.Barriers++
 }
 
 // Lock acquires the cluster-wide lock with the given id (FIFO at the
 // manager).
 func (t *Thread) Lock(id int) {
-	start := t.p.Now()
-	fw := t.waitSlot()
-	t.host.send(t.p, managerHost, &pmsg{Type: mLockReq, From: t.host.id, LockID: id, FW: fw})
-	t.host.ep.SetBusy(-1)
-	fw.ev.Wait(t.p)
-	t.host.ep.SetBusy(+1)
-	t.p.Sleep(t.host.costs().ThreadWake)
-	t.Stats.SynchTime += t.p.Now().Sub(start)
+	p := t.Proc()
+	start := p.Now()
+	fw := t.WaitSlot()
+	t.host.Send(p, managerHost, &pmsg{Type: mLockReq, From: t.host.ID(), LockID: id, FW: fw})
+	t.Block(fw)
+	p.Sleep(t.host.Costs().ThreadWake)
+	t.Stats.SynchTime += p.Now().Sub(start)
 	t.Stats.LockOps++
 }
 
 // Unlock releases the lock with the given id. The release is
 // asynchronous; the manager grants it to the next waiter in FIFO order.
 func (t *Thread) Unlock(id int) {
-	start := t.p.Now()
-	t.host.send(t.p, managerHost, &pmsg{Type: mUnlock, From: t.host.id, LockID: id})
-	t.Stats.SynchTime += t.p.Now().Sub(start)
+	p := t.Proc()
+	start := p.Now()
+	t.host.Send(p, managerHost, &pmsg{Type: mUnlock, From: t.host.ID(), LockID: id})
+	t.Stats.SynchTime += p.Now().Sub(start)
 	t.Stats.LockOps++
 }
 
@@ -241,7 +94,8 @@ func (t *Thread) Unlock(id int) {
 // paper inserts two such calls in LU to hide its large minipage service
 // delays (Section 4.3.1).
 func (t *Thread) Prefetch(va uint64, size int) {
-	start := t.p.Now()
+	p := t.Proc()
+	start := p.Now()
 	if prot, err := t.host.AS.ProtOf(va); err == nil && prot >= vm.ReadOnly {
 		return
 	}
@@ -249,11 +103,11 @@ func (t *Thread) Prefetch(va uint64, size int) {
 		return
 	}
 	t.host.prefetchSpans = append(t.host.prefetchSpans, span{base: va, size: size})
-	fw := &faultWait{ev: sim.NewEvent(t.host.sys.Eng)}
-	home, info := t.host.route(t.p, va)
-	t.host.send(t.p, home, &pmsg{Type: mReadReq, From: t.host.id, Addr: va, Info: info, Prefetch: true, FW: fw})
+	fw := cluster.NewWait(t.host.sys.Eng)
+	home, info := t.host.route(p, va)
+	t.host.Send(p, home, &pmsg{Type: mReadReq, From: t.host.ID(), Addr: va, Info: info, Prefetch: true, FW: fw})
 	t.Stats.Prefetches++
-	t.Stats.PrefetchTime += t.p.Now().Sub(start)
+	t.Stats.PrefetchTime += p.Now().Sub(start)
 }
 
 // Push replicates the minipage containing va (which this thread's host
@@ -261,8 +115,9 @@ func (t *Thread) Prefetch(va uint64, size int) {
 // paper's modification to TSP's minimal-tour bound: "it pushes readable
 // copies of the new value to all hosts".
 func (t *Thread) Push(va uint64) {
-	home, info := t.host.route(t.p, va)
-	t.host.send(t.p, home, &pmsg{Type: mPushReq, From: t.host.id, Addr: va, Info: info})
+	p := t.Proc()
+	home, info := t.host.route(p, va)
+	t.host.Send(p, home, &pmsg{Type: mPushReq, From: t.host.ID(), Addr: va, Info: info})
 }
 
 // Span names a shared region for group operations.
@@ -278,9 +133,10 @@ type Span struct {
 // member rather than the sum — the "coarse grain operation mode" for
 // read phases, without giving up fine-grain write sharing.
 func (t *Thread) GangFetch(spans []Span) {
-	start := t.p.Now()
+	p := t.Proc()
+	start := p.Now()
 	h := t.host
-	c := h.costs()
+	c := h.Costs()
 	var evs []*sim.Event
 	for _, sp := range spans {
 		if prot, err := h.AS.ProtOf(sp.Addr); err != nil || prot >= vm.ReadOnly {
@@ -290,19 +146,19 @@ func (t *Thread) GangFetch(spans []Span) {
 			continue
 		}
 		h.prefetchSpans = append(h.prefetchSpans, span{base: sp.Addr, size: sp.Size})
-		fw := &faultWait{ev: sim.NewEvent(h.sys.Eng)}
-		home, info := h.route(t.p, sp.Addr)
-		h.send(t.p, home, &pmsg{Type: mReadReq, From: h.id, Addr: sp.Addr, Info: info, Prefetch: true, FW: fw})
-		evs = append(evs, fw.ev)
+		fw := cluster.NewWait(h.sys.Eng)
+		home, info := h.route(p, sp.Addr)
+		h.Send(p, home, &pmsg{Type: mReadReq, From: h.ID(), Addr: sp.Addr, Info: info, Prefetch: true, FW: fw})
+		evs = append(evs, fw.Ev)
 		t.Stats.Prefetches++
 	}
 	if len(evs) > 0 {
-		h.ep.SetBusy(-1)
+		h.EP.SetBusy(-1)
 		for _, ev := range evs {
-			ev.Wait(t.p)
+			ev.Wait(p)
 		}
-		h.ep.SetBusy(+1)
-		t.p.Sleep(c.ThreadWake)
+		h.EP.SetBusy(+1)
+		p.Sleep(c.ThreadWake)
 	}
-	t.Stats.PrefetchTime += t.p.Now().Sub(start)
+	t.Stats.PrefetchTime += p.Now().Sub(start)
 }

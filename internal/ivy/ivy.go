@@ -8,7 +8,9 @@
 //     distributed manager"): page p's manager is host p mod N, rather
 //     than Millipage's single manager host;
 //   - otherwise the protocol is the same Single-Writer/Multiple-Readers
-//     invalidation scheme, over the same simulated substrate.
+//     invalidation scheme, over the same simulated substrate
+//     (internal/cluster: the identical engine, network, thread
+//     lifecycle and cost table as the other protocols).
 //
 // Benchmarks use it for two comparisons: false sharing (pages vs
 // minipages) and directory placement (distributed vs Millipage's
@@ -17,10 +19,12 @@ package ivy
 
 import (
 	"fmt"
+	"math/bits"
 
-	"millipage/internal/dsm"
+	"millipage/internal/cluster"
 	"millipage/internal/fastmsg"
 	"millipage/internal/sim"
+	"millipage/internal/trace"
 	"millipage/internal/vm"
 )
 
@@ -30,7 +34,11 @@ type Options struct {
 	SharedSize int
 	Seed       int64
 	Net        fastmsg.Params
-	Costs      dsm.Costs
+	Costs      cluster.Costs
+
+	// Trace, if non-nil, records protocol events (message sends, fault
+	// entries, handler dispatches) for debugging.
+	Trace *trace.Recorder
 }
 
 type mtype int
@@ -49,18 +57,48 @@ const (
 	mAck
 	mBarArrive
 	mBarRelease
+
+	mAllocReq
+	mAllocReply
+	mLockReq
+	mLockGrant
+	mUnlock
 )
+
+var mtypeNames = [...]string{
+	"READ_REQUEST", "WRITE_REQUEST", "READ_FWD", "WRITE_FWD",
+	"READ_REPLY", "WRITE_REPLY", "UPGRADE_GRANT", "DATA",
+	"INVALIDATE_REQUEST", "INVALIDATE_REPLY", "ACK",
+	"BARRIER_ARRIVE", "BARRIER_RELEASE",
+	"ALLOC_REQUEST", "ALLOC_REPLY", "LOCK_REQUEST", "LOCK_GRANT", "UNLOCK",
+}
+
+// The trace recorder stores message types as raw codes offset by the
+// package's registered base, so dsm/ivy/lrc coexist in one binary.
+var opBase = trace.RegisterOps(mtypeNames[:])
+
+func (m mtype) String() string {
+	if int(m) >= 0 && int(m) < len(mtypeNames) {
+		return mtypeNames[m]
+	}
+	return fmt.Sprintf("mtype(%d)", int(m))
+}
+
+// dataMarker is the shared payload of every bulk mData message: the
+// header that matters was sent separately.
+var dataMarker = &pmsg{Type: mData}
 
 type pmsg struct {
 	Type  mtype
 	From  int
 	Page  int
 	Write bool
-	FW    *wait
-}
+	FW    *cluster.Wait
 
-type wait struct {
-	ev *sim.Event
+	// Service fields.
+	AllocSize int
+	AllocVA   uint64
+	LockID    int
 }
 
 // dirEntry is one page's directory record at its manager host.
@@ -68,7 +106,7 @@ type dirEntry struct {
 	copyset uint64
 	owner   int
 	busy    bool
-	queue   []*pmsg
+	queue   cluster.FIFO[*pmsg]
 
 	pendingWrite *pmsg
 	invAwait     int
@@ -80,15 +118,24 @@ type dirEntry struct {
 
 // System is an Ivy cluster.
 type System struct {
-	Opt   Options
-	Eng   *sim.Engine
-	Net   *fastmsg.Network
-	hosts []*Host
+	Opt Options
+	Eng *sim.Engine
+	Net *fastmsg.Network
+
+	rt      *cluster.Runtime
+	hosts   []*Host
+	threads []*Thread
 
 	numPages int
 	base     uint64
 
-	barrierArrivals []*pmsg
+	// nextAlloc is the bump pointer of the malloc-like API; host 0 is the
+	// allocation authority (page ownership stays with the per-page
+	// managers — allocation only hands out addresses).
+	nextAlloc uint64
+
+	barrier cluster.BarrierService[*pmsg]
+	locks   *cluster.LockService[*pmsg]
 
 	Stats Stats
 }
@@ -104,11 +151,9 @@ type Stats struct {
 // Host is one Ivy process. Each host manages the directory entries of
 // its page residue class.
 type Host struct {
+	*cluster.Host
 	sys *System
-	id  int
-	AS  *vm.AddressSpace
 	obj *vm.MemObject
-	ep  *fastmsg.Endpoint
 
 	dir map[int]*dirEntry // pages this host manages
 
@@ -123,22 +168,26 @@ func New(opt Options) (*System, error) {
 	if opt.Hosts < 1 || opt.Hosts > 64 {
 		return nil, fmt.Errorf("ivy: bad host count %d", opt.Hosts)
 	}
-	if opt.Seed == 0 {
-		opt.Seed = 1
-	}
-	if opt.Net == (fastmsg.Params{}) {
-		opt.Net = fastmsg.DefaultParams()
-	}
-	if opt.Costs == (dsm.Costs{}) {
-		opt.Costs = dsm.DefaultCosts()
-	}
 	pages := (opt.SharedSize + vm.PageSize - 1) / vm.PageSize
 	if pages < 1 {
 		return nil, fmt.Errorf("ivy: shared size %d too small", opt.SharedSize)
 	}
-	eng := sim.NewEngine(opt.Seed)
-	net := fastmsg.New(eng, opt.Hosts, opt.Net)
-	s := &System{Opt: opt, Eng: eng, Net: net, numPages: pages, base: base}
+	rt := cluster.New(cluster.Config{
+		Name:  "ivy",
+		Hosts: opt.Hosts,
+		Seed:  opt.Seed,
+		Net:   opt.Net,
+		Costs: opt.Costs,
+		Trace: opt.Trace,
+	})
+	opt.Seed = rt.Cfg.Seed
+	opt.Net = rt.Cfg.Net
+	opt.Costs = rt.Cfg.Costs
+	s := &System{
+		Opt: opt, Eng: rt.Eng, Net: rt.Net, rt: rt,
+		numPages: pages, base: base, nextAlloc: base,
+		locks: cluster.NewLockService[*pmsg](),
+	}
 	for i := 0; i < opt.Hosts; i++ {
 		as := vm.NewAddressSpace()
 		obj := vm.NewMemObject(pages * vm.PageSize)
@@ -147,15 +196,11 @@ func New(opt Options) (*System, error) {
 		}
 		h := &Host{
 			sys:        s,
-			id:         i,
-			AS:         as,
 			obj:        obj,
-			ep:         net.Endpoint(i),
 			dir:        make(map[int]*dirEntry),
 			pendingHdr: make(map[int]*pmsg),
 		}
-		as.SetFaultHandler(h.onFault)
-		h.ep.SetHandler(h.onMessage)
+		h.Host = rt.NewHost(as, h)
 		s.hosts = append(s.hosts, h)
 	}
 	// Pages start owned by their managers, writable there.
@@ -176,6 +221,16 @@ func (s *System) Base() uint64 { return s.base }
 // Host returns host i.
 func (s *System) Host(i int) *Host { return s.hosts[i] }
 
+// NumHosts returns the cluster size.
+func (s *System) NumHosts() int { return s.Opt.Hosts }
+
+// Runtime returns the shared cluster substrate (engine, network, threads),
+// for protocol-independent reporting.
+func (s *System) Runtime() *cluster.Runtime { return s.rt }
+
+// Threads returns the application threads after Run (for statistics).
+func (s *System) Threads() []*Thread { return s.threads }
+
 // Elapsed returns the run's virtual duration.
 func (s *System) Elapsed() sim.Duration { return sim.Duration(s.Eng.Now()) }
 
@@ -183,107 +238,148 @@ func (s *System) Elapsed() sim.Duration { return sim.Duration(s.Eng.Now()) }
 func (s *System) Messages() uint64 {
 	var n uint64
 	for _, h := range s.hosts {
-		n += h.ep.Stats().Sent
+		n += h.EP.Stats().Sent
 	}
 	return n
 }
 
+// BarrierEpisodes returns the number of completed barrier episodes.
+func (s *System) BarrierEpisodes() uint64 { return s.barrier.Episodes }
+
+// LockAcquisitions returns the number of lock grants handed out.
+func (s *System) LockAcquisitions() uint64 { return s.locks.Acquisitions }
+
 // managerOf returns the host managing page p (static distribution).
 func (s *System) managerOf(p int) int { return p % s.Opt.Hosts }
 
-// Thread is one application thread's handle.
+// Thread is one application thread's handle: the generic substrate
+// surface (memory access, Compute, time-breakdown stats) plus Ivy's
+// synchronization and allocation operations.
 type Thread struct {
+	*cluster.Thread
 	host *Host
-	p    *sim.Proc
 }
+
+// ThreadStats is the per-thread execution-time breakdown, shared across
+// protocols via internal/cluster.
+type ThreadStats = cluster.ThreadStats
 
 // Run starts one application thread per host.
 func (s *System) Run(body func(t *Thread)) error {
-	for _, h := range s.hosts {
-		h := h
-		t := &Thread{host: h}
-		s.Eng.Spawn(fmt.Sprintf("ivy-app-%d", h.id), func(p *sim.Proc) {
-			t.p = p
-			h.ep.SetBusy(+1)
-			body(t)
-			h.ep.SetBusy(-1)
-		})
+	if body == nil {
+		return fmt.Errorf("ivy: nil thread body")
 	}
-	return s.Eng.Run()
+	return s.rt.Run(func(ct *cluster.Thread) func() {
+		t := &Thread{Thread: ct, host: s.hosts[ct.Host()]}
+		ct.SetSelf(t)
+		s.threads = append(s.threads, t)
+		return func() { body(t) }
+	})
 }
 
-// Host returns the thread's host id.
-func (t *Thread) Host() int { return t.host.id }
-
-// NumHosts returns the cluster size.
-func (t *Thread) NumHosts() int { return len(t.host.sys.hosts) }
-
-// Compute charges computation time.
-func (t *Thread) Compute(d sim.Duration) { t.p.Sleep(d) }
-
-// Read copies shared bytes at va.
-func (t *Thread) Read(va uint64, buf []byte) {
-	if err := t.host.AS.Access(t, va, buf, vm.Read); err != nil {
-		panic(err)
+// Malloc allocates size bytes of shared memory (8-byte aligned) from the
+// cluster-wide bump allocator at host 0 and returns the address. Pages
+// remain owned by their per-page managers; allocation only assigns
+// addresses, so the first access faults the page over as usual.
+func (t *Thread) Malloc(size int) uint64 {
+	p := t.Proc()
+	start := p.Now()
+	c := t.host.Costs()
+	if t.host.ID() == 0 {
+		p.Sleep(c.MallocBase)
+		va := t.host.sys.allocLocal(size)
+		t.Stats.MallocTime += p.Now().Sub(start)
+		return va
 	}
+	fw := t.WaitSlot()
+	t.host.Send(p, 0, &pmsg{Type: mAllocReq, From: t.host.ID(), AllocSize: size, FW: fw})
+	t.Block(fw)
+	p.Sleep(c.ThreadWake)
+	t.Stats.MallocTime += p.Now().Sub(start)
+	return fw.VA
 }
 
-// Write stores shared bytes at va.
-func (t *Thread) Write(va uint64, data []byte) {
-	if err := t.host.AS.Access(t, va, data, vm.Write); err != nil {
-		panic(err)
+// allocLocal bumps the shared allocation pointer (host 0 only).
+func (s *System) allocLocal(size int) uint64 {
+	va := (s.nextAlloc + 7) &^ 7
+	limit := s.base + uint64(s.numPages*vm.PageSize)
+	if size <= 0 || va+uint64(size) > limit {
+		panic(fmt.Sprintf("ivy: out of shared memory: alloc %d with %d free", size, limit-va))
 	}
-}
-
-// ReadU32 reads a shared uint32.
-func (t *Thread) ReadU32(va uint64) uint32 {
-	v, err := t.host.AS.ReadU32(t, va)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
-// WriteU32 writes a shared uint32.
-func (t *Thread) WriteU32(va uint64, v uint32) {
-	if err := t.host.AS.WriteU32(t, va, v); err != nil {
-		panic(err)
-	}
+	s.nextAlloc = va + uint64(size)
+	return va
 }
 
 // Barrier rendezvouses all threads (coordinated at host 0).
 func (t *Thread) Barrier() {
+	p := t.Proc()
+	start := p.Now()
 	h := t.host
-	c := h.sys.Opt.Costs
-	t.p.Sleep(c.BarrierBase)
-	fw := &wait{ev: sim.NewEvent(h.sys.Eng)}
-	h.send(t.p, 0, &pmsg{Type: mBarArrive, From: h.id, FW: fw})
-	h.ep.SetBusy(-1)
-	fw.ev.Wait(t.p)
-	h.ep.SetBusy(+1)
-	t.p.Sleep(c.ThreadWake)
+	c := h.Costs()
+	p.Sleep(c.BarrierBase)
+	fw := t.WaitSlot()
+	h.Send(p, 0, &pmsg{Type: mBarArrive, From: h.ID(), FW: fw})
+	t.Block(fw)
+	p.Sleep(c.ThreadWake)
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.Barriers++
 }
 
-func (h *Host) send(p *sim.Proc, to int, m *pmsg) {
-	h.ep.Send(p, to, &fastmsg.Message{Size: h.sys.Opt.Costs.HeaderSize, Payload: m})
+// Lock acquires the cluster-wide lock with the given id (FIFO at host 0).
+func (t *Thread) Lock(id int) {
+	p := t.Proc()
+	start := p.Now()
+	fw := t.WaitSlot()
+	t.host.Send(p, 0, &pmsg{Type: mLockReq, From: t.host.ID(), LockID: id, FW: fw})
+	t.Block(fw)
+	p.Sleep(t.host.Costs().ThreadWake)
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.LockOps++
 }
 
+// Unlock releases the lock with the given id (asynchronous; host 0
+// grants it to the next waiter in FIFO order).
+func (t *Thread) Unlock(id int) {
+	p := t.Proc()
+	start := p.Now()
+	t.host.Send(p, 0, &pmsg{Type: mUnlock, From: t.host.ID(), LockID: id})
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.LockOps++
+}
+
+// sendPage ships a page's bytes to host `to` (zero-copy data message; the
+// header that describes it was sent separately).
 func (h *Host) sendPage(p *sim.Proc, to int, page int) {
 	data := make([]byte, vm.PageSize)
 	copy(data, h.obj.Frame(page))
-	h.ep.Send(p, to, &fastmsg.Message{Size: len(data), Data: data, Payload: &pmsg{Type: mData, Page: page}})
+	h.SendData(p, to, data, dataMarker)
 }
 
 func (h *Host) pageVA(page int) uint64 { return h.sys.base + uint64(page*vm.PageSize) }
 
-// onFault sends the request to the page's distributed manager and waits.
-func (h *Host) onFault(ctx any, f vm.Fault) error {
+// DescribeMsg extracts the trace fields from a protocol header (the
+// cluster runtime calls it only when tracing is enabled).
+func (h *Host) DescribeMsg(payload any) (op uint16, mp int, addr uint64, home int) {
+	m := payload.(*pmsg)
+	op = opBase + uint16(m.Type)
+	switch m.Type {
+	case mBarArrive, mBarRelease, mAllocReq, mAllocReply, mLockReq, mLockGrant, mUnlock:
+		return op, -1, 0, -1
+	}
+	return op, m.Page, h.pageVA(m.Page), h.sys.managerOf(m.Page)
+}
+
+// HandleFault sends the request to the page's distributed manager and
+// waits. It runs in the faulting thread's context.
+func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 	t, ok := ctx.(*Thread)
 	if !ok {
 		return fmt.Errorf("ivy: fault outside app thread")
 	}
-	c := h.sys.Opt.Costs
-	t.p.Sleep(c.AccessFault)
+	c := h.Costs()
+	p := t.Proc()
+	start := p.Now()
+	p.Sleep(c.AccessFault)
 	page := int((f.Addr - h.sys.base) / vm.PageSize)
 	typ := mReadReq
 	if f.Kind == vm.Write {
@@ -292,22 +388,31 @@ func (h *Host) onFault(ctx any, f vm.Fault) error {
 	} else {
 		h.sys.Stats.ReadFaults++
 	}
-	fw := &wait{ev: sim.NewEvent(h.sys.Eng)}
-	h.send(t.p, h.sys.managerOf(page), &pmsg{Type: typ, From: h.id, Page: page, FW: fw})
-	t.p.Sleep(c.BlockThread)
-	h.ep.SetBusy(-1)
-	fw.ev.Wait(t.p)
-	h.ep.SetBusy(+1)
-	t.p.Sleep(c.ThreadWake + c.FaultResume)
-	h.send(t.p, h.sys.managerOf(page), &pmsg{Type: mAck, From: h.id, Page: page, Write: f.Kind == vm.Write})
+	fw := t.WaitSlot()
+	h.Send(p, h.sys.managerOf(page), &pmsg{Type: typ, From: h.ID(), Page: page, FW: fw})
+	p.Sleep(c.BlockThread)
+	t.Block(fw)
+	p.Sleep(c.ThreadWake + c.FaultResume)
+	h.Send(p, h.sys.managerOf(page), &pmsg{Type: mAck, From: h.ID(), Page: page, Write: f.Kind == vm.Write})
+
+	elapsed := p.Now().Sub(start)
+	if f.Kind == vm.Write {
+		t.Stats.WriteFaultTime += elapsed
+		t.Stats.WriteFaults++
+		t.Stats.WriteFaultHist.Add(elapsed)
+	} else {
+		t.Stats.ReadFaultTime += elapsed
+		t.Stats.ReadFaults++
+		t.Stats.ReadFaultHist.Add(elapsed)
+	}
 	return nil
 }
 
-// onMessage dispatches protocol messages; directory operations run at
+// HandleMessage dispatches protocol messages; directory operations run at
 // the page's manager (this host, for its residue class).
-func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
+func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	m := fm.Payload.(*pmsg)
-	c := h.sys.Opt.Costs
+	c := h.Costs()
 	switch m.Type {
 	case mReadReq, mWriteReq:
 		h.managerHandle(p, m)
@@ -315,9 +420,7 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 	case mAck:
 		e := h.dir[m.Page]
 		e.busy = false
-		if len(e.queue) > 0 {
-			next := e.queue[0]
-			e.queue = e.queue[1:]
+		if next, ok := e.queue.Pop(); ok {
 			h.managerHandle(p, next)
 		}
 
@@ -335,14 +438,14 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 			e.owner = wr.From
 			grant := *wr
 			grant.Type = mUpgrade
-			h.send(p, wr.From, &grant)
+			h.Send(p, wr.From, &grant)
 			return
 		}
 		e.copyset = 1 << uint(wr.From)
 		e.owner = wr.From
 		fwd := *wr
 		fwd.Type = mWriteFwd
-		h.send(p, e.writeSrc, &fwd)
+		h.Send(p, e.writeSrc, &fwd)
 
 	case mReadFwd:
 		p.Sleep(c.GetProt)
@@ -353,7 +456,7 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 		reply := *m
 		reply.Type = mReadReply
-		h.send(p, m.From, &reply)
+		h.Send(p, m.From, &reply)
 		h.sendPage(p, m.From, m.Page)
 
 	case mWriteFwd:
@@ -361,14 +464,14 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		h.AS.Protect(h.pageVA(m.Page), 1, vm.NoAccess)
 		reply := *m
 		reply.Type = mWriteReply
-		h.send(p, m.From, &reply)
+		h.Send(p, m.From, &reply)
 		h.sendPage(p, m.From, m.Page)
 
 	case mInvReq:
 		p.Sleep(c.SetProt)
 		h.AS.Protect(h.pageVA(m.Page), 1, vm.NoAccess)
 		h.sys.Stats.Invalidates++
-		h.send(p, h.sys.managerOf(m.Page), &pmsg{Type: mInvReply, From: h.id, Page: m.Page})
+		h.Send(p, h.sys.managerOf(m.Page), &pmsg{Type: mInvReply, From: h.ID(), Page: m.Page})
 
 	case mReadReply, mWriteReply:
 		h.pendingHdr[fm.From] = m
@@ -386,28 +489,58 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 			prot = vm.ReadWrite
 		}
 		h.AS.Protect(h.pageVA(hdr.Page), 1, prot)
-		hdr.FW.ev.Set()
+		hdr.FW.Ev.Set()
 
 	case mUpgrade:
 		p.Sleep(c.SetProt)
 		h.AS.Protect(h.pageVA(m.Page), 1, vm.ReadWrite)
-		m.FW.ev.Set()
+		m.FW.Ev.Set()
 
 	case mBarArrive:
 		s := h.sys
-		s.barrierArrivals = append(s.barrierArrivals, m)
-		if len(s.barrierArrivals) < len(s.hosts) {
+		arrivals, done := s.barrier.Arrive(m, len(s.hosts))
+		if !done {
 			return
 		}
-		arrivals := s.barrierArrivals
-		s.barrierArrivals = nil
 		for _, a := range arrivals {
 			rel := pmsg{Type: mBarRelease, FW: a.FW}
-			h.send(p, a.From, &rel)
+			h.Send(p, a.From, &rel)
 		}
 
 	case mBarRelease:
-		m.FW.ev.Set()
+		m.FW.Ev.Set()
+
+	case mAllocReq:
+		p.Sleep(c.MallocBase)
+		reply := *m
+		reply.Type = mAllocReply
+		reply.AllocVA = h.sys.allocLocal(m.AllocSize)
+		h.Send(p, m.From, &reply)
+
+	case mAllocReply:
+		m.FW.VA = m.AllocVA
+		m.FW.Ev.Set()
+
+	case mLockReq:
+		if !h.sys.locks.Acquire(m.LockID, m) {
+			return
+		}
+		grant := pmsg{Type: mLockGrant, LockID: m.LockID, FW: m.FW}
+		h.Send(p, m.From, &grant)
+
+	case mLockGrant:
+		m.FW.Ev.Set()
+
+	case mUnlock:
+		next, granted, wasHeld := h.sys.locks.Release(m.LockID)
+		if !wasHeld {
+			panic(fmt.Sprintf("ivy: unlock of free lock %d", m.LockID))
+		}
+		if !granted {
+			return
+		}
+		grant := pmsg{Type: mLockGrant, LockID: next.LockID, FW: next.FW}
+		h.Send(p, next.From, &grant)
 
 	default:
 		panic(fmt.Sprintf("ivy: unexpected message %d", int(m.Type)))
@@ -417,14 +550,14 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 // managerHandle runs the SW/MR directory logic for a page this host
 // manages.
 func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
-	c := h.sys.Opt.Costs
+	c := h.Costs()
 	p.Sleep(c.MPTLookup)
 	e := h.dir[m.Page]
 	if e == nil {
-		panic(fmt.Sprintf("ivy: host %d asked to manage page %d", h.id, m.Page))
+		panic(fmt.Sprintf("ivy: host %d asked to manage page %d", h.ID(), m.Page))
 	}
 	if e.busy {
-		e.queue = append(e.queue, m)
+		e.queue.Push(m)
 		e.Competing++
 		h.sys.Stats.Competing++
 		return
@@ -440,7 +573,7 @@ func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
 		e.copyset |= reqBit
 		fwd := *m
 		fwd.Type = mReadFwd
-		h.send(p, src, &fwd)
+		h.Send(p, src, &fwd)
 		return
 	}
 
@@ -450,7 +583,7 @@ func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
 		e.owner = m.From
 		grant := *m
 		grant.Type = mUpgrade
-		h.send(p, m.From, &grant)
+		h.Send(p, m.From, &grant)
 		return
 	}
 	if e.copyset&reqBit != 0 {
@@ -470,7 +603,7 @@ func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
 		e.owner = m.From
 		fwd := *m
 		fwd.Type = mWriteFwd
-		h.send(p, src, &fwd)
+		h.Send(p, src, &fwd)
 		return
 	}
 	e.pendingWrite = m
@@ -483,25 +616,16 @@ func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
 func (h *Host) sendInvalidates(p *sim.Proc, page int, mask uint64) {
 	for i := 0; i < len(h.sys.hosts); i++ {
 		if mask&(1<<uint(i)) != 0 {
-			h.send(p, i, &pmsg{Type: mInvReq, From: h.id, Page: page})
+			h.Send(p, i, &pmsg{Type: mInvReq, From: h.ID(), Page: page})
 		}
 	}
 }
 
 func firstBit(m uint64) int {
-	for i := 0; i < 64; i++ {
-		if m&(1<<uint(i)) != 0 {
-			return i
-		}
+	if m == 0 {
+		panic("ivy: empty copyset")
 	}
-	panic("ivy: empty copyset")
+	return bits.TrailingZeros64(m)
 }
 
-func popcount(m uint64) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
+func popcount(m uint64) int { return bits.OnesCount64(m) }

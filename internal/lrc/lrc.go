@@ -10,26 +10,31 @@
 // host run-length-diffs its dirty minipages against their twins and
 // flushes the diffs to the minipage's home, which applies them; after
 // the barrier releases, non-home copies are invalidated so the next
-// access refetches the merged contents. Data-race-free programs observe
-// the same results as under sequential consistency, while concurrent
-// writers to one (chunked) minipage never ping-pong.
+// access refetches the merged contents. Lock/Unlock follow the same
+// release-consistency discipline: Unlock flushes the holder's diffs to
+// the homes before the lock moves on, and Lock invalidates the new
+// holder's non-home copies after the grant. Data-race-free programs
+// observe the same results as under sequential consistency, while
+// concurrent writers to one (chunked) minipage never ping-pong.
 //
-// The protocol reuses the whole Millipage substrate: the MultiView
-// region and privileged view (internal/core), the VM fault upcalls
-// (internal/vm), the FastMessages model (internal/fastmsg) and the
-// twin/diff machinery with the paper's measured costs
-// (internal/twindiff). The cost Millipage's thin layer avoids — 250 us
-// per 4 KB diff — is charged here, which is exactly what the ablation
-// benchmarks compare.
+// The protocol reuses the whole Millipage substrate: the shared cluster
+// runtime (internal/cluster), the MultiView region and privileged view
+// (internal/core), the VM fault upcalls (internal/vm), the FastMessages
+// model (internal/fastmsg) and the twin/diff machinery with the paper's
+// measured costs (internal/twindiff). The cost Millipage's thin layer
+// avoids — 250 us per 4 KB diff — is charged here, which is exactly what
+// the ablation benchmarks compare.
 package lrc
 
 import (
 	"fmt"
+	"sort"
 
+	"millipage/internal/cluster"
 	"millipage/internal/core"
-	"millipage/internal/dsm"
 	"millipage/internal/fastmsg"
 	"millipage/internal/sim"
+	"millipage/internal/trace"
 	"millipage/internal/twindiff"
 	"millipage/internal/vm"
 )
@@ -42,7 +47,11 @@ type Options struct {
 	ChunkLevel int
 	Seed       int64
 	Net        fastmsg.Params
-	Costs      dsm.Costs
+	Costs      cluster.Costs
+
+	// Trace, if non-nil, records protocol events (message sends, fault
+	// entries, handler dispatches) for debugging.
+	Trace *trace.Recorder
 }
 
 // message types
@@ -58,44 +67,64 @@ const (
 	mBarrierRelease
 	mAllocReq
 	mAllocReply
+	mLockReq
+	mLockGrant
+	mUnlock
 )
+
+var mtypeNames = [...]string{
+	"FETCH_REQUEST", "FETCH_REPLY", "FETCH_DATA", "DIFF_FLUSH", "DIFF_ACK",
+	"BARRIER_ARRIVE", "BARRIER_RELEASE", "ALLOC_REQUEST", "ALLOC_REPLY",
+	"LOCK_REQUEST", "LOCK_GRANT", "UNLOCK",
+}
+
+// The trace recorder stores message types as raw codes offset by the
+// package's registered base, so dsm/ivy/lrc coexist in one binary.
+var opBase = trace.RegisterOps(mtypeNames[:])
+
+func (m mtype) String() string {
+	if int(m) >= 0 && int(m) < len(mtypeNames) {
+		return mtypeNames[m]
+	}
+	return fmt.Sprintf("mtype(%d)", int(m))
+}
+
+// dataMarker is the shared payload of every bulk mFetchData message.
+var dataMarker = &pmsg{Type: mFetchData}
 
 type pmsg struct {
 	Type mtype
 	From int
-	Addr uint64
 	Info core.Info
 
 	Diff []byte // encoded run-length diff (mDiffFlush)
 
-	FW *wait
+	FW *cluster.Wait
 
 	AllocSize int
 	AllocVA   uint64
 	Home      int
+	LockID    int
 }
 
-type wait struct {
-	ev   *sim.Event
-	info core.Info
-	va   uint64
-	home int
-}
-
-// System is an LRC cluster. Host 0 coordinates barriers and owns the
-// minipage table; every minipage's home is its allocating host.
+// System is an LRC cluster. Host 0 coordinates barriers and locks and
+// owns the minipage table; every minipage's home is its allocating host.
 type System struct {
 	Opt    Options
 	Eng    *sim.Engine
 	Net    *fastmsg.Network
 	Layout core.Layout
 
+	rt *cluster.Runtime
+
 	mpt   *core.MPT
 	homes []int // minipage id -> home host
 
-	hosts []*Host
+	hosts   []*Host
+	threads []*Thread
 
-	barrierArrivals []*pmsg
+	barrier cluster.BarrierService[*pmsg]
+	locks   *cluster.LockService[*pmsg]
 
 	Stats Stats
 }
@@ -113,11 +142,9 @@ type Stats struct {
 
 // Host is one LRC process.
 type Host struct {
+	*cluster.Host
 	sys    *System
-	id     int
-	AS     *vm.AddressSpace
 	Region *core.Region
-	ep     *fastmsg.Endpoint
 
 	twins      map[int][]byte // minipage id -> twin (dirty set)
 	dirtyInfo  map[int]core.Info
@@ -139,27 +166,29 @@ func New(opt Options) (*System, error) {
 	if opt.Views < 1 {
 		opt.Views = 1
 	}
-	if opt.Seed == 0 {
-		opt.Seed = 1
-	}
-	if opt.Net == (fastmsg.Params{}) {
-		opt.Net = fastmsg.DefaultParams()
-	}
-	if opt.Costs == (dsm.Costs{}) {
-		opt.Costs = dsm.DefaultCosts()
-	}
 	layout, err := core.NewLayout(opt.SharedSize, opt.Views)
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine(opt.Seed)
-	net := fastmsg.New(eng, opt.Hosts, opt.Net)
+	rt := cluster.New(cluster.Config{
+		Name:  "lrc",
+		Hosts: opt.Hosts,
+		Seed:  opt.Seed,
+		Net:   opt.Net,
+		Costs: opt.Costs,
+		Trace: opt.Trace,
+	})
+	opt.Seed = rt.Cfg.Seed
+	opt.Net = rt.Cfg.Net
+	opt.Costs = rt.Cfg.Costs
 	s := &System{
 		Opt:    opt,
-		Eng:    eng,
-		Net:    net,
+		Eng:    rt.Eng,
+		Net:    rt.Net,
 		Layout: layout,
+		rt:     rt,
 		mpt:    core.NewMPT(layout, core.GrainMinipage, opt.ChunkLevel),
+		locks:  cluster.NewLockService[*pmsg](),
 	}
 	for i := 0; i < opt.Hosts; i++ {
 		as := vm.NewAddressSpace()
@@ -169,17 +198,13 @@ func New(opt Options) (*System, error) {
 		}
 		h := &Host{
 			sys:        s,
-			id:         i,
-			AS:         as,
 			Region:     region,
-			ep:         net.Endpoint(i),
 			twins:      make(map[int][]byte),
 			dirtyInfo:  make(map[int]core.Info),
 			present:    make(map[int]core.Info),
 			pendingHdr: make(map[int]*pmsg),
 		}
-		as.SetFaultHandler(h.onFault)
-		h.ep.SetHandler(h.onMessage)
+		h.Host = rt.NewHost(as, h)
 		s.hosts = append(s.hosts, h)
 	}
 	return s, nil
@@ -188,70 +213,75 @@ func New(opt Options) (*System, error) {
 // Host returns host i.
 func (s *System) Host(i int) *Host { return s.hosts[i] }
 
+// NumHosts returns the cluster size.
+func (s *System) NumHosts() int { return s.Opt.Hosts }
+
 // MPT exposes the minipage table.
 func (s *System) MPT() *core.MPT { return s.mpt }
+
+// Runtime returns the shared cluster substrate (engine, network, threads),
+// for protocol-independent reporting.
+func (s *System) Runtime() *cluster.Runtime { return s.rt }
+
+// Threads returns the application threads after Run (for statistics).
+func (s *System) Threads() []*Thread { return s.threads }
 
 // Elapsed returns the virtual time at which the run stopped.
 func (s *System) Elapsed() sim.Duration { return sim.Duration(s.Eng.Now()) }
 
-// Thread is an application thread's handle on the LRC DSM.
+// BarrierEpisodes returns the number of completed barrier episodes.
+func (s *System) BarrierEpisodes() uint64 { return s.barrier.Episodes }
+
+// LockAcquisitions returns the number of lock grants handed out.
+func (s *System) LockAcquisitions() uint64 { return s.locks.Acquisitions }
+
+// Thread is an application thread's handle on the LRC DSM: the generic
+// substrate surface plus LRC's allocation and synchronization.
 type Thread struct {
+	*cluster.Thread
 	host *Host
-	ID   int
-	p    *sim.Proc
 }
+
+// ThreadStats is the per-thread execution-time breakdown, shared across
+// protocols via internal/cluster.
+type ThreadStats = cluster.ThreadStats
 
 // Run starts one application thread per host and drives the simulation.
 func (s *System) Run(body func(t *Thread)) error {
-	for i, h := range s.hosts {
-		h := h
-		t := &Thread{host: h, ID: i}
-		s.Eng.Spawn(fmt.Sprintf("lrc-app-%d", i), func(p *sim.Proc) {
-			t.p = p
-			h.ep.SetBusy(+1)
-			body(t)
-			h.ep.SetBusy(-1)
-		})
+	if body == nil {
+		return fmt.Errorf("lrc: nil thread body")
 	}
-	return s.Eng.Run()
+	return s.rt.Run(func(ct *cluster.Thread) func() {
+		t := &Thread{Thread: ct, host: s.hosts[ct.Host()]}
+		ct.SetSelf(t)
+		s.threads = append(s.threads, t)
+		return func() { body(t) }
+	})
 }
-
-func (h *Host) costs() dsm.Costs { return h.sys.Opt.Costs }
-
-func (h *Host) send(p *sim.Proc, to int, m *pmsg, extra int) {
-	h.ep.Send(p, to, &fastmsg.Message{Size: h.costs().HeaderSize + extra, Payload: m})
-}
-
-// Host returns the thread's host id.
-func (t *Thread) Host() int { return t.host.id }
-
-// NumHosts returns the cluster size.
-func (t *Thread) NumHosts() int { return len(t.host.sys.hosts) }
-
-// Compute charges pure computation time.
-func (t *Thread) Compute(d sim.Duration) { t.p.Sleep(d) }
 
 // Malloc allocates shared memory; the allocating host becomes the
 // minipage's home.
 func (t *Thread) Malloc(size int) uint64 {
 	h := t.host
 	s := h.sys
-	if h.id == 0 {
-		t.p.Sleep(h.costs().MallocBase)
-		info, va, _ := s.allocLocal(h.id, size)
+	p := t.Proc()
+	start := p.Now()
+	if h.ID() == 0 {
+		p.Sleep(h.Costs().MallocBase)
+		info, va, _ := s.allocLocal(h.ID(), size)
 		h.Region.Protect(info.Base, info.Size, vm.ReadWrite)
+		t.Stats.MallocTime += p.Now().Sub(start)
 		return va
 	}
-	fw := &wait{ev: sim.NewEvent(s.Eng)}
-	h.send(t.p, 0, &pmsg{Type: mAllocReq, From: h.id, AllocSize: size, FW: fw}, 0)
-	h.ep.SetBusy(-1)
-	fw.ev.Wait(t.p)
-	h.ep.SetBusy(+1)
-	t.p.Sleep(h.costs().ThreadWake)
-	if fw.home == h.id {
-		h.Region.Protect(fw.info.Base, fw.info.Size, vm.ReadWrite)
+	fw := t.WaitSlot()
+	h.Send(p, 0, &pmsg{Type: mAllocReq, From: h.ID(), AllocSize: size, FW: fw})
+	t.Block(fw)
+	p.Sleep(h.Costs().ThreadWake)
+	if fw.Home == h.ID() {
+		h.Region.Protect(fw.Info.Base, fw.Info.Size, vm.ReadWrite)
 	}
-	return fw.va
+	t.Stats.MallocTime += p.Now().Sub(start)
+	return fw.VA
 }
 
 func (s *System) allocLocal(from, size int) (core.Info, uint64, int) {
@@ -265,45 +295,33 @@ func (s *System) allocLocal(from, size int) (core.Info, uint64, int) {
 	return mp.Info(s.Layout), va, s.homes[mp.ID]
 }
 
-// Read copies shared memory, faulting as needed.
-func (t *Thread) Read(va uint64, buf []byte) {
-	if err := t.host.AS.Access(t, va, buf, vm.Read); err != nil {
-		panic(err)
+// DescribeMsg extracts the trace fields from a protocol header (the
+// cluster runtime calls it only when tracing is enabled).
+func (h *Host) DescribeMsg(payload any) (op uint16, mp int, addr uint64, home int) {
+	m := payload.(*pmsg)
+	op = opBase + uint16(m.Type)
+	if m.Info.Size == 0 {
+		return op, -1, 0, -1
 	}
+	home = -1
+	if m.Info.ID < len(h.sys.homes) {
+		home = h.sys.homes[m.Info.ID]
+	}
+	return op, m.Info.ID, m.Info.Base, home
 }
 
-// Write stores into shared memory, faulting (and twinning) as needed.
-func (t *Thread) Write(va uint64, data []byte) {
-	if err := t.host.AS.Access(t, va, data, vm.Write); err != nil {
-		panic(err)
-	}
-}
-
-// ReadU32 reads a shared uint32.
-func (t *Thread) ReadU32(va uint64) uint32 {
-	v, err := t.host.AS.ReadU32(t, va)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
-// WriteU32 writes a shared uint32.
-func (t *Thread) WriteU32(va uint64, v uint32) {
-	if err := t.host.AS.WriteU32(t, va, v); err != nil {
-		panic(err)
-	}
-}
-
-// onFault services read and write faults in LRC fashion: fetch from home
-// if absent; on write, twin and proceed — never invalidate other hosts.
-func (h *Host) onFault(ctx any, f vm.Fault) error {
+// HandleFault services read and write faults in LRC fashion: fetch from
+// home if absent; on write, twin and proceed — never invalidate other
+// hosts.
+func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 	t, ok := ctx.(*Thread)
 	if !ok {
 		return fmt.Errorf("lrc: fault outside app thread at %#x", f.Addr)
 	}
-	c := h.costs()
-	t.p.Sleep(c.AccessFault)
+	c := h.Costs()
+	p := t.Proc()
+	start := p.Now()
+	p.Sleep(c.AccessFault)
 	s := h.sys
 
 	// Identify the minipage (homes and the MPT are replicated read-only
@@ -315,23 +333,21 @@ func (h *Host) onFault(ctx any, f vm.Fault) error {
 	info := mp.Info(s.Layout)
 	home := s.homes[mp.ID]
 
-	if prot, _ := h.Region.ProtOf(info.Base); prot == vm.NoAccess && home != h.id {
+	if prot, _ := h.Region.ProtOf(info.Base); prot == vm.NoAccess && home != h.ID() {
 		// Fetch current contents from home.
 		s.Stats.Fetches++
 		if f.Kind == vm.Read {
 			s.Stats.ReadFault++
 		}
-		fw := &wait{ev: sim.NewEvent(s.Eng)}
-		h.send(t.p, home, &pmsg{Type: mFetchReq, From: h.id, Info: info, FW: fw}, 0)
-		h.ep.SetBusy(-1)
-		fw.ev.Wait(t.p)
-		h.ep.SetBusy(+1)
-		t.p.Sleep(c.ThreadWake + c.FaultResume)
+		fw := t.WaitSlot()
+		h.Send(p, home, &pmsg{Type: mFetchReq, From: h.ID(), Info: info, FW: fw})
+		t.Block(fw)
+		p.Sleep(c.ThreadWake + c.FaultResume)
 		h.present[mp.ID] = info
 	}
 
 	if f.Kind == vm.Write {
-		// Twin and write locally; the diff travels at the next barrier.
+		// Twin and write locally; the diff travels at the next release.
 		s.Stats.WriteFault++
 		if _, dirty := h.twins[mp.ID]; !dirty {
 			data, err := h.Region.ReadPriv(info.Base, info.Size)
@@ -341,24 +357,35 @@ func (h *Host) onFault(ctx any, f vm.Fault) error {
 			h.twins[mp.ID] = twindiff.Twin(data)
 			h.dirtyInfo[mp.ID] = info
 			s.Stats.TwinsMade++
-			t.p.Sleep(twindiff.TwinCost(info.Size))
+			p.Sleep(twindiff.TwinCost(info.Size))
 		}
-		t.p.Sleep(c.SetProt)
-		return h.Region.Protect(info.Base, info.Size, vm.ReadWrite)
+		p.Sleep(c.SetProt)
+		err := h.Region.Protect(info.Base, info.Size, vm.ReadWrite)
+		elapsed := p.Now().Sub(start)
+		t.Stats.WriteFaultTime += elapsed
+		t.Stats.WriteFaults++
+		t.Stats.WriteFaultHist.Add(elapsed)
+		return err
 	}
-	t.p.Sleep(c.SetProt)
-	return h.Region.Protect(info.Base, info.Size, vm.ReadOnly)
+	p.Sleep(c.SetProt)
+	err := h.Region.Protect(info.Base, info.Size, vm.ReadOnly)
+	elapsed := p.Now().Sub(start)
+	t.Stats.ReadFaultTime += elapsed
+	t.Stats.ReadFaults++
+	t.Stats.ReadFaultHist.Add(elapsed)
+	return err
 }
 
-// Barrier flushes this host's dirty minipages to their homes, then
-// rendezvouses with every other thread; on release, non-home copies are
-// invalidated so subsequent accesses see the merged state.
-func (t *Thread) Barrier() {
+// flushDiffs run-length-diffs every dirty minipage against its twin and
+// flushes the diffs to the minipages' homes, blocking until every home
+// has acked. It is the release half of the consistency model, shared by
+// Barrier and Unlock.
+func (t *Thread) flushDiffs() {
 	h := t.host
 	s := h.sys
-	c := h.costs()
+	c := h.Costs()
+	p := t.Proc()
 
-	// Flush diffs and wait for the homes' acks.
 	dirty := make([]int, 0, len(h.twins))
 	for id := range h.twins {
 		dirty = append(dirty, id)
@@ -389,10 +416,10 @@ func (t *Thread) Barrier() {
 		if err != nil {
 			panic(err)
 		}
-		t.p.Sleep(twindiff.CreateCost(info.Size)) // the cost Millipage avoids
+		p.Sleep(twindiff.CreateCost(info.Size)) // the cost Millipage avoids
 		delete(h.twins, id)
 		delete(h.dirtyInfo, id)
-		if home == h.id {
+		if home == h.ID() {
 			continue // writes are already at home
 		}
 		flushes = append(flushes, flush{home: home, info: info, enc: twindiff.Encode(runs)})
@@ -403,26 +430,28 @@ func (t *Thread) Barrier() {
 		for _, f := range flushes {
 			s.Stats.DiffsSent++
 			s.Stats.DiffBytes += uint64(len(f.enc))
-			h.send(t.p, f.home, &pmsg{Type: mDiffFlush, From: h.id, Info: f.info, Diff: f.enc}, len(f.enc))
+			h.SendSized(p, f.home, &pmsg{Type: mDiffFlush, From: h.ID(), Info: f.info, Diff: f.enc}, c.HeaderSize+len(f.enc))
 		}
-		h.ep.SetBusy(-1)
-		h.flushDone.Wait(t.p)
-		h.ep.SetBusy(+1)
-		t.p.Sleep(c.ThreadWake)
+		t.BlockOn(h.flushDone)
+		p.Sleep(c.ThreadWake)
 	}
+}
 
-	// Rendezvous.
-	t.p.Sleep(c.BarrierBase)
-	fw := &wait{ev: sim.NewEvent(s.Eng)}
-	h.send(t.p, 0, &pmsg{Type: mBarrierArrive, From: h.id, FW: fw}, 0)
-	h.ep.SetBusy(-1)
-	fw.ev.Wait(t.p)
-	h.ep.SetBusy(+1)
-	t.p.Sleep(c.ThreadWake)
-
-	// Invalidate non-home copies: the next access refetches merged data.
-	for id, info := range h.present {
-		t.p.Sleep(c.SetProt)
+// invalidatePresent drops every non-home copy this host holds, so the
+// next access refetches the merged contents from the home. It is the
+// acquire half of the consistency model, shared by Barrier and Lock.
+func (t *Thread) invalidatePresent() {
+	h := t.host
+	c := h.Costs()
+	p := t.Proc()
+	ids := make([]int, 0, len(h.present))
+	for id := range h.present {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		info := h.present[id]
+		p.Sleep(c.SetProt)
 		if err := h.Region.Protect(info.Base, info.Size, vm.NoAccess); err != nil {
 			panic(err)
 		}
@@ -430,11 +459,67 @@ func (t *Thread) Barrier() {
 	}
 }
 
-// onMessage is the LRC server-thread dispatcher.
-func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
+// Barrier flushes this host's dirty minipages to their homes, then
+// rendezvouses with every other thread; on release, non-home copies are
+// invalidated so subsequent accesses see the merged state.
+func (t *Thread) Barrier() {
+	h := t.host
+	c := h.Costs()
+	p := t.Proc()
+	start := p.Now()
+
+	// Flush diffs and wait for the homes' acks (release).
+	t.flushDiffs()
+
+	// Rendezvous.
+	p.Sleep(c.BarrierBase)
+	fw := t.WaitSlot()
+	h.Send(p, 0, &pmsg{Type: mBarrierArrive, From: h.ID(), FW: fw})
+	t.Block(fw)
+	p.Sleep(c.ThreadWake)
+
+	// Invalidate non-home copies (acquire).
+	t.invalidatePresent()
+
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.Barriers++
+}
+
+// Lock acquires the cluster-wide lock with the given id (FIFO at host 0)
+// and then invalidates this host's non-home copies, so accesses inside
+// the critical section observe everything flushed by the previous
+// holder's Unlock — release consistency over the same diff machinery.
+func (t *Thread) Lock(id int) {
+	h := t.host
+	p := t.Proc()
+	start := p.Now()
+	fw := t.WaitSlot()
+	h.Send(p, 0, &pmsg{Type: mLockReq, From: h.ID(), LockID: id, FW: fw})
+	t.Block(fw)
+	p.Sleep(h.Costs().ThreadWake)
+	t.invalidatePresent()
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.LockOps++
+}
+
+// Unlock flushes this host's dirty minipages to their homes (the release
+// that makes the critical section's writes visible to the next holder),
+// then releases the lock asynchronously.
+func (t *Thread) Unlock(id int) {
+	h := t.host
+	p := t.Proc()
+	start := p.Now()
+	t.flushDiffs()
+	h.Send(p, 0, &pmsg{Type: mUnlock, From: h.ID(), LockID: id})
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.LockOps++
+}
+
+// HandleMessage is the LRC server-thread dispatcher.
+func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	m := fm.Payload.(*pmsg)
 	s := h.sys
-	c := h.costs()
+	c := h.Costs()
 	switch m.Type {
 	case mAllocReq:
 		p.Sleep(c.MallocBase)
@@ -444,13 +529,13 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		reply.Info = info
 		reply.AllocVA = va
 		reply.Home = home
-		h.send(p, m.From, &reply, 0)
+		h.Send(p, m.From, &reply)
 
 	case mAllocReply:
-		m.FW.info = m.Info
-		m.FW.va = m.AllocVA
-		m.FW.home = m.Home
-		m.FW.ev.Set()
+		m.FW.Info = m.Info
+		m.FW.VA = m.AllocVA
+		m.FW.Home = m.Home
+		m.FW.Ev.Set()
 
 	case mFetchReq:
 		// Home ships its current copy (always readable at home via the
@@ -461,8 +546,8 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 		reply := *m
 		reply.Type = mFetchReply
-		h.send(p, m.From, &reply, 0)
-		h.ep.Send(p, m.From, &fastmsg.Message{Size: len(data), Data: data, Payload: &pmsg{Type: mFetchData}})
+		h.Send(p, m.From, &reply)
+		h.SendData(p, m.From, data, dataMarker)
 
 	case mFetchReply:
 		h.pendingHdr[fm.From] = m
@@ -480,8 +565,8 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, vm.ReadOnly); err != nil {
 			panic(err)
 		}
-		hdr.FW.info = hdr.Info
-		hdr.FW.ev.Set()
+		hdr.FW.Info = hdr.Info
+		hdr.FW.Ev.Set()
 
 	case mDiffFlush:
 		runs, err := twindiff.Decode(m.Diff)
@@ -499,7 +584,7 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 			panic(err)
 		}
 		p.Sleep(twindiff.ApplyCost(len(m.Diff)))
-		h.send(p, m.From, &pmsg{Type: mDiffAck, From: h.id, Info: m.Info}, 0)
+		h.Send(p, m.From, &pmsg{Type: mDiffAck, From: h.ID(), Info: m.Info})
 
 	case mDiffAck:
 		if h.flushAwait--; h.flushAwait == 0 {
@@ -507,23 +592,48 @@ func (h *Host) onMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 
 	case mBarrierArrive:
-		if h.id != 0 {
+		if h.ID() != 0 {
 			panic("lrc: barrier arrive at non-coordinator")
 		}
-		s.barrierArrivals = append(s.barrierArrivals, m)
-		if len(s.barrierArrivals) < len(s.hosts) {
+		arrivals, done := s.barrier.Arrive(m, len(s.hosts))
+		if !done {
 			return
 		}
-		arrivals := s.barrierArrivals
-		s.barrierArrivals = nil
 		s.Stats.Barriers++
 		for _, a := range arrivals {
 			rel := pmsg{Type: mBarrierRelease, FW: a.FW}
-			h.send(p, a.From, &rel, 0)
+			h.Send(p, a.From, &rel)
 		}
 
 	case mBarrierRelease:
-		m.FW.ev.Set()
+		m.FW.Ev.Set()
+
+	case mLockReq:
+		if h.ID() != 0 {
+			panic("lrc: lock request at non-coordinator")
+		}
+		if !s.locks.Acquire(m.LockID, m) {
+			return
+		}
+		grant := pmsg{Type: mLockGrant, LockID: m.LockID, FW: m.FW}
+		h.Send(p, m.From, &grant)
+
+	case mLockGrant:
+		m.FW.Ev.Set()
+
+	case mUnlock:
+		if h.ID() != 0 {
+			panic("lrc: unlock at non-coordinator")
+		}
+		next, granted, wasHeld := s.locks.Release(m.LockID)
+		if !wasHeld {
+			panic(fmt.Sprintf("lrc: unlock of free lock %d", m.LockID))
+		}
+		if !granted {
+			return
+		}
+		grant := pmsg{Type: mLockGrant, LockID: next.LockID, FW: next.FW}
+		h.Send(p, next.From, &grant)
 
 	default:
 		panic(fmt.Sprintf("lrc: unexpected message %d", int(m.Type)))

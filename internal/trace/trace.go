@@ -42,14 +42,20 @@ func (k Kind) String() string {
 }
 
 // opNames maps protocol operation codes (Event.Op) to display names. It
-// is registered once, from an init function of the protocol package, and
+// is appended to once per protocol package, from init functions, and
 // read-only afterwards.
 var opNames []string
 
-// RegisterOpNames installs the display names for protocol operation
-// codes carried in Event.Op. Intended for an init function; the last
-// registration wins.
-func RegisterOpNames(names []string) { opNames = names }
+// RegisterOps appends a protocol's operation-name table to the shared
+// registry and returns the code of its first entry. Each protocol
+// package registers once from an init function and records events as
+// base+op, so several protocols (dsm, ivy, lrc) coexist in one binary
+// without clobbering each other's names.
+func RegisterOps(names []string) uint16 {
+	base := len(opNames)
+	opNames = append(opNames, names...)
+	return uint16(base)
+}
 
 func opName(op uint16) string {
 	if int(op) < len(opNames) {

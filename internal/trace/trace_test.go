@@ -85,16 +85,20 @@ func TestNilRecorderSafe(t *testing.T) {
 	}
 }
 
+// fixtureBase is the test op table's base code, registered once — the
+// registry is append-only, so repeated registration per test would leak
+// a copy of the table per call.
+var fixtureBase = RegisterOps([]string{"READ_REQUEST", "WRITE_REQUEST", "READ_FWD"})
+
 // structuredFixture records a small mixed protocol history through the
 // typed entry points, as the DSM layer does.
 func structuredFixture() *Recorder {
-	RegisterOpNames([]string{"READ_REQUEST", "WRITE_REQUEST", "READ_FWD"})
 	r := NewRecorder(32)
-	r.RecordMsg(100, Send, 0, 2, 1, 0, 7, 0x2000) // READ_REQUEST mp=7, h0->h2, home h1
-	r.RecordMsg(150, Handle, 2, 0, 1, 0, 7, 0)    // its handler
-	r.RecordMsg(200, Send, 1, 3, 1, 1, 9, 0x3000) // WRITE_REQUEST mp=9
-	r.RecordFault(250, 3, false, 0x4000)          // read fault on h3
-	r.RecordFault(300, 3, true, 0x4100)           // write fault on h3
+	r.RecordMsg(100, Send, 0, 2, 1, fixtureBase+0, 7, 0x2000) // READ_REQUEST mp=7, h0->h2, home h1
+	r.RecordMsg(150, Handle, 2, 0, 1, fixtureBase+0, 7, 0)    // its handler
+	r.RecordMsg(200, Send, 1, 3, 1, fixtureBase+1, 9, 0x3000) // WRITE_REQUEST mp=9
+	r.RecordFault(250, 3, false, 0x4000)                      // read fault on h3
+	r.RecordFault(300, 3, true, 0x4100)                       // write fault on h3
 	r.Recordf(400, Note, 0, -1, "free-form mp=7 note")
 	return r
 }

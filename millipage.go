@@ -43,10 +43,14 @@ package millipage
 
 import (
 	"fmt"
+	"strings"
 
+	"millipage/internal/cluster"
 	"millipage/internal/core"
 	"millipage/internal/dsm"
 	"millipage/internal/fastmsg"
+	"millipage/internal/ivy"
+	"millipage/internal/lrc"
 	"millipage/internal/sim"
 )
 
@@ -61,6 +65,25 @@ type Duration = sim.Duration
 
 // Config describes a Millipage cluster.
 type Config struct {
+	// Protocol selects the coherence protocol the cluster runs:
+	//
+	//	"millipage" (or "") — the paper's protocol: MultiView minipages,
+	//	        sequentially consistent Single-Writer/Multiple-Readers.
+	//	"ivy"       — the Li/Hudak page-granularity baseline with
+	//	        distributed page managers (internal/ivy). Page-grain
+	//	        sharing; Views, ChunkLevel, PageGranularity and
+	//	        HomeBasedManagement are ignored.
+	//	"lrc"       — home-based lazy release consistency over minipages
+	//	        (internal/lrc): twins and diffs, updates propagate at
+	//	        acquires and barriers. Programs must be data-race-free
+	//	        (synchronize through Barrier/Lock, never by spinning on
+	//	        shared memory).
+	//
+	// All protocols run the same Worker API on the same simulated
+	// substrate, so apps and benchmarks sweep protocols by changing only
+	// this field.
+	Protocol string
+
 	// Hosts is the number of machines (the paper's cluster has 8).
 	// Default 1.
 	Hosts int
@@ -105,42 +128,110 @@ type Config struct {
 	PerfectTimers bool
 }
 
-// Cluster is a Millipage DSM cluster ready to run one application.
+// Cluster is a DSM cluster ready to run one application under the
+// configured protocol.
 type Cluster struct {
-	sys *dsm.System
-	ran bool
+	protocol string
+	mp       *dsm.System // Protocol "millipage"
+	ivySys   *ivy.System // Protocol "ivy"
+	lrcSys   *lrc.System // Protocol "lrc"
+	ran      bool
+}
+
+// netParams returns the fastmsg parameters cfg implies: zero (letting
+// the protocol fill its calibrated defaults) unless PerfectTimers asks
+// for the idealized service threads.
+func (cfg Config) netParams() fastmsg.Params {
+	if !cfg.PerfectTimers {
+		return fastmsg.Params{}
+	}
+	p := fastmsg.DefaultParams()
+	p.PerfectTimers = true
+	p.SweepShortLo = 30 * sim.Microsecond
+	return p
 }
 
 // NewCluster builds a cluster from cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
-	opt := dsm.Options{
-		Hosts:          cfg.Hosts,
-		ThreadsPerHost: cfg.ThreadsPerHost,
-		SharedSize:     cfg.SharedMemory,
-		Views:          cfg.Views,
-		ChunkLevel:     cfg.ChunkLevel,
-		Seed:           cfg.Seed,
+	proto := strings.ToLower(cfg.Protocol)
+	if proto == "" {
+		proto = "millipage"
 	}
-	if cfg.HomeBasedManagement {
-		opt.Management = dsm.HomeBased
-	}
-	if cfg.PageGranularity {
-		opt.Grain = core.GrainPage
-		if opt.Views == 0 {
-			opt.Views = 1
+	switch proto {
+	case "millipage":
+		opt := dsm.Options{
+			Hosts:          cfg.Hosts,
+			ThreadsPerHost: cfg.ThreadsPerHost,
+			SharedSize:     cfg.SharedMemory,
+			Views:          cfg.Views,
+			ChunkLevel:     cfg.ChunkLevel,
+			Seed:           cfg.Seed,
+			Net:            cfg.netParams(),
 		}
+		if cfg.HomeBasedManagement {
+			opt.Management = dsm.HomeBased
+		}
+		if cfg.PageGranularity {
+			opt.Grain = core.GrainPage
+			if opt.Views == 0 {
+				opt.Views = 1
+			}
+		}
+		sys, err := dsm.New(opt)
+		if err != nil {
+			return nil, err
+		}
+		return &Cluster{protocol: proto, mp: sys}, nil
+	case "ivy":
+		if cfg.ThreadsPerHost > 1 {
+			return nil, fmt.Errorf("millipage: protocol %q runs one thread per host", proto)
+		}
+		sys, err := ivy.New(ivy.Options{
+			Hosts:      cfg.Hosts,
+			SharedSize: cfg.SharedMemory,
+			Seed:       cfg.Seed,
+			Net:        cfg.netParams(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Cluster{protocol: proto, ivySys: sys}, nil
+	case "lrc":
+		if cfg.ThreadsPerHost > 1 {
+			return nil, fmt.Errorf("millipage: protocol %q runs one thread per host", proto)
+		}
+		sys, err := lrc.New(lrc.Options{
+			Hosts:      cfg.Hosts,
+			SharedSize: cfg.SharedMemory,
+			Views:      cfg.Views,
+			ChunkLevel: cfg.ChunkLevel,
+			Seed:       cfg.Seed,
+			Net:        cfg.netParams(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Cluster{protocol: proto, lrcSys: sys}, nil
+	default:
+		return nil, fmt.Errorf("millipage: unknown protocol %q (want millipage, ivy or lrc)", cfg.Protocol)
 	}
-	if cfg.PerfectTimers {
-		p := fastmsg.DefaultParams()
-		p.PerfectTimers = true
-		p.SweepShortLo = 30 * sim.Microsecond
-		opt.Net = p
+}
+
+// Protocol returns the protocol this cluster runs ("millipage", "ivy" or
+// "lrc").
+func (c *Cluster) Protocol() string { return c.protocol }
+
+// runtime returns the protocol-independent cluster substrate, the basis
+// of the generic half of the Report.
+func (c *Cluster) runtime() *cluster.Runtime {
+	switch {
+	case c.mp != nil:
+		return c.mp.Runtime()
+	case c.ivySys != nil:
+		return c.ivySys.Runtime()
+	default:
+		return c.lrcSys.Runtime()
 	}
-	sys, err := dsm.New(opt)
-	if err != nil {
-		return nil, err
-	}
-	return &Cluster{sys: sys}, nil
 }
 
 // Run executes body on ThreadsPerHost application threads on every host
@@ -151,16 +242,29 @@ func (c *Cluster) Run(body func(w *Worker)) (*Report, error) {
 		return nil, fmt.Errorf("millipage: Cluster.Run called twice; create a new Cluster per run")
 	}
 	c.ran = true
-	err := c.sys.Run(func(t *dsm.Thread) {
-		body(&Worker{t: t})
-	})
+	var err error
+	switch {
+	case c.mp != nil:
+		err = c.mp.Run(func(t *dsm.Thread) {
+			body(&Worker{t: t, mp: t})
+		})
+	case c.ivySys != nil:
+		err = c.ivySys.Run(func(t *ivy.Thread) {
+			body(&Worker{t: t})
+		})
+	default:
+		err = c.lrcSys.Run(func(t *lrc.Thread) {
+			body(&Worker{t: t})
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 	return c.report(), nil
 }
 
-// System exposes the underlying DSM system for benchmarks and tests that
-// need raw access (statistics, directory state). Most applications never
-// need it.
-func (c *Cluster) System() *dsm.System { return c.sys }
+// System exposes the underlying Millipage DSM system for benchmarks and
+// tests that need raw access (statistics, directory state). It is nil
+// when the cluster runs another protocol; most applications never need
+// it.
+func (c *Cluster) System() *dsm.System { return c.mp }

@@ -9,9 +9,13 @@ import (
 
 // Report summarizes one application run: parallel execution time,
 // per-thread time breakdowns (Figure 6 right), and protocol activity.
+// The substrate metrics (threads, faults, messages, latencies) are
+// protocol-independent; the directory and footprint counters below are
+// filled per protocol and stay zero where a protocol has no equivalent.
 type Report struct {
-	Hosts   int
-	Elapsed Duration // parallel execution time on the virtual clock
+	Protocol string // the protocol that produced this run
+	Hosts    int
+	Elapsed  Duration // parallel execution time on the virtual clock
 
 	Threads []ThreadReport
 
@@ -74,12 +78,16 @@ func (tr ThreadReport) Breakdown() (comp, prefetch, readF, writeF, synch float64
 }
 
 func (c *Cluster) report() *Report {
-	sys := c.sys
+	rt := c.runtime()
 	r := &Report{
-		Hosts:   sys.NumHosts(),
-		Elapsed: sys.Elapsed(),
+		Protocol: c.protocol,
+		Hosts:    rt.NumHosts(),
+		Elapsed:  rt.Elapsed(),
 	}
-	for _, t := range sys.Threads() {
+	// The generic half: every protocol runs on the shared cluster
+	// substrate, so threads, faults, messages and latencies come from the
+	// runtime regardless of protocol.
+	for _, t := range rt.Threads() {
 		st := t.Stats
 		r.Threads = append(r.Threads, ThreadReport{
 			Host:      t.Host(),
@@ -93,17 +101,17 @@ func (c *Cluster) report() *Report {
 			Other:     st.Other(),
 		})
 	}
-	for i := 0; i < sys.NumHosts(); i++ {
-		r.ReadFaults += sys.Host(i).AS.ReadFaults
-		r.WriteFaults += sys.Host(i).AS.WriteFaults
-		es := sys.Net.Endpoint(i).Stats()
+	for i := 0; i < rt.NumHosts(); i++ {
+		r.ReadFaults += rt.Host(i).AS.ReadFaults
+		r.WriteFaults += rt.Host(i).AS.WriteFaults
+		es := rt.Net.Endpoint(i).Stats()
 		r.MessagesSent += es.Sent
 		r.BytesSent += es.BytesSent
 	}
 	// Latency decomposition.
 	var rfTime, wfTime Duration
 	var rfN, wfN uint64
-	for _, t := range sys.Threads() {
+	for _, t := range rt.Threads() {
 		rfTime += t.Stats.ReadFaultTime + t.Stats.PrefetchTime
 		wfTime += t.Stats.WriteFaultTime
 		rfN += t.Stats.ReadFaults
@@ -119,8 +127,8 @@ func (c *Cluster) report() *Report {
 	}
 	var svc Duration
 	var recv uint64
-	for i := 0; i < sys.NumHosts(); i++ {
-		es := sys.Net.Endpoint(i).Stats()
+	for i := 0; i < rt.NumHosts(); i++ {
+		es := rt.Net.Endpoint(i).Stats()
 		svc += es.ServiceDelay
 		recv += es.Received
 	}
@@ -128,17 +136,33 @@ func (c *Cluster) report() *Report {
 		r.AvgServiceDelay = svc / Duration(recv)
 	}
 
-	// Sum over every directory shard (under central management only
-	// host 0's is populated).
-	ms := sys.ManagerStatsTotal()
-	r.Invalidations = ms.Invalidations
-	r.CompetingRequests = ms.CompetingRequests
-	r.Barriers = ms.BarrierEpisodes
-	r.LockAcquisitions = ms.LockAcquisitions
-	mpt := sys.Manager().MPT()
-	r.Minipages = mpt.NumMinipages()
-	r.ViewsUsed = mpt.ViewsUsed()
-	r.SharedUsed = mpt.BytesAllocated()
+	// The protocol half: directory activity and memory footprint.
+	switch {
+	case c.mp != nil:
+		// Sum over every directory shard (under central management only
+		// host 0's is populated).
+		ms := c.mp.ManagerStatsTotal()
+		r.Invalidations = ms.Invalidations
+		r.CompetingRequests = ms.CompetingRequests
+		r.Barriers = ms.BarrierEpisodes
+		r.LockAcquisitions = ms.LockAcquisitions
+		mpt := c.mp.Manager().MPT()
+		r.Minipages = mpt.NumMinipages()
+		r.ViewsUsed = mpt.ViewsUsed()
+		r.SharedUsed = mpt.BytesAllocated()
+	case c.ivySys != nil:
+		r.Invalidations = c.ivySys.Stats.Invalidates
+		r.CompetingRequests = c.ivySys.Stats.Competing
+		r.Barriers = c.ivySys.BarrierEpisodes()
+		r.LockAcquisitions = c.ivySys.LockAcquisitions()
+	default:
+		r.Barriers = c.lrcSys.BarrierEpisodes()
+		r.LockAcquisitions = c.lrcSys.LockAcquisitions()
+		mpt := c.lrcSys.MPT()
+		r.Minipages = mpt.NumMinipages()
+		r.ViewsUsed = mpt.ViewsUsed()
+		r.SharedUsed = mpt.BytesAllocated()
+	}
 	return r
 }
 
@@ -163,7 +187,7 @@ func (r *Report) AvgBreakdown() (comp, prefetch, readF, writeF, synch float64) {
 // String renders a human-readable run summary.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "hosts=%d elapsed=%v\n", r.Hosts, r.Elapsed)
+	fmt.Fprintf(&b, "protocol=%s hosts=%d elapsed=%v\n", r.Protocol, r.Hosts, r.Elapsed)
 	fmt.Fprintf(&b, "faults: read=%d write=%d invalidations=%d competing=%d\n",
 		r.ReadFaults, r.WriteFaults, r.Invalidations, r.CompetingRequests)
 	fmt.Fprintf(&b, "synch: barriers=%d locks=%d\n", r.Barriers, r.LockAcquisitions)

@@ -1,6 +1,7 @@
 package millipage
 
 import (
+	"millipage/internal/cluster"
 	"millipage/internal/dsm"
 	"millipage/internal/sim"
 )
@@ -10,8 +11,13 @@ import (
 // allocation, memory access, barriers, locks, prefetch and push updates.
 // A Worker is only valid inside the body function passed to Cluster.Run,
 // on its own thread.
+//
+// The core surface is protocol-independent: the same body runs under
+// any Config.Protocol. Prefetch, Push and GangFetch are Millipage
+// performance hints; under other protocols they are correct no-ops.
 type Worker struct {
-	t *dsm.Thread
+	t  cluster.AppThread
+	mp *dsm.Thread // non-nil only under the millipage protocol
 }
 
 // Host returns the id of the host this worker runs on (0..Hosts-1).
@@ -22,7 +28,7 @@ func (w *Worker) Host() int { return w.t.Host() }
 func (w *Worker) NumHosts() int { return w.t.NumHosts() }
 
 // ThreadID returns the worker's global thread id (0..NumThreads-1).
-func (w *Worker) ThreadID() int { return w.t.ID }
+func (w *Worker) ThreadID() int { return w.t.ThreadID() }
 
 // NumThreads returns the total number of application threads.
 func (w *Worker) NumThreads() int { return w.t.NumThreads() }
@@ -81,14 +87,24 @@ func (w *Worker) Lock(id int) { w.t.Lock(id) }
 func (w *Worker) Unlock(id int) { w.t.Unlock(id) }
 
 // Prefetch asynchronously requests a read copy of the minipage(s) backing
-// [addr, addr+size), overlapping the fetch with computation.
-func (w *Worker) Prefetch(addr Addr, size int) { w.t.Prefetch(addr, size) }
+// [addr, addr+size), overlapping the fetch with computation. It is a
+// Millipage performance hint; under other protocols it is a no-op.
+func (w *Worker) Prefetch(addr Addr, size int) {
+	if w.mp != nil {
+		w.mp.Prefetch(addr, size)
+	}
+}
 
 // Push replicates the minipage containing addr — which this worker's host
 // must hold writable — to every host as a read copy. Use it for
 // frequently read, rarely written values (the paper's TSP minimal-tour
-// bound).
-func (w *Worker) Push(addr Addr) { w.t.Push(addr) }
+// bound). It is a Millipage performance hint; under other protocols it
+// is a no-op.
+func (w *Worker) Push(addr Addr) {
+	if w.mp != nil {
+		w.mp.Push(addr)
+	}
+}
 
 // Span names a shared region for group operations.
 type Span = dsm.Span
@@ -96,5 +112,10 @@ type Span = dsm.Span
 // GangFetch fetches every missing minipage backing the spans
 // concurrently and blocks once for the whole group — the paper's
 // composed-views idea: coarse-grain read phases over fine-grain sharing
-// units.
-func (w *Worker) GangFetch(spans []Span) { w.t.GangFetch(spans) }
+// units. It is a Millipage performance hint; under other protocols it is
+// a no-op.
+func (w *Worker) GangFetch(spans []Span) {
+	if w.mp != nil {
+		w.mp.GangFetch(spans)
+	}
+}
