@@ -7,6 +7,7 @@
 //	millipage mvoverhead [-fast]     Figure 5 (MultiView overhead sweep)
 //	millipage apps [flags]           Figure 6 + Table 2 (application suite)
 //	millipage chunking [flags]       Figure 7 (WATER chunking study)
+//	millipage chaos [flags]          seeded fault injection + convergence check
 //	millipage bench [-out F]         simulator wall-clock benchmarks
 //	millipage all [flags]            everything above
 //
@@ -28,8 +29,11 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"millipage/internal/bench"
+	"millipage/internal/faultnet"
+	"millipage/internal/sim"
 )
 
 func main() {
@@ -96,6 +100,8 @@ func dispatch(cmd string, args []string) error {
 		return runAblation(args)
 	case "managerload":
 		return runManagerLoad(args)
+	case "chaos":
+		return runChaos(args)
 	case "bench":
 		return runBench(args)
 	case "all":
@@ -122,6 +128,15 @@ func usage() {
                        NT timers vs ideal timers (-scale, -seed)
   managerload [flags]  central vs home-based directory management on a
                        write-heavy workload (-hosts, -vars, -rounds, -seed)
+  chaos [flags]        seeded fault injection: run the write-heavy workload
+                       while the wire drops, duplicates, reorders, partitions
+                       and crashes hosts, then check the results converged
+                         -protocol P   millipage, ivy or lrc
+                         -hosts/-vars/-rounds/-seed   workload size
+                         -drop/-dup/-reorder F        per-frame probabilities
+                         -jitter D     reorder hold-back bound (e.g. 2ms)
+                         -partition from,until   cut first half from second half
+                         -crash host,at,restart  schedule a host crash/restart
   bench [-out F]       simulator wall-clock benchmarks vs the frozen
                        pre-optimization baseline (default -out BENCH_sim.json)
   all [flags]          everything (-scale, -fast, -seed)
@@ -257,6 +272,95 @@ func runManagerLoad(args []string) error {
 	fs.Parse(args)
 	cfg.Hosts, cfg.Vars, cfg.Rounds, cfg.Seed = *hosts, *vars, *rounds, *seed
 	return bench.ManagerLoadCompare(os.Stdout, cfg)
+}
+
+// parseSimDuration reads a human duration ("2ms", "500us") as virtual
+// time.
+func parseSimDuration(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(d.Nanoseconds()), nil
+}
+
+// halves splits an n-host cluster into first-half / second-half bitmasks
+// for the -partition flag.
+func halves(n int) (a, b uint64) {
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			a |= 1 << uint(i)
+		} else {
+			b |= 1 << uint(i)
+		}
+	}
+	return a, b
+}
+
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	cfg := bench.DefaultChaos()
+	protocol := fs.String("protocol", cfg.Protocol, "coherence protocol (millipage, ivy, lrc)")
+	hosts := fs.Int("hosts", cfg.Hosts, "cluster size")
+	vars := fs.Int("vars", cfg.Vars, "shared variables")
+	rounds := fs.Int("rounds", cfg.Rounds, "write-heavy rounds")
+	seed := fs.Int64("seed", cfg.Seed, "simulation seed (also seeds the fault injector)")
+	drop := fs.Float64("drop", cfg.Plan.Drop, "per-frame drop probability [0,1)")
+	dup := fs.Float64("dup", cfg.Plan.Dup, "per-frame duplication probability [0,1)")
+	reorder := fs.Float64("reorder", cfg.Plan.Reorder, "per-frame reorder probability [0,1)")
+	jitter := fs.String("jitter", cfg.Plan.Jitter.String(), "reorder hold-back bound (virtual time)")
+	partition := fs.String("partition", "", "cut first half from second half: from,until (e.g. 2ms,12ms)")
+	crash := fs.String("crash", "", "crash schedule: host,at,restart (e.g. 1,2ms,8ms)")
+	fs.Parse(args)
+
+	cfg.Protocol = *protocol
+	cfg.Hosts, cfg.Vars, cfg.Rounds, cfg.Seed = *hosts, *vars, *rounds, *seed
+	cfg.Plan.Drop, cfg.Plan.Dup, cfg.Plan.Reorder = *drop, *dup, *reorder
+	j, err := parseSimDuration(*jitter)
+	if err != nil {
+		return fmt.Errorf("bad -jitter: %w", err)
+	}
+	cfg.Plan.Jitter = j
+	if *partition != "" {
+		parts := strings.Split(*partition, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -partition %q: want from,until", *partition)
+		}
+		from, err := parseSimDuration(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return fmt.Errorf("bad -partition: %w", err)
+		}
+		until, err := parseSimDuration(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fmt.Errorf("bad -partition: %w", err)
+		}
+		a, b := halves(cfg.Hosts)
+		cfg.Plan.Partitions = append(cfg.Plan.Partitions, faultnet.Partition{
+			A: a, B: b, From: sim.Time(from), Until: sim.Time(until),
+		})
+	}
+	if *crash != "" {
+		parts := strings.Split(*crash, ",")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -crash %q: want host,at,restart", *crash)
+		}
+		host, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return fmt.Errorf("bad -crash host: %w", err)
+		}
+		at, err := parseSimDuration(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fmt.Errorf("bad -crash: %w", err)
+		}
+		restart, err := parseSimDuration(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return fmt.Errorf("bad -crash: %w", err)
+		}
+		cfg.Plan.Crashes = append(cfg.Plan.Crashes, faultnet.Crash{
+			Host: host, At: sim.Time(at), RestartAt: sim.Time(restart),
+		})
+	}
+	return bench.Chaos(os.Stdout, cfg)
 }
 
 func runBench(args []string) error {

@@ -1,0 +1,338 @@
+// Chaos conformance: the same sharing invariants as conformance_test.go,
+// re-run under seeded fault injection — frame drops, duplication,
+// reordering, link partitions that heal, and host crash/restart
+// (including the manager host). The transport's reliability layer plus
+// the protocols' retry/dedup hardening must make every run terminate
+// with the invariants intact; a watchdog converts a livelock into a
+// test failure instead of a hang.
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"millipage/internal/cluster"
+	"millipage/internal/dsm"
+	"millipage/internal/faultnet"
+	"millipage/internal/ivy"
+	"millipage/internal/lrc"
+	"millipage/internal/sim"
+)
+
+// chaosWatchdog bounds a chaos run's virtual time: well past any
+// retransmission backoff chain, far below forever.
+const chaosWatchdog = 120 * sim.Second
+
+// schedule is one named fault plan of the chaos matrix.
+type schedule struct {
+	name string
+	plan func(hosts int, seed int64) *faultnet.Plan
+}
+
+// schedules returns the ISSUE's four-point chaos matrix. Partition and
+// crash windows sit a few virtual milliseconds in — inside the barrier
+// phases of every workload below.
+func schedules() []schedule {
+	return []schedule{
+		{"drop-heavy", func(hosts int, seed int64) *faultnet.Plan {
+			return &faultnet.Plan{Seed: seed, Drop: 0.25, Dup: 0.15}
+		}},
+		{"reorder-heavy", func(hosts int, seed int64) *faultnet.Plan {
+			return &faultnet.Plan{Seed: seed, Drop: 0.05, Reorder: 0.6, Jitter: 3 * sim.Millisecond}
+		}},
+		{"partition-heal", func(hosts int, seed int64) *faultnet.Plan {
+			half := hosts / 2
+			var a, b uint64
+			for h := 0; h < hosts; h++ {
+				if h < half {
+					a |= 1 << uint(h)
+				} else {
+					b |= 1 << uint(h)
+				}
+			}
+			return &faultnet.Plan{
+				Seed: seed,
+				Drop: 0.05,
+				Partitions: []faultnet.Partition{
+					{A: a, B: b, From: sim.Time(2 * sim.Millisecond), Until: sim.Time(12 * sim.Millisecond)},
+				},
+			}
+		}},
+		{"crash-restart", func(hosts int, seed int64) *faultnet.Plan {
+			crashes := []faultnet.Crash{
+				{Host: hosts - 1, At: sim.Time(2 * sim.Millisecond), RestartAt: sim.Time(8 * sim.Millisecond)},
+				// The manager / allocation authority itself.
+				{Host: 0, At: sim.Time(15 * sim.Millisecond), RestartAt: sim.Time(22 * sim.Millisecond)},
+			}
+			return &faultnet.Plan{Seed: seed, Drop: 0.02, Crashes: crashes}
+		}},
+	}
+}
+
+// chaosRun builds one protocol cluster with a fault plan armed.
+type chaosRun struct {
+	name string
+	sc   bool
+	make func(hosts int, seed int64, plan *faultnet.Plan) (*cluster.Runtime, func(body func(t cluster.AppThread)) error, error)
+}
+
+func chaosProtocols() []chaosRun {
+	return []chaosRun{
+		{"millipage", true, func(hosts int, seed int64, plan *faultnet.Plan) (*cluster.Runtime, func(func(cluster.AppThread)) error, error) {
+			sys, err := dsm.New(dsm.Options{Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: seed, Faults: plan})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys.Runtime(), func(body func(cluster.AppThread)) error {
+				return sys.Run(func(t *dsm.Thread) { body(t) })
+			}, nil
+		}},
+		{"ivy", true, func(hosts int, seed int64, plan *faultnet.Plan) (*cluster.Runtime, func(func(cluster.AppThread)) error, error) {
+			sys, err := ivy.New(ivy.Options{Hosts: hosts, SharedSize: 1 << 16, Seed: seed, Faults: plan})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys.Runtime(), func(body func(cluster.AppThread)) error {
+				return sys.Run(func(t *ivy.Thread) { body(t) })
+			}, nil
+		}},
+		{"lrc", false, func(hosts int, seed int64, plan *faultnet.Plan) (*cluster.Runtime, func(func(cluster.AppThread)) error, error) {
+			sys, err := lrc.New(lrc.Options{Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: seed, Faults: plan})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys.Runtime(), func(body func(cluster.AppThread)) error {
+				return sys.Run(func(t *lrc.Thread) { body(t) })
+			}, nil
+		}},
+	}
+}
+
+// runChaos drives body on a freshly built faulty cluster with the
+// watchdog armed, and fails the test on timeout instead of hanging.
+func runChaos(t *testing.T, pr chaosRun, hosts int, seed int64, plan *faultnet.Plan,
+	body func(rt *cluster.Runtime, w cluster.AppThread)) *cluster.Runtime {
+	t.Helper()
+	rt, run, err := pr.make(hosts, seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Faulty() {
+		t.Fatal("fault plan did not arm")
+	}
+	done := 0
+	rt.Eng.At(sim.Time(chaosWatchdog), rt.Eng.Stop)
+	err = run(func(w cluster.AppThread) {
+		body(rt, w)
+		done++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != rt.TotalThreads() {
+		t.Fatalf("watchdog: %d of %d threads finished before %v (livelock under faults)",
+			done, rt.TotalThreads(), chaosWatchdog)
+	}
+	return rt
+}
+
+// TestChaosDRFOracle is the DRF agreement oracle of conformance_test.go
+// under every fault schedule, for every protocol: barrier hand-offs and
+// a lock-guarded accumulator must produce the exact oracle state no
+// matter what the wire does.
+func TestChaosDRFOracle(t *testing.T) {
+	const hosts, rounds, lockReps = 4, 3, 2
+	for _, pr := range chaosProtocols() {
+		for _, sc := range schedules() {
+			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
+				var cells [hosts]uint64
+				var acc uint64
+				var bad error
+				runChaos(t, pr, hosts, 1, sc.plan(hosts, 7), func(rt *cluster.Runtime, w cluster.AppThread) {
+					h := w.Host()
+					if h == 0 {
+						for i := range cells {
+							cells[i] = w.Malloc(64)
+							w.WriteU32(cells[i], 0)
+						}
+						acc = w.Malloc(64)
+						w.WriteU32(acc, 0)
+					}
+					w.Barrier()
+					for r := 0; r < rounds; r++ {
+						w.WriteU32(cells[(h+r)%hosts], uint32(100*r+(h+r)%hosts))
+						w.Barrier()
+						for c := 0; c < hosts; c++ {
+							if got, want := w.ReadU32(cells[c]), uint32(100*r+c); got != want && bad == nil {
+								bad = fmt.Errorf("round %d host %d: cell %d = %d, want %d", r, h, c, got, want)
+							}
+						}
+						w.Barrier()
+					}
+					for i := 0; i < lockReps; i++ {
+						w.Lock(3)
+						w.WriteU32(acc, w.ReadU32(acc)+uint32(h+1))
+						w.Unlock(3)
+						w.Compute(100 * sim.Microsecond)
+					}
+					w.Barrier()
+					want := uint32(lockReps * hosts * (hosts + 1) / 2)
+					if got := w.ReadU32(acc); got != want && bad == nil {
+						bad = fmt.Errorf("host %d: accumulator = %d, want %d", h, got, want)
+					}
+					w.Barrier()
+				})
+				if bad != nil {
+					t.Fatalf("%s/%s: %v", pr.name, sc.name, bad)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSWMR re-runs the Single-Writer/Multiple-Readers sweep under
+// every fault schedule for the SC protocols, asserting the invariant
+// after every completed operation.
+func TestChaosSWMR(t *testing.T) {
+	const hosts, words, iters = 4, 4, 16
+	for _, pr := range chaosProtocols() {
+		if !pr.sc {
+			continue
+		}
+		for _, sc := range schedules() {
+			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
+				vas := make([]uint64, words)
+				var failure error
+				runChaos(t, pr, hosts, 2, sc.plan(hosts, 11), func(rt *cluster.Runtime, w cluster.AppThread) {
+					if w.Host() == 0 {
+						for i := range vas {
+							vas[i] = w.Malloc(64)
+							w.WriteU32(vas[i], 0)
+						}
+					}
+					w.Barrier()
+					r := uint64(11)*2654435761 + uint64(w.Host()+1)*40503
+					for it := 0; it < iters; it++ {
+						r = r*6364136223846793005 + 1442695040888963407
+						va := vas[(r>>33)%words]
+						if (r>>62)&1 == 0 {
+							_ = w.ReadU32(va)
+						} else {
+							w.WriteU32(va, uint32(w.Host()*1000+it))
+						}
+						if e := checkSWMR(rt, vas); e != nil && failure == nil {
+							failure = fmt.Errorf("host %d op %d: %w", w.Host(), it, e)
+						}
+						w.Compute(50 * sim.Microsecond)
+					}
+					w.Barrier()
+				})
+				if failure != nil {
+					t.Fatal(failure)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSCMessagePassing is the publish/subscribe litmus under
+// faults: observing the flag must still imply observing the data, even
+// while the wire drops, reorders and partitions.
+func TestChaosSCMessagePassing(t *testing.T) {
+	for _, pr := range chaosProtocols() {
+		if !pr.sc {
+			continue
+		}
+		for _, sc := range schedules() {
+			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
+				var data, flag uint64
+				got := uint32(0)
+				runChaos(t, pr, 4, 3, sc.plan(4, 13), func(rt *cluster.Runtime, w cluster.AppThread) {
+					if w.Host() == 0 {
+						data = w.Malloc(64)
+						flag = w.Malloc(64)
+						w.WriteU32(data, 0)
+						w.WriteU32(flag, 0)
+					}
+					w.Barrier()
+					switch w.Host() {
+					case 0:
+						w.Compute(200 * sim.Microsecond)
+						w.WriteU32(data, 42)
+						w.WriteU32(flag, 1)
+					case 1:
+						spins := 0
+						for w.ReadU32(flag) == 0 {
+							if spins++; spins > 100000 {
+								panic("flag never observed")
+							}
+							w.Compute(20 * sim.Microsecond)
+						}
+						got = w.ReadU32(data)
+					default:
+						// Background traffic so partitions and crashes have
+						// protocol state to disturb.
+						for i := 0; i < 8; i++ {
+							w.Compute(300 * sim.Microsecond)
+						}
+					}
+					w.Barrier()
+				})
+				if got != 42 {
+					t.Fatalf("%s/%s: observed flag but read data=%d, want 42", pr.name, sc.name, got)
+				}
+			})
+		}
+	}
+}
+
+// chaosFingerprint reduces one finished run to a comparable value:
+// elapsed virtual time plus every endpoint's full transport counters.
+func chaosFingerprint(rt *cluster.Runtime) string {
+	s := fmt.Sprintf("elapsed=%d", rt.Elapsed())
+	for i := 0; i < rt.NumHosts(); i++ {
+		s += fmt.Sprintf(";%+v", rt.Net.Endpoint(i).Stats())
+	}
+	return s
+}
+
+// TestChaosDeterminism runs the DRF workload twice per protocol under
+// the everything-at-once schedule and requires bit-identical virtual
+// time and transport counters — the replayability guarantee that makes
+// fault schedules debuggable.
+func TestChaosDeterminism(t *testing.T) {
+	const hosts = 4
+	everything := func(seed int64) *faultnet.Plan {
+		pl := schedules()[3].plan(hosts, seed) // crash-restart
+		pl.Drop, pl.Dup = 0.15, 0.1
+		pl.Reorder, pl.Jitter = 0.3, 2*sim.Millisecond
+		pl.Partitions = schedules()[2].plan(hosts, seed).Partitions
+		return pl
+	}
+	for _, pr := range chaosProtocols() {
+		t.Run(pr.name, func(t *testing.T) {
+			var prints [2]string
+			for run := 0; run < 2; run++ {
+				var acc uint64
+				rt := runChaos(t, pr, hosts, 5, everything(17), func(rt *cluster.Runtime, w cluster.AppThread) {
+					if w.Host() == 0 {
+						acc = w.Malloc(64)
+						w.WriteU32(acc, 0)
+					}
+					w.Barrier()
+					for i := 0; i < 3; i++ {
+						w.Lock(1)
+						w.WriteU32(acc, w.ReadU32(acc)+uint32(w.Host()+1))
+						w.Unlock(1)
+						w.Compute(200 * sim.Microsecond)
+					}
+					w.Barrier()
+				})
+				prints[run] = chaosFingerprint(rt)
+			}
+			if prints[0] != prints[1] {
+				t.Fatalf("two runs of the same fault schedule diverged:\n run0: %s\n run1: %s", prints[0], prints[1])
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"millipage/internal/fastmsg"
+	"millipage/internal/faultnet"
 	"millipage/internal/sim"
 	"millipage/internal/trace"
 	"millipage/internal/vm"
@@ -38,6 +39,13 @@ type Config struct {
 
 	Net   fastmsg.Params
 	Costs Costs
+
+	// Faults, when non-nil and enabled, makes the wire lossy per the
+	// plan and arms fastmsg's reliability layer. Protocol packages
+	// validate the plan (Plan.Validate) before building the runtime; an
+	// invalid plan panics here. Nil — or an all-zero plan — leaves the
+	// transport on its untouched clean path.
+	Faults *faultnet.Plan
 
 	// Trace, if non-nil, records protocol events (message sends, fault
 	// entries, handler dispatches) for debugging.
@@ -81,6 +89,7 @@ type Runtime struct {
 
 	totalThreads int
 	ran          bool
+	faulty       bool
 }
 
 // New builds the engine and network for cfg. Hosts are attached
@@ -89,7 +98,42 @@ func New(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
 	eng := sim.NewEngine(cfg.Seed)
 	net := fastmsg.New(eng, cfg.Hosts, cfg.Net)
-	return &Runtime{Cfg: cfg, Eng: eng, Net: net, Trace: cfg.Trace}
+	rt := &Runtime{Cfg: cfg, Eng: eng, Net: net, Trace: cfg.Trace}
+	if cfg.Faults.Enabled() {
+		inj, err := faultnet.NewInjector(*cfg.Faults, cfg.Hosts, cfg.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v (validate the fault plan before cluster.New)", cfg.Name, err))
+		}
+		net.InstallFaults(inj)
+		net.SetRestartHook(rt.onRestart)
+		rt.faulty = true
+	}
+	return rt
+}
+
+// Faulty reports whether a fault plan is armed on this runtime.
+func (rt *Runtime) Faulty() bool { return rt.faulty }
+
+// CrashRecoverer is optionally implemented by a protocol's HostHandler:
+// RecoverCrash runs in a fresh recovery process after the host's network
+// stack restarts, before the runtime re-issues the host's in-flight
+// blocking requests. Protocols charge their recovery work (rebuilding an
+// MPT replica, rescanning a directory shard) as virtual time here.
+type CrashRecoverer interface {
+	RecoverCrash(p *sim.Proc)
+}
+
+// onRestart is the fastmsg restart hook: spawn the host's recovery
+// process, which runs protocol recovery and then re-sends every
+// in-flight blocking request registered with BlockRetry.
+func (rt *Runtime) onRestart(h int) {
+	host := rt.hosts[h]
+	rt.Eng.SpawnDaemon(fmt.Sprintf("recover-%d", h), func(p *sim.Proc) {
+		if cr, ok := host.handler.(CrashRecoverer); ok {
+			cr.RecoverCrash(p)
+		}
+		host.resendInflight(p)
+	})
 }
 
 // NewHost attaches the next host (ids are assigned in call order) and

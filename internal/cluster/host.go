@@ -39,6 +39,32 @@ type Host struct {
 
 	AS *vm.AddressSpace
 	EP *fastmsg.Endpoint
+
+	// inflight is the host's registry of blocking requests that must
+	// survive faults: each entry was registered by Thread.BlockRetry and
+	// stays until its thread wakes. Kept as an order-preserving slice —
+	// map iteration would make crash recovery's re-send order depend on
+	// Go's map hashing and break run determinism.
+	inflight []*retryEntry
+}
+
+// retryEntry is one registered in-flight blocking request.
+type retryEntry struct {
+	fw     *Wait
+	gen    uint64            // Wait generation at registration; staleness guard
+	resend func(p *sim.Proc) // re-issues the request (p may be nil: engine context)
+}
+
+// resendInflight re-issues every still-pending blocking request, in
+// registration order. Crash recovery calls it after protocol recovery.
+func (h *Host) resendInflight(p *sim.Proc) {
+	live := append([]*retryEntry(nil), h.inflight...)
+	for _, ent := range live {
+		if ent.fw.gen != ent.gen || ent.fw.Ev.IsSet() {
+			continue
+		}
+		ent.resend(p)
+	}
 }
 
 // ID returns the host id.

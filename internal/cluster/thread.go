@@ -18,6 +18,17 @@ type Wait struct {
 	VA    uint64    // allocation replies: the address handed out
 	Owner bool      // allocation replies: requester owns the new unit
 	Home  int       // allocation replies: the unit's home host
+
+	// Txn is the transaction id the rendezvous is currently waiting for.
+	// Under fault injection the protocol stamps it on outgoing requests so
+	// late replies to an abandoned transaction can be recognized and
+	// dropped; 0 means "no transaction" (clean path, untagged protocols).
+	Txn uint64
+
+	// gen counts WaitSlot resets. Retry timers capture it at registration
+	// and stop firing once the slot has been recycled for a new
+	// transaction.
+	gen uint64
 }
 
 // NewWait returns a fresh rendezvous record. Protocols use it for
@@ -44,6 +55,10 @@ type Thread struct {
 
 	ID  int // global thread id
 	LID int // local index on the host
+
+	// txnSeq feeds NextTxn: the per-thread transaction counter protocols
+	// use to tag retryable requests.
+	txnSeq uint64
 
 	Stats ThreadStats
 }
@@ -93,7 +108,16 @@ func (t *Thread) WaitSlot() *Wait {
 	fw.VA = 0
 	fw.Owner = false
 	fw.Home = 0
+	fw.Txn = 0
+	fw.gen++
 	return fw
+}
+
+// NextTxn returns the thread's next transaction id (monotone from 1).
+// Protocols stamp it on retryable requests so managers can deduplicate.
+func (t *Thread) NextTxn() uint64 {
+	t.txnSeq++
+	return t.txnSeq
 }
 
 // Block parks the thread on fw's event, releasing the host's busy
@@ -105,6 +129,50 @@ func (t *Thread) BlockOn(ev *sim.Event) {
 	t.h.EP.SetBusy(-1)
 	ev.Wait(t.p)
 	t.h.EP.SetBusy(+1)
+}
+
+// retryMax caps the exponential backoff of BlockRetry's re-send timer.
+const retryMax = 200 * sim.Millisecond
+
+// BlockRetry is Block for requests that must survive faults: while the
+// thread is parked, a timer re-issues the request via resend with
+// exponential backoff (base, 2·base, ... capped at retryMax), and the
+// request is registered in the host's in-flight table so crash recovery
+// re-sends it immediately after restart. resend may be invoked from
+// engine context (p == nil) and must not block; receivers deduplicate by
+// the transaction id stamped in fw.Txn. The timer and the registration
+// both die when fw's event is set or the slot is recycled.
+func (t *Thread) BlockRetry(fw *Wait, base sim.Duration, resend func(p *sim.Proc)) {
+	h := t.h
+	ent := &retryEntry{fw: fw, gen: fw.gen, resend: resend}
+	h.inflight = append(h.inflight, ent)
+
+	eng := h.rt.Eng
+	delay := base
+	var fire func()
+	fire = func() {
+		if fw.gen != ent.gen || fw.Ev.IsSet() {
+			return
+		}
+		resend(nil)
+		if delay < retryMax {
+			delay *= 2
+			if delay > retryMax {
+				delay = retryMax
+			}
+		}
+		eng.After(delay, fire)
+	}
+	eng.After(delay, fire)
+
+	t.Block(fw)
+
+	for i, e := range h.inflight {
+		if e == ent {
+			h.inflight = append(h.inflight[:i], h.inflight[i+1:]...)
+			break
+		}
+	}
 }
 
 // ResetStats zeroes the thread's accumulated statistics and restarts its

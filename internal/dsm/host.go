@@ -16,6 +16,12 @@ import (
 // back, which the thread needs for its ack message).
 type faultWait = cluster.Wait
 
+// requestRetryBase is the initial re-send timeout for fault-path manager
+// requests under fault injection: comfortably above a clean round trip
+// plus a long sweeper tick, so retries only fire when something was
+// actually lost. BlockRetry doubles it up to its own cap.
+const requestRetryBase = 10 * sim.Millisecond
+
 // Host is one Millipage process: the substrate host (address space, FM
 // endpoint whose service thread runs the protocol handlers) plus the
 // MultiView region and the protocol's per-host state.
@@ -118,14 +124,37 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 		typ = mWriteReq
 	}
 	home, info := h.route(p, f.Addr)
-	h.Send(p, home, &pmsg{Type: typ, From: h.ID(), Addr: f.Addr, Info: info, FW: fw})
-
-	p.Sleep(c.BlockThread)
-	t.Block(fw) // the host may go idle; the poller takes over
+	req := &pmsg{Type: typ, From: h.ID(), Addr: f.Addr, Info: info, FW: fw}
+	if h.sys.rt.Faulty() {
+		// Tag the transaction so the home can deduplicate retries, send,
+		// and block with a backoff timer re-issuing the request — the
+		// request survives crashes on either side. The clean path below is
+		// untouched (bit-identical virtual time).
+		req.TID = t.ID
+		req.Txn = t.NextTxn()
+		fw.Txn = req.Txn
+		h.Send(p, home, req)
+		p.Sleep(c.BlockThread)
+		t.BlockRetry(fw, requestRetryBase, func(rp *sim.Proc) {
+			// The home mutates the original request in place (Info fill-in,
+			// Requeued when it pops the queue) — simulator messages travel
+			// by pointer. Re-send a copy with the queue marker cleared, or
+			// the duplicate would bypass the home's dedup check.
+			cp := *req
+			cp.Requeued = false
+			h.Send(rp, home, &cp)
+		})
+	} else {
+		h.Send(p, home, req)
+		p.Sleep(c.BlockThread)
+		t.Block(fw) // the host may go idle; the poller takes over
+	}
 	p.Sleep(c.ThreadWake + c.FaultResume)
 
-	// The ack that closes the transaction at the minipage's home.
-	h.Send(p, h.sys.homeOf(fw.Info.ID), &pmsg{Type: mAck, From: h.ID(), Info: fw.Info, Write: f.Kind == vm.Write})
+	// The ack that closes the transaction at the minipage's home. TID/Txn
+	// (zero on the clean path) let the home record the transaction as done.
+	h.Send(p, h.sys.homeOf(fw.Info.ID), &pmsg{Type: mAck, From: h.ID(), Info: fw.Info,
+		Write: f.Kind == vm.Write, TID: t.ID, Txn: fw.Txn})
 
 	elapsed := p.Now().Sub(start)
 	switch {
@@ -236,6 +265,9 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		h.installMinipage(p, hdr, fm.Data)
 
 	case mUpgradeGrant:
+		if m.Txn != 0 && m.FW.Txn != m.Txn {
+			return // late grant for an abandoned transaction: drop it
+		}
 		c := h.Costs()
 		p.Sleep(c.SetProt)
 		if err := h.Region.Protect(m.Info.Base, m.Info.Size, vm.ReadWrite); err != nil {
@@ -270,6 +302,9 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 // raises the application-view protection, and releases whoever waits.
 // This is Figure 3's "Handle Read or Write Reply".
 func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
+	if hdr.Txn != 0 && hdr.FW != nil && hdr.FW.Txn != hdr.Txn {
+		return // late reply for an abandoned transaction: drop before installing
+	}
 	c := h.Costs()
 	if len(data) != hdr.Info.Size {
 		panic(fmt.Sprintf("dsm: host %d: minipage %d size mismatch: got %d want %d",
@@ -302,6 +337,14 @@ func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
 		hdr.FW.Info = hdr.Info
 		hdr.FW.Ev.Set()
 	}
+}
+
+// RecoverCrash runs after this host's network stack restarts (fail-restart
+// with durable memory: directory shards, region contents and protections
+// survive). The modeled recovery work is rebuilding the host's MPT replica
+// from the allocation authority — one lookup-sized scan per minipage.
+func (h *Host) RecoverCrash(p *sim.Proc) {
+	p.Sleep(sim.Duration(h.sys.mpt.NumMinipages()) * h.Costs().MPTLookup)
 }
 
 // servePush is the owner side of a push update: downgrade to ReadOnly,

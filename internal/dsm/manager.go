@@ -70,6 +70,20 @@ type manager struct {
 	// directory entries have been placed, locally or via DIR_INIT.
 	dirInited int
 
+	// Retry dedup, keyed by requesting thread id (transaction numbers are
+	// monotone per thread). done is the highest transaction this shard has
+	// seen acked; inflight the highest it has admitted. A request whose
+	// Txn is at or below either is a duplicate — created by a retry timer
+	// or crash recovery — and is dropped, never redone: redoing a write
+	// transaction would re-ship bytes over the requester's post-install
+	// stores. Both maps move only under fault injection (Txn == 0 and
+	// the maps stay empty on the clean path).
+	done     map[int]uint64
+	inflight map[int]uint64
+
+	// DupRequests counts dropped duplicates (chaos-test observability).
+	DupRequests uint64
+
 	barrier cluster.BarrierService[*pmsg]
 	locks   *cluster.LockService[*pmsg]
 
@@ -77,7 +91,13 @@ type manager struct {
 }
 
 func newManager(s *System, me int) *manager {
-	return &manager{sys: s, me: me, waitInit: make(map[int][]*pmsg), locks: cluster.NewLockService[*pmsg]()}
+	return &manager{
+		sys: s, me: me,
+		waitInit: make(map[int][]*pmsg),
+		locks:    cluster.NewLockService[*pmsg](),
+		done:     make(map[int]uint64),
+		inflight: make(map[int]uint64),
+	}
 }
 
 // MPT exposes the minipage table (for statistics and tests).
@@ -117,12 +137,43 @@ func (mg *manager) setEntry(id int, e *dirEntry) {
 	mg.dir[id] = e
 }
 
+// dropDup reports whether m is a duplicate of a transaction this shard
+// has already admitted or completed, recording fresh admissions as it
+// goes. A requeued message was admitted before it was queued, so it
+// skips the admission check — but not the completion check: if a twin
+// of a queued copy already ran to completion, re-dispatching this copy
+// would reopen a closed transaction against stale directory state.
+func (mg *manager) dropDup(m *pmsg) bool {
+	if m.Txn == 0 {
+		return false
+	}
+	if mg.done[m.TID] >= m.Txn {
+		mg.DupRequests++
+		return true
+	}
+	if m.Requeued {
+		return false
+	}
+	if mg.inflight[m.TID] >= m.Txn {
+		mg.DupRequests++
+		return true
+	}
+	mg.inflight[m.TID] = m.Txn
+	return false
+}
+
 // dispatch routes one manager-bound message.
 func (mg *manager) dispatch(p *sim.Proc, m *pmsg) {
 	switch m.Type {
 	case mReadReq:
+		if mg.dropDup(m) {
+			return
+		}
 		mg.handleRead(p, m)
 	case mWriteReq:
+		if mg.dropDup(m) {
+			return
+		}
 		mg.handleWrite(p, m)
 	case mAck:
 		mg.handleAck(p, m)
@@ -205,16 +256,20 @@ func (mg *manager) enqueue(e *dirEntry, m *pmsg) {
 	mg.Stats.CompetingRequests++
 }
 
-// closeTxn ends the open transaction on e and dispatches the next queued
-// competing request, if any.
+// closeTxn ends the open transaction on e and dispatches queued competing
+// requests until one reopens the entry (or the queue drains). The loop
+// matters under fault injection: a queued request whose dispatch ends up
+// dropped or deflected must not strand the requests behind it.
 func (mg *manager) closeTxn(p *sim.Proc, e *dirEntry) {
 	e.busy = false
-	next, ok := e.queue.Pop()
-	if !ok {
-		return
+	for !e.busy {
+		next, ok := e.queue.Pop()
+		if !ok {
+			return
+		}
+		next.Requeued = true
+		mg.dispatch(p, next)
 	}
-	next.Requeued = true
-	mg.dispatch(p, next)
 }
 
 // handleRead is Figure 3's "Manager: Handle Read Request": translate,
@@ -354,8 +409,12 @@ func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
 }
 
 // handleAck closes the transaction the woken faulting thread confirms,
+// records it as done (so late retries of it are dropped, not replayed),
 // and serves the next competing request.
 func (mg *manager) handleAck(p *sim.Proc, m *pmsg) {
+	if m.Txn != 0 && m.Txn > mg.done[m.TID] {
+		mg.done[m.TID] = m.Txn
+	}
 	mg.closeTxn(p, mg.entry(m.Info.ID))
 }
 

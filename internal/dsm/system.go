@@ -6,6 +6,7 @@ import (
 	"millipage/internal/cluster"
 	"millipage/internal/core"
 	"millipage/internal/fastmsg"
+	"millipage/internal/faultnet"
 	"millipage/internal/sim"
 	"millipage/internal/trace"
 	"millipage/internal/vm"
@@ -53,6 +54,14 @@ type Options struct {
 
 	Net   fastmsg.Params
 	Costs Costs
+
+	// Faults, when non-nil and enabled, makes the wire lossy per the plan:
+	// frames drop, duplicate, jitter, links partition and hosts crash, all
+	// deterministically from the plan's seed. The transport's reliability
+	// layer and the protocol's retry/dedup machinery then restore
+	// exactly-once FIFO semantics. Nil (or an all-zero plan) leaves the
+	// clean path untouched.
+	Faults *faultnet.Plan
 
 	// Trace, if non-nil, records protocol events (message sends, fault
 	// entries, handler dispatches) for debugging.
@@ -122,6 +131,11 @@ func New(opt Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.Faults.Enabled() {
+		if err := opt.Faults.Validate(opt.Hosts); err != nil {
+			return nil, fmt.Errorf("dsm: %w", err)
+		}
+	}
 	rt := cluster.New(cluster.Config{
 		Name:           "dsm",
 		Hosts:          opt.Hosts,
@@ -129,6 +143,7 @@ func New(opt Options) (*System, error) {
 		Seed:           opt.Seed,
 		Net:            opt.Net,
 		Costs:          opt.Costs,
+		Faults:         opt.Faults,
 		Trace:          opt.Trace,
 	})
 	s := &System{Opt: opt, Eng: rt.Eng, Net: rt.Net, Layout: layout, rt: rt}

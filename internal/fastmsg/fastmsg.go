@@ -24,7 +24,10 @@
 //     produces the paper's ~500 µs average service-thread delay.
 //
 // Messages between a pair of endpoints are reliable and FIFO, as FM
-// guarantees.
+// guarantees. When a faultnet plan is installed (see reliable.go) the
+// raw wire becomes lossy instead, and a sequence-numbered ack/
+// retransmission layer above it restores exactly-once FIFO delivery;
+// the clean path is untouched — no sequencing, no acks, no allocation.
 package fastmsg
 
 import (
@@ -133,8 +136,27 @@ type Message struct {
 	Payload any
 	Data    []byte
 
-	pooled bool // lifecycle managed by the network free pool
+	// Seq is the reliability layer's per-link sequence number; 0 on the
+	// clean path (no faults installed), where the wire itself is FIFO.
+	Seq uint64
+
+	pooled bool  // lifecycle managed by the network free pool
+	state  uint8 // envelope lifecycle, for retention/double-free detection
 }
+
+// Envelope lifecycle states. Literal-constructed messages stay at
+// msgLiteral and are unchecked (their historical ownership: the receiver
+// may retain them). Pool envelopes walk allocated → sent → delivered →
+// recycled; any other transition is a lifecycle bug (an envelope re-sent
+// or retained past its handler's return) and panics at the spot instead
+// of silently aliasing a recycled record.
+const (
+	msgLiteral uint8 = iota
+	msgAllocated
+	msgSent
+	msgDelivered
+	msgRecycled // parked in the free pool; any use is a retention bug
+)
 
 // Handler processes one delivered message in the destination's service
 // thread. It runs in process context: it may sleep (to charge protocol
@@ -147,6 +169,11 @@ type Network struct {
 	params  Params
 	eps     []*Endpoint
 	freeMsg []*Message // recycled envelopes; engine-serial, so no locking
+
+	// rel is non-nil once a fault plan is installed: the sequence/ack/
+	// retransmission machinery of reliable.go. Nil on the clean path.
+	rel         *reliability
+	restartHook func(host int)
 }
 
 // New creates a network of n endpoints on eng. Each endpoint gets a
@@ -171,20 +198,34 @@ func New(eng *sim.Engine, n int, params Params) *Network {
 	return nw
 }
 
-// allocMessage reuses a recycled envelope when one is available.
+// allocMessage reuses a recycled envelope when one is available. Under
+// an installed fault plan envelopes are not pooled: the retransmission
+// buffer retains them past the handler's return, which is exactly the
+// retention the pool forbids.
 func (nw *Network) allocMessage() *Message {
+	if nw.rel != nil {
+		return &Message{state: msgAllocated}
+	}
 	if n := len(nw.freeMsg); n > 0 {
 		m := nw.freeMsg[n-1]
 		nw.freeMsg = nw.freeMsg[:n-1]
 		m.pooled = true
+		m.state = msgAllocated
 		return m
 	}
-	return &Message{pooled: true}
+	return &Message{pooled: true, state: msgAllocated}
 }
 
-// recycleMessage returns a delivered pool envelope to the pool.
+// recycleMessage returns a delivered pool envelope to the pool. A
+// recycled envelope is zeroed, so recycling it twice (a handler retained
+// it past return and a later path freed it again) trips the state check
+// here rather than corrupting the pool with an aliased record.
 func (nw *Network) recycleMessage(m *Message) {
+	if !m.pooled || m.state != msgDelivered {
+		panic("fastmsg: recycle of an envelope that is not a delivered pool envelope (double free?)")
+	}
 	*m = Message{}
+	m.state = msgRecycled
 	nw.freeMsg = append(nw.freeMsg, m)
 }
 
@@ -197,12 +238,18 @@ func (nw *Network) Size() int { return len(nw.eps) }
 // Params returns the network's cost model.
 func (nw *Network) Params() Params { return nw.params }
 
-// Stats aggregates per-endpoint message accounting.
+// Stats aggregates per-endpoint message accounting. The last four
+// counters move only under an installed fault plan.
 type Stats struct {
 	Sent         uint64
 	Received     uint64
 	BytesSent    uint64
 	ServiceDelay sim.Duration // total arrival→handler-start delay
+
+	Retransmits uint64 // frames re-sent by the reliability layer
+	DupsDropped uint64 // duplicate frames discarded at the receiver
+	OutOfOrder  uint64 // frames buffered waiting for a sequence gap
+	DroppedDown uint64 // frames discarded because this host was down
 }
 
 // AvgServiceDelay reports the mean delay between a message's arrival and
@@ -280,16 +327,30 @@ func (ep *Endpoint) AllocMessage() *Message { return ep.nw.allocMessage() }
 
 // Send transmits m to endpoint `to`. It charges the sending process the
 // sender-side CPU cost (p may be nil for engine-context sends, which
-// charge nothing). Delivery is reliable and FIFO per destination.
+// charge nothing). Delivery is reliable and FIFO per destination —
+// natively on the clean path, via the reliability layer under faults.
 func (ep *Endpoint) Send(p *sim.Proc, to int, m *Message) {
 	if m.Size <= 0 {
 		m.Size = len(m.Data)
+	}
+	if m.state == msgRecycled {
+		panic("fastmsg: Send of a recycled envelope — it was retained past its handler's return")
+	}
+	if m.pooled {
+		if m.state != msgAllocated {
+			panic("fastmsg: Send of a pooled envelope that is already in flight — AllocMessage envelopes are single-send")
+		}
+		m.state = msgSent
 	}
 	m.From = ep.id
 	m.To = to
 	pr := ep.nw.params
 	if p != nil {
 		p.Sleep(pr.SendCPU(m.Size))
+	}
+	if r := ep.nw.rel; r != nil {
+		r.send(ep, to, m)
+		return
 	}
 	eng := ep.nw.eng
 	at := eng.Now().Add(pr.WireLatency(m.Size))
@@ -304,9 +365,20 @@ func (ep *Endpoint) Send(p *sim.Proc, to int, m *Message) {
 }
 
 // arriveAny runs in engine context when a message reaches this
-// endpoint's adapter.
+// endpoint's adapter. Under faults the reliability layer gates admission
+// (dedup, reordering repair, down-host discard) before delivery.
 func (ep *Endpoint) arriveAny(a any) {
 	m := a.(*Message)
+	if r := ep.nw.rel; r != nil {
+		r.arrive(ep, m)
+		return
+	}
+	ep.deliver(m)
+}
+
+// deliver admits one message to the poll/sweep machinery that hands it
+// to the service thread.
+func (ep *Endpoint) deliver(m *Message) {
 	eng := ep.nw.eng
 	pm := ep.newPending(m, eng.Now())
 	ep.pending = append(ep.pending, pm)
@@ -410,15 +482,24 @@ func (ep *Endpoint) sweepGap() sim.Duration {
 }
 
 // serve is the endpoint's service-thread body: receive, charge receive
-// CPU, run the protocol handler, recycle the envelope.
+// CPU, run the protocol handler, then (under faults) acknowledge the
+// completed sequence number and (clean path) recycle the envelope.
 func (ep *Endpoint) serve(p *sim.Proc) {
 	for {
 		m := ep.ready.Get(p)
+		m.state = msgDelivered
+		r := ep.nw.rel
+		if r != nil && m.Seq != 0 {
+			r.beginService(ep, m)
+		}
 		p.Sleep(ep.nw.params.RecvCPU(m.Size))
 		if ep.handler == nil {
 			panic(fmt.Sprintf("fastmsg: endpoint %d received %T with no handler", ep.id, m.Payload))
 		}
 		ep.handler(p, m)
+		if r != nil && m.Seq != 0 {
+			r.complete(ep, m)
+		}
 		if m.pooled {
 			ep.nw.recycleMessage(m)
 		}

@@ -1,0 +1,393 @@
+package fastmsg
+
+// The reliability layer: when a faultnet plan is installed, the raw wire
+// drops, duplicates, delays and partitions frames, and hosts crash — so
+// this file layers a per-directed-link sliding protocol over it that
+// restores the FM guarantee the protocols were written against:
+// exactly-once, per-link-FIFO delivery.
+//
+//   - Every frame carries a per-(sender,destination) sequence number.
+//   - The receiver admits frames in sequence order, parking early
+//     arrivals in a reorder buffer and discarding duplicates (re-acking
+//     its processed floor so the sender can advance).
+//   - Acks are cumulative and are sent when the destination's handler
+//     COMPLETES, not when the frame arrives — so a crash that wipes the
+//     receive queue loses only unacknowledged work, which the sender
+//     still holds and retransmits.
+//   - The sender retransmits everything outstanding (go-back-N) on a
+//     per-link timer with exponential backoff between RTOMin and RTOMax.
+//
+// Crash model (fail-restart with durable memory): a crashed host keeps
+// its memory, page protections, protocol state and session floors, but
+// loses everything volatile in the transport — frames on the wire to
+// it, its receive queue, its reorder buffers, and undelivered poll/sweep
+// events. On crash each receive session's accept floor rolls back to
+// its processed floor, so the peers' retransmissions re-deliver exactly
+// the lost tail; a handler already mid-flight at the crash completes
+// (message-granularity failure boundary) and its duplicate, if
+// retransmitted, is recognized and dropped. On restart the host
+// immediately flushes its own outbound sessions and the network's
+// restart hook lets the cluster runtime run protocol-level recovery.
+//
+// Everything here is fault-mode only: a Network without InstallFaults
+// never touches this file, keeping the clean path allocation-free and
+// bit-identical in virtual time.
+
+import (
+	"fmt"
+
+	"millipage/internal/faultnet"
+	"millipage/internal/sim"
+)
+
+// reliability is the per-network state of the layer.
+type reliability struct {
+	nw     *Network
+	inj    *faultnet.Injector
+	rtoMin sim.Duration
+	rtoMax sim.Duration
+	hosts  []*relHost
+}
+
+// relHost is one host's transport state.
+type relHost struct {
+	down bool
+	send []sendSession // indexed by destination host
+	recv []recvSession // indexed by source host
+
+	// The message currently in the service thread's handler, if any.
+	// A crash rolls the accept floor back underneath it; this record
+	// keeps its retransmitted twin from being admitted a second time.
+	inServiceFrom int
+	inServiceSeq  uint64
+}
+
+// sendSession is the sender half of one directed link. Its contents are
+// durable across the sender's crashes (the production analogue: a send
+// log on stable storage); only transmission is suppressed while down.
+type sendSession struct {
+	nextSeq    uint64 // next sequence number to assign (sessions start at 1)
+	unacked    []*Message
+	rto        sim.Duration
+	timerGen   uint64 // arms are numbered so superseded timers no-op
+	timerArmed bool
+}
+
+// recvSession is the receiver half of one directed link. The floors are
+// durable; the reorder buffer is volatile (lost at a crash).
+type recvSession struct {
+	nextAccept  uint64 // lowest sequence number not yet admitted for delivery
+	nextProcess uint64 // lowest sequence number whose handler has not completed
+	ooo         map[uint64]*Message
+}
+
+// InstallFaults arms the network with a fault injector: the wire becomes
+// lossy per the injector's plan and the reliability layer switches on.
+// It must be called before any traffic (cluster setup time), and the
+// plan's crash schedule is placed on the engine calendar here.
+func (nw *Network) InstallFaults(inj *faultnet.Injector) {
+	if nw.rel != nil {
+		panic("fastmsg: InstallFaults called twice")
+	}
+	for _, ep := range nw.eps {
+		if ep.stats.Sent != 0 || ep.stats.Received != 0 {
+			panic("fastmsg: InstallFaults after traffic")
+		}
+	}
+	plan := inj.Plan()
+	rtoMin, rtoMax := plan.RTOBounds()
+	r := &reliability{nw: nw, inj: inj, rtoMin: rtoMin, rtoMax: rtoMax}
+	n := len(nw.eps)
+	for i := 0; i < n; i++ {
+		rh := &relHost{
+			send:          make([]sendSession, n),
+			recv:          make([]recvSession, n),
+			inServiceFrom: -1,
+		}
+		for j := 0; j < n; j++ {
+			rh.send[j].nextSeq = 1
+			rh.recv[j].nextAccept = 1
+			rh.recv[j].nextProcess = 1
+		}
+		r.hosts = append(r.hosts, rh)
+	}
+	nw.rel = r
+	for _, c := range inj.Crashes() {
+		h := c.Host
+		nw.eng.At(c.At, func() { r.crash(h) })
+		nw.eng.At(c.RestartAt, func() { r.restart(h) })
+	}
+}
+
+// FaultsEnabled reports whether a fault plan is installed.
+func (nw *Network) FaultsEnabled() bool { return nw.rel != nil }
+
+// SetRestartHook registers fn to run (in engine context) whenever a
+// crashed host restarts, after its outbound sessions have been flushed.
+// The cluster runtime uses it to spawn protocol-level crash recovery.
+func (nw *Network) SetRestartHook(fn func(host int)) { nw.restartHook = fn }
+
+// Down reports whether host h is currently crashed.
+func (nw *Network) Down(h int) bool {
+	return nw.rel != nil && nw.rel.hosts[h].down
+}
+
+// send assigns the next sequence number on the (ep, to) link, logs the
+// frame for retransmission, and attempts a first transmission.
+func (r *reliability) send(ep *Endpoint, to int, m *Message) {
+	ss := &r.hosts[ep.id].send[to]
+	m.Seq = ss.nextSeq
+	ss.nextSeq++
+	ss.unacked = append(ss.unacked, m)
+	ep.stats.Sent++
+	ep.stats.BytesSent += uint64(m.Size)
+	r.transmit(ep.id, to, m)
+	if !ss.timerArmed {
+		r.armTimer(ep.id, to, ss)
+	}
+}
+
+// transmit puts one frame on the faulty wire: partition and crash checks,
+// then the drop/duplicate/jitter draws. Used for first transmissions and
+// retransmissions alike; a suppressed or lost frame stays in the send
+// session and the timer covers it.
+func (r *reliability) transmit(from, to int, m *Message) {
+	if r.hosts[from].down {
+		return // NIC is dead; the restart flush re-sends
+	}
+	now := r.nw.eng.Now()
+	if r.inj.Partitioned(from, to, now) {
+		return
+	}
+	dst := r.nw.eps[to]
+	base := r.nw.params.WireLatency(m.Size)
+	if !r.inj.DropFrame() {
+		r.nw.eng.AtArg(now.Add(base+r.inj.ExtraDelay()), dst.arriveFn, m)
+	}
+	if r.inj.DupFrame() {
+		r.nw.eng.AtArg(now.Add(base+r.inj.ExtraDelay()), dst.arriveFn, m)
+	}
+}
+
+// armTimer schedules the link's retransmission timer at its current RTO.
+func (r *reliability) armTimer(from, to int, ss *sendSession) {
+	ss.timerArmed = true
+	ss.timerGen++
+	gen := ss.timerGen
+	if ss.rto == 0 {
+		ss.rto = r.rtoMin
+	}
+	r.nw.eng.After(ss.rto, func() { r.timerFire(from, to, gen) })
+}
+
+// timerFire retransmits everything outstanding on the link (go-back-N)
+// and re-arms with doubled backoff.
+func (r *reliability) timerFire(from, to int, gen uint64) {
+	ss := &r.hosts[from].send[to]
+	if gen != ss.timerGen {
+		return // superseded by an ack or a restart flush
+	}
+	ss.timerArmed = false
+	if len(ss.unacked) == 0 {
+		return
+	}
+	ep := r.nw.eps[from]
+	for _, m := range ss.unacked {
+		ep.stats.Retransmits++
+		r.transmit(from, to, m)
+	}
+	ss.rto *= 2
+	if ss.rto > r.rtoMax {
+		ss.rto = r.rtoMax
+	}
+	r.armTimer(from, to, ss)
+}
+
+// arrive gates one frame off the wire: discard if this host is down,
+// drop-and-re-ack duplicates, buffer early arrivals, and admit in-order
+// frames (plus any buffered successors they release) to delivery.
+func (r *reliability) arrive(ep *Endpoint, m *Message) {
+	rh := r.hosts[ep.id]
+	if rh.down {
+		ep.stats.DroppedDown++
+		return
+	}
+	rs := &rh.recv[m.From]
+	if m.Seq < rs.nextAccept {
+		// Already admitted once: a wire duplicate or a retransmission
+		// that crossed our ack. Re-ack the processed floor so the
+		// sender stops resending even if the original ack was lost.
+		ep.stats.DupsDropped++
+		if rs.nextProcess > 1 {
+			r.sendAck(ep.id, m.From, rs.nextProcess-1)
+		}
+		return
+	}
+	if m.Seq == rs.nextAccept && rh.inServiceFrom == m.From && rh.inServiceSeq == m.Seq {
+		// A crash rolled the accept floor back under the handler that is
+		// still processing this very sequence number; its retransmitted
+		// twin must not be admitted again.
+		ep.stats.DupsDropped++
+		return
+	}
+	if m.Seq > rs.nextAccept {
+		if rs.ooo == nil {
+			rs.ooo = make(map[uint64]*Message)
+		}
+		if _, dup := rs.ooo[m.Seq]; dup {
+			ep.stats.DupsDropped++
+		} else {
+			rs.ooo[m.Seq] = m
+			ep.stats.OutOfOrder++
+		}
+		return
+	}
+	rs.nextAccept++
+	ep.deliver(m)
+	for {
+		next, ok := rs.ooo[rs.nextAccept]
+		if !ok {
+			return
+		}
+		delete(rs.ooo, rs.nextAccept)
+		rs.nextAccept++
+		ep.deliver(next)
+	}
+}
+
+// beginService marks m as the frame the service thread is processing.
+func (r *reliability) beginService(ep *Endpoint, m *Message) {
+	rh := r.hosts[ep.id]
+	rh.inServiceFrom, rh.inServiceSeq = m.From, m.Seq
+}
+
+// complete advances the link's processed floor once the handler for m
+// has returned, and sends the cumulative ack. Called from the service
+// thread; acks are charged no CPU (FM acks piggyback on the NIC).
+func (r *reliability) complete(ep *Endpoint, m *Message) {
+	rh := r.hosts[ep.id]
+	rs := &rh.recv[m.From]
+	if m.Seq != rs.nextProcess {
+		panic(fmt.Sprintf("fastmsg: host %d completed seq %d from host %d, expected %d — per-link FIFO processing violated",
+			ep.id, m.Seq, m.From, rs.nextProcess))
+	}
+	rs.nextProcess = m.Seq + 1
+	if rs.nextAccept < rs.nextProcess {
+		// A crash rolled the accept floor back while this handler was
+		// mid-flight; it has now completed, so the floor moves past it.
+		rs.nextAccept = rs.nextProcess
+	}
+	rh.inServiceFrom, rh.inServiceSeq = -1, 0
+	r.sendAck(ep.id, m.From, m.Seq)
+}
+
+// sendAck ships a cumulative ack for the (to → from) link over the same
+// faulty wire as any frame. A lost ack is healed by the next duplicate's
+// re-ack, so acks need no sequencing of their own.
+func (r *reliability) sendAck(from, to int, cum uint64) {
+	if r.hosts[from].down {
+		return
+	}
+	now := r.nw.eng.Now()
+	if r.inj.Partitioned(from, to, now) {
+		return
+	}
+	base := r.nw.params.WireBase
+	if !r.inj.DropFrame() {
+		d := base + r.inj.ExtraDelay()
+		r.nw.eng.After(d, func() { r.ackArrive(to, from, cum) })
+	}
+	if r.inj.DupFrame() {
+		d := base + r.inj.ExtraDelay()
+		r.nw.eng.After(d, func() { r.ackArrive(to, from, cum) })
+	}
+}
+
+// ackArrive consumes a cumulative ack at the original sender: pop the
+// acknowledged prefix, reset backoff on progress, and re-arm or cancel
+// the timer.
+func (r *reliability) ackArrive(at, from int, cum uint64) {
+	rh := r.hosts[at]
+	if rh.down {
+		return
+	}
+	ss := &rh.send[from]
+	progress := false
+	for len(ss.unacked) > 0 && ss.unacked[0].Seq <= cum {
+		ss.unacked[0] = nil
+		ss.unacked = ss.unacked[1:]
+		progress = true
+	}
+	if !progress {
+		return
+	}
+	ss.timerGen++ // cancel the outstanding arm
+	ss.timerArmed = false
+	ss.rto = r.rtoMin
+	if len(ss.unacked) > 0 {
+		r.armTimer(at, from, ss)
+	}
+}
+
+// crash takes host h's network stack down: volatile receive state is
+// lost, and each receive session's accept floor rolls back to its
+// processed floor so peers' retransmissions re-deliver the lost tail.
+func (r *reliability) crash(h int) {
+	rh := r.hosts[h]
+	if rh.down {
+		return
+	}
+	rh.down = true
+	ep := r.nw.eps[h]
+	// The receive queue and undelivered poll/sweep events are volatile.
+	for {
+		if _, ok := ep.ready.TryGet(); !ok {
+			break
+		}
+	}
+	for _, pm := range ep.pending[ep.pendHead:] {
+		// Unfired entries only: fired ones were already removed by fire().
+		pm.fired = true // their scheduled fire events will no-op and recycle
+	}
+	for i := range ep.pending {
+		ep.pending[i] = nil
+	}
+	ep.pending = ep.pending[:0]
+	ep.pendHead = 0
+	for i := range rh.recv {
+		rs := &rh.recv[i]
+		rs.ooo = nil
+		if rs.nextAccept > rs.nextProcess {
+			rs.nextAccept = rs.nextProcess
+		}
+	}
+}
+
+// restart brings host h back: flush every outbound session immediately
+// (peers may be blocked on frames we queued while down) and hand control
+// to the cluster's recovery hook.
+func (r *reliability) restart(h int) {
+	rh := r.hosts[h]
+	if !rh.down {
+		return
+	}
+	rh.down = false
+	ep := r.nw.eps[h]
+	for to := range rh.send {
+		ss := &rh.send[to]
+		if len(ss.unacked) == 0 {
+			continue
+		}
+		ss.timerGen++
+		ss.timerArmed = false
+		ss.rto = r.rtoMin
+		for _, m := range ss.unacked {
+			ep.stats.Retransmits++
+			r.transmit(h, to, m)
+		}
+		r.armTimer(h, to, ss)
+	}
+	if r.nw.restartHook != nil {
+		r.nw.restartHook(h)
+	}
+}

@@ -1,0 +1,394 @@
+package fastmsg
+
+// Transport-level conformance for the reliability layer: exactly-once,
+// per-link-FIFO delivery over a wire that drops, duplicates, delays,
+// partitions and crashes — plus the envelope-lifecycle guard
+// regressions (pooled envelopes retained past their handler).
+
+import (
+	"fmt"
+	"testing"
+
+	"millipage/internal/faultnet"
+	"millipage/internal/sim"
+)
+
+// relHarness runs `senders` hosts each streaming msgs sequenced payloads
+// to every other host under plan, and asserts every link delivered
+// exactly 0..msgs-1 in order.
+func relHarness(t *testing.T, hosts, msgs int, plan faultnet.Plan, seed int64) *Network {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	nw := New(eng, hosts, DefaultParams())
+	inj, err := faultnet.NewInjector(plan, hosts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.InstallFaults(inj)
+
+	// got[dst][src] collects the payload sequence each link delivered.
+	got := make([][][]int, hosts)
+	for i := range got {
+		got[i] = make([][]int, hosts)
+	}
+	for i := 0; i < hosts; i++ {
+		i := i
+		nw.Endpoint(i).SetHandler(func(p *sim.Proc, m *Message) {
+			got[i][m.From] = append(got[i][m.From], m.Payload.(int))
+		})
+	}
+
+	const limit = 30 * sim.Second
+	eng.At(sim.Time(limit), eng.Stop)
+
+	total := hosts * (hosts - 1) * msgs
+	delivered := func() int {
+		n := 0
+		for i := range got {
+			for j := range got[i] {
+				n += len(got[i][j])
+			}
+		}
+		return n
+	}
+	for i := 0; i < hosts; i++ {
+		i := i
+		eng.Spawn(fmt.Sprintf("sender-%d", i), func(p *sim.Proc) {
+			ep := nw.Endpoint(i)
+			for k := 0; k < msgs; k++ {
+				for j := 0; j < hosts; j++ {
+					if j == i {
+						continue
+					}
+					m := ep.AllocMessage()
+					m.Size = 32
+					m.Payload = k
+					ep.Send(p, j, m)
+				}
+				p.Sleep(50 * sim.Microsecond)
+			}
+			// Keep one non-daemon process alive until every link drains.
+			if i == 0 {
+				for delivered() < total {
+					p.Sleep(sim.Millisecond)
+				}
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if d := delivered(); d != total {
+		t.Fatalf("delivered %d of %d messages before the %v watchdog", d, total, limit)
+	}
+	for dst := range got {
+		for src := range got[dst] {
+			if src == dst {
+				continue
+			}
+			seq := got[dst][src]
+			if len(seq) != msgs {
+				t.Fatalf("link %d->%d: delivered %d messages, want %d", src, dst, len(seq), msgs)
+			}
+			for k, v := range seq {
+				if v != k {
+					t.Fatalf("link %d->%d: position %d got payload %d (reordered or duplicated delivery)", src, dst, k, v)
+				}
+			}
+		}
+	}
+	return nw
+}
+
+func TestReliableDropHeavy(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		nw := relHarness(t, 3, 40, faultnet.Plan{Drop: 0.3, Dup: 0.15}, seed)
+		var retrans uint64
+		for i := 0; i < 3; i++ {
+			retrans += nw.Endpoint(i).Stats().Retransmits
+		}
+		if retrans == 0 {
+			t.Error("30% drop produced zero retransmissions — faults are not being injected")
+		}
+	}
+}
+
+func TestReliableReorderHeavy(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		nw := relHarness(t, 3, 40, faultnet.Plan{Reorder: 0.6, Jitter: 2 * sim.Millisecond}, seed)
+		var ooo uint64
+		for i := 0; i < 3; i++ {
+			ooo += nw.Endpoint(i).Stats().OutOfOrder
+		}
+		if ooo == 0 {
+			t.Error("60% reorder produced zero out-of-order buffering — jitter is not biting")
+		}
+	}
+}
+
+func TestReliableEverything(t *testing.T) {
+	plan := faultnet.Plan{
+		Drop: 0.2, Dup: 0.1, Reorder: 0.3, Jitter: 3 * sim.Millisecond,
+		Partitions: []faultnet.Partition{
+			{A: 0b001, B: 0b110, From: sim.Time(5 * sim.Millisecond), Until: sim.Time(60 * sim.Millisecond)},
+		},
+		Crashes: []faultnet.Crash{
+			{Host: 1, At: sim.Time(20 * sim.Millisecond), RestartAt: sim.Time(80 * sim.Millisecond)},
+		},
+	}
+	relHarness(t, 3, 30, plan, 7)
+}
+
+// TestReliablePartitionHeal: traffic across an active partition stalls
+// and is delivered after the heal, in order.
+func TestReliablePartitionHeal(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, 2, DefaultParams())
+	cut := faultnet.Partition{A: 0b01, B: 0b10,
+		From: 0, Until: sim.Time(40 * sim.Millisecond)}
+	inj, err := faultnet.NewInjector(faultnet.Plan{Partitions: []faultnet.Partition{cut}}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.InstallFaults(inj)
+	var gotAt []sim.Time
+	var payloads []int
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {
+		gotAt = append(gotAt, p.Now())
+		payloads = append(payloads, m.Payload.(int))
+	})
+	nw.Endpoint(0).SetHandler(func(p *sim.Proc, m *Message) {})
+	eng.At(sim.Time(2*sim.Second), eng.Stop)
+	eng.Spawn("sender", func(p *sim.Proc) {
+		ep := nw.Endpoint(0)
+		for k := 0; k < 5; k++ {
+			m := ep.AllocMessage()
+			m.Size = 32
+			m.Payload = k
+			ep.Send(p, 1, m)
+		}
+		for len(payloads) < 5 {
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 5 {
+		t.Fatalf("delivered %d of 5 across the partition", len(payloads))
+	}
+	for i, at := range gotAt {
+		if at < cut.Until {
+			t.Errorf("message %d delivered at %v, inside the partition window", i, at)
+		}
+	}
+	for i, v := range payloads {
+		if v != i {
+			t.Fatalf("position %d got payload %d after heal", i, v)
+		}
+	}
+}
+
+// TestReliableCrashRedelivery: messages accepted but not yet serviced at
+// the crash are lost from the receive queue, re-delivered by the
+// sender's retransmission after restart, and processed exactly once.
+func TestReliableCrashRedelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, 2, DefaultParams())
+	crashAt := sim.Time(10 * sim.Millisecond)
+	restartAt := sim.Time(50 * sim.Millisecond)
+	inj, err := faultnet.NewInjector(faultnet.Plan{
+		Crashes: []faultnet.Crash{{Host: 1, At: crashAt, RestartAt: restartAt}},
+	}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.InstallFaults(inj)
+	restarted := false
+	nw.SetRestartHook(func(h int) {
+		if h != 1 {
+			t.Errorf("restart hook for host %d, want 1", h)
+		}
+		restarted = true
+	})
+	var payloads []int
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {
+		payloads = append(payloads, m.Payload.(int))
+	})
+	nw.Endpoint(0).SetHandler(func(p *sim.Proc, m *Message) {})
+	eng.At(sim.Time(2*sim.Second), eng.Stop)
+	eng.Spawn("sender", func(p *sim.Proc) {
+		ep := nw.Endpoint(0)
+		// A steady stream across the crash window: some messages are
+		// serviced before the crash, some sit in the receive queue when
+		// it hits, some arrive while the host is down.
+		for k := 0; k < 40; k++ {
+			m := ep.AllocMessage()
+			m.Size = 32
+			m.Payload = k
+			ep.Send(p, 1, m)
+			p.Sleep(750 * sim.Microsecond)
+		}
+		for len(payloads) < 40 {
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 40 {
+		t.Fatalf("delivered %d of 40 across the crash", len(payloads))
+	}
+	for i, v := range payloads {
+		if v != i {
+			t.Fatalf("position %d got payload %d — crash redelivery broke exactly-once FIFO", i, v)
+		}
+	}
+	if !restarted {
+		t.Error("restart hook never ran")
+	}
+	if nw.Endpoint(1).Stats().DroppedDown == 0 {
+		t.Error("no frames were dropped while the host was down — the crash window never bit")
+	}
+}
+
+// TestReliableDeterminism: two runs with identical plan and seed produce
+// identical virtual end times and identical transport counters.
+func TestReliableDeterminism(t *testing.T) {
+	plan := faultnet.Plan{Drop: 0.25, Dup: 0.1, Reorder: 0.4, Jitter: 2 * sim.Millisecond}
+	type fingerprint struct {
+		elapsed sim.Time
+		stats   [3]Stats
+	}
+	run := func() fingerprint {
+		eng := sim.NewEngine(5)
+		nw := New(eng, 3, DefaultParams())
+		inj, err := faultnet.NewInjector(plan, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.InstallFaults(inj)
+		got := 0
+		for i := 0; i < 3; i++ {
+			nw.Endpoint(i).SetHandler(func(p *sim.Proc, m *Message) { got++ })
+		}
+		eng.At(sim.Time(10*sim.Second), eng.Stop)
+		eng.Spawn("sender", func(p *sim.Proc) {
+			ep := nw.Endpoint(0)
+			for k := 0; k < 60; k++ {
+				for j := 1; j < 3; j++ {
+					m := ep.AllocMessage()
+					m.Size = 64
+					m.Payload = k
+					ep.Send(p, j, m)
+				}
+				p.Sleep(100 * sim.Microsecond)
+			}
+			for got < 120 {
+				p.Sleep(sim.Millisecond)
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var fp fingerprint
+		fp.elapsed = eng.Now()
+		for i := 0; i < 3; i++ {
+			fp.stats[i] = nw.Endpoint(i).Stats()
+		}
+		return fp
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical fault runs diverged:\n  run1: %+v\n  run2: %+v", a, b)
+	}
+}
+
+// ---- Envelope lifecycle guards (pooled-envelope retention hazard) ----
+
+func expectPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one mentioning %q", want)
+		}
+	}()
+	fn()
+}
+
+// TestEnvelopeDoubleSend: re-sending a pooled envelope that is already
+// in flight panics at the second Send.
+func TestEnvelopeDoubleSend(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, 2, DefaultParams())
+	ep := nw.Endpoint(0)
+	m := ep.AllocMessage()
+	m.Size = 32
+	ep.Send(nil, 1, m)
+	expectPanic(t, "single-send", func() { ep.Send(nil, 1, m) })
+}
+
+// TestEnvelopeDoubleRecycle: recycling an envelope twice (the double
+// free) trips the state check instead of aliasing the pool.
+func TestEnvelopeDoubleRecycle(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, 2, DefaultParams())
+	m := nw.Endpoint(0).AllocMessage()
+	m.state = msgDelivered // as serve() marks it before the handler runs
+	nw.recycleMessage(m)
+	expectPanic(t, "double free", func() { nw.recycleMessage(m) })
+}
+
+// TestEnvelopeRetainedResend is the regression for the retention hazard:
+// a handler that stores a pooled envelope and re-sends it after its
+// handler returned (when the pool has already reclaimed it) panics
+// instead of corrupting whatever transaction reused the envelope.
+func TestEnvelopeRetainedResend(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, 2, DefaultParams())
+	var retained *Message
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {
+		retained = m // the bug: keeping a pooled envelope past return
+	})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		ep := nw.Endpoint(0)
+		m := ep.AllocMessage()
+		m.Size = 32
+		ep.Send(p, 1, m)
+		for retained == nil {
+			p.Sleep(sim.Millisecond)
+		}
+		p.Sleep(sim.Millisecond) // let the service thread recycle it
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if retained == nil {
+		t.Fatal("handler never ran")
+	}
+	if retained.state != msgRecycled {
+		t.Fatalf("retained envelope state = %d, want recycled", retained.state)
+	}
+	expectPanic(t, "retained", func() { nw.Endpoint(1).Send(nil, 0, retained) })
+}
+
+// TestInstallFaultsAfterTraffic: arming faults mid-run is a setup bug.
+func TestInstallFaultsAfterTraffic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, 2, DefaultParams())
+	nw.Endpoint(1).SetHandler(func(p *sim.Proc, m *Message) {})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		m := nw.Endpoint(0).AllocMessage()
+		m.Size = 32
+		nw.Endpoint(0).Send(p, 1, m)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultnet.NewInjector(faultnet.Plan{Drop: 0.1}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic(t, "after traffic", func() { nw.InstallFaults(inj) })
+}

@@ -33,6 +33,7 @@ import (
 	"millipage/internal/cluster"
 	"millipage/internal/core"
 	"millipage/internal/fastmsg"
+	"millipage/internal/faultnet"
 	"millipage/internal/sim"
 	"millipage/internal/trace"
 	"millipage/internal/twindiff"
@@ -48,6 +49,12 @@ type Options struct {
 	Seed       int64
 	Net        fastmsg.Params
 	Costs      cluster.Costs
+
+	// Faults, when non-nil and enabled, makes the wire lossy per the
+	// plan; the transport's reliability layer restores exactly-once FIFO
+	// delivery, which is all this protocol's handlers assume. Nil (or an
+	// all-zero plan) leaves the clean path untouched.
+	Faults *faultnet.Plan
 
 	// Trace, if non-nil, records protocol events (message sends, fault
 	// entries, handler dispatches) for debugging.
@@ -170,13 +177,19 @@ func New(opt Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.Faults.Enabled() {
+		if err := opt.Faults.Validate(opt.Hosts); err != nil {
+			return nil, fmt.Errorf("lrc: %w", err)
+		}
+	}
 	rt := cluster.New(cluster.Config{
-		Name:  "lrc",
-		Hosts: opt.Hosts,
-		Seed:  opt.Seed,
-		Net:   opt.Net,
-		Costs: opt.Costs,
-		Trace: opt.Trace,
+		Name:   "lrc",
+		Hosts:  opt.Hosts,
+		Seed:   opt.Seed,
+		Net:    opt.Net,
+		Costs:  opt.Costs,
+		Faults: opt.Faults,
+		Trace:  opt.Trace,
 	})
 	opt.Seed = rt.Cfg.Seed
 	opt.Net = rt.Cfg.Net

@@ -49,6 +49,7 @@ import (
 	"millipage/internal/core"
 	"millipage/internal/dsm"
 	"millipage/internal/fastmsg"
+	"millipage/internal/faultnet"
 	"millipage/internal/ivy"
 	"millipage/internal/lrc"
 	"millipage/internal/sim"
@@ -126,6 +127,16 @@ type Config struct {
 	// service threads (Section 3.5.1) — the "once the polling and timer
 	// resolution problems are solved" ablation.
 	PerfectTimers bool
+
+	// Faults, when non-nil and enabled, injects deterministic network and
+	// host faults per the plan (drops, duplicates, reordering, delay
+	// jitter, link partitions, host crash/restart), all drawn from the
+	// plan's seed. The substrate's reliability layer and the protocols'
+	// retry/dedup machinery restore exactly-once FIFO delivery, so
+	// applications still run to completion with the same results — only
+	// timing changes. Nil (or an all-zero plan) leaves the clean path
+	// untouched.
+	Faults *faultnet.Plan
 }
 
 // Cluster is a DSM cluster ready to run one application under the
@@ -167,6 +178,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			ChunkLevel:     cfg.ChunkLevel,
 			Seed:           cfg.Seed,
 			Net:            cfg.netParams(),
+			Faults:         cfg.Faults,
 		}
 		if cfg.HomeBasedManagement {
 			opt.Management = dsm.HomeBased
@@ -191,6 +203,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			SharedSize: cfg.SharedMemory,
 			Seed:       cfg.Seed,
 			Net:        cfg.netParams(),
+			Faults:     cfg.Faults,
 		})
 		if err != nil {
 			return nil, err
@@ -207,6 +220,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			ChunkLevel: cfg.ChunkLevel,
 			Seed:       cfg.Seed,
 			Net:        cfg.netParams(),
+			Faults:     cfg.Faults,
 		})
 		if err != nil {
 			return nil, err

@@ -29,6 +29,14 @@ type Report struct {
 	MessagesSent      uint64
 	BytesSent         uint64
 
+	// Reliability-layer activity. All zero on the clean path (no fault
+	// plan); under fault injection they quantify how hard the transport
+	// worked to restore exactly-once FIFO delivery.
+	Retransmits   uint64 // frames re-sent by retransmit timers
+	DupsDropped   uint64 // duplicate frames discarded at receivers
+	OutOfOrder    uint64 // frames buffered across a sequence gap
+	FramesDropped uint64 // frames discarded at down (crashed/partitioned) hosts
+
 	// DSM footprint (Table 2 columns).
 	Minipages  int
 	ViewsUsed  int
@@ -107,6 +115,10 @@ func (c *Cluster) report() *Report {
 		es := rt.Net.Endpoint(i).Stats()
 		r.MessagesSent += es.Sent
 		r.BytesSent += es.BytesSent
+		r.Retransmits += es.Retransmits
+		r.DupsDropped += es.DupsDropped
+		r.OutOfOrder += es.OutOfOrder
+		r.FramesDropped += es.DroppedDown
 	}
 	// Latency decomposition.
 	var rfTime, wfTime Duration
@@ -192,6 +204,10 @@ func (r *Report) String() string {
 		r.ReadFaults, r.WriteFaults, r.Invalidations, r.CompetingRequests)
 	fmt.Fprintf(&b, "synch: barriers=%d locks=%d\n", r.Barriers, r.LockAcquisitions)
 	fmt.Fprintf(&b, "net: msgs=%d bytes=%d\n", r.MessagesSent, r.BytesSent)
+	if r.Retransmits+r.DupsDropped+r.OutOfOrder+r.FramesDropped > 0 {
+		fmt.Fprintf(&b, "reliability: retransmits=%d dups=%d ooo=%d dropped=%d\n",
+			r.Retransmits, r.DupsDropped, r.OutOfOrder, r.FramesDropped)
+	}
 	fmt.Fprintf(&b, "dsm: minipages=%d views=%d shared=%dB\n", r.Minipages, r.ViewsUsed, r.SharedUsed)
 	if r.ReadFaultLatency.Count() > 0 {
 		fmt.Fprintf(&b, "read-fault latency: %s\n", r.ReadFaultLatency.Summary())
