@@ -8,6 +8,7 @@
 //	millipage apps [flags]           Figure 6 + Table 2 (application suite)
 //	millipage chunking [flags]       Figure 7 (WATER chunking study)
 //	millipage chaos [flags]          seeded fault injection + convergence check
+//	millipage explore [flags]        schedule-exploration model checking
 //	millipage bench [-out F]         simulator wall-clock benchmarks
 //	millipage all [flags]            everything above
 //
@@ -102,6 +103,8 @@ func dispatch(cmd string, args []string) error {
 		return runManagerLoad(args)
 	case "chaos":
 		return runChaos(args)
+	case "explore":
+		return runExplore(args)
 	case "bench":
 		return runBench(args)
 	case "all":
@@ -114,7 +117,7 @@ func dispatch(cmd string, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: millipage [global flags] <costs|mvoverhead|apps|chunking|ablation|managerload|bench|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: millipage [global flags] <costs|mvoverhead|apps|chunking|ablation|managerload|chaos|explore|bench|all> [flags]
   costs                Table 1 and the Section 4.2 microbenchmarks
   mvoverhead [-fast]   Figure 5: MultiView overhead vs number of views
   apps [flags]         Figure 6 and Table 2: the five-application suite
@@ -137,6 +140,18 @@ func usage() {
                          -jitter D     reorder hold-back bound (e.g. 2ms)
                          -partition from,until   cut first half from second half
                          -crash host,at,restart  schedule a host crash/restart
+  explore [flags]      schedule-exploration model checking: perturb the order
+                       of same-timestamp events over many seeded schedules,
+                       assert the SW/MR, consistency and agreement oracles
+                       after each, shrink any failing schedule to a minimal
+                       replayable trace
+                         -protocol P   millipage, ivy or lrc
+                         -workload W   swmr, mp, dekker, drf, drf-nolock
+                         -faults F     fault preset (see -h), default clean
+                         -schedules N  schedules to explore (default 200)
+                         -seed/-exploreseed/-preempt/-budget   exploration knobs
+                         -artifacts D  write shrunk repro traces into D
+                         -replay F     re-execute a saved .mchk trace
   bench [-out F]       simulator wall-clock benchmarks vs the frozen
                        pre-optimization baseline (default -out BENCH_sim.json)
   all [flags]          everything (-scale, -fast, -seed)

@@ -4,64 +4,25 @@
 // Under the traditional page-based layout the page ping-pongs between the
 // writers on every exchange (false sharing). Under MultiView each
 // variable is a minipage with independent protection, so after one
-// ownership transfer apiece the hosts never communicate again.
+// ownership transfer apiece the hosts never communicate again. (See
+// internal/examples.FalseShare for the body.)
+//
+// Usage: falseshare [millipage|ivy|lrc]
 package main
 
 import (
-	"fmt"
 	"log"
+	"os"
 
-	millipage "millipage"
+	"millipage/internal/examples"
 )
 
-func run(pageGrain bool) (*millipage.Report, error) {
-	cluster, err := millipage.NewCluster(millipage.Config{
-		Hosts:           2,
-		SharedMemory:    1 << 16,
-		Views:           4,
-		PageGranularity: pageGrain,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var vars [2]millipage.Addr
-	return cluster.Run(func(w *millipage.Worker) {
-		if w.Host() == 0 {
-			vars[0] = w.Malloc(64) // same physical page,
-			vars[1] = w.Malloc(64) // different minipages (or not...)
-		}
-		w.Barrier()
-		mine := vars[w.Host()]
-		for i := 0; i < 200; i++ {
-			w.WriteU32(mine, uint32(i))
-			w.Compute(200 * millipage.Duration(1000)) // 200us of "work"
-		}
-		w.Barrier()
-	})
-}
-
 func main() {
-	multi, err := run(false)
-	if err != nil {
+	protocol := "millipage"
+	if len(os.Args) > 1 {
+		protocol = os.Args[1]
+	}
+	if _, err := examples.FalseShare(protocol, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	page, err := run(true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("two hosts, 200 writes each to neighboring variables on one page")
-	fmt.Printf("%-22s %12s %12s %14s %12s\n", "layout", "write faults", "messages", "bytes moved", "elapsed")
-	fmt.Printf("%-22s %12d %12d %14d %12v\n", "MultiView minipages",
-		multi.WriteFaults, multi.MessagesSent, multi.BytesSent, multi.Elapsed)
-	fmt.Printf("%-22s %12d %12d %14d %12v\n", "page granularity",
-		page.WriteFaults, page.MessagesSent, page.BytesSent, page.Elapsed)
-	fmt.Printf("\nfalse-sharing fault ratio: %.0fx\n",
-		float64(page.WriteFaults)/float64(maxU64(multi.WriteFaults, 1)))
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -5,89 +5,25 @@
 // every region has exactly one writer per phase and no locks are needed.
 //
 // It also demonstrates Prefetch: each host prefetches its next region
-// while still summing the current one.
+// while still summing the current one. (See internal/examples.Histogram
+// for the body.)
+//
+// Usage: histogram [millipage|ivy|lrc]
 package main
 
 import (
-	"fmt"
 	"log"
+	"os"
 
-	millipage "millipage"
-)
-
-const (
-	hosts   = 8
-	buckets = 512
-	keys    = 1 << 20
+	"millipage/internal/examples"
 )
 
 func main() {
-	cluster, err := millipage.NewCluster(millipage.Config{
-		Hosts:        hosts,
-		SharedMemory: 64 << 10,
-		Views:        8,
-	})
-	if err != nil {
+	protocol := "millipage"
+	if len(os.Args) > 1 {
+		protocol = os.Args[1]
+	}
+	if _, err := examples.Histogram(protocol, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-
-	per := buckets / hosts
-	regionBytes := per * 4
-	var regions [hosts]millipage.Addr
-
-	report, err := cluster.Run(func(w *millipage.Worker) {
-		h := w.Host()
-		if h == 0 {
-			for r := range regions {
-				regions[r] = w.Malloc(regionBytes)
-				w.Write(regions[r], make([]byte, regionBytes))
-			}
-		}
-		w.Barrier()
-
-		// Local histogram of this host's slice of the key stream.
-		local := make([]uint32, buckets)
-		n := keys / hosts
-		for i := 0; i < n; i++ {
-			k := (uint64(h*n+i)*0x9E3779B97F4A7C15 ^ 0xD1B54A32D192ED03) >> 11 % buckets
-			local[k]++
-		}
-		w.Compute(millipage.Duration(n) * 45) // ~45ns per key on the testbed
-
-		// Skewed all-to-all: in phase p host h owns region (h+p)%hosts.
-		buf := make([]byte, regionBytes)
-		for phase := 0; phase < hosts; phase++ {
-			r := (h + phase) % hosts
-			if phase+1 < hosts {
-				w.Prefetch(regions[(h+phase+1)%hosts], regionBytes)
-			}
-			w.Read(regions[r], buf)
-			for b := 0; b < per; b++ {
-				v := uint32(buf[4*b]) | uint32(buf[4*b+1])<<8 | uint32(buf[4*b+2])<<16 | uint32(buf[4*b+3])<<24
-				v += local[r*per+b]
-				buf[4*b], buf[4*b+1], buf[4*b+2], buf[4*b+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-			}
-			w.Write(regions[r], buf)
-			w.Barrier()
-		}
-
-		// Host 0 verifies the grand total.
-		if h == 0 {
-			var total uint64
-			for r := 0; r < hosts; r++ {
-				w.Read(regions[r], buf)
-				for b := 0; b < per; b++ {
-					total += uint64(uint32(buf[4*b]) | uint32(buf[4*b+1])<<8 |
-						uint32(buf[4*b+2])<<16 | uint32(buf[4*b+3])<<24)
-				}
-			}
-			fmt.Printf("histogram total = %d (want %d)\n", total, uint64(keys/hosts*hosts))
-		}
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nelapsed %v, %d read faults, %d write faults, %d messages\n",
-		report.Elapsed, report.ReadFaults, report.WriteFaults, report.MessagesSent)
-	fmt.Printf("views in use: %d (eight 256-byte regions per 4 KB page)\n", report.ViewsUsed)
 }

@@ -1,78 +1,31 @@
 // Lazyrelease demonstrates the paper's Section-5 extension: home-based
-// lazy release consistency over chunked minipages (internal/lrc).
+// lazy release consistency over chunked minipages.
 //
 // Four hosts write interleaved slots that chunking has packed into the
 // same minipages. Under Millipage's sequential consistency the writers
 // would invalidate each other on every exchange; under LRC each host
 // writes a local twin and the run-length diffs merge at the barrier —
 // false sharing inside the chunk costs nothing between synchronization
-// points.
+// points. The program is data-race-free, so it also runs under the
+// other protocols for comparison. (See internal/examples.LazyRelease
+// for the body.)
+//
+// Usage: lazyrelease [millipage|ivy|lrc]  (default lrc)
 package main
 
 import (
-	"fmt"
 	"log"
+	"os"
 
-	"millipage/internal/lrc"
-	"millipage/internal/sim"
+	"millipage/internal/examples"
 )
 
 func main() {
-	sys, err := lrc.New(lrc.Options{
-		Hosts:      4,
-		SharedSize: 1 << 20,
-		Views:      16,
-		ChunkLevel: 8, // eight 64-byte slots share each minipage
-		Seed:       1,
-	})
-	if err != nil {
+	protocol := "lrc"
+	if len(os.Args) > 1 {
+		protocol = os.Args[1]
+	}
+	if _, err := examples.LazyRelease(protocol, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-
-	const slots = 64
-	vas := make([]uint64, slots)
-
-	err = sys.Run(func(t *lrc.Thread) {
-		if t.Host() == 0 {
-			for i := range vas {
-				vas[i] = t.Malloc(64)
-			}
-		}
-		t.Barrier()
-
-		// Three barrier-separated rounds of interleaved writes: slot i
-		// belongs to host i%4, so every chunk has four concurrent writers.
-		for round := 0; round < 3; round++ {
-			for i := t.Host(); i < slots; i += t.NumHosts() {
-				t.WriteU32(vas[i], uint32(round*1000+i))
-				t.Compute(200 * sim.Microsecond)
-			}
-			t.Barrier()
-		}
-
-		// Everyone observes the merged result.
-		if t.Host() == 0 {
-			ok := true
-			for i := range vas {
-				if got := t.ReadU32(vas[i]); got != uint32(2000+i) {
-					fmt.Printf("slot %d = %d, want %d\n", i, got, 2000+i)
-					ok = false
-				}
-			}
-			if ok {
-				fmt.Println("all 64 slots merged correctly across 4 concurrent writers")
-			}
-		}
-		t.Barrier()
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	st := sys.Stats
-	fmt.Printf("\nelapsed %v\n", sys.Elapsed())
-	fmt.Printf("write faults (twins taken): %d — one per chunk per host per interval,\n", st.WriteFault)
-	fmt.Printf("no ping-pong between writers\n")
-	fmt.Printf("diffs flushed: %d (%d bytes of run-length-encoded updates)\n", st.DiffsSent, st.DiffBytes)
-	fmt.Printf("fetches from home: %d\n", st.Fetches)
 }

@@ -1,60 +1,24 @@
 // Quickstart: a four-host Millipage cluster sharing a counter and a
 // message buffer. Shows allocation, reads/writes, locks and barriers —
-// the whole Section 3.4 API surface in one page of code.
+// the whole Section 3.4 API surface in one page of code (see
+// internal/examples.Quickstart for the body).
+//
+// Usage: quickstart [millipage|ivy|lrc]
 package main
 
 import (
-	"fmt"
 	"log"
+	"os"
 
-	millipage "millipage"
+	"millipage/internal/examples"
 )
 
 func main() {
-	cluster, err := millipage.NewCluster(millipage.Config{
-		Hosts:        4,
-		SharedMemory: 1 << 20,
-		Views:        8, // up to 8 minipages may share a physical page
-	})
-	if err != nil {
+	protocol := "millipage"
+	if len(os.Args) > 1 {
+		protocol = os.Args[1]
+	}
+	if _, err := examples.Quickstart(protocol, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-
-	var counter, greeting millipage.Addr
-
-	report, err := cluster.Run(func(w *millipage.Worker) {
-		// Host 0 allocates the shared data. Each allocation becomes its
-		// own minipage: the two variables may share a physical page but
-		// never falsely share.
-		if w.Host() == 0 {
-			counter = w.Malloc(8)
-			greeting = w.Malloc(64)
-			w.WriteU64(counter, 0)
-			w.Write(greeting, []byte("hello from host 0       "))
-		}
-		w.Barrier()
-
-		// Every host increments the counter under a cluster-wide lock.
-		// Sequential consistency means no flushes, no release operations:
-		// it reads like threads on one machine.
-		for i := 0; i < 10; i++ {
-			w.Lock(1)
-			w.WriteU64(counter, w.ReadU64(counter)+1)
-			w.Unlock(1)
-		}
-		w.Barrier()
-
-		// Everyone reads both variables; the DSM moved them as needed.
-		buf := make([]byte, 24)
-		w.Read(greeting, buf)
-		fmt.Printf("host %d: counter=%d greeting=%q\n",
-			w.Host(), w.ReadU64(counter), string(buf))
-		w.Barrier()
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("\nrun summary:")
-	fmt.Println(report)
 }

@@ -1,0 +1,108 @@
+// Package check exports the DESIGN.md §7 sharing invariants — the
+// Single-Writer/Multiple-Readers page-table invariant, the sequential-
+// consistency litmus oracles, and the DRF-agreement oracle — as plain
+// functions and portable workload bodies. The conformance and chaos
+// suites in internal/cluster assert them on the default schedule; the
+// model checker in internal/mcheck asserts them after every explored
+// schedule. Keeping the checkers here, outside any _test.go file, is
+// what lets both call the same code.
+package check
+
+import (
+	"fmt"
+
+	"millipage/internal/cluster"
+	"millipage/internal/vm"
+)
+
+// Prots is the slice of cluster state the SW/MR checker reads: each
+// host's page-table protection for an address. *cluster.Runtime
+// satisfies it via RuntimeProts; tests hand-build violating histories
+// with any stub implementation.
+type Prots interface {
+	NumHosts() int
+	// ProtOf reports host h's protection for va; err != nil means the
+	// address is unmapped on that host.
+	ProtOf(h int, va uint64) (vm.Prot, error)
+}
+
+// RuntimeProts adapts a cluster runtime to the Prots view.
+type RuntimeProts struct{ RT *cluster.Runtime }
+
+func (r RuntimeProts) NumHosts() int { return r.RT.NumHosts() }
+func (r RuntimeProts) ProtOf(h int, va uint64) (vm.Prot, error) {
+	return r.RT.Host(h).AS.ProtOf(va)
+}
+
+// SWMR verifies the Single-Writer/Multiple-Readers invariant for the
+// tracked addresses across every host's page table: at most one
+// writable mapping, and a writable mapping excludes readable copies
+// elsewhere. The simulation runs one process at a time, so sampling
+// global VM state from inside a thread body observes a consistent
+// instant of virtual time.
+func SWMR(p Prots, vas []uint64) error {
+	for _, va := range vas {
+		writers, readers := 0, 0
+		for i := 0; i < p.NumHosts(); i++ {
+			prot, err := p.ProtOf(i, va)
+			if err != nil {
+				continue // unmapped on this host
+			}
+			switch prot {
+			case vm.ReadWrite:
+				writers++
+			case vm.ReadOnly:
+				readers++
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("addr %#x: %d writable copies", va, writers)
+		}
+		if writers == 1 && readers > 0 {
+			return fmt.Errorf("addr %#x: writable copy coexists with %d readers", va, readers)
+		}
+	}
+	return nil
+}
+
+// MessagePassingOutcome judges one observation of the message-passing
+// litmus: a reader that saw the flag raised must see the published
+// data. seen is false if the reader never observed the flag (the
+// litmus is then vacuous — not a violation).
+func MessagePassingOutcome(seen bool, data uint32) error {
+	if seen && data != 42 {
+		return fmt.Errorf("message-passing litmus: observed flag but read data=%d, want 42", data)
+	}
+	return nil
+}
+
+// DekkerOutcome judges one observation of the store-buffering (Dekker)
+// litmus: under sequential consistency at least one side must observe
+// the other's write, so r0 = r1 = 0 is forbidden.
+func DekkerOutcome(r0, r1 uint32) error {
+	if r0 == 0 && r1 == 0 {
+		return fmt.Errorf("dekker litmus: forbidden SC outcome r0=r1=0")
+	}
+	return nil
+}
+
+// DRFCellOutcome judges one cell read in the barrier hand-off phase of
+// the DRF workload: in round r, cell c must hold the value written
+// that round.
+func DRFCellOutcome(round, host, cell int, got uint32) error {
+	if want := uint32(100*round + cell); got != want {
+		return fmt.Errorf("round %d host %d: cell %d = %d, want %d", round, host, cell, got, want)
+	}
+	return nil
+}
+
+// DRFAccumulatorOutcome judges the lock-guarded accumulator at the end
+// of the DRF workload: every host added its (host+1) contribution
+// lockReps times, so anything but the closed-form sum is a lost or
+// phantom update.
+func DRFAccumulatorOutcome(hosts, lockReps, host int, got uint32) error {
+	if want := uint32(lockReps * hosts * (hosts + 1) / 2); got != want {
+		return fmt.Errorf("host %d: accumulator = %d, want %d", host, got, want)
+	}
+	return nil
+}

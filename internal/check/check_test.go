@@ -1,0 +1,101 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"millipage/internal/vm"
+)
+
+// stubProts hand-builds a page-table history: prots[h][va] is host h's
+// protection; missing entries are unmapped.
+type stubProts []map[uint64]vm.Prot
+
+func (s stubProts) NumHosts() int { return len(s) }
+func (s stubProts) ProtOf(h int, va uint64) (vm.Prot, error) {
+	if p, ok := s[h][va]; ok {
+		return p, nil
+	}
+	return 0, errUnmapped
+}
+
+type sentinelErr string
+
+func (e sentinelErr) Error() string { return string(e) }
+
+const errUnmapped = sentinelErr("unmapped")
+
+func TestSWMRAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		p    stubProts
+	}{
+		{"unmapped everywhere", stubProts{{}, {}}},
+		{"single writer", stubProts{{0x1000: vm.ReadWrite}, {}}},
+		{"many readers", stubProts{{0x1000: vm.ReadOnly}, {0x1000: vm.ReadOnly}, {0x1000: vm.ReadOnly}}},
+		{"writer and reader on different words", stubProts{{0x1000: vm.ReadWrite}, {0x2000: vm.ReadOnly}}},
+		{"no-access mapping ignored", stubProts{{0x1000: vm.ReadWrite}, {0x1000: vm.NoAccess}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := SWMR(c.p, []uint64{0x1000, 0x2000}); err != nil {
+				t.Fatalf("SWMR rejected a legal history: %v", err)
+			}
+		})
+	}
+}
+
+func TestSWMRRejectsTwoWriters(t *testing.T) {
+	p := stubProts{{0x1000: vm.ReadWrite}, {0x1000: vm.ReadWrite}, {}}
+	err := SWMR(p, []uint64{0x1000})
+	if err == nil || !strings.Contains(err.Error(), "2 writable copies") {
+		t.Fatalf("SWMR accepted two writers (err=%v)", err)
+	}
+}
+
+func TestSWMRRejectsWriterWithReaders(t *testing.T) {
+	p := stubProts{{0x1000: vm.ReadWrite}, {0x1000: vm.ReadOnly}, {0x1000: vm.ReadOnly}}
+	err := SWMR(p, []uint64{0x1000})
+	if err == nil || !strings.Contains(err.Error(), "coexists with 2 readers") {
+		t.Fatalf("SWMR accepted writer+readers (err=%v)", err)
+	}
+}
+
+func TestMessagePassingOutcome(t *testing.T) {
+	if err := MessagePassingOutcome(true, 42); err != nil {
+		t.Errorf("legal outcome rejected: %v", err)
+	}
+	if err := MessagePassingOutcome(false, 0); err != nil {
+		t.Errorf("vacuous outcome (flag never seen) rejected: %v", err)
+	}
+	if err := MessagePassingOutcome(true, 0); err == nil {
+		t.Error("stale-data outcome accepted")
+	}
+}
+
+func TestDekkerOutcome(t *testing.T) {
+	for _, ok := range [][2]uint32{{1, 0}, {0, 1}, {1, 1}} {
+		if err := DekkerOutcome(ok[0], ok[1]); err != nil {
+			t.Errorf("legal outcome %v rejected: %v", ok, err)
+		}
+	}
+	if err := DekkerOutcome(0, 0); err == nil {
+		t.Error("forbidden outcome r0=r1=0 accepted")
+	}
+}
+
+func TestDRFOutcomes(t *testing.T) {
+	if err := DRFCellOutcome(2, 1, 3, 203); err != nil {
+		t.Errorf("correct cell value rejected: %v", err)
+	}
+	if err := DRFCellOutcome(2, 1, 3, 103); err == nil {
+		t.Error("stale cell value (previous round) accepted")
+	}
+	// 4 hosts, 2 reps: sum = 2 * (1+2+3+4) = 20.
+	if err := DRFAccumulatorOutcome(4, 2, 0, 20); err != nil {
+		t.Errorf("correct accumulator rejected: %v", err)
+	}
+	if err := DRFAccumulatorOutcome(4, 2, 0, 19); err == nil {
+		t.Error("lost-update accumulator accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package check_test
+
+import (
+	"testing"
+
+	"millipage/internal/check"
+	"millipage/internal/cluster"
+	"millipage/internal/dsm"
+)
+
+// runDSM executes body on a small millipage cluster — the default
+// schedule, no faults. The protocol sweep lives in internal/cluster's
+// conformance suite; this test only proves the exported workload
+// bodies are runnable and their oracles accept a correct protocol.
+func runDSM(t *testing.T, hosts int, body func(w cluster.AppThread)) *cluster.Runtime {
+	t.Helper()
+	sys, err := dsm.New(dsm.Options{Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(func(th *dsm.Thread) { body(th) }); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Runtime()
+}
+
+func TestWorkloadsPassOnCorrectProtocol(t *testing.T) {
+	t.Run("message-passing", func(t *testing.T) {
+		wl := &check.MessagePassing{}
+		runDSM(t, 2, wl.Body)
+		if err := wl.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("dekker", func(t *testing.T) {
+		wl := &check.Dekker{}
+		runDSM(t, 2, wl.Body)
+		if err := wl.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("drf", func(t *testing.T) {
+		wl := &check.DRF{Hosts: 3, Rounds: 2, LockReps: 2}
+		runDSM(t, 3, wl.Body)
+		if err := wl.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("swmr", func(t *testing.T) {
+		sys, err := dsm.New(dsm.Options{Hosts: 3, SharedSize: 1 << 16, Views: 8, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := &check.SWMRSweep{Words: 3, Iters: 8, Seed: 2, Prots: check.RuntimeProts{RT: sys.Runtime()}}
+		if err := sys.Run(func(th *dsm.Thread) { wl.Body(th) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := wl.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"testing"
 
+	"millipage/internal/check"
 	"millipage/internal/cluster"
 	"millipage/internal/dsm"
 	"millipage/internal/faultnet"
@@ -136,54 +137,21 @@ func runChaos(t *testing.T, pr chaosRun, hosts int, seed int64, plan *faultnet.P
 	return rt
 }
 
-// TestChaosDRFOracle is the DRF agreement oracle of conformance_test.go
-// under every fault schedule, for every protocol: barrier hand-offs and
-// a lock-guarded accumulator must produce the exact oracle state no
+// TestChaosDRFOracle is the check.DRF agreement oracle under every
+// fault schedule, for every protocol: barrier hand-offs and a
+// lock-guarded accumulator must produce the exact oracle state no
 // matter what the wire does.
 func TestChaosDRFOracle(t *testing.T) {
-	const hosts, rounds, lockReps = 4, 3, 2
+	const hosts = 4
 	for _, pr := range chaosProtocols() {
 		for _, sc := range schedules() {
 			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
-				var cells [hosts]uint64
-				var acc uint64
-				var bad error
+				wl := &check.DRF{Hosts: hosts, Rounds: 3, LockReps: 2}
 				runChaos(t, pr, hosts, 1, sc.plan(hosts, 7), func(rt *cluster.Runtime, w cluster.AppThread) {
-					h := w.Host()
-					if h == 0 {
-						for i := range cells {
-							cells[i] = w.Malloc(64)
-							w.WriteU32(cells[i], 0)
-						}
-						acc = w.Malloc(64)
-						w.WriteU32(acc, 0)
-					}
-					w.Barrier()
-					for r := 0; r < rounds; r++ {
-						w.WriteU32(cells[(h+r)%hosts], uint32(100*r+(h+r)%hosts))
-						w.Barrier()
-						for c := 0; c < hosts; c++ {
-							if got, want := w.ReadU32(cells[c]), uint32(100*r+c); got != want && bad == nil {
-								bad = fmt.Errorf("round %d host %d: cell %d = %d, want %d", r, h, c, got, want)
-							}
-						}
-						w.Barrier()
-					}
-					for i := 0; i < lockReps; i++ {
-						w.Lock(3)
-						w.WriteU32(acc, w.ReadU32(acc)+uint32(h+1))
-						w.Unlock(3)
-						w.Compute(100 * sim.Microsecond)
-					}
-					w.Barrier()
-					want := uint32(lockReps * hosts * (hosts + 1) / 2)
-					if got := w.ReadU32(acc); got != want && bad == nil {
-						bad = fmt.Errorf("host %d: accumulator = %d, want %d", h, got, want)
-					}
-					w.Barrier()
+					wl.Body(w)
 				})
-				if bad != nil {
-					t.Fatalf("%s/%s: %v", pr.name, sc.name, bad)
+				if err := wl.Err(); err != nil {
+					t.Fatalf("%s/%s: %v", pr.name, sc.name, err)
 				}
 			})
 		}
@@ -194,41 +162,22 @@ func TestChaosDRFOracle(t *testing.T) {
 // every fault schedule for the SC protocols, asserting the invariant
 // after every completed operation.
 func TestChaosSWMR(t *testing.T) {
-	const hosts, words, iters = 4, 4, 16
+	const hosts = 4
 	for _, pr := range chaosProtocols() {
 		if !pr.sc {
 			continue
 		}
 		for _, sc := range schedules() {
 			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
-				vas := make([]uint64, words)
-				var failure error
+				wl := &check.SWMRSweep{Words: 4, Iters: 16, Seed: 11}
 				runChaos(t, pr, hosts, 2, sc.plan(hosts, 11), func(rt *cluster.Runtime, w cluster.AppThread) {
-					if w.Host() == 0 {
-						for i := range vas {
-							vas[i] = w.Malloc(64)
-							w.WriteU32(vas[i], 0)
-						}
+					if wl.Prots == nil {
+						wl.Prots = check.RuntimeProts{RT: rt}
 					}
-					w.Barrier()
-					r := uint64(11)*2654435761 + uint64(w.Host()+1)*40503
-					for it := 0; it < iters; it++ {
-						r = r*6364136223846793005 + 1442695040888963407
-						va := vas[(r>>33)%words]
-						if (r>>62)&1 == 0 {
-							_ = w.ReadU32(va)
-						} else {
-							w.WriteU32(va, uint32(w.Host()*1000+it))
-						}
-						if e := checkSWMR(rt, vas); e != nil && failure == nil {
-							failure = fmt.Errorf("host %d op %d: %w", w.Host(), it, e)
-						}
-						w.Compute(50 * sim.Microsecond)
-					}
-					w.Barrier()
+					wl.Body(w)
 				})
-				if failure != nil {
-					t.Fatal(failure)
+				if err := wl.Err(); err != nil {
+					t.Fatal(err)
 				}
 			})
 		}
@@ -245,41 +194,12 @@ func TestChaosSCMessagePassing(t *testing.T) {
 		}
 		for _, sc := range schedules() {
 			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
-				var data, flag uint64
-				got := uint32(0)
+				wl := &check.MessagePassing{}
 				runChaos(t, pr, 4, 3, sc.plan(4, 13), func(rt *cluster.Runtime, w cluster.AppThread) {
-					if w.Host() == 0 {
-						data = w.Malloc(64)
-						flag = w.Malloc(64)
-						w.WriteU32(data, 0)
-						w.WriteU32(flag, 0)
-					}
-					w.Barrier()
-					switch w.Host() {
-					case 0:
-						w.Compute(200 * sim.Microsecond)
-						w.WriteU32(data, 42)
-						w.WriteU32(flag, 1)
-					case 1:
-						spins := 0
-						for w.ReadU32(flag) == 0 {
-							if spins++; spins > 100000 {
-								panic("flag never observed")
-							}
-							w.Compute(20 * sim.Microsecond)
-						}
-						got = w.ReadU32(data)
-					default:
-						// Background traffic so partitions and crashes have
-						// protocol state to disturb.
-						for i := 0; i < 8; i++ {
-							w.Compute(300 * sim.Microsecond)
-						}
-					}
-					w.Barrier()
+					wl.Body(w)
 				})
-				if got != 42 {
-					t.Fatalf("%s/%s: observed flag but read data=%d, want 42", pr.name, sc.name, got)
+				if err := wl.Err(); err != nil {
+					t.Fatalf("%s/%s: %v", pr.name, sc.name, err)
 				}
 			})
 		}

@@ -1,6 +1,9 @@
 // Conformance tests: the DESIGN.md §7 sharing invariants, run
 // generically against every protocol through the cluster substrate and
-// the protocol-independent AppThread surface. The SW/MR and
+// the protocol-independent AppThread surface. The checkers and workload
+// bodies live in internal/check so the model checker (internal/mcheck)
+// asserts the same properties after every explored schedule; these
+// tests pin them on the default schedule. The SW/MR and
 // sequential-consistency properties apply to the two SC protocols
 // (millipage's dsm and ivy); lrc is lazy release consistency, which
 // deliberately allows concurrent writers between synchronization points,
@@ -12,12 +15,11 @@ import (
 	"fmt"
 	"testing"
 
+	"millipage/internal/check"
 	"millipage/internal/cluster"
 	"millipage/internal/dsm"
 	"millipage/internal/ivy"
 	"millipage/internal/lrc"
-	"millipage/internal/sim"
-	"millipage/internal/vm"
 )
 
 // Every protocol thread implements the portable application surface.
@@ -67,42 +69,11 @@ func protocols() []protoRun {
 	}
 }
 
-// checkSWMR verifies the Single-Writer/Multiple-Readers invariant for
-// the tracked addresses across every host's page table: at most one
-// writable mapping, and a writable mapping excludes readable copies
-// elsewhere. The simulation runs one process at a time, so sampling
-// global VM state from inside a thread body observes a consistent
-// instant of virtual time.
-func checkSWMR(rt *cluster.Runtime, vas []uint64) error {
-	for _, va := range vas {
-		writers, readers := 0, 0
-		for i := 0; i < rt.NumHosts(); i++ {
-			prot, err := rt.Host(i).AS.ProtOf(va)
-			if err != nil {
-				continue // unmapped on this host
-			}
-			switch prot {
-			case vm.ReadWrite:
-				writers++
-			case vm.ReadOnly:
-				readers++
-			}
-		}
-		if writers > 1 {
-			return fmt.Errorf("addr %#x: %d writable copies", va, writers)
-		}
-		if writers == 1 && readers > 0 {
-			return fmt.Errorf("addr %#x: writable copy coexists with %d readers", va, readers)
-		}
-	}
-	return nil
-}
-
 // TestSWMRInvariant drives a random-ish read/write workload over shared
 // words and asserts SW/MR after every completed operation, for each SC
 // protocol (DESIGN.md §7, first invariant).
 func TestSWMRInvariant(t *testing.T) {
-	const hosts, words, iters = 4, 4, 24
+	const hosts = 4
 	for _, pr := range protocols() {
 		if !pr.sc {
 			continue // LRC allows concurrent writers between synch points by design
@@ -113,39 +84,12 @@ func TestSWMRInvariant(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				vas := make([]uint64, words)
-				var failure error
-				err = run(func(w cluster.AppThread) {
-					if w.Host() == 0 {
-						for i := range vas {
-							vas[i] = w.Malloc(64)
-							w.WriteU32(vas[i], 0)
-						}
-					}
-					w.Barrier()
-					// Thread-local LCG so each host's access pattern
-					// differs but stays deterministic per seed.
-					r := uint64(seed)*2654435761 + uint64(w.Host()+1)*40503
-					for it := 0; it < iters; it++ {
-						r = r*6364136223846793005 + 1442695040888963407
-						va := vas[(r>>33)%words]
-						if (r>>62)&1 == 0 {
-							_ = w.ReadU32(va)
-						} else {
-							w.WriteU32(va, uint32(w.Host()*1000+it))
-						}
-						if e := checkSWMR(rt, vas); e != nil && failure == nil {
-							failure = fmt.Errorf("host %d op %d: %w", w.Host(), it, e)
-						}
-						w.Compute(50 * sim.Microsecond)
-					}
-					w.Barrier()
-				})
-				if err != nil {
+				wl := &check.SWMRSweep{Words: 4, Iters: 24, Seed: uint64(seed), Prots: check.RuntimeProts{RT: rt}}
+				if err := run(wl.Body); err != nil {
 					t.Fatal(err)
 				}
-				if failure != nil {
-					t.Fatal(failure)
+				if err := wl.Err(); err != nil {
+					t.Fatal(err)
 				}
 			})
 		}
@@ -167,37 +111,12 @@ func TestSCMessagePassing(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				var data, flag uint64
-				got := uint32(0)
-				err = run(func(w cluster.AppThread) {
-					if w.Host() == 0 {
-						data = w.Malloc(64)
-						flag = w.Malloc(64)
-						w.WriteU32(data, 0)
-						w.WriteU32(flag, 0)
-					}
-					w.Barrier()
-					if w.Host() == 0 {
-						w.Compute(200 * sim.Microsecond)
-						w.WriteU32(data, 42)
-						w.WriteU32(flag, 1)
-					} else {
-						spins := 0
-						for w.ReadU32(flag) == 0 {
-							if spins++; spins > 100000 {
-								panic("flag never observed")
-							}
-							w.Compute(20 * sim.Microsecond)
-						}
-						got = w.ReadU32(data)
-					}
-					w.Barrier()
-				})
-				if err != nil {
+				wl := &check.MessagePassing{}
+				if err := run(wl.Body); err != nil {
 					t.Fatal(err)
 				}
-				if got != 42 {
-					t.Fatalf("%s: observed flag but read data=%d, want 42", pr.name, got)
+				if err := wl.Err(); err != nil {
+					t.Fatalf("%s: %v", pr.name, err)
 				}
 			})
 		}
@@ -218,30 +137,12 @@ func TestSCDekker(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				var x, y uint64
-				var r [2]uint32
-				err = run(func(w cluster.AppThread) {
-					if w.Host() == 0 {
-						x = w.Malloc(64)
-						y = w.Malloc(64)
-						w.WriteU32(x, 0)
-						w.WriteU32(y, 0)
-					}
-					w.Barrier()
-					if w.Host() == 0 {
-						w.WriteU32(x, 1)
-						r[0] = w.ReadU32(y)
-					} else {
-						w.WriteU32(y, 1)
-						r[1] = w.ReadU32(x)
-					}
-					w.Barrier()
-				})
-				if err != nil {
+				wl := &check.Dekker{}
+				if err := run(wl.Body); err != nil {
 					t.Fatal(err)
 				}
-				if r[0] == 0 && r[1] == 0 {
-					t.Fatalf("%s: forbidden SC outcome r0=r1=0", pr.name)
+				if err := wl.Err(); err != nil {
+					t.Fatalf("%s: %v", pr.name, err)
 				}
 			})
 		}
@@ -254,59 +155,19 @@ func TestSCDekker(t *testing.T) {
 // Protocol interface: a DRF application may switch Config.Protocol
 // freely without changing results.
 func TestDRFAgreement(t *testing.T) {
-	const hosts, rounds, lockReps = 4, 3, 2
+	const hosts = 4
 	for _, pr := range protocols() {
 		t.Run(pr.name, func(t *testing.T) {
 			_, run, err := pr.make(hosts, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			var cells [hosts]uint64
-			var acc uint64
-			var bad error
-			err = run(func(w cluster.AppThread) {
-				h := w.Host()
-				if h == 0 {
-					for i := range cells {
-						cells[i] = w.Malloc(64)
-						w.WriteU32(cells[i], 0)
-					}
-					acc = w.Malloc(64)
-					w.WriteU32(acc, 0)
-				}
-				w.Barrier()
-				// Phase 1: ownership hand-off through barriers. In round
-				// r, host h writes cell (h+r)%hosts; everyone then reads
-				// every cell and checks the value written that round.
-				for r := 0; r < rounds; r++ {
-					w.WriteU32(cells[(h+r)%hosts], uint32(100*r+(h+r)%hosts))
-					w.Barrier()
-					for c := 0; c < hosts; c++ {
-						if got, want := w.ReadU32(cells[c]), uint32(100*r+c); got != want && bad == nil {
-							bad = fmt.Errorf("round %d host %d: cell %d = %d, want %d", r, h, c, got, want)
-						}
-					}
-					w.Barrier()
-				}
-				// Phase 2: a lock-guarded accumulator.
-				for i := 0; i < lockReps; i++ {
-					w.Lock(3)
-					w.WriteU32(acc, w.ReadU32(acc)+uint32(h+1))
-					w.Unlock(3)
-					w.Compute(100 * sim.Microsecond)
-				}
-				w.Barrier()
-				want := uint32(lockReps * hosts * (hosts + 1) / 2)
-				if got := w.ReadU32(acc); got != want && bad == nil {
-					bad = fmt.Errorf("host %d: accumulator = %d, want %d", h, got, want)
-				}
-				w.Barrier()
-			})
-			if err != nil {
+			wl := &check.DRF{Hosts: hosts, Rounds: 3, LockReps: 2}
+			if err := run(wl.Body); err != nil {
 				t.Fatal(err)
 			}
-			if bad != nil {
-				t.Fatalf("%s: %v", pr.name, bad)
+			if err := wl.Err(); err != nil {
+				t.Fatalf("%s: %v", pr.name, err)
 			}
 		})
 	}

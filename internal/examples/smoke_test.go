@@ -1,0 +1,70 @@
+package examples
+
+import (
+	"bytes"
+	"hash/fnv"
+	"io"
+	"testing"
+
+	"millipage/internal/sim"
+)
+
+// golden pins one (example, protocol) run: the elapsed virtual time in
+// nanoseconds and an FNV-1a/64 digest of the program's entire text
+// output. Any drift in protocol timing, message counts or program
+// results shows up here.
+type golden struct {
+	elapsedNS int64
+	digest    uint64
+}
+
+var exampleSmoke = []struct {
+	name   string
+	run    Example
+	golden map[string]golden
+}{
+	{name: "quickstart", run: Quickstart, golden: map[string]golden{
+		"millipage": {elapsedNS: 18513564, digest: 0xb72a594aa3712b99},
+		"ivy":       {elapsedNS: 22313692, digest: 0x060a2ff85e19c831},
+		"lrc":       {elapsedNS: 10841730, digest: 0x432b81c63acd55c4},
+	}},
+	{name: "falseshare", run: FalseShare, golden: map[string]golden{
+		"millipage": {elapsedNS: 42890570, digest: 0xf3da425141b65a59},
+		"ivy":       {elapsedNS: 84931489, digest: 0x331e825ce5a430c1},
+		"lrc":       {elapsedNS: 41732500, digest: 0xca1ffa20ac6af7eb},
+	}},
+	{name: "histogram", run: Histogram, golden: map[string]golden{
+		"millipage": {elapsedNS: 17130674, digest: 0x1754937f5345594a},
+		"ivy":       {elapsedNS: 34024661, digest: 0xe2b81781d492ca78},
+		"lrc":       {elapsedNS: 9893526, digest: 0xca0952503de5b068},
+	}},
+	{name: "lazyrelease", run: LazyRelease, golden: map[string]golden{
+		"millipage": {elapsedNS: 27255393, digest: 0xab83f08930399638},
+		"ivy":       {elapsedNS: 44564640, digest: 0x3ff4dc312ccc9c37},
+		"lrc":       {elapsedNS: 21044130, digest: 0x677dc56404984491},
+	}},
+}
+
+// TestExamplesSmoke runs every examples/ program headless under all
+// three protocols and pins golden virtual-time digests.
+func TestExamplesSmoke(t *testing.T) {
+	for _, ex := range exampleSmoke {
+		for _, proto := range []string{"millipage", "ivy", "lrc"} {
+			t.Run(ex.name+"/"+proto, func(t *testing.T) {
+				var buf bytes.Buffer
+				report, err := ex.run(proto, &buf)
+				if err != nil {
+					t.Fatalf("%s under %s: %v\noutput:\n%s", ex.name, proto, err, buf.String())
+				}
+				h := fnv.New64a()
+				io.WriteString(h, buf.String())
+				got := golden{elapsedNS: int64(report.Elapsed), digest: h.Sum64()}
+				want := ex.golden[proto]
+				if got != want {
+					t.Errorf("%s under %s: got {elapsedNS: %d, digest: %#016x}, pinned {elapsedNS: %d, digest: %#016x} (elapsed %v)",
+						ex.name, proto, got.elapsedNS, got.digest, want.elapsedNS, want.digest, sim.Duration(report.Elapsed))
+				}
+			})
+		}
+	}
+}

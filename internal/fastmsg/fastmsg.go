@@ -422,6 +422,32 @@ func (ep *Endpoint) fire(pm *pendingMsg) {
 	if pm.fired {
 		return
 	}
+	if ep.nw.rel != nil {
+		// Under faults the reliability layer admits frames in per-link
+		// sequence order, but each admission schedules its own fire event,
+		// and same-instant fire events may pop in either order (schedule
+		// exploration exercises exactly this). Handing the service thread
+		// whichever record pops first would break the per-link FIFO
+		// guarantee that complete() asserts, so deliver the link's oldest
+		// undelivered message instead — the unfired record with the
+		// smallest sequence number, since earlier swaps may have scrambled
+		// which record holds which message — and let the younger message
+		// ride this record's remaining fire event.
+		best := pm
+		for i := ep.pendHead; i < len(ep.pending); i++ {
+			q := ep.pending[i]
+			if q == nil || q == pm || q.fired || q.m.From != pm.m.From {
+				continue
+			}
+			if q.m.Seq < best.m.Seq {
+				best = q
+			}
+		}
+		if best != pm {
+			pm.m, best.m = best.m, pm.m
+			pm.arrived, best.arrived = best.arrived, pm.arrived
+		}
+	}
 	pm.fired = true
 	// Remove the fired entry itself, wherever it sits. The head is the
 	// overwhelmingly common case (FIFO delivery), made O(1) here; the

@@ -155,6 +155,7 @@ func (r *reliability) transmit(from, to int, m *Message) {
 	if r.hosts[from].down {
 		return // NIC is dead; the restart flush re-sends
 	}
+	selfCheckData(m)
 	now := r.nw.eng.Now()
 	if r.inj.Partitioned(from, to, now) {
 		return
@@ -288,6 +289,7 @@ func (r *reliability) sendAck(from, to int, cum uint64) {
 	if r.hosts[from].down {
 		return
 	}
+	selfCheckAck(from, to, cum)
 	now := r.nw.eng.Now()
 	if r.inj.Partitioned(from, to, now) {
 		return

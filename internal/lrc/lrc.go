@@ -400,7 +400,7 @@ func (t *Thread) flushDiffs() {
 	p := t.Proc()
 
 	dirty := make([]int, 0, len(h.twins))
-	for id := range h.twins {
+	for id := range h.twins { //detlint:ok sorted below
 		dirty = append(dirty, id)
 	}
 	// Deterministic flush order.
@@ -458,7 +458,7 @@ func (t *Thread) invalidatePresent() {
 	c := h.Costs()
 	p := t.Proc()
 	ids := make([]int, 0, len(h.present))
-	for id := range h.present {
+	for id := range h.present { //detlint:ok sorted below
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

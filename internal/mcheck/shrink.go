@@ -1,0 +1,152 @@
+package mcheck
+
+import (
+	"fmt"
+)
+
+// DefaultShrinkRuns bounds the shrinker's replay budget when
+// Options.ShrinkRuns is zero. Each candidate costs one full (but
+// millisecond-scale) simulation run.
+const DefaultShrinkRuns = 400
+
+// Shrink delta-debugs a failing trace down to a smallest-known failing
+// schedule. A decision with Pick = 0 is the engine's default order, so
+// shrinking means zeroing decisions, not deleting them: the shrinker
+// searches for a minimal set of non-default choices that still
+// reproduces a failure of the same kind as fail.
+//
+// Candidates replay with clamping (a mutated prefix can change later
+// tie arities); once the set is minimal, the surviving schedule is
+// re-recorded into a canonical trace whose decisions line up exactly
+// with the run, so it replays strictly. The result is 1-minimal —
+// zeroing any single remaining non-default decision loses the failure
+// — provided the run budget (Options.ShrinkRuns) was not exhausted.
+func (o Options) Shrink(t *Trace, fail *Failure) (*Trace, *ScheduleResult, error) {
+	if fail == nil {
+		return nil, nil, fmt.Errorf("mcheck: Shrink needs the failure to reproduce")
+	}
+	budget := o.ShrinkRuns
+	if budget <= 0 {
+		budget = DefaultShrinkRuns
+	}
+	// fails reports whether keeping only the non-default picks at
+	// `keep` still reproduces the failure kind.
+	fails := func(keep map[int]bool) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		dec := make([]Decision, len(t.Decisions))
+		for i, d := range t.Decisions {
+			if keep[i] {
+				dec[i] = d
+			} else {
+				dec[i] = Decision{N: d.N, Pick: 0}
+			}
+		}
+		_, f, err := o.runOne(&Replayer{Decisions: dec})
+		return err == nil && sameKind(fail, f)
+	}
+
+	var nonzero []int
+	for i, d := range t.Decisions {
+		if d.Pick != 0 {
+			nonzero = append(nonzero, i)
+		}
+	}
+	work := nonzero
+	if fails(map[int]bool{}) {
+		// The default schedule already fails: no decision is needed.
+		work = nil
+	} else {
+		work = ddmin(work, fails)
+	}
+
+	// Re-record the canonical trace of the shrunk schedule: replay the
+	// zeroed decision list once more with a Recorder around it, so the
+	// saved decisions match the run's tie structure exactly.
+	keep := make(map[int]bool, len(work))
+	for _, i := range work {
+		keep[i] = true
+	}
+	dec := make([]Decision, len(t.Decisions))
+	for i, d := range t.Decisions {
+		if keep[i] {
+			dec[i] = d
+		} else {
+			dec[i] = Decision{N: d.N, Pick: 0}
+		}
+	}
+	rec := &Recorder{Inner: &Replayer{Decisions: dec}}
+	_, f, err := o.runOne(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sameKind(fail, f) {
+		return nil, nil, fmt.Errorf("mcheck: shrunk schedule no longer reproduces %s", fail.Kind)
+	}
+	// Trailing default decisions add nothing: drop them.
+	canon := rec.Decisions
+	for len(canon) > 0 && canon[len(canon)-1].Pick == 0 {
+		canon = canon[:len(canon)-1]
+	}
+	shrunk := &Trace{
+		Protocol: t.Protocol, Workload: t.Workload, Faults: t.Faults,
+		Hosts: t.Hosts, Seed: t.Seed, Decisions: canon, Failure: f.Error(),
+	}
+	res, err := Replay(shrunk)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sameKind(fail, res.Failure) {
+		return nil, nil, fmt.Errorf("mcheck: canonical shrunk trace does not replay to %s", fail.Kind)
+	}
+	return shrunk, res, nil
+}
+
+// ddmin is the classic delta-debugging minimization over the index
+// set, with `fails` as the test oracle. It returns a subset of items
+// that still fails, 1-minimal if the oracle's budget holds out.
+func ddmin(items []int, fails func(map[int]bool) bool) []int {
+	asSet := func(xs []int) map[int]bool {
+		m := make(map[int]bool, len(xs))
+		for _, x := range xs {
+			m[x] = true
+		}
+		return m
+	}
+	work := items
+	n := 2
+	for len(work) >= 2 {
+		chunk := (len(work) + n - 1) / n
+		reduced := false
+		// Try each complement: drop one chunk, keep the rest.
+		for start := 0; start < len(work); start += chunk {
+			end := start + chunk
+			if end > len(work) {
+				end = len(work)
+			}
+			cand := make([]int, 0, len(work)-(end-start))
+			cand = append(cand, work[:start]...)
+			cand = append(cand, work[end:]...)
+			if fails(asSet(cand)) {
+				work = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(work) {
+				break
+			}
+			n *= 2
+			if n > len(work) {
+				n = len(work)
+			}
+		}
+	}
+	return work
+}

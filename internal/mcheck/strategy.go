@@ -1,0 +1,111 @@
+package mcheck
+
+import (
+	"math/rand"
+
+	"millipage/internal/sim"
+)
+
+// Random is the exploration strategy: a seeded uniform tie-break
+// shuffle, optionally biased toward preempting processes that yielded.
+//
+// With Preempt = 0 every tied event is equally likely, which diffuses
+// over the schedule space. Preempt > 0 adds targeted hostility at
+// exactly the points the paper's protocols are most delicate — a
+// process that volunteered the processor (Yield / Sleep(0), e.g. a
+// spin-wait backoff) is then kept parked with that probability while
+// non-yield work at the same instant runs first, for at most Budget
+// preemptions per run (bounded preemption keeps the schedule space
+// tractable, in the PCT tradition).
+type Random struct {
+	Preempt float64 // probability of deferring a FromYield event
+	Budget  int     // max preemptions per run; 0 means no bound
+
+	rng   *rand.Rand
+	spent int
+}
+
+// NewRandom returns a Random strategy seeded with seed.
+func NewRandom(seed int64, preempt float64, budget int) *Random {
+	return &Random{Preempt: preempt, Budget: budget, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *Random) ChooseTie(ties []sim.EventInfo) int {
+	k := s.rng.Intn(len(ties))
+	if s.Preempt <= 0 || !ties[k].FromYield || (s.Budget > 0 && s.spent >= s.Budget) {
+		return k
+	}
+	if s.rng.Float64() >= s.Preempt {
+		return k
+	}
+	// Preempt the yielder: redirect to a uniformly chosen non-yield
+	// event, if any exists at this instant.
+	other := -1
+	n := 0
+	for i, ti := range ties {
+		if !ti.FromYield {
+			if n++; s.rng.Intn(n) == 0 {
+				other = i
+			}
+		}
+	}
+	if other < 0 {
+		return k // everyone yielded; someone has to run
+	}
+	s.spent++
+	return other
+}
+
+// Recorder wraps a strategy and records every decision it takes, in
+// the order the engine asked. The recorded sequence replays the
+// schedule bit-identically through a Replayer.
+type Recorder struct {
+	Inner     sim.Explorer
+	Decisions []Decision
+}
+
+func (r *Recorder) ChooseTie(ties []sim.EventInfo) int {
+	k := r.Inner.ChooseTie(ties)
+	r.Decisions = append(r.Decisions, Decision{N: uint32(len(ties)), Pick: uint32(k)})
+	return k
+}
+
+// Replayer replays a recorded decision sequence. Once the sequence is
+// exhausted it answers 0 (the default engine order) forever.
+//
+// In strict mode any arity mismatch or out-of-range pick means the
+// trace does not correspond to this run, which is a hard error — the
+// caller checks Diverged after the run. In clamping mode (strict
+// false) mismatches are tolerated by clamping the pick into range;
+// the shrinker uses this while mutating prefixes, then re-records a
+// canonical trace from whatever schedule the clamped replay produced.
+type Replayer struct {
+	Decisions []Decision
+	Strict    bool
+
+	pos      int
+	diverged bool
+}
+
+func (r *Replayer) ChooseTie(ties []sim.EventInfo) int {
+	if r.pos >= len(r.Decisions) {
+		return 0
+	}
+	d := r.Decisions[r.pos]
+	r.pos++
+	if int(d.N) != len(ties) {
+		r.diverged = true
+	}
+	if int(d.Pick) >= len(ties) {
+		r.diverged = true
+		return len(ties) - 1
+	}
+	return int(d.Pick)
+}
+
+// Diverged reports whether any decision failed to line up with the
+// run's actual tie structure.
+func (r *Replayer) Diverged() bool { return r.diverged }
+
+// Consumed reports how many decisions the run used.
+func (r *Replayer) Consumed() int { return r.pos }

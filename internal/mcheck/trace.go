@@ -1,0 +1,162 @@
+package mcheck
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// A Decision records one scheduling choice: N events were tied at the
+// calendar minimum and the explorer fired index Pick (0 = the event
+// the default, non-exploring engine would have fired). The sequence of
+// decisions, together with the run configuration, determines an
+// explored schedule completely — that is what makes a failing schedule
+// a file on disk instead of a heisenbug.
+type Decision struct {
+	N    uint32
+	Pick uint32
+}
+
+// Trace is a saved schedule: the configuration that ran plus every
+// scheduling decision taken. Failure carries the human-readable
+// failure the schedule exhibited when it was saved ("" for a passing
+// schedule); replay verifies against it.
+type Trace struct {
+	Protocol  string
+	Workload  string
+	Faults    string // fault preset name, "" for a clean network
+	Hosts     int
+	Seed      int64 // system seed (engine rng, fault plan)
+	Decisions []Decision
+	Failure   string
+}
+
+// Digest returns the FNV-1a fingerprint of the decision sequence. Two
+// schedules of the same configuration are distinct exactly when their
+// digests differ.
+func (t *Trace) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [binary.MaxVarintLen64]byte
+	for _, d := range t.Decisions {
+		n := binary.PutUvarint(buf[:], uint64(d.N))
+		h.Write(buf[:n])
+		n = binary.PutUvarint(buf[:], uint64(d.Pick))
+		h.Write(buf[:n])
+	}
+	return h.Sum64()
+}
+
+// traceMagic versions the on-disk format.
+const traceMagic = "MCHK1\n"
+
+// Marshal encodes the trace in the MCHK1 format: magic, then
+// varint-framed header fields and decisions, then an FNV-1a checksum
+// of everything between magic and checksum.
+func (t *Trace) Marshal() []byte {
+	var b bytes.Buffer
+	b.WriteString(traceMagic)
+	putStr := func(s string) {
+		putUvarint(&b, uint64(len(s)))
+		b.WriteString(s)
+	}
+	putStr(t.Protocol)
+	putStr(t.Workload)
+	putStr(t.Faults)
+	putUvarint(&b, uint64(t.Hosts))
+	putVarint(&b, t.Seed)
+	putStr(t.Failure)
+	putUvarint(&b, uint64(len(t.Decisions)))
+	for _, d := range t.Decisions {
+		putUvarint(&b, uint64(d.N))
+		putUvarint(&b, uint64(d.Pick))
+	}
+	h := fnv.New64a()
+	h.Write(b.Bytes()[len(traceMagic):])
+	var sum [8]byte
+	binary.BigEndian.PutUint64(sum[:], h.Sum64())
+	b.Write(sum[:])
+	return b.Bytes()
+}
+
+// UnmarshalTrace decodes a MCHK1 trace, verifying magic and checksum.
+func UnmarshalTrace(data []byte) (*Trace, error) {
+	if len(data) < len(traceMagic)+8 || string(data[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("mcheck: not a %q trace", traceMagic[:5])
+	}
+	body, sum := data[len(traceMagic):len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != binary.BigEndian.Uint64(sum) {
+		return nil, fmt.Errorf("mcheck: trace checksum mismatch (corrupt or truncated)")
+	}
+	r := bytes.NewReader(body)
+	var t Trace
+	var err error
+	getStr := func() string {
+		if err != nil {
+			return ""
+		}
+		var n uint64
+		if n, err = binary.ReadUvarint(r); err != nil {
+			return ""
+		}
+		buf := make([]byte, n)
+		if _, e := r.Read(buf); e != nil {
+			err = e
+			return ""
+		}
+		return string(buf)
+	}
+	t.Protocol = getStr()
+	t.Workload = getStr()
+	t.Faults = getStr()
+	hosts, e1 := binary.ReadUvarint(r)
+	seed, e2 := binary.ReadVarint(r)
+	t.Hosts, t.Seed = int(hosts), seed
+	t.Failure = getStr()
+	nd, e3 := binary.ReadUvarint(r)
+	for _, e := range []error{err, e1, e2, e3} {
+		if e != nil {
+			return nil, fmt.Errorf("mcheck: malformed trace header: %w", e)
+		}
+	}
+	t.Decisions = make([]Decision, 0, nd)
+	for i := uint64(0); i < nd; i++ {
+		n, e1 := binary.ReadUvarint(r)
+		p, e2 := binary.ReadUvarint(r)
+		if e1 != nil || e2 != nil {
+			return nil, fmt.Errorf("mcheck: malformed decision %d", i)
+		}
+		t.Decisions = append(t.Decisions, Decision{N: uint32(n), Pick: uint32(p)})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("mcheck: %d trailing bytes after decisions", r.Len())
+	}
+	return &t, nil
+}
+
+// Save writes the trace to path (the repro artifact).
+func (t *Trace) Save(path string) error {
+	return os.WriteFile(path, t.Marshal(), 0o644)
+}
+
+// LoadTrace reads a trace saved by Save.
+func LoadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalTrace(data)
+}
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	b.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func putVarint(b *bytes.Buffer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	b.Write(buf[:binary.PutVarint(buf[:], v)])
+}

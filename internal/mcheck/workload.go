@@ -1,0 +1,100 @@
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"millipage/internal/check"
+	"millipage/internal/cluster"
+)
+
+// workloadRun is one built workload instance: the portable body every
+// thread executes, and the oracle to consult after the run.
+type workloadRun struct {
+	hosts int
+	body  func(rt *cluster.Runtime, w cluster.AppThread)
+	err   func() error
+}
+
+// workloadSpec names a workload and its constraints.
+type workloadSpec struct {
+	defaultHosts int
+	fixedHosts   bool // body shape requires exactly defaultHosts
+	sc           bool // requires sequential consistency (not runnable under lrc)
+	build        func(hosts int, seed int64) workloadRun
+}
+
+var workloads = map[string]workloadSpec{
+	// swmr: seed-dependent read/write mix with the SW/MR page-table
+	// invariant asserted after every operation.
+	"swmr": {defaultHosts: 4, sc: true, build: func(hosts int, seed int64) workloadRun {
+		wl := &check.SWMRSweep{Words: 4, Iters: 12, Seed: uint64(seed)}
+		return workloadRun{
+			hosts: hosts,
+			body: func(rt *cluster.Runtime, w cluster.AppThread) {
+				if wl.Prots == nil {
+					wl.Prots = check.RuntimeProts{RT: rt}
+				}
+				wl.Body(w)
+			},
+			err: wl.Err,
+		}
+	}},
+	// mp: the message-passing litmus (observed flag implies observed
+	// data), with one background-traffic host.
+	"mp": {defaultHosts: 3, sc: true, build: func(hosts int, seed int64) workloadRun {
+		wl := &check.MessagePassing{}
+		return workloadRun{hosts: hosts, body: func(rt *cluster.Runtime, w cluster.AppThread) { wl.Body(w) }, err: wl.Err}
+	}},
+	// dekker: the store-buffering litmus; exactly two hosts.
+	"dekker": {defaultHosts: 2, fixedHosts: true, sc: true, build: func(hosts int, seed int64) workloadRun {
+		wl := &check.Dekker{}
+		return workloadRun{hosts: hosts, body: func(rt *cluster.Runtime, w cluster.AppThread) { wl.Body(w) }, err: wl.Err}
+	}},
+	// drf: the barrier/lock-structured agreement program; runnable
+	// under all three protocols, LRC included.
+	"drf": {defaultHosts: 3, build: func(hosts int, seed int64) workloadRun {
+		wl := &check.DRF{Hosts: hosts, Rounds: 2, LockReps: 2}
+		return workloadRun{hosts: hosts, body: func(rt *cluster.Runtime, w cluster.AppThread) { wl.Body(w) }, err: wl.Err}
+	}},
+	// drf-nolock: the intentionally injected bug — the accumulator
+	// update races because the lock is skipped. Exploration must catch
+	// the lost update; used by self-tests and demos, never by CI gates
+	// that expect success.
+	"drf-nolock": {defaultHosts: 3, build: func(hosts int, seed int64) workloadRun {
+		wl := &check.DRF{Hosts: hosts, Rounds: 1, LockReps: 2, SkipLock: true}
+		return workloadRun{hosts: hosts, body: func(rt *cluster.Runtime, w cluster.AppThread) { wl.Body(w) }, err: wl.Err}
+	}},
+}
+
+// WorkloadNames lists the available workloads, sorted.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for name := range workloads { //detlint:ok sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// buildWorkload resolves o.Workload (and a zero o.Hosts) into a fresh
+// workload instance for one run.
+func buildWorkload(o *Options) (workloadRun, error) {
+	spec, ok := workloads[o.Workload]
+	if !ok {
+		return workloadRun{}, fmt.Errorf("mcheck: unknown workload %q (have %v)", o.Workload, WorkloadNames())
+	}
+	if spec.sc && o.Protocol == "lrc" {
+		return workloadRun{}, fmt.Errorf("mcheck: workload %q needs sequential consistency; lrc guarantees DRF programs only", o.Workload)
+	}
+	if o.Hosts == 0 {
+		o.Hosts = spec.defaultHosts
+	}
+	if spec.fixedHosts && o.Hosts != spec.defaultHosts {
+		return workloadRun{}, fmt.Errorf("mcheck: workload %q requires exactly %d hosts", o.Workload, spec.defaultHosts)
+	}
+	if o.Hosts < 2 {
+		return workloadRun{}, fmt.Errorf("mcheck: workload %q needs at least 2 hosts", o.Workload)
+	}
+	return spec.build(o.Hosts, o.Seed), nil
+}

@@ -1,0 +1,49 @@
+package mmu
+
+import (
+	"testing"
+)
+
+// FuzzTraverse drives the minipage address-traversal microbenchmark
+// through adversarial (ArrayBytes, Views, Passes, Stride) corners on
+// the PentiumII machine model. Properties: Run never panics (the
+// address arithmetic — view slots, guard pages, mini-page rounding —
+// stays in bounds for any inputs), measured cycles are nonzero
+// whenever at least one access happens, and the cycle count is
+// deterministic for identical inputs.
+func FuzzTraverse(f *testing.F) {
+	f.Add(4096, 4, 1, 1)
+	f.Add(64*1024, 8, 2, 7)
+	f.Add(1, 1, 1, 1)
+	f.Add(8192, 64, 1, 4096)
+	f.Add(3000, 3, 1, 13)
+	f.Add(0, 0, 0, 0)
+	f.Add(5, 100, 1, 1)
+	f.Fuzz(func(t *testing.T, arrayBytes, views, passes, stride int) {
+		// Clamp to keep one fuzz execution cheap; the clamps mirror the
+		// microbenchmark's real operating envelope, not a code limit.
+		if arrayBytes < 0 || arrayBytes > 1<<16 {
+			t.Skip()
+		}
+		if views < 0 || views > 256 || passes < 0 || passes > 3 {
+			t.Skip()
+		}
+		if stride < 0 {
+			t.Skip()
+		}
+		tr := Traversal{ArrayBytes: arrayBytes, Views: views, Passes: passes, Stride: stride}
+		cfg := PentiumII()
+		m1 := New(cfg)
+		c1 := tr.Run(m1)
+		if arrayBytes > 0 && c1 == 0 {
+			t.Fatalf("traversal of %d bytes cost zero cycles", arrayBytes)
+		}
+		m2 := New(cfg)
+		if c2 := tr.Run(m2); c2 != c1 {
+			t.Fatalf("nondeterministic traversal: %d then %d cycles", c1, c2)
+		}
+		if pte := tr.ActivePTEs(cfg); arrayBytes > 0 && pte <= 0 {
+			t.Fatalf("ActivePTEs = %d for %d bytes", pte, arrayBytes)
+		}
+	})
+}

@@ -36,6 +36,14 @@ type Engine struct {
 	stopped bool
 	running bool
 	current *Proc // process currently executing, nil when engine code runs
+
+	// Exploration state (explore.go); all nil/empty unless SetExplorer
+	// installed a schedule explorer, so the default path is untouched.
+	x         Explorer
+	yieldSeq  map[uint64]struct{} // seqs of resumes scheduled by Yield/Sleep(0)
+	tieEvents []event             // scratch for popTie
+	tieInfos  []EventInfo         // scratch for popTie
+	panicErr  *ErrPanic           // first panic captured under exploration
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -127,17 +135,35 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 	}
 	go func() {
 		<-p.resume
-		fn(p)
-		p.state = stateDone
-		delete(e.procs, p.id)
-		if !p.daemon {
-			e.liveFG--
+		if e.x != nil {
+			// Under exploration a panic is a finding, not a crash: record
+			// it, stop the run, and hand control back to the engine.
+			defer func() {
+				if r := recover(); r != nil {
+					e.explorePanic(p.name, r)
+					p.finish()
+				}
+			}()
 		}
-		e.parked <- struct{}{}
+		fn(p)
+		p.finish()
 	}()
 	p.state = stateScheduled
 	e.scheduleResume(e.now, p)
 	return p
+}
+
+// finish retires the process: it runs on the process's own goroutine as
+// the last thing before it exits (normally or, under exploration, from
+// a recovered panic).
+func (p *Proc) finish() {
+	e := p.e
+	p.state = stateDone
+	delete(e.procs, p.id)
+	if !p.daemon {
+		e.liveFG--
+	}
+	e.parked <- struct{}{}
 }
 
 // resumeProc transfers control to p and waits until p parks again.
@@ -163,14 +189,34 @@ func (e *Engine) wake(p *Proc) {
 	e.scheduleResume(e.now, p)
 }
 
+// BlockedProc names one process stuck in a deadlock, together with the
+// label of the Signal (or Signal-derived primitive) it parked on — the
+// wait reason that makes a deadlock report, and in particular a shrunk
+// exploration repro, readable.
+type BlockedProc struct {
+	Name    string
+	Waiting string // label of the primitive the process parked on; "" if unlabeled
+}
+
+func (b BlockedProc) String() string {
+	if b.Waiting == "" {
+		return b.Name
+	}
+	return b.Name + " (waiting on " + b.Waiting + ")"
+}
+
 // ErrDeadlock is returned by Run when no events remain but unfinished
 // non-daemon processes are still blocked.
 type ErrDeadlock struct {
 	At      Time
-	Blocked []string // names of the blocked processes
+	Blocked []string      // names of the blocked processes, sorted
+	Waits   []BlockedProc // the same processes with their wait reasons
 }
 
 func (e *ErrDeadlock) Error() string {
+	if len(e.Waits) > 0 {
+		return fmt.Sprintf("sim: deadlock at %v: blocked processes %v", e.At, e.Waits)
+	}
 	return fmt.Sprintf("sim: deadlock at %v: blocked processes %v", e.At, e.Blocked)
 }
 
@@ -191,26 +237,41 @@ func (e *Engine) Run() error {
 		if e.calQ.Len() == 0 {
 			return e.deadlockError()
 		}
-		ev := e.calQ.pop()
-		e.now = ev.at
-		if ev.proc != nil {
-			e.resumeProc(ev.proc)
+		var ev event
+		if e.x != nil {
+			ev = e.popTie()
 		} else {
+			ev = e.calQ.pop()
+		}
+		e.now = ev.at
+		switch {
+		case ev.proc != nil:
+			e.resumeProc(ev.proc)
+		case e.x != nil:
+			e.runEventExplored(ev)
+		default:
 			ev.fn(ev.arg)
 		}
+	}
+	if e.panicErr != nil {
+		return e.panicErr
 	}
 	return nil
 }
 
 func (e *Engine) deadlockError() error {
-	var blocked []string
-	for _, p := range e.procs {
+	var waits []BlockedProc
+	for _, p := range e.procs { //detlint:ok sorted below
 		if !p.daemon && p.state == stateBlocked {
-			blocked = append(blocked, p.name)
+			waits = append(waits, BlockedProc{Name: p.name, Waiting: p.waitLabel()})
 		}
 	}
-	sort.Strings(blocked)
-	return &ErrDeadlock{At: e.now, Blocked: blocked}
+	sort.Slice(waits, func(i, j int) bool { return waits[i].Name < waits[j].Name })
+	blocked := make([]string, len(waits))
+	for i, w := range waits {
+		blocked[i] = w.Name
+	}
+	return &ErrDeadlock{At: e.now, Blocked: blocked, Waits: waits}
 }
 
 // Stop makes Run return after the current event completes. It may be
@@ -226,6 +287,19 @@ type Proc struct {
 	daemon bool
 	resume chan struct{}
 	state  procState
+
+	// waitOn is the Signal the process most recently parked on; consulted
+	// only while state == stateBlocked, for deadlock reporting.
+	waitOn *Signal
+}
+
+// waitLabel returns the label of the primitive the process is blocked
+// on, for deadlock reports.
+func (p *Proc) waitLabel() string {
+	if p.waitOn == nil {
+		return ""
+	}
+	return p.waitOn.label
 }
 
 // Name returns the name given at Spawn.
@@ -269,6 +343,9 @@ func (p *Proc) Sleep(d Duration) {
 		return
 	}
 	e.scheduleResume(at, p)
+	if d == 0 && e.x != nil {
+		e.yieldSeq[e.seq] = struct{}{} // tag the resume as a yield for the explorer
+	}
 	p.park(stateScheduled)
 }
 

@@ -1,0 +1,138 @@
+package sim
+
+import "fmt"
+
+// Schedule exploration. A deterministic engine always fires events with
+// equal timestamps in scheduling order (seq), which makes every run a
+// single schedule per seed. An installed Explorer turns that one
+// schedule into a family: whenever two or more events are tied at the
+// calendar minimum, the explorer chooses which fires next. Everything
+// else — timestamps, the engine's random stream, process semantics — is
+// untouched, so a run remains a pure function of (program, seed,
+// choice sequence), which is what makes explored schedules replayable
+// and shrinkable.
+//
+// With no explorer installed the engine takes none of these paths: the
+// default pop, the Sleep fast path and the process spawn sequence are
+// bit-identical to the non-exploring engine.
+
+// EventInfo describes one tied calendar event to an Explorer, in
+// deterministic scheduling (seq) order.
+type EventInfo struct {
+	// Proc is the name of the process the event resumes, or "" for an
+	// engine callback (message arrival, timer, ...).
+	Proc string
+
+	// FromYield marks a resume scheduled by Yield / Sleep(0): the process
+	// volunteered the processor at this instant. Preemption-biased
+	// strategies use it to keep a yielding process parked while other
+	// same-instant work runs.
+	FromYield bool
+}
+
+// Explorer perturbs the engine's schedule. ChooseTie is called whenever
+// n >= 2 events are tied at the current minimum timestamp; it returns
+// the index (0..n-1) of the event to fire next, with index 0 being the
+// event the non-exploring engine would have fired. The remaining events
+// stay tied (joined by any new same-timestamp arrivals) and the engine
+// asks again on the next pop.
+//
+// An explorer must be deterministic given its own construction-time
+// inputs: the engine consults nothing else, so replaying a recorded
+// choice sequence reproduces the run bit-identically.
+type Explorer interface {
+	ChooseTie(ties []EventInfo) int
+}
+
+// SetExplorer installs (or, with nil, removes) the engine's schedule
+// explorer. It must be called before Run.
+func (e *Engine) SetExplorer(x Explorer) {
+	if e.running {
+		panic("sim: SetExplorer after Run")
+	}
+	e.x = x
+	if x != nil && e.yieldSeq == nil {
+		e.yieldSeq = make(map[uint64]struct{})
+	}
+}
+
+// popTie is the exploring replacement for calQ.pop: gather every event
+// tied at the minimum timestamp, let the explorer pick one, and return
+// the rest to the calendar with their original sequence numbers (so
+// their relative default order is preserved for the next decision).
+func (e *Engine) popTie() event {
+	first := e.calQ.pop()
+	if e.calQ.Len() == 0 || e.calQ.min().at != first.at {
+		delete(e.yieldSeq, first.seq)
+		return first // forced move: no decision point
+	}
+	ties := e.tieEvents[:0]
+	ties = append(ties, first)
+	for e.calQ.Len() > 0 && e.calQ.min().at == first.at {
+		ties = append(ties, e.calQ.pop())
+	}
+	infos := e.tieInfos[:0]
+	for _, ev := range ties {
+		info := EventInfo{}
+		if ev.proc != nil {
+			info.Proc = ev.proc.name
+			_, info.FromYield = e.yieldSeq[ev.seq]
+		}
+		infos = append(infos, info)
+	}
+	k := e.x.ChooseTie(infos)
+	if k < 0 || k >= len(ties) {
+		panic("sim: Explorer.ChooseTie returned an out-of-range index")
+	}
+	chosen := ties[k]
+	for i, ev := range ties {
+		if i != k {
+			e.calQ.push(ev)
+		}
+	}
+	e.tieEvents, e.tieInfos = ties[:0], infos[:0]
+	delete(e.yieldSeq, chosen.seq)
+	return chosen
+}
+
+// ErrPanic is returned by Run when, under an installed Explorer, a
+// simulated process or engine callback panicked. Outside exploration a
+// panic propagates as usual; during exploration a panic is a finding —
+// an assertion the explored schedule violated — so the engine converts
+// it into a run failure that the model checker can record, shrink and
+// replay.
+type ErrPanic struct {
+	At   Time
+	Proc string // panicking process name; "" for an engine callback
+	Msg  string // the panic value, rendered
+}
+
+func (e *ErrPanic) Error() string {
+	who := e.Proc
+	if who == "" {
+		who = "engine callback"
+	}
+	return "sim: panic at " + e.At.String() + " in " + who + ": " + e.Msg
+}
+
+// explorePanic records the first panic observed under exploration and
+// stops the run. Later panics (possible while the corrupted simulation
+// unwinds) keep the first message, which is the root cause.
+func (e *Engine) explorePanic(proc string, r any) {
+	if e.panicErr == nil {
+		e.panicErr = &ErrPanic{At: e.now, Proc: proc, Msg: renderPanic(r)}
+	}
+	e.stopped = true
+}
+
+func renderPanic(r any) string { return fmt.Sprint(r) }
+
+// runEventExplored fires one callback event with panic capture.
+func (e *Engine) runEventExplored(ev event) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.explorePanic("", r)
+		}
+	}()
+	ev.fn(ev.arg)
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// chooserFunc adapts a function to the Explorer interface.
+type chooserFunc func(ties []EventInfo) int
+
+func (f chooserFunc) ChooseTie(ties []EventInfo) int { return f(ties) }
+
+// traceRun drives a small three-process program whose tied wakeups give
+// the explorer decision points, and returns the observed event order.
+func traceRun(x Explorer) []string {
+	e := NewEngine(1)
+	e.SetExplorer(x)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			p.Sleep(10) // all three tie at t=10
+			order = append(order, name)
+			p.Sleep(5) // and again at t=15
+			order = append(order, name+"2")
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return order
+}
+
+func TestExplorerChooseZeroMatchesDefault(t *testing.T) {
+	def := traceRun(nil)
+	zero := traceRun(chooserFunc(func(ties []EventInfo) int { return 0 }))
+	if fmt.Sprint(def) != fmt.Sprint(zero) {
+		t.Fatalf("always-0 explorer diverged from default: %v vs %v", zero, def)
+	}
+}
+
+func TestExplorerPerturbsTieOrder(t *testing.T) {
+	last := traceRun(chooserFunc(func(ties []EventInfo) int { return len(ties) - 1 }))
+	def := traceRun(nil)
+	if fmt.Sprint(last) == fmt.Sprint(def) {
+		t.Fatalf("always-last explorer produced the default order %v", def)
+	}
+	// Same multiset of events either way.
+	if len(last) != len(def) {
+		t.Fatalf("event counts differ: %v vs %v", last, def)
+	}
+}
+
+// TestExplorerDecisionReplay records every (arity, choice) pair from a
+// randomized-looking run and replays it: the event order must be
+// bit-identical, the defining property of the decision trace.
+func TestExplorerDecisionReplay(t *testing.T) {
+	type dec struct{ n, k int }
+	var recorded []dec
+	rec := chooserFunc(func(ties []EventInfo) int {
+		k := (len(recorded)*7 + 3) % len(ties)
+		recorded = append(recorded, dec{len(ties), k})
+		return k
+	})
+	first := traceRun(rec)
+
+	pos := 0
+	rep := chooserFunc(func(ties []EventInfo) int {
+		if pos >= len(recorded) {
+			t.Fatalf("replay asked for decision %d, only %d recorded", pos, len(recorded))
+		}
+		d := recorded[pos]
+		pos++
+		if d.n != len(ties) {
+			t.Fatalf("replay decision %d: arity %d, recorded %d", pos-1, len(ties), d.n)
+		}
+		return d.k
+	})
+	second := traceRun(rep)
+	if pos != len(recorded) {
+		t.Fatalf("replay consumed %d of %d decisions", pos, len(recorded))
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("replay diverged: %v vs %v", second, first)
+	}
+}
+
+// TestExplorerSeesYields checks that resumes scheduled by Yield carry
+// the FromYield mark while ordinary sleeps and callbacks do not.
+func TestExplorerSeesYields(t *testing.T) {
+	sawYield, sawPlain := false, false
+	x := chooserFunc(func(ties []EventInfo) int {
+		for _, ti := range ties {
+			if ti.FromYield {
+				sawYield = true
+			} else {
+				sawPlain = true
+			}
+		}
+		return 0
+	})
+	e := NewEngine(1)
+	e.SetExplorer(x)
+	e.Spawn("yielder", func(p *Proc) {
+		p.Sleep(10)
+		p.Yield()
+	})
+	e.Spawn("worker", func(p *Proc) {
+		p.Sleep(10)
+		p.Sleep(0)
+	})
+	e.At(10, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawYield {
+		t.Error("no tie event carried FromYield")
+	}
+	if !sawPlain {
+		t.Error("every tie event carried FromYield; callbacks/sleeps should not")
+	}
+}
+
+// TestExplorerCapturesPanic: under exploration a process panic becomes
+// an ErrPanic from Run instead of crashing the test binary.
+func TestExplorerCapturesPanic(t *testing.T) {
+	e := NewEngine(1)
+	e.SetExplorer(chooserFunc(func(ties []EventInfo) int { return 0 }))
+	e.Spawn("bystander", func(p *Proc) { p.Sleep(100) })
+	e.Spawn("bomb", func(p *Proc) {
+		p.Sleep(10)
+		panic("invariant violated")
+	})
+	err := e.Run()
+	pe, ok := err.(*ErrPanic)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrPanic", err)
+	}
+	if pe.Proc != "bomb" || !strings.Contains(pe.Msg, "invariant violated") {
+		t.Fatalf("ErrPanic = %+v", pe)
+	}
+	if pe.At != 10 {
+		t.Fatalf("panic at %v, want t=10ns", pe.At)
+	}
+}
+
+// TestExplorerCapturesCallbackPanic covers the engine-callback arm.
+func TestExplorerCapturesCallbackPanic(t *testing.T) {
+	e := NewEngine(1)
+	e.SetExplorer(chooserFunc(func(ties []EventInfo) int { return 0 }))
+	e.Spawn("w", func(p *Proc) { p.Sleep(100) })
+	e.At(5, func() { panic("callback bomb") })
+	err := e.Run()
+	pe, ok := err.(*ErrPanic)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrPanic", err)
+	}
+	if pe.Proc != "" || !strings.Contains(pe.Msg, "callback bomb") {
+		t.Fatalf("ErrPanic = %+v", pe)
+	}
+}
+
+// TestDeadlockReportsWaitReason: a labeled primitive shows up in the
+// deadlock error, so shrunk exploration repros say what each stuck
+// process was waiting for.
+func TestDeadlockReportsWaitReason(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal(e)
+	s.SetLabel("reply for txn 7")
+	m := NewMutex(e)
+	m.SetLabel("lock-3")
+	e.Spawn("askew", func(p *Proc) { s.Wait(p) })
+	e.Spawn("holder", func(p *Proc) {
+		m.Lock(p)
+		s.Wait(p) // never signaled; holds lock-3 forever
+	})
+	e.Spawn("queued", func(p *Proc) {
+		p.Sleep(1)
+		m.Lock(p)
+	})
+	err := e.Run()
+	de, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrDeadlock", err)
+	}
+	if len(de.Waits) != 3 {
+		t.Fatalf("Waits = %v, want 3 entries", de.Waits)
+	}
+	want := map[string]string{
+		"askew":  "reply for txn 7",
+		"holder": "reply for txn 7",
+		"queued": "lock-3",
+	}
+	for _, w := range de.Waits {
+		if want[w.Name] != w.Waiting {
+			t.Errorf("%s waiting on %q, want %q", w.Name, w.Waiting, want[w.Name])
+		}
+	}
+	msg := de.Error()
+	if !strings.Contains(msg, "askew (waiting on reply for txn 7)") ||
+		!strings.Contains(msg, "queued (waiting on lock-3)") {
+		t.Errorf("deadlock message lacks wait reasons: %s", msg)
+	}
+	// Blocked stays the plain sorted name list for older consumers.
+	if fmt.Sprint(de.Blocked) != "[askew holder queued]" {
+		t.Errorf("Blocked = %v", de.Blocked)
+	}
+}
+
+// TestUnlabeledDeadlockStillNamesProcs guards the zero-label rendering.
+func TestUnlabeledDeadlockStillNamesProcs(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal(e)
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	err := e.Run()
+	de, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrDeadlock", err)
+	}
+	if !strings.Contains(de.Error(), "[stuck]") {
+		t.Errorf("message = %s", de.Error())
+	}
+}
+
+// TestExplorerTiePushback: events not chosen stay in the calendar and
+// are offered again, joined by newly scheduled same-instant events.
+func TestExplorerTiePushback(t *testing.T) {
+	var arities []int
+	e := NewEngine(1)
+	e.SetExplorer(chooserFunc(func(ties []EventInfo) int {
+		arities = append(arities, len(ties))
+		return len(ties) - 1
+	}))
+	for i := 0; i < 4; i++ {
+		e.At(10, func() {})
+	}
+	e.Spawn("w", func(p *Proc) { p.Sleep(20) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 callbacks tie with each other (the spawn resume fires at t=0):
+	// arity shrinks 4, 3, 2 and then the final pop is forced.
+	if fmt.Sprint(arities) != "[4 3 2]" {
+		t.Fatalf("arities = %v, want [4 3 2]", arities)
+	}
+}

@@ -15,6 +15,7 @@ package sim
 // the awaited predicate holds: callers re-check in a loop.
 type Signal struct {
 	e       *Engine
+	label   string
 	waiters []*Proc
 	head    int
 }
@@ -22,9 +23,19 @@ type Signal struct {
 // NewSignal returns a Signal bound to e.
 func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
 
+// SetLabel names the signal for deadlock reports: a process found
+// blocked on it is reported as "name (waiting on label)". Callers on
+// reused rendezvous slots may relabel per operation; assigning a
+// constant string costs nothing.
+func (s *Signal) SetLabel(label string) { s.label = label }
+
+// Label returns the signal's deadlock-report label.
+func (s *Signal) Label() string { return s.label }
+
 // Wait blocks p until the signal is pulsed or broadcast.
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
+	p.waitOn = s
 	p.park(stateBlocked)
 }
 
@@ -72,6 +83,9 @@ type Event struct {
 // NewEvent returns an unset event bound to e.
 func NewEvent(e *Engine) *Event { return &Event{sig: Signal{e: e}} }
 
+// SetLabel names the event for deadlock reports.
+func (ev *Event) SetLabel(label string) { ev.sig.SetLabel(label) }
+
 // Wait blocks p until the event is set. Returns immediately if already set.
 func (ev *Event) Wait(p *Proc) {
 	for !ev.set {
@@ -103,6 +117,9 @@ type Mutex struct {
 // NewMutex returns an unlocked mutex bound to e.
 func NewMutex(e *Engine) *Mutex { return &Mutex{sig: Signal{e: e}} }
 
+// SetLabel names the mutex for deadlock reports.
+func (m *Mutex) SetLabel(label string) { m.sig.SetLabel(label) }
+
 // Lock blocks p until it acquires the mutex.
 func (m *Mutex) Lock(p *Proc) {
 	for m.held {
@@ -132,6 +149,9 @@ type Queue[T any] struct {
 
 // NewQueue returns an empty queue bound to e.
 func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{sig: Signal{e: e}} }
+
+// SetLabel names the queue for deadlock reports.
+func (q *Queue[T]) SetLabel(label string) { q.sig.SetLabel(label) }
 
 // Put appends v and wakes one waiting getter. It may be called from
 // process context or an engine callback.
