@@ -124,17 +124,18 @@ func usage() {
                          -scale F      problem scale (default 1.0 = paper)
                          -hosts L      comma list of host counts (default 1,2,4,8)
                          -only A       run a single application
-                         -protocol P   coherence protocol: millipage, ivy, lrc
+                         -protocol P   coherence protocol: millipage, ivy, lrc, lrc-mw
                          -seed N
   chunking [flags]     Figure 7: chunking in WATER (-scale, -seed)
   ablation [flags]     Section 5 / 3.5 ablations: LRC over chunking,
+                       SC-Millipage vs multi-writer LRC (twin/diff costs),
                        NT timers vs ideal timers (-scale, -seed)
   managerload [flags]  central vs home-based directory management on a
                        write-heavy workload (-hosts, -vars, -rounds, -seed)
   chaos [flags]        seeded fault injection: run the write-heavy workload
                        while the wire drops, duplicates, reorders, partitions
                        and crashes hosts, then check the results converged
-                         -protocol P   millipage, ivy or lrc
+                         -protocol P   millipage, ivy, lrc or lrc-mw
                          -hosts/-vars/-rounds/-seed   workload size
                          -drop/-dup/-reorder F        per-frame probabilities
                          -jitter D     reorder hold-back bound (e.g. 2ms)
@@ -145,8 +146,8 @@ func usage() {
                        assert the SW/MR, consistency and agreement oracles
                        after each, shrink any failing schedule to a minimal
                        replayable trace
-                         -protocol P   millipage, ivy or lrc
-                         -workload W   swmr, mp, dekker, drf, drf-nolock
+                         -protocol P   millipage, ivy, lrc or lrc-mw
+                         -workload W   swmr, mp, dekker, drf, merge, drf-nolock
                          -faults F     fault preset (see -h), default clean
                          -schedules N  schedules to explore (default 200)
                          -seed/-exploreseed/-preempt/-budget   exploration knobs
@@ -208,7 +209,7 @@ func runApps(args []string) error {
 	hosts := fs.String("hosts", "1,2,4,8", "comma-separated host counts")
 	only := fs.String("only", "", "run a single application (SOR, IS, WATER, LU, TSP)")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	protocol := fs.String("protocol", "millipage", "coherence protocol (millipage, ivy, lrc)")
+	protocol := fs.String("protocol", "millipage", "coherence protocol (millipage, ivy, lrc, lrc-mw)")
 	fs.Parse(args)
 
 	cfg := bench.DefaultFigure6()
@@ -270,6 +271,10 @@ func runAblation(args []string) error {
 		return err
 	}
 	fmt.Println()
+	if err := bench.MWCompare(os.Stdout, *scale, *seed); err != nil {
+		return err
+	}
+	fmt.Println()
 	if err := bench.AblationComposedViews(os.Stdout, 1.0, *seed); err != nil {
 		return err
 	}
@@ -315,7 +320,7 @@ func halves(n int) (a, b uint64) {
 func runChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	cfg := bench.DefaultChaos()
-	protocol := fs.String("protocol", cfg.Protocol, "coherence protocol (millipage, ivy, lrc)")
+	protocol := fs.String("protocol", cfg.Protocol, "coherence protocol (millipage, ivy, lrc, lrc-mw)")
 	hosts := fs.Int("hosts", cfg.Hosts, "cluster size")
 	vars := fs.Int("vars", cfg.Vars, "shared variables")
 	rounds := fs.Int("rounds", cfg.Rounds, "write-heavy rounds")

@@ -27,7 +27,7 @@ import (
 func main() {
 	hosts := flag.Int("hosts", 3, "cluster size")
 	kind := flag.String("kind", "write", "scenario: read, write, competing, or lock")
-	protocol := flag.String("protocol", "millipage", "coherence protocol: millipage, ivy, or lrc")
+	protocol := flag.String("protocol", "millipage", "coherence protocol: millipage, ivy, lrc, or lrc-mw")
 	flag.Parse()
 
 	rec := trace.NewRecorder(4096)
@@ -137,8 +137,23 @@ func main() {
 					scenario(t)
 				})
 		}
+	case "lrc-mw":
+		run = func() (func(), error) {
+			sys, err := lrc.NewMW(lrc.Options{
+				Hosts: *hosts, SharedSize: 1 << 16, Views: 4, Seed: 1, Trace: rec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+					fmt.Printf("\nfetches: %d  diff fetches: %d  notices: %d  invalidations: %d  twins made: %d\n",
+						sys.Stats.Fetches, sys.Stats.DiffFetches, sys.Stats.Notices, sys.Stats.Invalidations, sys.Stats.TwinsMade)
+				}, sys.Run(func(t *lrc.MWThread) {
+					scenario(t)
+				})
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "mvtrace: unknown protocol %q (want millipage, ivy or lrc)\n", *protocol)
+		fmt.Fprintf(os.Stderr, "mvtrace: unknown protocol %q (want millipage, ivy, lrc or lrc-mw)\n", *protocol)
 		os.Exit(2)
 	}
 

@@ -9,7 +9,7 @@ import (
 	"millipage/internal/vm"
 )
 
-// protocolLabels names the three protocols in presentation order, with
+// protocolLabels names the four protocols in presentation order, with
 // the row labels the sweep table prints.
 var protocolLabels = []struct {
 	proto string
@@ -18,6 +18,7 @@ var protocolLabels = []struct {
 	{"millipage", "Millipage (minipage granularity)"},
 	{"ivy", "Ivy (page granularity, dist. mgr)"},
 	{"lrc", "LRC (home-based, twins+diffs)"},
+	{"lrc-mw", "LRC-MW (multi-writer, notices)"},
 }
 
 // Baseline runs the paper's motivating scenario — hosts updating small

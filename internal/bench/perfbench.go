@@ -50,6 +50,8 @@ var perfSuite = []struct {
 	{"MsgHop", PerfBaseline{2387, 18}, benchMsgHop},
 	{"MsgHopReliable", PerfBaseline{2387, 18}, benchMsgHopReliable},
 	{"E2ESOR8", PerfBaseline{114463687, 455085}, benchE2ESOR8},
+	{"E2EFalseShareMW", PerfBaseline{5552905, 968}, benchE2EFalseShareMW},
+	{"E2EWATER8MW", PerfBaseline{34954527, 11433}, benchE2EWATER8MW},
 }
 
 // benchEventDispatch: schedule-and-fire throughput of the engine calendar.
@@ -160,6 +162,29 @@ func benchE2ESOR8(b *testing.B) {
 	}
 }
 
+// benchE2EFalseShareMW / benchE2EWATER8MW: the wall-clock cost of
+// simulating the SC-vs-multi-writer comparison kernels under lrc-mw
+// (twins, run-length diffs, write notices). Unlike the rows above,
+// their frozen baselines are the SAME workload under SC-Millipage
+// measured at pin time, so "speedup" reads as the relative simulator
+// cost of the twin/diff machinery: ~1.0 means multi-writer LRC
+// simulates about as fast as the SC protocol it is compared against.
+func benchE2EFalseShareMW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FalseShareKernel("lrc-mw", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchE2EWATER8MW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := WaterChunkPoint("lrc-mw", 0.1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // RunPerfBench measures the simulator benchmark suite.
 func RunPerfBench() []PerfPoint {
 	var out []PerfPoint
@@ -203,7 +228,7 @@ func WritePerfBench(w io.Writer, path string) error {
 		Note       string      `json:"note"`
 		Benchmarks []PerfPoint `json:"benchmarks"`
 	}{
-		Note:       "wall-clock simulator performance; baseline = pre-optimization simulator on the same workloads",
+		Note:       "wall-clock simulator performance; baseline = pre-optimization simulator on the same workloads, except the *MW rows whose baseline is the same workload under SC-Millipage (speedup = SC cost / multi-writer-LRC cost)",
 		Benchmarks: pts,
 	}, "", "  ")
 	if err != nil {

@@ -96,6 +96,19 @@ func DRFCellOutcome(round, host, cell int, got uint32) error {
 	return nil
 }
 
+// MergeWordOutcome judges one word read in the concurrent-merge
+// workload's check phase: in round r, word w (owned by host w) must
+// hold the value host w wrote that round. This is the LRC oracle in its
+// sharpest form — the words share one minipage, so a multiple-writer
+// protocol must merge every concurrent interval's diff without losing
+// or smearing a neighbor's bytes.
+func MergeWordOutcome(round, reader, word int, got uint32) error {
+	if want := uint32(1000*round + 7*word + 13); got != want {
+		return fmt.Errorf("round %d reader %d: word %d = %d, want %d", round, reader, word, got, want)
+	}
+	return nil
+}
+
 // DRFAccumulatorOutcome judges the lock-guarded accumulator at the end
 // of the DRF workload: every host added its (host+1) contribution
 // lockReps times, so anything but the closed-form sum is a lost or

@@ -99,3 +99,16 @@ func TestDRFOutcomes(t *testing.T) {
 		t.Error("lost-update accumulator accepted")
 	}
 }
+
+func TestMergeWordOutcome(t *testing.T) {
+	// Round 2, word 3: want 1000*2 + 7*3 + 13 = 2034.
+	if err := MergeWordOutcome(2, 0, 3, 2034); err != nil {
+		t.Errorf("correct merged word rejected: %v", err)
+	}
+	if err := MergeWordOutcome(2, 0, 3, 1034); err == nil {
+		t.Error("stale word (previous round) accepted")
+	}
+	if err := MergeWordOutcome(2, 0, 3, 2027); err == nil {
+		t.Error("neighbor's word value (smeared diff) accepted")
+	}
+}

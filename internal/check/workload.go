@@ -153,6 +153,44 @@ func (d *DRF) Body(w cluster.AppThread) {
 
 func (d *DRF) Err() error { return d.bad }
 
+// ConcurrentMerge is the multiple-writer agreement program: every host
+// repeatedly writes its own word of ONE shared block (the words share a
+// minipage), synchronizes at a barrier, and then checks every other
+// host's word. The program is data-race-free — the writes are to
+// disjoint bytes and ordered by barriers — so every protocol must
+// produce the oracle state; under a multiple-writer LRC it exercises
+// twin/diff merging of concurrent intervals directly.
+type ConcurrentMerge struct {
+	Hosts  int
+	Rounds int
+
+	block uint64
+	bad   error
+}
+
+func (m *ConcurrentMerge) Body(w cluster.AppThread) {
+	h := w.Host()
+	if h == 0 {
+		m.block = w.Malloc(64 * m.Hosts)
+		for i := 0; i < m.Hosts; i++ {
+			w.WriteU32(m.block+uint64(64*i), 0)
+		}
+	}
+	w.Barrier()
+	for r := 0; r < m.Rounds; r++ {
+		w.WriteU32(m.block+uint64(64*h), uint32(1000*r+7*h+13))
+		w.Barrier()
+		for c := 0; c < m.Hosts; c++ {
+			if err := MergeWordOutcome(r, h, c, w.ReadU32(m.block+uint64(64*c))); err != nil && m.bad == nil {
+				m.bad = err
+			}
+		}
+		w.Barrier()
+	}
+}
+
+func (m *ConcurrentMerge) Err() error { return m.bad }
+
 // SWMRSweep drives a seed-dependent read/write mix over Words shared
 // words and asserts the SW/MR invariant after every completed
 // operation. Prots must be set (normally RuntimeProts around the

@@ -46,6 +46,13 @@ func TestWorkloadsPassOnCorrectProtocol(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+	t.Run("merge", func(t *testing.T) {
+		wl := &check.ConcurrentMerge{Hosts: 3, Rounds: 2}
+		runDSM(t, 3, wl.Body)
+		if err := wl.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
 	t.Run("swmr", func(t *testing.T) {
 		sys, err := dsm.New(dsm.Options{Hosts: 3, SharedSize: 1 << 16, Views: 8, Seed: 2})
 		if err != nil {

@@ -106,6 +106,15 @@ func chaosProtocols() []chaosRun {
 				return sys.Run(func(t *lrc.Thread) { body(t) })
 			}, nil
 		}},
+		{"lrc-mw", false, func(hosts int, seed int64, plan *faultnet.Plan) (*cluster.Runtime, func(func(cluster.AppThread)) error, error) {
+			sys, err := lrc.NewMW(lrc.Options{Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: seed, Faults: plan})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys.Runtime(), func(body func(cluster.AppThread)) error {
+				return sys.Run(func(t *lrc.MWThread) { body(t) })
+			}, nil
+		}},
 	}
 }
 
@@ -148,6 +157,29 @@ func TestChaosDRFOracle(t *testing.T) {
 			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
 				wl := &check.DRF{Hosts: hosts, Rounds: 3, LockReps: 2}
 				runChaos(t, pr, hosts, 1, sc.plan(hosts, 7), func(rt *cluster.Runtime, w cluster.AppThread) {
+					wl.Body(w)
+				})
+				if err := wl.Err(); err != nil {
+					t.Fatalf("%s/%s: %v", pr.name, sc.name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosConcurrentMerge is the multiple-writer agreement oracle
+// under every fault schedule, for every protocol: concurrent writers to
+// disjoint bytes of one minipage, separated by barriers, must converge
+// on the oracle state no matter what the wire does. Under lrc-mw this
+// drives twin creation, diff flushes and lazy diff fetches through
+// drops, partitions and crash/restart windows.
+func TestChaosConcurrentMerge(t *testing.T) {
+	const hosts = 4
+	for _, pr := range chaosProtocols() {
+		for _, sc := range schedules() {
+			t.Run(pr.name+"/"+sc.name, func(t *testing.T) {
+				wl := &check.ConcurrentMerge{Hosts: hosts, Rounds: 3}
+				runChaos(t, pr, hosts, 1, sc.plan(hosts, 9), func(rt *cluster.Runtime, w cluster.AppThread) {
 					wl.Body(w)
 				})
 				if err := wl.Err(); err != nil {

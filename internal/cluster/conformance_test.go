@@ -27,6 +27,7 @@ var (
 	_ cluster.AppThread = (*dsm.Thread)(nil)
 	_ cluster.AppThread = (*ivy.Thread)(nil)
 	_ cluster.AppThread = (*lrc.Thread)(nil)
+	_ cluster.AppThread = (*lrc.MWThread)(nil)
 )
 
 // protoRun builds a cluster for one protocol and runs a portable body on
@@ -64,6 +65,15 @@ func protocols() []protoRun {
 			}
 			return sys.Runtime(), func(body func(cluster.AppThread)) error {
 				return sys.Run(func(t *lrc.Thread) { body(t) })
+			}, nil
+		}},
+		{"lrc-mw", false, func(hosts int, seed int64) (*cluster.Runtime, func(func(cluster.AppThread)) error, error) {
+			sys, err := lrc.NewMW(lrc.Options{Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys.Runtime(), func(body func(cluster.AppThread)) error {
+				return sys.Run(func(t *lrc.MWThread) { body(t) })
 			}, nil
 		}},
 	}
@@ -170,5 +180,32 @@ func TestDRFAgreement(t *testing.T) {
 				t.Fatalf("%s: %v", pr.name, err)
 			}
 		})
+	}
+}
+
+// TestConcurrentMergeAgreement runs the multiple-writer agreement
+// program — every host writes its own word of ONE shared minipage each
+// round — under every protocol. The program is DRF, so every protocol
+// must converge on the oracle state; under lrc-mw it forces the
+// twin/diff machinery to merge concurrent intervals from every host
+// into the same minipage without losing a neighbor's bytes.
+func TestConcurrentMergeAgreement(t *testing.T) {
+	const hosts = 4
+	for _, pr := range protocols() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", pr.name, seed), func(t *testing.T) {
+				_, run, err := pr.make(hosts, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wl := &check.ConcurrentMerge{Hosts: hosts, Rounds: 3}
+				if err := run(wl.Body); err != nil {
+					t.Fatal(err)
+				}
+				if err := wl.Err(); err != nil {
+					t.Fatalf("%s: %v", pr.name, err)
+				}
+			})
+		}
 	}
 }

@@ -27,29 +27,33 @@ var exampleSmoke = []struct {
 		"millipage": {elapsedNS: 18513564, digest: 0xb72a594aa3712b99},
 		"ivy":       {elapsedNS: 22313692, digest: 0x060a2ff85e19c831},
 		"lrc":       {elapsedNS: 10841730, digest: 0x432b81c63acd55c4},
+		"lrc-mw":    {elapsedNS: 13677218, digest: 0x6188b8bf20720928},
 	}},
 	{name: "falseshare", run: FalseShare, golden: map[string]golden{
 		"millipage": {elapsedNS: 42890570, digest: 0xf3da425141b65a59},
 		"ivy":       {elapsedNS: 84931489, digest: 0x331e825ce5a430c1},
 		"lrc":       {elapsedNS: 41732500, digest: 0xca1ffa20ac6af7eb},
+		"lrc-mw":    {elapsedNS: 41732500, digest: 0x55b5471d9fe0602d},
 	}},
 	{name: "histogram", run: Histogram, golden: map[string]golden{
 		"millipage": {elapsedNS: 17130674, digest: 0x1754937f5345594a},
 		"ivy":       {elapsedNS: 34024661, digest: 0xe2b81781d492ca78},
 		"lrc":       {elapsedNS: 9893526, digest: 0xca0952503de5b068},
+		"lrc-mw":    {elapsedNS: 10961205, digest: 0xbbea382d74761067},
 	}},
 	{name: "lazyrelease", run: LazyRelease, golden: map[string]golden{
 		"millipage": {elapsedNS: 27255393, digest: 0xab83f08930399638},
 		"ivy":       {elapsedNS: 44564640, digest: 0x3ff4dc312ccc9c37},
 		"lrc":       {elapsedNS: 21044130, digest: 0x677dc56404984491},
+		"lrc-mw":    {elapsedNS: 23664798, digest: 0x918e57319c1c1a06},
 	}},
 }
 
 // TestExamplesSmoke runs every examples/ program headless under all
-// three protocols and pins golden virtual-time digests.
+// four protocols and pins golden virtual-time digests.
 func TestExamplesSmoke(t *testing.T) {
 	for _, ex := range exampleSmoke {
-		for _, proto := range []string{"millipage", "ivy", "lrc"} {
+		for _, proto := range []string{"millipage", "ivy", "lrc", "lrc-mw"} {
 			t.Run(ex.name+"/"+proto, func(t *testing.T) {
 				var buf bytes.Buffer
 				report, err := ex.run(proto, &buf)

@@ -140,6 +140,13 @@ type Message struct {
 	// clean path (no faults installed), where the wire itself is FIFO.
 	Seq uint64
 
+	// refs counts the reliability layer's holders of this envelope: the
+	// send session's retransmission log, every scheduled wire arrival
+	// (first transmission, duplicates, retransmits), and the delivery
+	// pipeline. Always 0 on the clean path, where the single in-flight
+	// arrival is the only holder.
+	refs int
+
 	pooled bool  // lifecycle managed by the network free pool
 	state  uint8 // envelope lifecycle, for retention/double-free detection
 }
@@ -199,13 +206,11 @@ func New(eng *sim.Engine, n int, params Params) *Network {
 }
 
 // allocMessage reuses a recycled envelope when one is available. Under
-// an installed fault plan envelopes are not pooled: the retransmission
-// buffer retains them past the handler's return, which is exactly the
-// retention the pool forbids.
+// an installed fault plan the retransmission buffer and duplicated wire
+// arrivals share the envelope past the handler's return, so there the
+// pool is driven by the reference count (releaseMessage) instead of the
+// handler's completion.
 func (nw *Network) allocMessage() *Message {
-	if nw.rel != nil {
-		return &Message{state: msgAllocated}
-	}
 	if n := len(nw.freeMsg); n > 0 {
 		m := nw.freeMsg[n-1]
 		nw.freeMsg = nw.freeMsg[:n-1]
@@ -227,6 +232,26 @@ func (nw *Network) recycleMessage(m *Message) {
 	*m = Message{}
 	m.state = msgRecycled
 	nw.freeMsg = append(nw.freeMsg, m)
+}
+
+// retainMessage records one more reliability-layer holder of m. Only
+// meaningful under an installed fault plan; the clean path never shares
+// an envelope.
+func (nw *Network) retainMessage(m *Message) { m.refs++ }
+
+// releaseMessage drops one reliability-layer hold on m and recycles the
+// envelope once the last holder is gone. The last hold can only drop
+// after the destination's handler completed (the send-log hold needs a
+// cumulative ack, which complete() emits), so a pool envelope is always
+// msgDelivered here.
+func (nw *Network) releaseMessage(m *Message) {
+	m.refs--
+	if m.refs < 0 {
+		panic("fastmsg: release of an envelope with no holders (double free?)")
+	}
+	if m.refs == 0 && m.pooled {
+		nw.recycleMessage(m)
+	}
 }
 
 // Endpoint returns endpoint i.
@@ -525,8 +550,10 @@ func (ep *Endpoint) serve(p *sim.Proc) {
 		ep.handler(p, m)
 		if r != nil && m.Seq != 0 {
 			r.complete(ep, m)
-		}
-		if m.pooled {
+			// Under faults the send log and late wire duplicates may still
+			// hold the envelope; drop only the delivery pipeline's hold.
+			ep.nw.releaseMessage(m)
+		} else if m.pooled {
 			ep.nw.recycleMessage(m)
 		}
 	}

@@ -16,7 +16,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 )
 
 // Frame kinds.
@@ -47,19 +46,37 @@ type Frame struct {
 // FNV-1a/32 checksum over everything before it.
 func EncodeFrame(f *Frame) []byte {
 	n := 3 + 5*binary.MaxVarintLen64 + len(f.Data) + 4
-	b := make([]byte, 0, n)
-	b = append(b, frameMagic, frameVersion, f.Kind)
-	b = binary.AppendUvarint(b, uint64(f.From))
-	b = binary.AppendUvarint(b, uint64(f.To))
-	b = binary.AppendUvarint(b, f.Seq)
+	return appendFrame(make([]byte, 0, n), f)
+}
+
+// appendFrame appends f's wire encoding to dst and returns the extended
+// slice — the allocation-free form of EncodeFrame, for callers that
+// recycle a scratch buffer (the per-frame codec self-check on the
+// fault-mode hot path).
+func appendFrame(dst []byte, f *Frame) []byte {
+	start := len(dst)
+	dst = append(dst, frameMagic, frameVersion, f.Kind)
+	dst = binary.AppendUvarint(dst, uint64(f.From))
+	dst = binary.AppendUvarint(dst, uint64(f.To))
+	dst = binary.AppendUvarint(dst, f.Seq)
 	if f.Kind == FrameData {
-		b = binary.AppendUvarint(b, uint64(f.Size))
-		b = binary.AppendUvarint(b, uint64(len(f.Data)))
-		b = append(b, f.Data...)
+		dst = binary.AppendUvarint(dst, uint64(f.Size))
+		dst = binary.AppendUvarint(dst, uint64(len(f.Data)))
+		dst = append(dst, f.Data...)
 	}
-	h := fnv.New32a()
-	h.Write(b)
-	return h.Sum(b)
+	return binary.BigEndian.AppendUint32(dst, fnv1a32(dst[start:]))
+}
+
+// fnv1a32 is FNV-1a/32 over b, identical to hash/fnv's New32a but
+// without allocating a hasher object.
+func fnv1a32(b []byte) uint32 {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
 }
 
 // Frame decoding errors.
@@ -75,21 +92,30 @@ var (
 // panics, never over-reads — on any malformed input, and requires the
 // input to be exactly one frame (no trailing bytes).
 func DecodeFrame(b []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := decodeFrameInto(f, b); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// decodeFrameInto is DecodeFrame into a caller-supplied Frame, for
+// callers that recycle a scratch record.
+func decodeFrameInto(f *Frame, b []byte) error {
+	*f = Frame{}
 	if len(b) < 3+1+4 {
-		return nil, ErrFrameShort
+		return ErrFrameShort
 	}
 	body, sum := b[:len(b)-4], b[len(b)-4:]
-	h := fnv.New32a()
-	h.Write(body)
-	if binary.BigEndian.Uint32(sum) != h.Sum32() {
-		return nil, ErrFrameChecksum
+	if binary.BigEndian.Uint32(sum) != fnv1a32(body) {
+		return ErrFrameChecksum
 	}
 	if body[0] != frameMagic || body[1] != frameVersion {
-		return nil, ErrFrameMagic
+		return ErrFrameMagic
 	}
-	f := &Frame{Kind: body[2]}
+	f.Kind = body[2]
 	if f.Kind != FrameData && f.Kind != FrameAck {
-		return nil, ErrFrameKind
+		return ErrFrameKind
 	}
 	rest := body[3:]
 	field := func(name string, max uint64) (uint64, error) {
@@ -105,25 +131,25 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	}
 	from, err := field("from", maxFrameHosts-1)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	to, err := field("to", maxFrameHosts-1)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f.From, f.To = int(from), int(to)
 	if f.Seq, err = field("seq", 1<<62); err != nil {
-		return nil, err
+		return err
 	}
 	if f.Kind == FrameData {
 		size, err := field("size", maxFrameSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f.Size = int(size)
 		dlen, err := field("datalen", uint64(len(rest)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if dlen > 0 {
 			f.Data = rest[:dlen:dlen]
@@ -131,17 +157,20 @@ func DecodeFrame(b []byte) (*Frame, error) {
 		}
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrameField, len(rest))
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrameField, len(rest))
 	}
-	return f, nil
+	return nil
 }
 
-// selfCheck round-trips f through the wire format and panics on any
-// disagreement — a modeling invariant, asserted on the fault path
-// where frames conceptually cross a lossy wire.
-func (f *Frame) selfCheck() {
-	g, err := DecodeFrame(EncodeFrame(f))
-	if err != nil {
+// selfCheckFrame round-trips f through the wire format and panics on
+// any disagreement — a modeling invariant, asserted on the fault path
+// where frames conceptually cross a lossy wire. The encode buffer and
+// decode record are per-network scratch so the check is allocation-free
+// on the armed hot path.
+func (r *reliability) selfCheckFrame(f *Frame) {
+	r.frameBuf = appendFrame(r.frameBuf[:0], f)
+	g := &r.frameTmp
+	if err := decodeFrameInto(g, r.frameBuf); err != nil {
 		panic("fastmsg: frame codec self-check: " + err.Error())
 	}
 	if g.Kind != f.Kind || g.From != f.From || g.To != f.To || g.Seq != f.Seq ||
@@ -151,11 +180,13 @@ func (f *Frame) selfCheck() {
 }
 
 // selfCheckData asserts the wire format round-trips m's data frame.
-func selfCheckData(m *Message) {
-	(&Frame{Kind: FrameData, From: m.From, To: m.To, Seq: m.Seq, Size: m.Size, Data: m.Data}).selfCheck()
+func (r *reliability) selfCheckData(m *Message) {
+	f := Frame{Kind: FrameData, From: m.From, To: m.To, Seq: m.Seq, Size: m.Size, Data: m.Data}
+	r.selfCheckFrame(&f)
 }
 
 // selfCheckAck asserts the wire format round-trips a cumulative ack.
-func selfCheckAck(from, to int, cum uint64) {
-	(&Frame{Kind: FrameAck, From: from, To: to, Seq: cum}).selfCheck()
+func (r *reliability) selfCheckAck(from, to int, cum uint64) {
+	f := Frame{Kind: FrameAck, From: from, To: to, Seq: cum}
+	r.selfCheckFrame(&f)
 }

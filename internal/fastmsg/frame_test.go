@@ -27,7 +27,8 @@ func TestFrameRoundTrip(t *testing.T) {
 			g.Size != f.Size || !bytes.Equal(g.Data, f.Data) {
 			t.Fatalf("round trip changed the frame: %+v -> %+v", f, g)
 		}
-		f.selfCheck()
+		r := &reliability{}
+		r.selfCheckFrame(f)
 	}
 }
 

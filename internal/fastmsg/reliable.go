@@ -35,6 +35,7 @@ package fastmsg
 
 import (
 	"fmt"
+	"sort"
 
 	"millipage/internal/faultnet"
 	"millipage/internal/sim"
@@ -47,6 +48,29 @@ type reliability struct {
 	rtoMin sim.Duration
 	rtoMax sim.Duration
 	hosts  []*relHost
+
+	// Pooled calendar records and their once-bound callbacks, so arming a
+	// retransmit timer or shipping an ack never allocates a closure.
+	freeTR  []*timerRec
+	freeAR  []*ackRec
+	timerFn func(any) // r.timerFireAny, bound in InstallFaults
+	ackFn   func(any) // r.ackArriveAny, bound in InstallFaults
+
+	// Scratch for the per-frame codec self-check (see selfCheckFrame).
+	frameBuf []byte
+	frameTmp Frame
+}
+
+// timerRec is one armed retransmission timer on the engine calendar.
+type timerRec struct {
+	from, to int
+	gen      uint64
+}
+
+// ackRec is one cumulative ack in flight on the wire.
+type ackRec struct {
+	to, from int
+	cum      uint64
 }
 
 // relHost is one host's transport state.
@@ -66,12 +90,16 @@ type relHost struct {
 // durable across the sender's crashes (the production analogue: a send
 // log on stable storage); only transmission is suppressed while down.
 type sendSession struct {
-	nextSeq    uint64 // next sequence number to assign (sessions start at 1)
-	unacked    []*Message
+	nextSeq    uint64     // next sequence number to assign (sessions start at 1)
+	unacked    []*Message // retransmission log, live from unaHead
+	unaHead    int        // head index: popping with [1:] would shed capacity and realloc per ack
 	rto        sim.Duration
 	timerGen   uint64 // arms are numbered so superseded timers no-op
 	timerArmed bool
 }
+
+// outstanding returns the link's unacknowledged frames in send order.
+func (ss *sendSession) outstanding() []*Message { return ss.unacked[ss.unaHead:] }
 
 // recvSession is the receiver half of one directed link. The floors are
 // durable; the reorder buffer is volatile (lost at a crash).
@@ -97,6 +125,8 @@ func (nw *Network) InstallFaults(inj *faultnet.Injector) {
 	plan := inj.Plan()
 	rtoMin, rtoMax := plan.RTOBounds()
 	r := &reliability{nw: nw, inj: inj, rtoMin: rtoMin, rtoMax: rtoMax}
+	r.timerFn = r.timerFireAny
+	r.ackFn = r.ackArriveAny
 	n := len(nw.eps)
 	for i := 0; i < n; i++ {
 		rh := &relHost{
@@ -139,6 +169,7 @@ func (r *reliability) send(ep *Endpoint, to int, m *Message) {
 	m.Seq = ss.nextSeq
 	ss.nextSeq++
 	ss.unacked = append(ss.unacked, m)
+	r.nw.retainMessage(m) // the send log's hold, dropped when an ack pops it
 	ep.stats.Sent++
 	ep.stats.BytesSent += uint64(m.Size)
 	r.transmit(ep.id, to, m)
@@ -155,7 +186,7 @@ func (r *reliability) transmit(from, to int, m *Message) {
 	if r.hosts[from].down {
 		return // NIC is dead; the restart flush re-sends
 	}
-	selfCheckData(m)
+	r.selfCheckData(m)
 	now := r.nw.eng.Now()
 	if r.inj.Partitioned(from, to, now) {
 		return
@@ -163,22 +194,42 @@ func (r *reliability) transmit(from, to int, m *Message) {
 	dst := r.nw.eps[to]
 	base := r.nw.params.WireLatency(m.Size)
 	if !r.inj.DropFrame() {
+		r.nw.retainMessage(m) // this arrival's hold, dropped or transferred in arrive
 		r.nw.eng.AtArg(now.Add(base+r.inj.ExtraDelay()), dst.arriveFn, m)
 	}
 	if r.inj.DupFrame() {
+		r.nw.retainMessage(m)
 		r.nw.eng.AtArg(now.Add(base+r.inj.ExtraDelay()), dst.arriveFn, m)
 	}
 }
 
-// armTimer schedules the link's retransmission timer at its current RTO.
+// armTimer schedules the link's retransmission timer at its current RTO,
+// on a pooled record so arming never allocates.
 func (r *reliability) armTimer(from, to int, ss *sendSession) {
 	ss.timerArmed = true
 	ss.timerGen++
-	gen := ss.timerGen
 	if ss.rto == 0 {
 		ss.rto = r.rtoMin
 	}
-	r.nw.eng.After(ss.rto, func() { r.timerFire(from, to, gen) })
+	var tr *timerRec
+	if n := len(r.freeTR); n > 0 {
+		tr = r.freeTR[n-1]
+		r.freeTR = r.freeTR[:n-1]
+	} else {
+		tr = &timerRec{}
+	}
+	tr.from, tr.to, tr.gen = from, to, ss.timerGen
+	r.nw.eng.AfterArg(ss.rto, r.timerFn, tr)
+}
+
+// timerFireAny is the calendar-side entry: unpack and recycle the record,
+// then run the fire logic.
+func (r *reliability) timerFireAny(a any) {
+	tr := a.(*timerRec)
+	from, to, gen := tr.from, tr.to, tr.gen
+	*tr = timerRec{}
+	r.freeTR = append(r.freeTR, tr)
+	r.timerFire(from, to, gen)
 }
 
 // timerFire retransmits everything outstanding on the link (go-back-N)
@@ -189,11 +240,11 @@ func (r *reliability) timerFire(from, to int, gen uint64) {
 		return // superseded by an ack or a restart flush
 	}
 	ss.timerArmed = false
-	if len(ss.unacked) == 0 {
+	if len(ss.outstanding()) == 0 {
 		return
 	}
 	ep := r.nw.eps[from]
-	for _, m := range ss.unacked {
+	for _, m := range ss.outstanding() {
 		ep.stats.Retransmits++
 		r.transmit(from, to, m)
 	}
@@ -206,11 +257,14 @@ func (r *reliability) timerFire(from, to int, gen uint64) {
 
 // arrive gates one frame off the wire: discard if this host is down,
 // drop-and-re-ack duplicates, buffer early arrivals, and admit in-order
-// frames (plus any buffered successors they release) to delivery.
+// frames (plus any buffered successors they release) to delivery. The
+// arrival event's hold on the envelope either drops here (discards) or
+// transfers to the reorder buffer / delivery pipeline (admissions).
 func (r *reliability) arrive(ep *Endpoint, m *Message) {
 	rh := r.hosts[ep.id]
 	if rh.down {
 		ep.stats.DroppedDown++
+		r.nw.releaseMessage(m)
 		return
 	}
 	rs := &rh.recv[m.From]
@@ -219,8 +273,10 @@ func (r *reliability) arrive(ep *Endpoint, m *Message) {
 		// that crossed our ack. Re-ack the processed floor so the
 		// sender stops resending even if the original ack was lost.
 		ep.stats.DupsDropped++
+		from := m.From
+		r.nw.releaseMessage(m) // may recycle and zero m; no field reads past here
 		if rs.nextProcess > 1 {
-			r.sendAck(ep.id, m.From, rs.nextProcess-1)
+			r.sendAck(ep.id, from, rs.nextProcess-1)
 		}
 		return
 	}
@@ -229,6 +285,7 @@ func (r *reliability) arrive(ep *Endpoint, m *Message) {
 		// still processing this very sequence number; its retransmitted
 		// twin must not be admitted again.
 		ep.stats.DupsDropped++
+		r.nw.releaseMessage(m)
 		return
 	}
 	if m.Seq > rs.nextAccept {
@@ -237,6 +294,7 @@ func (r *reliability) arrive(ep *Endpoint, m *Message) {
 		}
 		if _, dup := rs.ooo[m.Seq]; dup {
 			ep.stats.DupsDropped++
+			r.nw.releaseMessage(m)
 		} else {
 			rs.ooo[m.Seq] = m
 			ep.stats.OutOfOrder++
@@ -289,20 +347,41 @@ func (r *reliability) sendAck(from, to int, cum uint64) {
 	if r.hosts[from].down {
 		return
 	}
-	selfCheckAck(from, to, cum)
+	r.selfCheckAck(from, to, cum)
 	now := r.nw.eng.Now()
 	if r.inj.Partitioned(from, to, now) {
 		return
 	}
 	base := r.nw.params.WireBase
 	if !r.inj.DropFrame() {
-		d := base + r.inj.ExtraDelay()
-		r.nw.eng.After(d, func() { r.ackArrive(to, from, cum) })
+		r.shipAck(to, from, cum, base+r.inj.ExtraDelay())
 	}
 	if r.inj.DupFrame() {
-		d := base + r.inj.ExtraDelay()
-		r.nw.eng.After(d, func() { r.ackArrive(to, from, cum) })
+		r.shipAck(to, from, cum, base+r.inj.ExtraDelay())
 	}
+}
+
+// shipAck schedules one ack arrival on a pooled record.
+func (r *reliability) shipAck(to, from int, cum uint64, d sim.Duration) {
+	var ae *ackRec
+	if n := len(r.freeAR); n > 0 {
+		ae = r.freeAR[n-1]
+		r.freeAR = r.freeAR[:n-1]
+	} else {
+		ae = &ackRec{}
+	}
+	ae.to, ae.from, ae.cum = to, from, cum
+	r.nw.eng.AfterArg(d, r.ackFn, ae)
+}
+
+// ackArriveAny is the calendar-side entry: unpack and recycle the
+// record, then consume the ack.
+func (r *reliability) ackArriveAny(a any) {
+	ae := a.(*ackRec)
+	at, from, cum := ae.to, ae.from, ae.cum
+	*ae = ackRec{}
+	r.freeAR = append(r.freeAR, ae)
+	r.ackArrive(at, from, cum)
 }
 
 // ackArrive consumes a cumulative ack at the original sender: pop the
@@ -315,10 +394,16 @@ func (r *reliability) ackArrive(at, from int, cum uint64) {
 	}
 	ss := &rh.send[from]
 	progress := false
-	for len(ss.unacked) > 0 && ss.unacked[0].Seq <= cum {
-		ss.unacked[0] = nil
-		ss.unacked = ss.unacked[1:]
+	for ss.unaHead < len(ss.unacked) && ss.unacked[ss.unaHead].Seq <= cum {
+		m := ss.unacked[ss.unaHead]
+		ss.unacked[ss.unaHead] = nil
+		ss.unaHead++
 		progress = true
+		r.nw.releaseMessage(m) // the send log's hold
+	}
+	if ss.unaHead == len(ss.unacked) {
+		ss.unacked = ss.unacked[:0]
+		ss.unaHead = 0
 	}
 	if !progress {
 		return
@@ -326,7 +411,7 @@ func (r *reliability) ackArrive(at, from int, cum uint64) {
 	ss.timerGen++ // cancel the outstanding arm
 	ss.timerArmed = false
 	ss.rto = r.rtoMin
-	if len(ss.unacked) > 0 {
+	if len(ss.outstanding()) > 0 {
 		r.armTimer(at, from, ss)
 	}
 }
@@ -342,14 +427,19 @@ func (r *reliability) crash(h int) {
 	rh.down = true
 	ep := r.nw.eps[h]
 	// The receive queue and undelivered poll/sweep events are volatile.
+	// Each wiped message loses its delivery-pipeline hold; the sender's
+	// log still holds it (unacked), so retransmission re-delivers it.
 	for {
-		if _, ok := ep.ready.TryGet(); !ok {
+		m, ok := ep.ready.TryGet()
+		if !ok {
 			break
 		}
+		r.nw.releaseMessage(m)
 	}
 	for _, pm := range ep.pending[ep.pendHead:] {
 		// Unfired entries only: fired ones were already removed by fire().
 		pm.fired = true // their scheduled fire events will no-op and recycle
+		r.nw.releaseMessage(pm.m)
 	}
 	for i := range ep.pending {
 		ep.pending[i] = nil
@@ -358,6 +448,18 @@ func (r *reliability) crash(h int) {
 	ep.pendHead = 0
 	for i := range rh.recv {
 		rs := &rh.recv[i]
+		if len(rs.ooo) > 0 {
+			// Release the reorder buffer's holds in sequence order so the
+			// pool's contents stay deterministic run to run.
+			seqs := make([]uint64, 0, len(rs.ooo))
+			for seq := range rs.ooo { //detlint:ok sorted below
+				seqs = append(seqs, seq)
+			}
+			sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+			for _, seq := range seqs {
+				r.nw.releaseMessage(rs.ooo[seq])
+			}
+		}
 		rs.ooo = nil
 		if rs.nextAccept > rs.nextProcess {
 			rs.nextAccept = rs.nextProcess
@@ -377,13 +479,13 @@ func (r *reliability) restart(h int) {
 	ep := r.nw.eps[h]
 	for to := range rh.send {
 		ss := &rh.send[to]
-		if len(ss.unacked) == 0 {
+		if len(ss.outstanding()) == 0 {
 			continue
 		}
 		ss.timerGen++
 		ss.timerArmed = false
 		ss.rto = r.rtoMin
-		for _, m := range ss.unacked {
+		for _, m := range ss.outstanding() {
 			ep.stats.Retransmits++
 			r.transmit(h, to, m)
 		}

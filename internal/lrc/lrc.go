@@ -435,7 +435,11 @@ func (t *Thread) flushDiffs() {
 		if home == h.ID() {
 			continue // writes are already at home
 		}
-		flushes = append(flushes, flush{home: home, info: info, enc: twindiff.Encode(runs)})
+		enc, err := twindiff.Encode(runs)
+		if err != nil {
+			panic(err) // minipages are sub-page: offsets always fit the header
+		}
+		flushes = append(flushes, flush{home: home, info: info, enc: enc})
 	}
 	if len(flushes) > 0 {
 		h.flushAwait = len(flushes)

@@ -1,0 +1,975 @@
+// Multi-writer lazy release consistency ("lrc-mw").
+//
+// The single-writer realization in lrc.go already absorbs write-write
+// false sharing inside a minipage — but it does so by flushing diffs
+// eagerly and invalidating *every* non-home copy at every acquire, so a
+// host that never touches a minipage still refetches it after each
+// barrier. This file implements the TreadMarks-style refinement: per-host
+// vector timestamps partition each host's execution into intervals; a
+// release closes the interval by diffing the dirty minipages against
+// their twins; and a write notice (creator, interval, minipage ids) is
+// what propagates at synchronization, not the data. An acquire
+// invalidates only the minipages named by a causally newer notice; the
+// diffs themselves are fetched lazily from the writers on the next fault
+// and merged in vector-time order, so two hosts writing disjoint bytes
+// of one minipage never ping-pong and never invalidate third parties.
+//
+// Realization choices, sized for the simulated testbed:
+//
+//   - Home-assisted: every interval's diffs are also flushed to each
+//     minipage's home and acked *before* the releaser's notice can
+//     circulate. The home is therefore always current for every notice
+//     any host can have seen, which gives garbage collection a fallback:
+//     a fetcher whose lazy diff request names a purged interval refetches
+//     the whole minipage from home instead.
+//   - Notices flow through the host-0 coordinator, piggybacked on lock
+//     grants and barrier releases. The coordinator stamps each logged
+//     notice with a global sequence (a valid linear extension of
+//     happens-before, since every release's notice reaches the
+//     coordinator before any acquire it precedes is granted), and hands
+//     an acquirer every logged notice newer than its vector clock — a
+//     conservative superset of the happens-before requirement, which is
+//     sound for the data-race-free programs LRC covers.
+//   - Garbage collection: the coordinator clears its notice log at every
+//     barrier (all vector clocks converge to the global max, so nothing
+//     logged earlier can ever be granted again), and each host purges
+//     interval diff records two barriers after their creation; purged
+//     intervals trigger the home-fetch fallback above.
+package lrc
+
+import (
+	"fmt"
+	"sort"
+
+	"millipage/internal/cluster"
+	"millipage/internal/core"
+	"millipage/internal/fastmsg"
+	"millipage/internal/sim"
+	"millipage/internal/trace"
+	"millipage/internal/twindiff"
+	"millipage/internal/vm"
+)
+
+// multi-writer message types
+type mwtype int
+
+const (
+	mwFetchReq mwtype = iota
+	mwFetchReply
+	mwFetchData
+	mwDiffFlush
+	mwDiffAck
+	mwDiffReq
+	mwDiffReply
+	mwBarrierArrive
+	mwBarrierRelease
+	mwAllocReq
+	mwAllocReply
+	mwLockReq
+	mwLockGrant
+	mwUnlock
+)
+
+var mwtypeNames = [...]string{
+	"MW_FETCH_REQUEST", "MW_FETCH_REPLY", "MW_FETCH_DATA", "MW_DIFF_FLUSH",
+	"MW_DIFF_ACK", "MW_DIFF_REQUEST", "MW_DIFF_REPLY", "MW_BARRIER_ARRIVE",
+	"MW_BARRIER_RELEASE", "MW_ALLOC_REQUEST", "MW_ALLOC_REPLY",
+	"MW_LOCK_REQUEST", "MW_LOCK_GRANT", "MW_UNLOCK",
+}
+
+var mwOpBase = trace.RegisterOps(mwtypeNames[:])
+
+func (m mwtype) String() string {
+	if int(m) >= 0 && int(m) < len(mwtypeNames) {
+		return mwtypeNames[m]
+	}
+	return fmt.Sprintf("mwtype(%d)", int(m))
+}
+
+// mwNotice is a write notice as created at a release: one closed
+// interval and the minipages it modified.
+type mwNotice struct {
+	Creator int
+	Seq     uint64 // the creator's vector-clock component for this interval
+	MPs     []int  // minipage ids modified in the interval, sorted
+}
+
+// mwCNotice is a write notice as logged by the coordinator, stamped with
+// the global sequence number that linearizes happens-before.
+type mwCNotice struct {
+	mwNotice
+	VTSum uint64
+}
+
+// mwDiffOut is one interval's diff for one minipage, as served by its
+// creator to a lazy fetcher. Purged means the creator has garbage-
+// collected the interval; the fetcher falls back to a full home fetch.
+type mwDiffOut struct {
+	Seq    uint64
+	Enc    []byte
+	Purged bool
+}
+
+// mwDataMarker is the shared payload of every bulk mwFetchData message.
+var mwDataMarker = &mwmsg{Type: mwFetchData}
+
+type mwmsg struct {
+	Type mwtype
+	From int
+	Info core.Info
+
+	Diff []byte // encoded run-length diff (mwDiffFlush)
+
+	FW *cluster.Wait
+
+	AllocSize int
+	AllocVA   uint64
+	Home      int
+	LockID    int
+
+	VC      []uint64    // sender's vector clock (mwLockReq, mwBarrierArrive)
+	Notice  *mwNotice   // the releaser's closed interval (mwUnlock, mwBarrierArrive)
+	Notices []mwCNotice // piggybacked write notices (mwLockGrant, mwBarrierRelease)
+	MaxVC   []uint64    // converged clock (mwBarrierRelease)
+
+	MP       int         // minipage id (mwDiffReq, mwDiffReply)
+	Seqs     []uint64    // requested interval seqs (mwDiffReq)
+	DiffsOut []mwDiffOut // served diffs (mwDiffReply)
+}
+
+// mwInterval is one closed interval's retained diffs, kept by the
+// creator for lazy serving until garbage collection.
+type mwInterval struct {
+	diffs map[int][]byte // minipage id -> encoded diff; keyed lookups only
+}
+
+// pendEntry records one write notice a host has applied to its page
+// tables (the minipage is invalidated) but whose diff it has not yet
+// fetched.
+type pendEntry struct {
+	vtsum   uint64
+	creator int
+	seq     uint64
+}
+
+// MWStats aggregates multi-writer protocol activity across the run.
+type MWStats struct {
+	Fetches       uint64 // full minipage fetches from homes
+	DiffFetches   uint64 // lazy diff requests to writers
+	DiffsFetched  uint64 // interval diffs served by those requests
+	HomeFallbacks uint64 // lazy fetches that hit a purged interval
+	DiffsSent     uint64 // eager diff flushes to homes
+	DiffBytes     uint64
+	TwinsMade     uint64
+	Barriers      uint64
+	WriteFault    uint64
+	ReadFault     uint64
+	Invalidations uint64 // minipages invalidated by write notices
+	Notices       uint64 // write notices logged at the coordinator
+	IntervalsGCed uint64 // interval records purged at barriers
+}
+
+// MWSystem is a multi-writer LRC cluster. Host 0 coordinates barriers,
+// locks and the write-notice log and owns the minipage table; every
+// minipage's home is its allocating host.
+type MWSystem struct {
+	Opt    Options
+	Eng    *sim.Engine
+	Net    *fastmsg.Network
+	Layout core.Layout
+
+	rt *cluster.Runtime
+
+	mpt   *core.MPT
+	homes []int // minipage id -> home host
+
+	hosts   []*MWHost
+	threads []*MWThread
+
+	// Coordinator state (host 0 only).
+	log     []mwCNotice // append-only between barriers, cleared at each
+	vtctr   uint64      // global notice stamp; monotone across clears
+	barrier cluster.BarrierService[*mwmsg]
+	locks   *cluster.LockService[*mwmsg]
+
+	Stats MWStats
+}
+
+// MWHost is one multi-writer LRC process.
+type MWHost struct {
+	*cluster.Host
+	sys    *MWSystem
+	Region *core.Region
+
+	vc []uint64 // vector clock: vc[c] = newest interval of host c known here
+
+	twins     map[int][]byte // minipage id -> twin (the dirty set)
+	dirtyInfo map[int]core.Info
+	copies    map[int]core.Info    // non-home minipages with a local copy
+	seen      map[int][]uint64     // minipage id -> per-creator interval floor the copy reflects
+	pend      map[int][]pendEntry  // minipage id -> notices invalidated but not yet merged
+	ivals     []*mwInterval        // own closed intervals, ivals[i] has seq ivalBase+1+i
+	ivalBase  uint64               // intervals with seq <= ivalBase are purged
+	floorPrev uint64               // GC floor: own seq as of two barriers ago
+	floorCur  uint64               // own seq as of the last barrier
+
+	pendingHdr map[int]*mwmsg // fetch header awaiting its data message, by sender
+
+	flushAwait int
+	flushDone  *sim.Event
+
+	// Acquire-side handoff from the message handler to the (single)
+	// application thread: the notices and converged clock delivered with
+	// the last lock grant or barrier release, and the last diff reply.
+	acqNotices []mwCNotice
+	acqMaxVC   []uint64
+	diffReply  *mwmsg
+}
+
+// NewMW builds a multi-writer LRC cluster.
+func NewMW(opt Options) (*MWSystem, error) {
+	if opt.Hosts < 1 || opt.Hosts > 64 {
+		return nil, fmt.Errorf("lrc-mw: Hosts = %d out of range", opt.Hosts)
+	}
+	if opt.ChunkLevel < 1 {
+		opt.ChunkLevel = 1
+	}
+	if opt.Views < 1 {
+		opt.Views = 1
+	}
+	layout, err := core.NewLayout(opt.SharedSize, opt.Views)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Faults.Enabled() {
+		if err := opt.Faults.Validate(opt.Hosts); err != nil {
+			return nil, fmt.Errorf("lrc-mw: %w", err)
+		}
+	}
+	rt := cluster.New(cluster.Config{
+		Name:   "lrc-mw",
+		Hosts:  opt.Hosts,
+		Seed:   opt.Seed,
+		Net:    opt.Net,
+		Costs:  opt.Costs,
+		Faults: opt.Faults,
+		Trace:  opt.Trace,
+	})
+	opt.Seed = rt.Cfg.Seed
+	opt.Net = rt.Cfg.Net
+	opt.Costs = rt.Cfg.Costs
+	s := &MWSystem{
+		Opt:    opt,
+		Eng:    rt.Eng,
+		Net:    rt.Net,
+		Layout: layout,
+		rt:     rt,
+		mpt:    core.NewMPT(layout, core.GrainMinipage, opt.ChunkLevel),
+		locks:  cluster.NewLockService[*mwmsg](),
+	}
+	for i := 0; i < opt.Hosts; i++ {
+		as := vm.NewAddressSpace()
+		region, err := core.NewRegion(layout, as)
+		if err != nil {
+			return nil, err
+		}
+		h := &MWHost{
+			sys:        s,
+			Region:     region,
+			vc:         make([]uint64, opt.Hosts),
+			twins:      make(map[int][]byte),
+			dirtyInfo:  make(map[int]core.Info),
+			copies:     make(map[int]core.Info),
+			seen:       make(map[int][]uint64),
+			pend:       make(map[int][]pendEntry),
+			pendingHdr: make(map[int]*mwmsg),
+		}
+		h.Host = rt.NewHost(as, h)
+		s.hosts = append(s.hosts, h)
+	}
+	return s, nil
+}
+
+// Host returns host i.
+func (s *MWSystem) Host(i int) *MWHost { return s.hosts[i] }
+
+// NumHosts returns the cluster size.
+func (s *MWSystem) NumHosts() int { return s.Opt.Hosts }
+
+// MPT exposes the minipage table.
+func (s *MWSystem) MPT() *core.MPT { return s.mpt }
+
+// Runtime returns the shared cluster substrate.
+func (s *MWSystem) Runtime() *cluster.Runtime { return s.rt }
+
+// Threads returns the application threads after Run (for statistics).
+func (s *MWSystem) Threads() []*MWThread { return s.threads }
+
+// Elapsed returns the virtual time at which the run stopped.
+func (s *MWSystem) Elapsed() sim.Duration { return sim.Duration(s.Eng.Now()) }
+
+// BarrierEpisodes returns the number of completed barrier episodes.
+func (s *MWSystem) BarrierEpisodes() uint64 { return s.barrier.Episodes }
+
+// LockAcquisitions returns the number of lock grants handed out.
+func (s *MWSystem) LockAcquisitions() uint64 { return s.locks.Acquisitions }
+
+// MWThread is an application thread's handle on the multi-writer DSM.
+type MWThread struct {
+	*cluster.Thread
+	host *MWHost
+}
+
+// Run starts one application thread per host and drives the simulation.
+func (s *MWSystem) Run(body func(t *MWThread)) error {
+	if body == nil {
+		return fmt.Errorf("lrc-mw: nil thread body")
+	}
+	return s.rt.Run(func(ct *cluster.Thread) func() {
+		t := &MWThread{Thread: ct, host: s.hosts[ct.Host()]}
+		ct.SetSelf(t)
+		s.threads = append(s.threads, t)
+		return func() { body(t) }
+	})
+}
+
+func (s *MWSystem) allocLocal(from, size int) (core.Info, uint64, int) {
+	mp, va, err := s.mpt.Alloc(size)
+	if err != nil {
+		panic(fmt.Sprintf("lrc-mw: alloc %d: %v", size, err))
+	}
+	for id := len(s.homes); id < s.mpt.NumMinipages(); id++ {
+		s.homes = append(s.homes, from)
+	}
+	return mp.Info(s.Layout), va, s.homes[mp.ID]
+}
+
+// Malloc allocates shared memory; the allocating host becomes the
+// minipage's home. Unlike the single-writer protocol, the home maps its
+// own minipages read-only: a home write must fault so it is twinned into
+// an interval and announced by a write notice like any other write.
+func (t *MWThread) Malloc(size int) uint64 {
+	h := t.host
+	s := h.sys
+	p := t.Proc()
+	start := p.Now()
+	if h.ID() == 0 {
+		p.Sleep(h.Costs().MallocBase)
+		info, va, home := s.allocLocal(h.ID(), size)
+		if home == h.ID() {
+			h.Region.Protect(info.Base, info.Size, vm.ReadOnly)
+		}
+		t.Stats.MallocTime += p.Now().Sub(start)
+		return va
+	}
+	fw := t.WaitSlot()
+	h.Send(p, 0, &mwmsg{Type: mwAllocReq, From: h.ID(), AllocSize: size, FW: fw})
+	t.Block(fw)
+	p.Sleep(h.Costs().ThreadWake)
+	if fw.Home == h.ID() {
+		h.Region.Protect(fw.Info.Base, fw.Info.Size, vm.ReadOnly)
+	}
+	t.Stats.MallocTime += p.Now().Sub(start)
+	return fw.VA
+}
+
+// DescribeMsg extracts the trace fields from a protocol header.
+func (h *MWHost) DescribeMsg(payload any) (op uint16, mp int, addr uint64, home int) {
+	m := payload.(*mwmsg)
+	op = mwOpBase + uint16(m.Type)
+	if m.Info.Size == 0 {
+		return op, -1, 0, -1
+	}
+	home = -1
+	if m.Info.ID < len(h.sys.homes) {
+		home = h.sys.homes[m.Info.ID]
+	}
+	return op, m.Info.ID, m.Info.Base, home
+}
+
+// HandleFault services read and write faults: merge pending write
+// notices (lazy diff fetch) or fetch from home if absent; on write, twin
+// and proceed — concurrent writers to one minipage never ping-pong.
+func (h *MWHost) HandleFault(ctx any, f vm.Fault) error {
+	t, ok := ctx.(*MWThread)
+	if !ok {
+		return fmt.Errorf("lrc-mw: fault outside app thread at %#x", f.Addr)
+	}
+	c := h.Costs()
+	p := t.Proc()
+	start := p.Now()
+	p.Sleep(c.AccessFault)
+	s := h.sys
+
+	mp, okk := s.mpt.Lookup(f.Addr)
+	if !okk {
+		return fmt.Errorf("lrc-mw: %#x outside any minipage", f.Addr)
+	}
+	info := mp.Info(s.Layout)
+	home := s.homes[mp.ID]
+
+	if prot, _ := h.Region.ProtOf(info.Base); prot == vm.NoAccess {
+		if home == h.ID() {
+			return fmt.Errorf("lrc-mw: home minipage %d unmapped at its home %d", mp.ID, h.ID())
+		}
+		if f.Kind == vm.Read {
+			s.Stats.ReadFault++
+		}
+		_, have := h.copies[mp.ID]
+		if !have || !t.mergePending(mp.ID, info) {
+			t.fetchFromHome(mp.ID, info, home)
+		}
+	}
+
+	_, dirty := h.twins[mp.ID]
+	if f.Kind == vm.Write {
+		s.Stats.WriteFault++
+		if !dirty {
+			data, err := h.Region.ReadPriv(info.Base, info.Size)
+			if err != nil {
+				return err
+			}
+			h.twins[mp.ID] = twindiff.Twin(data)
+			h.dirtyInfo[mp.ID] = info
+			s.Stats.TwinsMade++
+			p.Sleep(twindiff.TwinCost(info.Size))
+		}
+		p.Sleep(c.SetProt)
+		err := h.Region.Protect(info.Base, info.Size, vm.ReadWrite)
+		elapsed := p.Now().Sub(start)
+		t.Stats.WriteFaultTime += elapsed
+		t.Stats.WriteFaults++
+		t.Stats.WriteFaultHist.Add(elapsed)
+		return err
+	}
+	// A dirty minipage stays writable after a read fault: the thread is
+	// mid-interval and its next write must not lose the twin.
+	want := vm.ReadOnly
+	if dirty {
+		want = vm.ReadWrite
+	}
+	p.Sleep(c.SetProt)
+	err := h.Region.Protect(info.Base, info.Size, want)
+	elapsed := p.Now().Sub(start)
+	t.Stats.ReadFaultTime += elapsed
+	t.Stats.ReadFaults++
+	t.Stats.ReadFaultHist.Add(elapsed)
+	return err
+}
+
+// mergePending fetches the diffs named by the minipage's pending write
+// notices from their creators, applies them in global vector-time order,
+// and reports success. A purged interval at any creator makes it return
+// false (after verifying the copy is clean), and the caller refetches
+// from home instead.
+func (t *MWThread) mergePending(id int, info core.Info) bool {
+	h := t.host
+	s := h.sys
+	c := h.Costs()
+	p := t.Proc()
+	pend := h.pend[id]
+	if len(pend) == 0 {
+		// Invalidated with no pending notices cannot happen (pend and the
+		// NoAccess protection are set together), but a fresh never-fetched
+		// copy entry would land here; refetch to be safe.
+		return false
+	}
+	// Group the pending notices by creator, preserving their vector-time
+	// stamps for the merge order.
+	creators := make([]int, 0, 2)
+	byCreator := make(map[int][]uint64)
+	vtOf := make(map[uint64]uint64) // creator<<32|seq is unambiguous: hosts < 64
+	for _, pe := range pend {
+		if _, seenC := byCreator[pe.creator]; !seenC {
+			creators = append(creators, pe.creator)
+		}
+		byCreator[pe.creator] = append(byCreator[pe.creator], pe.seq)
+		vtOf[uint64(pe.creator)<<32|pe.seq] = pe.vtsum
+	}
+	sort.Ints(creators)
+	type fetched struct {
+		vtsum uint64
+		enc   []byte
+	}
+	var diffs []fetched
+	for _, cr := range creators {
+		seqs := byCreator[cr]
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		s.Stats.DiffFetches++
+		fw := t.WaitSlot()
+		h.Send(p, cr, &mwmsg{Type: mwDiffReq, From: h.ID(), MP: id, Seqs: seqs, FW: fw})
+		t.Block(fw)
+		p.Sleep(c.ThreadWake)
+		reply := h.diffReply
+		h.diffReply = nil
+		for _, d := range reply.DiffsOut {
+			if d.Purged {
+				s.Stats.HomeFallbacks++
+				if _, dirty := h.twins[id]; dirty {
+					// Purge retention spans two barrier epochs and a dirty twin
+					// cannot survive a barrier, so a dirty minipage's pending
+					// notices are always younger than any purge. A full refetch
+					// here would destroy uncommitted local writes.
+					panic(fmt.Sprintf("lrc-mw: purged interval %d@%d for dirty minipage %d", d.Seq, cr, id))
+				}
+				return false
+			}
+			s.Stats.DiffsFetched++
+			diffs = append(diffs, fetched{vtsum: vtOf[uint64(cr)<<32|d.Seq], enc: d.Enc})
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].vtsum < diffs[j].vtsum })
+	cur, err := h.Region.ReadPriv(info.Base, info.Size)
+	if err != nil {
+		panic(err)
+	}
+	twin := h.twins[id]
+	for _, d := range diffs {
+		runs, err := twindiff.Decode(d.enc)
+		if err != nil {
+			panic(err)
+		}
+		if err := twindiff.Apply(cur, runs); err != nil {
+			panic(err)
+		}
+		if twin != nil {
+			// Patch the twin too, so this host's own eventual diff captures
+			// only its own writes.
+			if err := twindiff.Apply(twin, runs); err != nil {
+				panic(err)
+			}
+		}
+		p.Sleep(twindiff.ApplyCost(len(d.enc)))
+	}
+	if err := h.Region.WritePriv(info.Base, cur); err != nil {
+		panic(err)
+	}
+	sn := h.seen[id]
+	if sn == nil {
+		sn = make([]uint64, len(h.vc))
+		h.seen[id] = sn
+	}
+	for _, pe := range pend {
+		if pe.seq > sn[pe.creator] {
+			sn[pe.creator] = pe.seq
+		}
+	}
+	delete(h.pend, id)
+	return true
+}
+
+// fetchFromHome pulls the minipage's merged contents from its home (the
+// home is current for every notice this host can have seen, because
+// diffs are flushed and acked before any notice circulates).
+func (t *MWThread) fetchFromHome(id int, info core.Info, home int) {
+	h := t.host
+	s := h.sys
+	c := h.Costs()
+	p := t.Proc()
+	s.Stats.Fetches++
+	fw := t.WaitSlot()
+	h.Send(p, home, &mwmsg{Type: mwFetchReq, From: h.ID(), Info: info, FW: fw})
+	t.Block(fw)
+	p.Sleep(c.ThreadWake + c.FaultResume)
+	h.copies[id] = info
+	sn := h.seen[id]
+	if sn == nil {
+		sn = make([]uint64, len(h.vc))
+		h.seen[id] = sn
+	}
+	copy(sn, h.vc)
+	delete(h.pend, id)
+}
+
+// release closes the current interval: diff every dirty minipage against
+// its twin, retain the diffs for lazy serving, flush non-home diffs to
+// their homes (acked before the caller may announce the interval), and
+// downgrade the dirty set to read-only so the next write opens a new
+// interval. Returns the interval's write notice, or nil if no writes
+// happened since the last release.
+func (t *MWThread) release() *mwNotice {
+	h := t.host
+	s := h.sys
+	c := h.Costs()
+	p := t.Proc()
+
+	if len(h.twins) == 0 {
+		return nil
+	}
+	dirty := make([]int, 0, len(h.twins))
+	for id := range h.twins { //detlint:ok sorted below
+		dirty = append(dirty, id)
+	}
+	sort.Ints(dirty)
+
+	seq := h.vc[h.ID()] + 1
+	iv := &mwInterval{diffs: make(map[int][]byte, len(dirty))}
+	type flush struct {
+		home int
+		info core.Info
+		enc  []byte
+	}
+	var flushes []flush
+	for _, id := range dirty {
+		info := h.dirtyInfo[id]
+		home := s.homes[id]
+		cur, err := h.Region.ReadPriv(info.Base, info.Size)
+		if err != nil {
+			panic(err)
+		}
+		runs, err := twindiff.Diff(h.twins[id], cur)
+		if err != nil {
+			panic(err)
+		}
+		p.Sleep(twindiff.CreateCost(info.Size))
+		enc, err := twindiff.Encode(runs)
+		if err != nil {
+			panic(err) // minipages are sub-page: offsets always fit the header
+		}
+		iv.diffs[id] = enc
+		delete(h.twins, id)
+		delete(h.dirtyInfo, id)
+		p.Sleep(c.SetProt)
+		if err := h.Region.Protect(info.Base, info.Size, vm.ReadOnly); err != nil {
+			panic(err)
+		}
+		if home != h.ID() {
+			flushes = append(flushes, flush{home: home, info: info, enc: enc})
+		}
+	}
+	h.ivals = append(h.ivals, iv)
+	h.vc[h.ID()] = seq
+	if len(flushes) > 0 {
+		h.flushAwait = len(flushes)
+		h.flushDone = sim.NewEvent(s.Eng)
+		for _, f := range flushes {
+			s.Stats.DiffsSent++
+			s.Stats.DiffBytes += uint64(len(f.enc))
+			h.SendSized(p, f.home, &mwmsg{Type: mwDiffFlush, From: h.ID(), Info: f.info, Diff: f.enc}, c.HeaderSize+len(f.enc))
+		}
+		t.BlockOn(h.flushDone)
+		p.Sleep(c.ThreadWake)
+	}
+	return &mwNotice{Creator: h.ID(), Seq: seq, MPs: dirty}
+}
+
+// acquire applies the write notices delivered with the last lock grant
+// or barrier release: advance the vector clock, and invalidate exactly
+// the minipages a causally newer notice names — the diffs are fetched
+// lazily on the next fault.
+func (t *MWThread) acquire() {
+	h := t.host
+	s := h.sys
+	c := h.Costs()
+	p := t.Proc()
+	for _, n := range h.acqNotices {
+		if n.Seq > h.vc[n.Creator] {
+			h.vc[n.Creator] = n.Seq
+		}
+		for _, id := range n.MPs {
+			if s.homes[id] == h.ID() {
+				continue // the home had this diff applied before the notice could circulate
+			}
+			_, dirty := h.twins[id]
+			info, have := h.copies[id]
+			if dirty {
+				info = h.dirtyInfo[id]
+			} else if !have {
+				continue // no copy: nothing to invalidate, a future fetch sees the merge
+			}
+			h.pend[id] = append(h.pend[id], pendEntry{vtsum: n.VTSum, creator: n.Creator, seq: n.Seq})
+			if len(h.pend[id]) == 1 {
+				s.Stats.Invalidations++
+				p.Sleep(c.SetProt)
+				if err := h.Region.Protect(info.Base, info.Size, vm.NoAccess); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	if h.acqMaxVC != nil {
+		for i, v := range h.acqMaxVC {
+			if v > h.vc[i] {
+				h.vc[i] = v
+			}
+		}
+	}
+	h.acqNotices = nil
+	h.acqMaxVC = nil
+}
+
+// gcIntervals purges this host's interval records that every other host
+// has provably merged or can refetch from home: anything two barrier
+// epochs old. Runs after each completed barrier.
+func (h *MWHost) gcIntervals() {
+	for h.ivalBase < h.floorPrev && len(h.ivals) > 0 {
+		h.ivals[0] = nil
+		h.ivals = h.ivals[1:]
+		h.ivalBase++
+		h.sys.Stats.IntervalsGCed++
+	}
+	h.floorPrev = h.floorCur
+	h.floorCur = h.vc[h.ID()]
+}
+
+// vcSnapshot copies the host's vector clock for a message.
+func (h *MWHost) vcSnapshot() []uint64 {
+	vc := make([]uint64, len(h.vc))
+	copy(vc, h.vc)
+	return vc
+}
+
+// Barrier closes the interval (release), rendezvouses with every other
+// thread, then applies the write notices the coordinator piggybacked on
+// the release and garbage-collects old intervals.
+func (t *MWThread) Barrier() {
+	h := t.host
+	c := h.Costs()
+	p := t.Proc()
+	start := p.Now()
+
+	notice := t.release()
+
+	p.Sleep(c.BarrierBase)
+	fw := t.WaitSlot()
+	h.Send(p, 0, &mwmsg{Type: mwBarrierArrive, From: h.ID(), FW: fw, Notice: notice, VC: h.vcSnapshot()})
+	t.Block(fw)
+	p.Sleep(c.ThreadWake)
+
+	t.acquire()
+	h.gcIntervals()
+
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.Barriers++
+}
+
+// Lock acquires the cluster-wide lock with the given id (FIFO at host 0)
+// and applies the write notices piggybacked on the grant: only minipages
+// with a causally newer write are invalidated, everything else this host
+// holds stays mapped.
+func (t *MWThread) Lock(id int) {
+	h := t.host
+	p := t.Proc()
+	start := p.Now()
+	fw := t.WaitSlot()
+	h.Send(p, 0, &mwmsg{Type: mwLockReq, From: h.ID(), LockID: id, FW: fw, VC: h.vcSnapshot()})
+	t.Block(fw)
+	p.Sleep(h.Costs().ThreadWake)
+	t.acquire()
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.LockOps++
+}
+
+// Unlock closes the interval (release, with diffs flushed and acked
+// before the lock moves on) and hands the lock back with the interval's
+// write notice for the coordinator's log.
+func (t *MWThread) Unlock(id int) {
+	h := t.host
+	p := t.Proc()
+	start := p.Now()
+	notice := t.release()
+	h.Send(p, 0, &mwmsg{Type: mwUnlock, From: h.ID(), LockID: id, Notice: notice})
+	t.Stats.SynchTime += p.Now().Sub(start)
+	t.Stats.LockOps++
+}
+
+// logNotice stamps and appends a release's write notice at the
+// coordinator (host 0 only).
+func (s *MWSystem) logNotice(n *mwNotice) {
+	s.vtctr++
+	s.Stats.Notices++
+	s.log = append(s.log, mwCNotice{mwNotice: *n, VTSum: s.vtctr})
+}
+
+// grantLock sends m's requester the lock plus every logged notice newer
+// than the requester's vector clock.
+func (s *MWSystem) grantLock(p *sim.Proc, h *MWHost, m *mwmsg) {
+	var unseen []mwCNotice
+	for _, n := range s.log {
+		if n.Seq > m.VC[n.Creator] {
+			unseen = append(unseen, n)
+		}
+	}
+	h.Send(p, m.From, &mwmsg{Type: mwLockGrant, LockID: m.LockID, Notices: unseen, FW: m.FW})
+}
+
+// HandleMessage is the multi-writer server-thread dispatcher.
+func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
+	m := fm.Payload.(*mwmsg)
+	s := h.sys
+	c := h.Costs()
+	switch m.Type {
+	case mwAllocReq:
+		p.Sleep(c.MallocBase)
+		info, va, home := s.allocLocal(m.From, m.AllocSize)
+		reply := *m
+		reply.Type = mwAllocReply
+		reply.Info = info
+		reply.AllocVA = va
+		reply.Home = home
+		h.Send(p, m.From, &reply)
+
+	case mwAllocReply:
+		m.FW.Info = m.Info
+		m.FW.VA = m.AllocVA
+		m.FW.Home = m.Home
+		m.FW.Ev.Set()
+
+	case mwFetchReq:
+		data, err := h.Region.ReadPriv(m.Info.Base, m.Info.Size)
+		if err != nil {
+			panic(err)
+		}
+		reply := *m
+		reply.Type = mwFetchReply
+		h.Send(p, m.From, &reply)
+		h.SendData(p, m.From, data, mwDataMarker)
+
+	case mwFetchReply:
+		h.pendingHdr[fm.From] = m
+
+	case mwFetchData:
+		hdr, ok := h.pendingHdr[fm.From]
+		if !ok {
+			panic("lrc-mw: data without header")
+		}
+		delete(h.pendingHdr, fm.From)
+		if err := h.Region.WritePriv(hdr.Info.Base, fm.Data); err != nil {
+			panic(err)
+		}
+		p.Sleep(c.SetProt)
+		if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, vm.ReadOnly); err != nil {
+			panic(err)
+		}
+		hdr.FW.Info = hdr.Info
+		hdr.FW.Ev.Set()
+
+	case mwDiffFlush:
+		runs, err := twindiff.Decode(m.Diff)
+		if err != nil {
+			panic(err)
+		}
+		cur, err := h.Region.ReadPriv(m.Info.Base, m.Info.Size)
+		if err != nil {
+			panic(err)
+		}
+		if err := twindiff.Apply(cur, runs); err != nil {
+			panic(err)
+		}
+		if err := h.Region.WritePriv(m.Info.Base, cur); err != nil {
+			panic(err)
+		}
+		if twin, dirty := h.twins[m.Info.ID]; dirty {
+			// The home is itself mid-interval on this minipage: patch the
+			// twin too, so the home's own diff stays writes-only.
+			if err := twindiff.Apply(twin, runs); err != nil {
+				panic(err)
+			}
+		}
+		p.Sleep(twindiff.ApplyCost(len(m.Diff)))
+		h.Send(p, m.From, &mwmsg{Type: mwDiffAck, From: h.ID(), Info: m.Info})
+
+	case mwDiffAck:
+		if h.flushAwait--; h.flushAwait == 0 {
+			h.flushDone.Set()
+		}
+
+	case mwDiffReq:
+		reply := &mwmsg{Type: mwDiffReply, From: h.ID(), MP: m.MP, FW: m.FW}
+		size := c.HeaderSize
+		for _, seq := range m.Seqs {
+			if seq <= h.ivalBase {
+				reply.DiffsOut = append(reply.DiffsOut, mwDiffOut{Seq: seq, Purged: true})
+				continue
+			}
+			iv := h.ivals[seq-h.ivalBase-1]
+			enc, ok := iv.diffs[m.MP]
+			if !ok {
+				panic(fmt.Sprintf("lrc-mw: interval %d at host %d has no diff for noticed minipage %d", seq, h.ID(), m.MP))
+			}
+			reply.DiffsOut = append(reply.DiffsOut, mwDiffOut{Seq: seq, Enc: enc})
+			size += len(enc)
+		}
+		h.SendSized(p, m.From, reply, size)
+
+	case mwDiffReply:
+		h.diffReply = m
+		m.FW.Ev.Set()
+
+	case mwBarrierArrive:
+		if h.ID() != 0 {
+			panic("lrc-mw: barrier arrive at non-coordinator")
+		}
+		if m.Notice != nil {
+			s.logNotice(m.Notice)
+		}
+		arrivals, done := s.barrier.Arrive(m, len(s.hosts))
+		if !done {
+			return
+		}
+		s.Stats.Barriers++
+		maxvc := make([]uint64, len(s.hosts))
+		for _, a := range arrivals {
+			for i, v := range a.VC {
+				if v > maxvc[i] {
+					maxvc[i] = v
+				}
+			}
+		}
+		for _, n := range s.log {
+			if n.Seq > maxvc[n.Creator] {
+				maxvc[n.Creator] = n.Seq
+			}
+		}
+		for _, a := range arrivals {
+			var unseen []mwCNotice
+			for _, n := range s.log {
+				if n.Seq > a.VC[n.Creator] {
+					unseen = append(unseen, n)
+				}
+			}
+			rel := &mwmsg{Type: mwBarrierRelease, Notices: unseen, MaxVC: maxvc, FW: a.FW}
+			h.Send(p, a.From, rel)
+		}
+		// Every host's clock now converges to maxvc, so nothing in the log
+		// can ever be granted again: clear it.
+		s.log = s.log[:0]
+
+	case mwBarrierRelease:
+		h.acqNotices = m.Notices
+		h.acqMaxVC = m.MaxVC
+		m.FW.Ev.Set()
+
+	case mwLockReq:
+		if h.ID() != 0 {
+			panic("lrc-mw: lock request at non-coordinator")
+		}
+		if !s.locks.Acquire(m.LockID, m) {
+			return
+		}
+		s.grantLock(p, h, m)
+
+	case mwLockGrant:
+		h.acqNotices = m.Notices
+		h.acqMaxVC = nil
+		m.FW.Ev.Set()
+
+	case mwUnlock:
+		if h.ID() != 0 {
+			panic("lrc-mw: unlock at non-coordinator")
+		}
+		if m.Notice != nil {
+			s.logNotice(m.Notice)
+		}
+		next, granted, wasHeld := s.locks.Release(m.LockID)
+		if !wasHeld {
+			panic(fmt.Sprintf("lrc-mw: unlock of free lock %d", m.LockID))
+		}
+		if granted {
+			s.grantLock(p, h, next)
+		}
+
+	default:
+		panic(fmt.Sprintf("lrc-mw: unexpected message %d", int(m.Type)))
+	}
+}

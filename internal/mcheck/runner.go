@@ -28,8 +28,8 @@ const Watchdog = 120 * sim.Second
 
 // Options configures one exploration campaign.
 type Options struct {
-	Protocol string // "millipage", "ivy", or "lrc"
-	Workload string // a Workloads key: "swmr", "mp", "dekker", "drf", "drf-nolock"
+	Protocol string // "millipage", "ivy", "lrc", or "lrc-mw"
+	Workload string // a Workloads key: "swmr", "mp", "dekker", "drf", "merge", "drf-nolock"
 	Faults   string // a fault preset name (FaultPresets), or "" for a clean network
 	Hosts    int    // 0 = the workload's default
 	Seed     int64  // system seed: engine rng and fault plan
@@ -111,6 +111,14 @@ func buildSystem(protocol string, hosts int, seed int64, plan *faultnet.Plan) (*
 		}
 		return sys.Runtime(), func(body func(cluster.AppThread)) error {
 			return sys.Run(func(t *lrc.Thread) { body(t) })
+		}, nil
+	case "lrc-mw":
+		sys, err := lrc.NewMW(lrc.Options{Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: seed, Faults: plan})
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys.Runtime(), func(body func(cluster.AppThread)) error {
+			return sys.Run(func(t *lrc.MWThread) { body(t) })
 		}, nil
 	default:
 		return nil, nil, fmt.Errorf("mcheck: unknown protocol %q", protocol)

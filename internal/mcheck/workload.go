@@ -57,6 +57,14 @@ var workloads = map[string]workloadSpec{
 		wl := &check.DRF{Hosts: hosts, Rounds: 2, LockReps: 2}
 		return workloadRun{hosts: hosts, body: func(rt *cluster.Runtime, w cluster.AppThread) { wl.Body(w) }, err: wl.Err}
 	}},
+	// merge: the multiple-writer agreement program — every host writes
+	// its own word of one shared minipage each round. DRF, so runnable
+	// under every protocol; under lrc-mw it exercises twin/diff merging
+	// of concurrent intervals directly.
+	"merge": {defaultHosts: 3, build: func(hosts int, seed int64) workloadRun {
+		wl := &check.ConcurrentMerge{Hosts: hosts, Rounds: 2}
+		return workloadRun{hosts: hosts, body: func(rt *cluster.Runtime, w cluster.AppThread) { wl.Body(w) }, err: wl.Err}
+	}},
 	// drf-nolock: the intentionally injected bug — the accumulator
 	// update races because the lock is skipped. Exploration must catch
 	// the lost update; used by self-tests and demos, never by CI gates
@@ -84,8 +92,8 @@ func buildWorkload(o *Options) (workloadRun, error) {
 	if !ok {
 		return workloadRun{}, fmt.Errorf("mcheck: unknown workload %q (have %v)", o.Workload, WorkloadNames())
 	}
-	if spec.sc && o.Protocol == "lrc" {
-		return workloadRun{}, fmt.Errorf("mcheck: workload %q needs sequential consistency; lrc guarantees DRF programs only", o.Workload)
+	if spec.sc && (o.Protocol == "lrc" || o.Protocol == "lrc-mw") {
+		return workloadRun{}, fmt.Errorf("mcheck: workload %q needs sequential consistency; %s guarantees DRF programs only", o.Workload, o.Protocol)
 	}
 	if o.Hosts == 0 {
 		o.Hosts = spec.defaultHosts

@@ -76,23 +76,49 @@ func Apply(page []byte, runs []Run) error {
 // ErrCorrupt reports a malformed encoded diff.
 var ErrCorrupt = errors.New("twindiff: corrupt encoding")
 
+// maxField is the largest offset or run length the (uint16, uint16)
+// record header can carry. Pages in this system are at most 4 KiB, so a
+// well-formed diff never comes near it; hitting it means the caller
+// diffed something that is not a page.
+const maxField = 1<<16 - 1
+
 // Encode serializes runs into the wire format: a sequence of
-// (offset uint16, length uint16, data) records.
-func Encode(runs []Run) []byte {
-	var out []byte
+// (offset uint16, length uint16, data) records. Runs must be canonical —
+// sorted by offset, non-overlapping, non-empty, as Diff produces — and
+// must fit the 16-bit header fields; Encode returns an error rather than
+// silently truncating an offset or length past 64 KiB.
+func Encode(runs []Run) ([]byte, error) {
+	out := make([]byte, 0, Size(runs))
 	var hdr [4]byte
-	for _, r := range runs {
+	end := 0
+	for i, r := range runs {
+		if r.Off < 0 || r.Off > maxField {
+			return nil, fmt.Errorf("twindiff: run %d offset %d outside uint16 range", i, r.Off)
+		}
+		if len(r.Data) == 0 || len(r.Data) > maxField {
+			return nil, fmt.Errorf("twindiff: run %d length %d outside [1,%d]", i, len(r.Data), maxField)
+		}
+		if r.Off < end {
+			return nil, fmt.Errorf("twindiff: run %d at offset %d overlaps previous run ending at %d", i, r.Off, end)
+		}
+		end = r.Off + len(r.Data)
 		binary.LittleEndian.PutUint16(hdr[0:2], uint16(r.Off))
 		binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(r.Data)))
 		out = append(out, hdr[:]...)
 		out = append(out, r.Data...)
 	}
-	return out
+	return out, nil
 }
 
-// Decode parses the wire format back into runs.
+// Decode parses the wire format back into runs. Only the canonical
+// encoding is accepted: non-empty runs, sorted by offset, without
+// overlap — exactly what Diff produces and Encode emits. Anything else
+// (including a frame whose arbitrary-order patches would make Apply
+// last-writer-wins dependent) fails with ErrCorrupt rather than
+// half-applying.
 func Decode(enc []byte) ([]Run, error) {
 	var runs []Run
+	end := 0
 	for len(enc) > 0 {
 		if len(enc) < 4 {
 			return nil, ErrCorrupt
@@ -100,9 +126,13 @@ func Decode(enc []byte) ([]Run, error) {
 		off := int(binary.LittleEndian.Uint16(enc[0:2]))
 		n := int(binary.LittleEndian.Uint16(enc[2:4]))
 		enc = enc[4:]
-		if n > len(enc) {
+		if n == 0 || n > len(enc) {
 			return nil, ErrCorrupt
 		}
+		if off < end {
+			return nil, ErrCorrupt
+		}
+		end = off + n
 		runs = append(runs, Run{Off: off, Data: append([]byte(nil), enc[:n]...)})
 		enc = enc[n:]
 	}

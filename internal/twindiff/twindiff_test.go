@@ -67,7 +67,11 @@ func TestLengthMismatch(t *testing.T) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	runs := []Run{{Off: 3, Data: []byte{1, 2, 3}}, {Off: 4000, Data: []byte{9}}}
-	dec, err := Decode(Encode(runs))
+	enc, err := Encode(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,12 +83,63 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEncodeRejectsOverflow(t *testing.T) {
+	cases := []struct {
+		name string
+		runs []Run
+	}{
+		{"offset past uint16", []Run{{Off: 1 << 16, Data: []byte{1}}}},
+		{"negative offset", []Run{{Off: -1, Data: []byte{1}}}},
+		{"length past uint16", []Run{{Off: 0, Data: make([]byte, 1<<16)}}},
+		{"empty run", []Run{{Off: 0, Data: nil}}},
+		{"unsorted", []Run{{Off: 10, Data: []byte{1}}, {Off: 0, Data: []byte{2}}}},
+		{"overlapping", []Run{{Off: 0, Data: []byte{1, 2, 3}}, {Off: 2, Data: []byte{4}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Encode(tc.runs); err == nil {
+			t.Errorf("%s: Encode(%+v) succeeded, want error", tc.name, tc.runs)
+		}
+	}
+	// The boundary itself is fine: offset 65535 with one byte.
+	enc, err := Encode([]Run{{Off: maxField, Data: []byte{7}}})
+	if err != nil {
+		t.Fatalf("boundary run rejected: %v", err)
+	}
+	dec, err := Decode(enc)
+	if err != nil || len(dec) != 1 || dec[0].Off != maxField {
+		t.Fatalf("boundary roundtrip: %+v, %v", dec, err)
+	}
+}
+
 func TestDecodeCorrupt(t *testing.T) {
 	if _, err := Decode([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short header accepted")
 	}
 	if _, err := Decode([]byte{0, 0, 255, 0, 1}); err == nil {
 		t.Fatal("truncated data accepted")
+	}
+	// Zero-length run: Diff never produces one, so it is corruption.
+	if _, err := Decode([]byte{5, 0, 0, 0}); err == nil {
+		t.Fatal("empty run accepted")
+	}
+	// Unsorted: second run starts before the first ends.
+	mustEnc := func(runs []Run) []byte {
+		t.Helper()
+		enc, err := Encode(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	a := mustEnc([]Run{{Off: 100, Data: []byte{1, 2}}})
+	b := mustEnc([]Run{{Off: 0, Data: []byte{3}}})
+	if _, err := Decode(append(a, b...)); err == nil {
+		t.Fatal("unsorted runs accepted")
+	}
+	// Overlapping: second run begins inside the first.
+	c := mustEnc([]Run{{Off: 101, Data: []byte{9}}})
+	if _, err := Decode(append(append([]byte(nil), a...), c...)); err == nil {
+		t.Fatal("overlapping runs accepted")
 	}
 }
 
@@ -110,7 +165,11 @@ func TestDiffApplyProperty(t *testing.T) {
 			return false
 		}
 		// Wire roundtrip included.
-		dec, err := Decode(Encode(runs))
+		enc, err := Encode(runs)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
 		if err != nil {
 			return false
 		}

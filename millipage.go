@@ -79,6 +79,13 @@ type Config struct {
 	//	        acquires and barriers. Programs must be data-race-free
 	//	        (synchronize through Barrier/Lock, never by spinning on
 	//	        shared memory).
+	//	"lrc-mw"    — true multiple-writer LRC (internal/lrc): per-host
+	//	        vector timestamps partition execution into intervals,
+	//	        write notices piggyback on lock grants and barrier
+	//	        releases, and an acquire invalidates only minipages with
+	//	        a causally newer write — the diffs are fetched lazily
+	//	        from the writers on the next fault. Same DRF contract as
+	//	        "lrc".
 	//
 	// All protocols run the same Worker API on the same simulated
 	// substrate, so apps and benchmarks sweep protocols by changing only
@@ -143,9 +150,10 @@ type Config struct {
 // configured protocol.
 type Cluster struct {
 	protocol string
-	mp       *dsm.System // Protocol "millipage"
-	ivySys   *ivy.System // Protocol "ivy"
-	lrcSys   *lrc.System // Protocol "lrc"
+	mp       *dsm.System    // Protocol "millipage"
+	ivySys   *ivy.System    // Protocol "ivy"
+	lrcSys   *lrc.System    // Protocol "lrc"
+	mwSys    *lrc.MWSystem  // Protocol "lrc-mw"
 	ran      bool
 }
 
@@ -226,13 +234,30 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		return &Cluster{protocol: proto, lrcSys: sys}, nil
+	case "lrc-mw":
+		if cfg.ThreadsPerHost > 1 {
+			return nil, fmt.Errorf("millipage: protocol %q runs one thread per host", proto)
+		}
+		sys, err := lrc.NewMW(lrc.Options{
+			Hosts:      cfg.Hosts,
+			SharedSize: cfg.SharedMemory,
+			Views:      cfg.Views,
+			ChunkLevel: cfg.ChunkLevel,
+			Seed:       cfg.Seed,
+			Net:        cfg.netParams(),
+			Faults:     cfg.Faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Cluster{protocol: proto, mwSys: sys}, nil
 	default:
-		return nil, fmt.Errorf("millipage: unknown protocol %q (want millipage, ivy or lrc)", cfg.Protocol)
+		return nil, fmt.Errorf("millipage: unknown protocol %q (want millipage, ivy, lrc or lrc-mw)", cfg.Protocol)
 	}
 }
 
-// Protocol returns the protocol this cluster runs ("millipage", "ivy" or
-// "lrc").
+// Protocol returns the protocol this cluster runs ("millipage", "ivy",
+// "lrc" or "lrc-mw").
 func (c *Cluster) Protocol() string { return c.protocol }
 
 // runtime returns the protocol-independent cluster substrate, the basis
@@ -243,6 +268,8 @@ func (c *Cluster) runtime() *cluster.Runtime {
 		return c.mp.Runtime()
 	case c.ivySys != nil:
 		return c.ivySys.Runtime()
+	case c.mwSys != nil:
+		return c.mwSys.Runtime()
 	default:
 		return c.lrcSys.Runtime()
 	}
@@ -264,6 +291,10 @@ func (c *Cluster) Run(body func(w *Worker)) (*Report, error) {
 		})
 	case c.ivySys != nil:
 		err = c.ivySys.Run(func(t *ivy.Thread) {
+			body(&Worker{t: t})
+		})
+	case c.mwSys != nil:
+		err = c.mwSys.Run(func(t *lrc.MWThread) {
 			body(&Worker{t: t})
 		})
 	default:

@@ -167,6 +167,14 @@ func (c *Cluster) report() *Report {
 		r.CompetingRequests = c.ivySys.Stats.Competing
 		r.Barriers = c.ivySys.BarrierEpisodes()
 		r.LockAcquisitions = c.ivySys.LockAcquisitions()
+	case c.mwSys != nil:
+		r.Invalidations = c.mwSys.Stats.Invalidations
+		r.Barriers = c.mwSys.BarrierEpisodes()
+		r.LockAcquisitions = c.mwSys.LockAcquisitions()
+		mpt := c.mwSys.MPT()
+		r.Minipages = mpt.NumMinipages()
+		r.ViewsUsed = mpt.ViewsUsed()
+		r.SharedUsed = mpt.BytesAllocated()
 	default:
 		r.Barriers = c.lrcSys.BarrierEpisodes()
 		r.LockAcquisitions = c.lrcSys.LockAcquisitions()
