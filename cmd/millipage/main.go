@@ -40,14 +40,14 @@ import (
 func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
-	workers := flag.Int("workers", bench.Workers, "parallel replica-sweep width (1 = sequential)")
+	workers := flag.Int("workers", bench.Workers(), "parallel replica-sweep width (1 = sequential)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	bench.Workers = *workers
+	bench.SetWorkers(*workers)
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
 	if *cpuprofile != "" {

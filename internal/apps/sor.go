@@ -143,18 +143,26 @@ func band(rows, n, t int) (lo, hi int) {
 // sorUpdateRow computes one relaxation step for a row from its vertical
 // neighbors (the 64-column rows make horizontal terms intra-row).
 func sorUpdateRow(up, cur, down, out []byte) {
-	f := func(b []byte, c int) float32 {
+	// The center row rides in a rolling three-element window (prev, curv,
+	// next), so every element of every row is decoded exactly once — the
+	// naive form re-decodes cur twice per column through the clamped
+	// left/right terms. The summation keeps the original operand order,
+	// so results are bit-identical.
+	g := func(b []byte, c int) float32 {
 		return math.Float32frombits(binary.LittleEndian.Uint32(b[4*c:]))
 	}
+	prev := g(cur, 0) // left term clamps to column 0 at the edge
+	curv := prev
 	for c := 0; c < sorCols; c++ {
-		left, right := c-1, c+1
-		if left < 0 {
-			left = c
+		var next float32
+		if c+1 < sorCols {
+			next = g(cur, c+1)
+		} else {
+			next = curv // right term clamps to the last column
 		}
-		if right >= sorCols {
-			right = c
-		}
-		v := 0.25 * (f(up, c) + f(down, c) + f(cur, left) + f(cur, right))
+		v := 0.25 * (g(up, c) + g(down, c) + prev + next)
 		binary.LittleEndian.PutUint32(out[4*c:], math.Float32bits(v))
+		prev = curv
+		curv = next
 	}
 }

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestMsgHopAllocFree pins the clean message path's steady state: with
+// pooled envelopes and tracing off, a full one-hop send/deliver/handle
+// cycle performs zero heap allocations per message. It reuses the
+// perfbench workload so the regression test and the recorded benchmark
+// measure exactly the same path.
+func TestMsgHopAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	r := testing.Benchmark(benchMsgHop)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("message hop allocates %d objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestE2ESOR8AllocsRegression is the allocation gate on the end-to-end
+// acceptance workload: it reads the E2ESOR8 allocs/op pinned in
+// BENCH_sim.json at the repo root and fails if the current simulator
+// exceeds twice that value. Allocation counts are deterministic enough
+// for a 2x fence (unlike wall-clock time, which shared CI boxes make
+// unpinnable), so this catches a pooling regression — a leaked fast
+// path, a pool gated off, per-message garbage reintroduced — before it
+// shows up as a slow simulator.
+func TestE2ESOR8AllocsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	blob, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Skipf("no pinned report: %v", err)
+	}
+	var report struct {
+		Benchmarks []PerfPoint `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_sim.json: %v", err)
+	}
+	var pinned int64
+	for _, p := range report.Benchmarks {
+		if p.Name == "E2ESOR8" {
+			pinned = p.AllocsPerOp
+		}
+	}
+	if pinned <= 0 {
+		t.Fatal("BENCH_sim.json has no E2ESOR8 allocs/op pin")
+	}
+	r := testing.Benchmark(benchE2ESOR8)
+	if got := r.AllocsPerOp(); got > 2*pinned {
+		t.Fatalf("E2ESOR8 allocates %d objects/op, more than 2x the pinned %d", got, pinned)
+	}
+}

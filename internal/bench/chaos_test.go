@@ -58,12 +58,12 @@ func TestChaosCleanPlanStaysClean(t *testing.T) {
 // ivy and lrc protocol paths: the grid must produce identical points and
 // identical progress bytes whether it runs sequentially or Workers-wide.
 func TestFigure6SweepIvyLrc(t *testing.T) {
-	saved := Workers
-	defer func() { Workers = saved }()
+	saved := Workers()
+	defer SetWorkers(saved)
 
 	for _, proto := range []string{"ivy", "lrc"} {
 		run := func(workers int) ([]AppRun, string) {
-			Workers = workers
+			SetWorkers(workers)
 			var progress bytes.Buffer
 			cfg := Figure6Config{Protocol: proto, Hosts: []int{1, 2}, Scale: 0.05, Seed: 3, Only: "SOR"}
 			runs, err := Figure6(cfg, &progress)
@@ -95,12 +95,12 @@ func TestFigure6SweepIvyLrc(t *testing.T) {
 // sequentially and in parallel: the rendered comparison must be
 // byte-identical.
 func TestManagerLoadSweepParallelDeterminism(t *testing.T) {
-	saved := Workers
-	defer func() { Workers = saved }()
+	saved := Workers()
+	defer SetWorkers(saved)
 
 	cfg := ManagerLoadConfig{Hosts: 4, Vars: 16, Rounds: 2, Seed: 5}
 	run := func(workers int) string {
-		Workers = workers
+		SetWorkers(workers)
 		var buf bytes.Buffer
 		if err := ManagerLoadCompare(&buf, cfg); err != nil {
 			t.Fatal(err)

@@ -77,12 +77,11 @@ func TestGoldenWATER(t *testing.T) {
 	}
 }
 
-// TestGoldenTraceDigest drives a three-host HomeBased run with tracing on
-// and hashes the rendered dump. The digest pins down both the protocol's
-// virtual-time behaviour and the trace text itself, so it proves the lazy
-// renderer reproduces the historical eager format byte for byte.
-func TestGoldenTraceDigest(t *testing.T) {
-	rec := trace.NewRecorder(1 << 16)
+// tracedRun executes the fixed three-host HomeBased workload with rec
+// attached and returns the run's elapsed virtual time plus the rendered
+// trace dump.
+func tracedRun(t *testing.T, rec *trace.Recorder) (elapsed int64, dump string) {
+	t.Helper()
 	s, err := dsm.New(dsm.Options{Hosts: 3, SharedSize: 1 << 16, Views: 4, Seed: 9,
 		Management: dsm.HomeBased, Trace: rec})
 	if err != nil {
@@ -113,18 +112,46 @@ func TestGoldenTraceDigest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var buf bytes.Buffer
+	rec.Dump(&buf)
+	return int64(s.Elapsed()), buf.String()
+}
+
+// TestGoldenTraceDigest drives a three-host HomeBased run with tracing on
+// and hashes the rendered dump. The digest pins down both the protocol's
+// virtual-time behaviour and the trace text itself, so it proves the lazy
+// renderer reproduces the historical eager format byte for byte.
+func TestGoldenTraceDigest(t *testing.T) {
+	rec := trace.NewRecorder(1 << 16)
+	elapsed, dump := tracedRun(t, rec)
 	if rec.Total() != 615 {
 		t.Errorf("trace total = %d, want 615", rec.Total())
 	}
-	if int64(s.Elapsed()) != 4813760 {
-		t.Errorf("elapsed = %d, want 4813760", int64(s.Elapsed()))
+	if elapsed != 4813760 {
+		t.Errorf("elapsed = %d, want 4813760", elapsed)
 	}
-	var buf bytes.Buffer
-	rec.Dump(&buf)
 	h := fnv.New64a()
-	h.Write(buf.Bytes())
+	h.Write([]byte(dump))
 	if got := h.Sum64(); got != 0x9f5c539ef8a29fe9 {
 		t.Errorf("trace dump digest = %#x, want 0x9f5c539ef8a29fe9", got)
+	}
+}
+
+// TestTraceDoubleRunDeterminism runs the traced workload twice — the
+// second time on the same recorder, recycled with Reset — and demands
+// identical elapsed times and byte-identical dumps. A divergence means a
+// pooled trace buffer or protocol scratch structure leaked state from the
+// first run into the second.
+func TestTraceDoubleRunDeterminism(t *testing.T) {
+	rec := trace.NewRecorder(1 << 16)
+	e1, d1 := tracedRun(t, rec)
+	rec.Reset()
+	e2, d2 := tracedRun(t, rec)
+	if e1 != e2 {
+		t.Errorf("elapsed diverged across runs: %d then %d", e1, e2)
+	}
+	if d1 != d2 {
+		t.Errorf("trace dump diverged across runs (%d vs %d bytes)", len(d1), len(d2))
 	}
 }
 
@@ -133,11 +160,11 @@ func TestGoldenTraceDigest(t *testing.T) {
 // requires identical results and identical progress bytes. GOMAXPROCS
 // does not matter: parallel sweeps must only reorder wall-clock work.
 func TestSweepParallelMatchesSequential(t *testing.T) {
-	saved := Workers
-	defer func() { Workers = saved }()
+	saved := Workers()
+	defer SetWorkers(saved)
 
 	run := func(workers int) ([]Figure7Point, string) {
-		Workers = workers
+		SetWorkers(workers)
 		var progress bytes.Buffer
 		cfg := Figure7Config{Hosts: []int{2, 3}, Levels: []int{1, 2}, Scale: 0.05, Seed: 5, Repeats: 2}
 		pts, err := Figure7(cfg, &progress)
@@ -165,9 +192,9 @@ func TestSweepParallelMatchesSequential(t *testing.T) {
 // TestSweepErrorPropagates exercises the sweep helper's error path on the
 // parallel branch: every job runs, the lowest-index error surfaces.
 func TestSweepErrorPropagates(t *testing.T) {
-	saved := Workers
-	defer func() { Workers = saved }()
-	Workers = 3
+	saved := Workers()
+	defer SetWorkers(saved)
+	SetWorkers(3)
 
 	ran := make([]bool, 7)
 	_, err := sweep(len(ran), func(i int) (int, error) {

@@ -6,13 +6,32 @@ import (
 	"sync/atomic"
 )
 
-// Workers is the number of goroutines replica sweeps fan out over.
+// workers is the number of goroutines replica sweeps fan out over.
 // Every simulated run builds its own Engine, Network and System and the
 // simulator packages keep no mutable package-level state, so runs are
 // independent and their virtual-time results are identical whatever the
 // parallelism — sweeps only reorder wall-clock work, never outcomes.
 // Tests pin it to 1 and to >1 to prove exactly that.
-var Workers = runtime.GOMAXPROCS(0)
+//
+// It is an atomic rather than a plain var: sweeps read it from worker
+// launch code while tests and the CLI write it, and a plain int there is
+// a data race the moment a caller adjusts the width with a sweep in
+// flight (the bench package runs under -race in CI to keep it that way).
+var workers atomic.Int64
+
+func init() { workers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// Workers reports the current replica-sweep width.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the replica-sweep width (1 = sequential) and returns
+// the previous value so callers can restore it.
+func SetWorkers(n int) (prev int) {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int64(n)))
+}
 
 // sweep runs job(0..n-1) across min(Workers, n) goroutines and returns
 // the results in index order. All jobs run to completion even when one
@@ -20,7 +39,7 @@ var Workers = runtime.GOMAXPROCS(0)
 func sweep[T any](n int, job func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	w := Workers
+	w := Workers()
 	if w > n {
 		w = n
 	}

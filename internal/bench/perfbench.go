@@ -21,10 +21,14 @@ import (
 // map-based page tables) taken on the same workloads; the runner reports
 // current numbers next to them so regressions are visible at a glance.
 
-// PerfBaseline is a frozen pre-optimization measurement.
+// PerfBaseline is a frozen pre-optimization measurement. BytesPerOp was
+// not recorded by the original pre-optimization runs; its baselines were
+// captured at the pooled-envelope pin (the commit before the alloc-free
+// protocol rework), so the bytes column measures that rework alone.
 type PerfBaseline struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // PerfPoint is one measured simulator benchmark with its baseline.
@@ -45,13 +49,15 @@ var perfSuite = []struct {
 	baseline PerfBaseline
 	run      func(b *testing.B)
 }{
-	{"EventDispatch", PerfBaseline{88.31, 2}, benchEventDispatch},
-	{"ProcessSwitch", PerfBaseline{575.0, 3}, benchProcessSwitch},
-	{"MsgHop", PerfBaseline{2387, 18}, benchMsgHop},
-	{"MsgHopReliable", PerfBaseline{2387, 18}, benchMsgHopReliable},
-	{"E2ESOR8", PerfBaseline{114463687, 455085}, benchE2ESOR8},
-	{"E2EFalseShareMW", PerfBaseline{5552905, 968}, benchE2EFalseShareMW},
-	{"E2EWATER8MW", PerfBaseline{34954527, 11433}, benchE2EWATER8MW},
+	{"EventDispatch", PerfBaseline{88.31, 2, 0}, benchEventDispatch},
+	{"ProcessSwitch", PerfBaseline{575.0, 3, 0}, benchProcessSwitch},
+	{"MsgHop", PerfBaseline{2387, 18, 0}, benchMsgHop},
+	{"MsgHopReliable", PerfBaseline{2517.5, 0, 44}, benchMsgHopReliable},
+	{"E2ESOR8", PerfBaseline{114463687, 455085, 24604741}, benchE2ESOR8},
+	{"E2ESOR16", PerfBaseline{70414522, 28140, 46085881}, benchE2ESOR16},
+	{"E2ESOR32", PerfBaseline{86816046, 33629, 88812270}, benchE2ESOR32},
+	{"E2EFalseShareMW", PerfBaseline{5552905, 968, 12191948}, benchE2EFalseShareMW},
+	{"E2EWATER8MW", PerfBaseline{34954527, 11433, 28237266}, benchE2EWATER8MW},
 }
 
 // benchEventDispatch: schedule-and-fire throughput of the engine calendar.
@@ -120,8 +126,10 @@ func benchMsgHop(b *testing.B) {
 // armed but no fault ever firing — the plan's only entry is a partition
 // window in the far future, so Enabled() holds and every frame pays for
 // sequence numbers, cumulative acks and retransmit-timer bookkeeping.
-// The baseline is MsgHop's, so the recorded speedup/allocs quantify what
-// arming fault injection costs relative to the clean pooled path.
+// Re-pinned after the pooled-envelope work: the baseline is now its own
+// armed-path measurement at that pin (2517.5 ns, 0 allocs, 44 B), so
+// speedup reads as drift of the armed path itself rather than its cost
+// relative to MsgHop (compare the two rows directly for that).
 func benchMsgHopReliable(b *testing.B) {
 	eng := sim.NewEngine(1)
 	nw := fastmsg.New(eng, 2, fastmsg.DefaultParams())
@@ -157,6 +165,27 @@ func benchMsgHopReliable(b *testing.B) {
 func benchE2ESOR8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := apps.RunSOR(apps.Params{Hosts: 8, Scale: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchE2ESOR16 / benchE2ESOR32: the same workload at wider host counts,
+// where per-host protocol state and barrier fan-in dominate. Their
+// baselines were measured at the pooled-envelope pin (these rows did not
+// exist in the pre-optimization simulator), so speedup reads as the gain
+// from the alloc-free protocol rework alone.
+func benchE2ESOR16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.RunSOR(apps.Params{Hosts: 16, Scale: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchE2ESOR32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.RunSOR(apps.Params{Hosts: 32, Scale: 0.1, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -215,11 +244,11 @@ func RunPerfBench() []PerfPoint {
 func WritePerfBench(w io.Writer, path string) error {
 	pts := RunPerfBench()
 	fmt.Fprintln(w, "Simulator wall-clock benchmarks (before = pre-optimization baseline)")
-	fmt.Fprintf(w, "%-15s %14s %14s %8s %13s %13s\n",
-		"benchmark", "before ns/op", "now ns/op", "speedup", "before allocs", "now allocs")
+	fmt.Fprintf(w, "%-15s %14s %14s %8s %13s %13s %13s\n",
+		"benchmark", "before ns/op", "now ns/op", "speedup", "before allocs", "now allocs", "now B/op")
 	for _, p := range pts {
-		fmt.Fprintf(w, "%-15s %14.1f %14.1f %7.2fx %13d %13d\n",
-			p.Name, p.Baseline.NsPerOp, p.NsPerOp, p.Speedup, p.Baseline.AllocsPerOp, p.AllocsPerOp)
+		fmt.Fprintf(w, "%-15s %14.1f %14.1f %7.2fx %13d %13d %13d\n",
+			p.Name, p.Baseline.NsPerOp, p.NsPerOp, p.Speedup, p.Baseline.AllocsPerOp, p.AllocsPerOp, p.BytesPerOp)
 	}
 	if path == "" {
 		return nil

@@ -43,14 +43,17 @@ type BarrierService[T any] struct {
 
 // Arrive records one arrival. When the total-th thread arrives, the
 // episode completes: the generation advances and every arrival is
-// returned for release (done = true).
+// returned for release (done = true). The returned slice aliases the
+// service's backing array, which the next episode reuses — callers must
+// consume it before recording another arrival (every protocol drains it
+// synchronously inside the completing handler).
 func (b *BarrierService[T]) Arrive(m T, total int) (arrivals []T, done bool) {
 	b.arrivals = append(b.arrivals, m)
 	if len(b.arrivals) < total {
 		return nil, false
 	}
 	arrivals = b.arrivals
-	b.arrivals = nil
+	b.arrivals = b.arrivals[:0]
 	b.Gen++
 	b.Episodes++
 	return arrivals, true

@@ -130,6 +130,11 @@ type Region struct {
 // NewRegion creates the host-local memory object and maps all views.
 func NewRegion(l Layout, as *vm.AddressSpace) (*Region, error) {
 	obj := vm.NewMemObject(l.ObjectSize)
+	// Reserve the whole span (view 0 through the privileged view) up
+	// front: mapping n+1 views one at a time would otherwise re-allocate
+	// and copy the dense page table once per view.
+	span := int((l.PrivBase()-l.Base)/vm.PageSize) + l.NumPages
+	as.Reserve(l.Base, span)
 	for i := 0; i < l.NumViews; i++ {
 		if err := as.MapView(l.ViewBase(i), obj, 0, l.NumPages, vm.NoAccess); err != nil {
 			return nil, fmt.Errorf("core: mapping view %d: %w", i, err)
@@ -207,15 +212,24 @@ func (r *Region) WritePriv(base uint64, data []byte) error {
 // privileged view.
 func (r *Region) ReadPriv(base uint64, size int) ([]byte, error) {
 	buf := make([]byte, size)
+	if err := r.ReadPrivInto(base, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadPrivInto copies len(buf) bytes of the minipage at app-view address
+// base into buf via the privileged view — the allocation-free form of
+// ReadPriv for callers with a reusable scratch buffer.
+func (r *Region) ReadPrivInto(base uint64, buf []byte) error {
 	_, off, ok := r.L.Decompose(base)
 	if !ok {
-		return nil, fmt.Errorf("core: %#x is not a view address", base)
+		return fmt.Errorf("core: %#x is not a view address", base)
 	}
 	i := 0
-	err := r.AS.BypassRange(r.L.PrivAddr(off), size, func(chunk []byte) error {
+	return r.AS.BypassRange(r.L.PrivAddr(off), len(buf), func(chunk []byte) error {
 		copy(buf[i:], chunk)
 		i += len(chunk)
 		return nil
 	})
-	return buf, err
 }

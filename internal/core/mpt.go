@@ -93,6 +93,13 @@ type MPT struct {
 	mps    []*Minipage
 	byPage [][]*Minipage // per object page, minipages covering it, sorted by Off
 
+	// Slab arenas: minipage records and byPage slot windows are carved
+	// out of block allocations instead of being allocated one at a time —
+	// workloads allocate tens of thousands of minipages per run and the
+	// per-record allocations dominated the E2E profiles.
+	mpArena  []Minipage  // remaining records in the current slab
+	ptrArena []*Minipage // remaining slot-window space in the current slab
+
 	chunk *openChunk
 
 	maxSlots int // high-water mark of minipages per page = views actually needed
@@ -149,6 +156,39 @@ func (t *MPT) BytesAllocated() int {
 
 // align rounds n up to the allocation alignment.
 func align(n int) int { return (n + allocAlign - 1) &^ (allocAlign - 1) }
+
+// mpSlab is how many minipage records one arena slab holds.
+const mpSlab = 256
+
+// newMinipage carves one record out of the minipage slab arena.
+func (t *MPT) newMinipage() *Minipage {
+	if len(t.mpArena) == 0 {
+		t.mpArena = make([]Minipage, mpSlab)
+	}
+	mp := &t.mpArena[0]
+	t.mpArena = t.mpArena[1:]
+	return mp
+}
+
+// newSlotList carves a byPage slot window with capacity for the layout's
+// view count — the most minipages one page can host — so appends to it
+// never re-allocate.
+func (t *MPT) newSlotList() []*Minipage {
+	w := t.l.NumViews
+	if w < 1 {
+		w = 1
+	}
+	if len(t.ptrArena) < w {
+		n := w * 128
+		if n < 512 {
+			n = 512
+		}
+		t.ptrArena = make([]*Minipage, n)
+	}
+	lst := t.ptrArena[:0:w]
+	t.ptrArena = t.ptrArena[w:]
+	return lst
+}
 
 // Alloc carves a new allocation of size bytes out of the shared region
 // and returns the minipage that manages it together with the VA the
@@ -224,7 +264,8 @@ func (t *MPT) place(asz, reserve int) (*Minipage, error) {
 		t.nextPage = p + nPages
 	}
 
-	mp := &Minipage{ID: len(t.mps), Off: off, Size: asz}
+	mp := t.newMinipage()
+	*mp = Minipage{ID: len(t.mps), Off: off, Size: asz}
 	mp.View = t.slotFor(off, reserve)
 	if mp.View >= t.l.NumViews {
 		return nil, fmt.Errorf("%w: page %d would need view %d of %d",
@@ -269,6 +310,9 @@ func (t *MPT) coverPages(mp *Minipage, off, n int) {
 	for p := first; p <= last; p++ {
 		lst := t.byPage[p]
 		if len(lst) == 0 || lst[len(lst)-1] != mp {
+			if lst == nil {
+				lst = t.newSlotList()
+			}
 			t.byPage[p] = append(lst, mp)
 			t.pages[p].slots++
 			if t.pages[p].slots > t.maxSlots {
@@ -325,8 +369,12 @@ func (t *MPT) allocPageGrain(size int) (*Minipage, uint64, error) {
 	last := (off + asz - 1) / vm.PageSize
 	for q := first; q <= last; q++ {
 		if len(t.byPage[q]) == 0 {
-			mp := &Minipage{ID: len(t.mps), View: 0, Off: q * vm.PageSize, Size: vm.PageSize}
+			mp := t.newMinipage()
+			*mp = Minipage{ID: len(t.mps), View: 0, Off: q * vm.PageSize, Size: vm.PageSize}
 			t.mps = append(t.mps, mp)
+			if t.byPage[q] == nil {
+				t.byPage[q] = t.newSlotList()
+			}
 			t.byPage[q] = append(t.byPage[q], mp)
 			t.pages[q].slots = 1
 			if t.maxSlots == 0 {

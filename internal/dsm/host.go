@@ -41,6 +41,61 @@ type Host struct {
 	Stats HostStats
 }
 
+// allocPM returns a protocol header for a message whose consumer will
+// recycle it. The caller must fully initialize the result (*m = pmsg{...});
+// pooled headers are returned dirty. The freelists are system-wide (the
+// engine is single-threaded, so hosts share safely) and stay empty under
+// fault injection: retries, duplicate drops and late replies can
+// reference a header after its transaction closed, so the faulty path
+// keeps fresh allocations and its existing lifetime rules.
+func (h *Host) allocPM() *pmsg {
+	s := h.sys
+	if n := len(s.freePM); n > 0 && !s.rt.Faulty() {
+		m := s.freePM[n-1]
+		s.freePM = s.freePM[:n-1]
+		return m
+	}
+	return &pmsg{}
+}
+
+// recyclePM returns a fully consumed pooled header to the freelist. Only
+// headers obtained from allocPM may be recycled — never a thread's fault
+// request (those live in the thread's own slot) and never dataMarker.
+func (h *Host) recyclePM(m *pmsg) {
+	if h.sys.rt.Faulty() {
+		return
+	}
+	h.sys.freePM = append(h.sys.freePM, m)
+}
+
+// allocBuf returns a byte buffer of length n for a minipage snapshot
+// that travels on a data message; the receiver recycles it after
+// installing the bytes.
+func (h *Host) allocBuf(n int) []byte {
+	s := h.sys
+	if !s.rt.Faulty() {
+		for i := len(s.freeBuf) - 1; i >= 0; i-- {
+			if cap(s.freeBuf[i]) >= n {
+				b := s.freeBuf[i][:n]
+				s.freeBuf[i] = s.freeBuf[len(s.freeBuf)-1]
+				s.freeBuf = s.freeBuf[:len(s.freeBuf)-1]
+				return b
+			}
+		}
+	}
+	return make([]byte, n)
+}
+
+// recycleBuf returns a delivered snapshot buffer to the freelist. The
+// faulty path keeps buffers live: retransmission can re-ship a frame
+// after first delivery.
+func (h *Host) recycleBuf(b []byte) {
+	if h.sys.rt.Faulty() || cap(b) == 0 {
+		return
+	}
+	h.sys.freeBuf = append(h.sys.freeBuf, b)
+}
+
 type span struct {
 	base uint64
 	size int
@@ -92,10 +147,11 @@ func (h *Host) route(p *sim.Proc, va uint64) (int, core.Info) {
 	return h.sys.homeOf(mp.ID), mp.Info(h.sys.Layout)
 }
 
-// readMinipage snapshots a minipage's bytes through the privileged view.
+// readMinipage snapshots a minipage's bytes through the privileged view
+// into a pooled buffer (recycled by the receiver once installed).
 func (h *Host) readMinipage(info core.Info) []byte {
-	data, err := h.Region.ReadPriv(info.Base, info.Size)
-	if err != nil {
+	data := h.allocBuf(info.Size)
+	if err := h.Region.ReadPrivInto(info.Base, data); err != nil {
 		panic(fmt.Sprintf("dsm: host %d: privileged read of %+v: %v", h.ID(), info, err))
 	}
 	return data
@@ -124,7 +180,18 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 		typ = mWriteReq
 	}
 	home, info := h.route(p, f.Addr)
-	req := &pmsg{Type: typ, From: h.ID(), Addr: f.Addr, Info: info, FW: fw}
+	// A fault transaction never references the request after the faulting
+	// thread wakes (the home forwards a copy and clears pendingWrite before
+	// granting), so on the clean path the request lives in a per-thread
+	// slot. The faulty path allocates fresh: retry copies and dedup can
+	// keep the original reachable past the wake.
+	var req *pmsg
+	if h.sys.rt.Faulty() {
+		req = &pmsg{}
+	} else {
+		req = &t.reqMsg
+	}
+	*req = pmsg{Type: typ, From: h.ID(), Addr: f.Addr, Info: info, FW: fw}
 	if h.sys.rt.Faulty() {
 		// Tag the transaction so the home can deduplicate retries, send,
 		// and block with a backoff timer re-issuing the request — the
@@ -153,8 +220,10 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 
 	// The ack that closes the transaction at the minipage's home. TID/Txn
 	// (zero on the clean path) let the home record the transaction as done.
-	h.Send(p, h.sys.homeOf(fw.Info.ID), &pmsg{Type: mAck, From: h.ID(), Info: fw.Info,
-		Write: f.Kind == vm.Write, TID: t.ID, Txn: fw.Txn})
+	ack := h.allocPM()
+	*ack = pmsg{Type: mAck, From: h.ID(), Info: fw.Info,
+		Write: f.Kind == vm.Write, TID: t.ID, Txn: fw.Txn}
+	h.Send(p, h.sys.homeOf(fw.Info.ID), ack)
 
 	elapsed := p.Now().Sub(start)
 	switch {
@@ -221,10 +290,12 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			}
 		}
 		h.Stats.RequestsServed++
-		reply := *m
+		reply := h.allocPM()
+		*reply = *m
 		reply.Type = mReadReply
-		h.Send(p, m.From, &reply)
+		h.Send(p, m.From, reply)
 		h.SendData(p, m.From, h.readMinipage(m.Info), dataMarker)
+		h.recyclePM(m) // the forwarded request ends here
 
 	case mWriteFwd:
 		// Handle Write Request: invalidate own copy, reply with data. The
@@ -236,10 +307,12 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			panic(err)
 		}
 		h.Stats.RequestsServed++
-		reply := *m
+		reply := h.allocPM()
+		*reply = *m
 		reply.Type = mWriteReply
-		h.Send(p, m.From, &reply)
+		h.Send(p, m.From, reply)
 		h.SendData(p, m.From, h.readMinipage(m.Info), dataMarker)
+		h.recyclePM(m)
 
 	case mInvalidateReq:
 		c := h.Costs()
@@ -249,7 +322,10 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 		h.Stats.Invalidations++
 		// The reply returns to whichever home issued the invalidation.
-		h.Send(p, fm.From, &pmsg{Type: mInvalidateReply, From: h.ID(), Info: m.Info, FW: m.FW})
+		rep := h.allocPM()
+		*rep = pmsg{Type: mInvalidateReply, From: h.ID(), Info: m.Info, FW: m.FW}
+		h.Send(p, fm.From, rep)
+		h.recyclePM(m)
 
 	// ---- Replies back at the requester ------------------------------
 	case mReadReply, mWriteReply, mPushData:
@@ -263,6 +339,8 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 		h.pendingHdr[fm.From] = nil
 		h.installMinipage(p, hdr, fm.Data)
+		h.recyclePM(hdr)
+		h.recycleBuf(fm.Data)
 
 	case mUpgradeGrant:
 		if m.Txn != 0 && m.FW.Txn != m.Txn {
@@ -275,6 +353,7 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 		m.FW.Info = m.Info
 		m.FW.Ev.Set()
+		h.recyclePM(m)
 
 	case mAllocReply:
 		if m.FW.Owner = m.Owner; m.Owner {
@@ -286,9 +365,11 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		m.FW.Info = m.Info
 		m.FW.VA = m.AllocVA
 		m.FW.Ev.Set()
+		h.recyclePM(m)
 
 	case mBarrierRelease, mLockGrant:
 		m.FW.Ev.Set()
+		h.recyclePM(m)
 
 	case mPushOrder:
 		h.servePush(p, m)
@@ -325,11 +406,15 @@ func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
 	switch {
 	case hdr.Type == mPushData:
 		// Pushed replica: ack to the home; nobody is waiting.
-		h.Send(p, home, &pmsg{Type: mPushAck, From: h.ID(), Info: hdr.Info})
+		ack := h.allocPM()
+		*ack = pmsg{Type: mPushAck, From: h.ID(), Info: hdr.Info}
+		h.Send(p, home, ack)
 	case hdr.Prefetch:
 		// Prefetch completion: the server thread closes the transaction.
 		h.clearPrefetchSpan(hdr.Info)
-		h.Send(p, home, &pmsg{Type: mAck, From: h.ID(), Info: hdr.Info, Write: false})
+		ack := h.allocPM()
+		*ack = pmsg{Type: mAck, From: h.ID(), Info: hdr.Info, Write: false}
+		h.Send(p, home, ack)
 		if hdr.FW != nil {
 			hdr.FW.Ev.Set()
 		}
@@ -359,16 +444,19 @@ func (h *Host) servePush(p *sim.Proc, m *pmsg) {
 		}
 	}
 	h.Stats.PushesServed++
-	data := h.readMinipage(m.Info)
 	for i := 0; i < h.sys.NumHosts(); i++ {
 		if i == h.ID() {
 			continue
 		}
-		hdr := *m
+		hdr := h.allocPM()
+		*hdr = *m
 		hdr.Type = mPushData
-		h.Send(p, i, &hdr)
-		h.SendData(p, i, data, dataMarker)
+		h.Send(p, i, hdr)
+		// One snapshot per destination: each buffer is recycled
+		// independently by its receiver's install path.
+		h.SendData(p, i, h.readMinipage(m.Info), dataMarker)
 	}
+	h.recyclePM(m) // the push order ends here
 }
 
 // clearPrefetchSpan removes the in-flight markers satisfied by the

@@ -84,6 +84,10 @@ type manager struct {
 	// DupRequests counts dropped duplicates (chaos-test observability).
 	DupRequests uint64
 
+	// deArena slab-allocates directory entries: one entry per minipage
+	// adds up to tens of thousands of records per run.
+	deArena []dirEntry
+
 	barrier cluster.BarrierService[*pmsg]
 	locks   *cluster.LockService[*pmsg]
 
@@ -135,6 +139,18 @@ func (mg *manager) setEntry(id int, e *dirEntry) {
 		mg.dir = append(mg.dir, nil)
 	}
 	mg.dir[id] = e
+}
+
+// newEntry carves a directory entry out of the shard's slab arena.
+func (mg *manager) newEntry(copyset uint64, owner int) *dirEntry {
+	if len(mg.deArena) == 0 {
+		mg.deArena = make([]dirEntry, 256)
+	}
+	e := &mg.deArena[0]
+	mg.deArena = mg.deArena[1:]
+	e.copyset = copyset
+	e.owner = owner
+	return e
 }
 
 // dropDup reports whether m is a duplicate of a transaction this shard
@@ -239,7 +255,8 @@ func (mg *manager) handleDirInit(p *sim.Proc, m *pmsg) {
 	if mg.entryOrNil(id) != nil {
 		panic(fmt.Sprintf("dsm: duplicate DIR_INIT for minipage %d", id))
 	}
-	mg.setEntry(id, &dirEntry{copyset: hostBit(m.From), owner: m.From})
+	mg.setEntry(id, mg.newEntry(hostBit(m.From), m.From))
+	mg.host().recyclePM(m) // the DIR_INIT ends here
 	if q := mg.waitInit[id]; len(q) > 0 {
 		delete(mg.waitInit, id)
 		for _, held := range q {
@@ -289,9 +306,10 @@ func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
 	e.busy = true
 	src := mg.findReplica(e)
 	e.copyset |= hostBit(m.From)
-	fwd := *m
+	fwd := mg.host().allocPM()
+	*fwd = *m
 	fwd.Type = mReadFwd
-	mg.host().Send(p, src, &fwd)
+	mg.host().Send(p, src, fwd)
 }
 
 // findReplica picks the host to source the minipage from: the owner if it
@@ -331,9 +349,10 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 			panic(fmt.Sprintf("dsm: write fault on minipage %d with empty copyset", m.Info.ID))
 		}
 		e.owner = m.From
-		grant := *m
+		grant := mg.host().allocPM()
+		*grant = *m
 		grant.Type = mUpgradeGrant
-		mg.host().Send(p, m.From, &grant)
+		mg.host().Send(p, m.From, grant)
 		return
 	}
 
@@ -370,8 +389,9 @@ func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask uint64) {
 			continue
 		}
 		mg.Stats.Invalidations++
-		inv := pmsg{Type: mInvalidateReq, From: m.From, Info: m.Info}
-		mg.host().Send(p, h, &inv)
+		inv := mg.host().allocPM()
+		*inv = pmsg{Type: mInvalidateReq, From: m.From, Info: m.Info}
+		mg.host().Send(p, h, inv)
 	}
 }
 
@@ -380,9 +400,10 @@ func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask uint64) {
 func (mg *manager) forwardWrite(p *sim.Proc, e *dirEntry, m *pmsg, src int) {
 	e.copyset = hostBit(m.From)
 	e.owner = m.From
-	fwd := *m
+	fwd := mg.host().allocPM()
+	*fwd = *m
 	fwd.Type = mWriteFwd
-	mg.host().Send(p, src, &fwd)
+	mg.host().Send(p, src, fwd)
 }
 
 // handleInvReply is "Manager: Handle Invalidate Reply": once every
@@ -391,6 +412,7 @@ func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
 	e := mg.entry(m.Info.ID)
 	// The replying host no longer holds a copy.
 	e.copyset &^= hostBit(m.From)
+	mg.host().recyclePM(m) // the invalidate reply ends here
 	if e.invAwait--; e.invAwait > 0 {
 		return
 	}
@@ -400,9 +422,10 @@ func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
 		e.upgrade = false
 		e.copyset = hostBit(w.From)
 		e.owner = w.From
-		grant := *w
+		grant := mg.host().allocPM()
+		*grant = *w
 		grant.Type = mUpgradeGrant
-		mg.host().Send(p, w.From, &grant)
+		mg.host().Send(p, w.From, grant)
 		return
 	}
 	mg.forwardWrite(p, e, w, e.writeSrc)
@@ -415,7 +438,9 @@ func (mg *manager) handleAck(p *sim.Proc, m *pmsg) {
 	if m.Txn != 0 && m.Txn > mg.done[m.TID] {
 		mg.done[m.TID] = m.Txn
 	}
-	mg.closeTxn(p, mg.entry(m.Info.ID))
+	e := mg.entry(m.Info.ID)
+	mg.host().recyclePM(m) // the ack ends here
+	mg.closeTxn(p, e)
 }
 
 // allocLocal carves minipage(s) for host `from` and creates directory
@@ -437,11 +462,12 @@ func (mg *manager) allocLocal(p *sim.Proc, from, size int) (core.Info, uint64, b
 	firstNew := mg.dirInited
 	for id := firstNew; id < mpt.NumMinipages(); id++ {
 		if home := mg.sys.homeOf(id); home == mg.me {
-			mg.setEntry(id, &dirEntry{copyset: hostBit(from), owner: from})
+			mg.setEntry(id, mg.newEntry(hostBit(from), from))
 		} else {
 			nmp, _ := mpt.ByID(id)
-			init := pmsg{Type: mDirInit, From: from, Info: nmp.Info(mg.sys.Layout)}
-			mg.host().Send(p, home, &init)
+			init := mg.host().allocPM()
+			*init = pmsg{Type: mDirInit, From: from, Info: nmp.Info(mg.sys.Layout)}
+			mg.host().Send(p, home, init)
 		}
 	}
 	mg.dirInited = mpt.NumMinipages()
@@ -464,12 +490,14 @@ func (mg *manager) allocLocal(p *sim.Proc, from, size int) (core.Info, uint64, b
 func (mg *manager) handleAlloc(p *sim.Proc, m *pmsg) {
 	p.Sleep(mg.costs().MallocBase)
 	info, va, owner := mg.allocLocal(p, m.From, m.AllocSize)
-	reply := *m
+	reply := mg.host().allocPM()
+	*reply = *m
 	reply.Type = mAllocReply
 	reply.Info = info
 	reply.AllocVA = va
 	reply.Owner = owner
-	mg.host().Send(p, m.From, &reply)
+	mg.host().Send(p, m.From, reply)
+	mg.host().recyclePM(m) // the alloc request ends here
 }
 
 // handleBarrier collects arrivals and releases everyone once the last
@@ -481,19 +509,23 @@ func (mg *manager) handleBarrier(p *sim.Proc, m *pmsg) {
 	}
 	mg.Stats.BarrierEpisodes++
 	for _, a := range arrivals {
-		rel := pmsg{Type: mBarrierRelease, From: managerHost, Gen: mg.barrier.Gen, FW: a.FW}
-		mg.host().Send(p, a.From, &rel)
+		rel := mg.host().allocPM()
+		*rel = pmsg{Type: mBarrierRelease, From: managerHost, Gen: mg.barrier.Gen, FW: a.FW}
+		mg.host().Send(p, a.From, rel)
+		mg.host().recyclePM(a) // the arrival ends here
 	}
 }
 
 // handleLock grants or queues a lock request (FIFO).
 func (mg *manager) handleLock(p *sim.Proc, m *pmsg) {
 	if !mg.locks.Acquire(m.LockID, m) {
-		return
+		return // queued: the service holds m until the unlock pops it
 	}
 	mg.Stats.LockAcquisitions++
-	grant := pmsg{Type: mLockGrant, From: managerHost, LockID: m.LockID, FW: m.FW}
-	mg.host().Send(p, m.From, &grant)
+	grant := mg.host().allocPM()
+	*grant = pmsg{Type: mLockGrant, From: managerHost, LockID: m.LockID, FW: m.FW}
+	mg.host().Send(p, m.From, grant)
+	mg.host().recyclePM(m) // immediate grant: the request ends here
 }
 
 // handleUnlock passes the lock to the next waiter or frees it.
@@ -502,12 +534,15 @@ func (mg *manager) handleUnlock(p *sim.Proc, m *pmsg) {
 	if !wasHeld {
 		panic(fmt.Sprintf("dsm: unlock of free lock %d", m.LockID))
 	}
+	mg.host().recyclePM(m) // the unlock ends here
 	if !granted {
 		return
 	}
 	mg.Stats.LockAcquisitions++
-	grant := pmsg{Type: mLockGrant, From: managerHost, LockID: next.LockID, FW: next.FW}
-	mg.host().Send(p, next.From, &grant)
+	grant := mg.host().allocPM()
+	*grant = pmsg{Type: mLockGrant, From: managerHost, LockID: next.LockID, FW: next.FW}
+	mg.host().Send(p, next.From, grant)
+	mg.host().recyclePM(next) // the queued request ends here
 }
 
 // handlePush opens a push transaction: order the owner to replicate the
@@ -525,19 +560,23 @@ func (mg *manager) handlePush(p *sim.Proc, m *pmsg) {
 		return
 	}
 	if mg.sys.NumHosts() == 1 {
+		mg.host().recyclePM(m)
 		return // nothing to replicate to
 	}
 	e.busy = true
 	e.pushAwait = mg.sys.NumHosts() - 1
-	order := *m
+	order := mg.host().allocPM()
+	*order = *m
 	order.Type = mPushOrder
-	mg.host().Send(p, mg.findReplica(e), &order)
+	mg.host().Send(p, mg.findReplica(e), order)
+	mg.host().recyclePM(m) // the push request ends here
 }
 
 // handlePushAck completes the push once every other host holds a copy.
 func (mg *manager) handlePushAck(p *sim.Proc, m *pmsg) {
 	e := mg.entry(m.Info.ID)
 	e.copyset |= hostBit(m.From)
+	mg.host().recyclePM(m) // the push ack ends here
 	if e.pushAwait--; e.pushAwait > 0 {
 		return
 	}

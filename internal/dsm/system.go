@@ -113,6 +113,12 @@ type System struct {
 	mpt   *core.MPT  // grown only on host 0; read-only replica elsewhere
 	mgrs  []*manager // one directory shard per host
 
+	// Clean-path freelists, shared by every host (the engine is
+	// single-threaded): recycled protocol headers and minipage-snapshot
+	// buffers. See Host.allocPM / Host.allocBuf.
+	freePM  []*pmsg
+	freeBuf [][]byte
+
 	threads []*Thread
 }
 

@@ -14,6 +14,12 @@ import (
 type Thread struct {
 	*cluster.Thread
 	host *Host
+
+	// reqMsg is the thread's reusable fault-request header (clean path
+	// only). A fault transaction never references the request after the
+	// faulting thread wakes — the home forwards a copy and clears
+	// pendingWrite before granting — so one slot per thread suffices.
+	reqMsg pmsg
 }
 
 // ThreadStats is the per-thread execution-time breakdown reported in
@@ -45,7 +51,9 @@ func (t *Thread) Malloc(size int) uint64 {
 		return va
 	}
 	fw := t.WaitSlot()
-	t.host.Send(p, managerHost, &pmsg{Type: mAllocReq, From: t.host.ID(), AllocSize: size, FW: fw})
+	req := t.host.allocPM()
+	*req = pmsg{Type: mAllocReq, From: t.host.ID(), AllocSize: size, FW: fw}
+	t.host.Send(p, managerHost, req)
 	t.Block(fw)
 	p.Sleep(c.ThreadWake)
 	t.Stats.MallocTime += p.Now().Sub(start)
@@ -59,7 +67,9 @@ func (t *Thread) Barrier() {
 	c := t.host.Costs()
 	p.Sleep(c.BarrierBase)
 	fw := t.WaitSlot()
-	t.host.Send(p, managerHost, &pmsg{Type: mBarrierArrive, From: t.host.ID(), FW: fw})
+	req := t.host.allocPM()
+	*req = pmsg{Type: mBarrierArrive, From: t.host.ID(), FW: fw}
+	t.host.Send(p, managerHost, req)
 	t.Block(fw)
 	p.Sleep(c.ThreadWake)
 	t.Stats.SynchTime += p.Now().Sub(start)
@@ -72,7 +82,9 @@ func (t *Thread) Lock(id int) {
 	p := t.Proc()
 	start := p.Now()
 	fw := t.WaitSlot()
-	t.host.Send(p, managerHost, &pmsg{Type: mLockReq, From: t.host.ID(), LockID: id, FW: fw})
+	req := t.host.allocPM()
+	*req = pmsg{Type: mLockReq, From: t.host.ID(), LockID: id, FW: fw}
+	t.host.Send(p, managerHost, req)
 	t.Block(fw)
 	p.Sleep(t.host.Costs().ThreadWake)
 	t.Stats.SynchTime += p.Now().Sub(start)
@@ -84,7 +96,9 @@ func (t *Thread) Lock(id int) {
 func (t *Thread) Unlock(id int) {
 	p := t.Proc()
 	start := p.Now()
-	t.host.Send(p, managerHost, &pmsg{Type: mUnlock, From: t.host.ID(), LockID: id})
+	req := t.host.allocPM()
+	*req = pmsg{Type: mUnlock, From: t.host.ID(), LockID: id}
+	t.host.Send(p, managerHost, req)
 	t.Stats.SynchTime += p.Now().Sub(start)
 	t.Stats.LockOps++
 }
@@ -117,7 +131,9 @@ func (t *Thread) Prefetch(va uint64, size int) {
 func (t *Thread) Push(va uint64) {
 	p := t.Proc()
 	home, info := t.host.route(p, va)
-	t.host.Send(p, home, &pmsg{Type: mPushReq, From: t.host.ID(), Addr: va, Info: info})
+	req := t.host.allocPM()
+	*req = pmsg{Type: mPushReq, From: t.host.ID(), Addr: va, Info: info}
+	t.host.Send(p, home, req)
 }
 
 // Span names a shared region for group operations.

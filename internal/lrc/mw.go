@@ -39,7 +39,6 @@ package lrc
 
 import (
 	"fmt"
-	"sort"
 
 	"millipage/internal/cluster"
 	"millipage/internal/core"
@@ -141,6 +140,26 @@ type mwmsg struct {
 // creator for lazy serving until garbage collection.
 type mwInterval struct {
 	diffs map[int][]byte // minipage id -> encoded diff; keyed lookups only
+
+	// mps is the backing array of the interval's write-notice minipage
+	// list. The coordinator's log (and every granted copy of the notice)
+	// shares it, and the interval's two-barrier retention strictly
+	// outlives all of them, so recycling it with the interval is safe.
+	mps []int
+}
+
+// mwFlush is one eager home flush staged by a release.
+type mwFlush struct {
+	home int
+	info core.Info
+	enc  []byte
+}
+
+// mwFetched is one lazily fetched interval diff awaiting its
+// vector-time-ordered merge.
+type mwFetched struct {
+	vtsum uint64
+	enc   []byte
 }
 
 // pendEntry records one write notice a host has applied to its page
@@ -191,8 +210,138 @@ type MWSystem struct {
 	vtctr   uint64      // global notice stamp; monotone across clears
 	barrier cluster.BarrierService[*mwmsg]
 	locks   *cluster.LockService[*mwmsg]
+	maxvc   []uint64 // barrier-episode scratch; every release shares it
+
+	// Clean-path freelists, shared by every host (the engine is
+	// single-threaded): recycled protocol headers, twin/snapshot/diff
+	// buffers and interval records. See allocMW / allocBuf / allocIval.
+	freeMW     []*mwmsg
+	freeBuf    [][]byte
+	freeIval   []*mwInterval
+	freeMPs    [][]int
+	freeNotice []*mwNotice
 
 	Stats MWStats
+}
+
+// allocMW returns a protocol header for a message whose consumer will
+// recycle it. The caller must set every field it needs; recycleMW zeroes
+// the rest. Under fault injection the reliability layer may retransmit a
+// payload after its first delivery, so pooling is clean-path only.
+func (s *MWSystem) allocMW() *mwmsg {
+	if n := len(s.freeMW); n > 0 && !s.rt.Faulty() {
+		m := s.freeMW[n-1]
+		s.freeMW = s.freeMW[:n-1]
+		return m
+	}
+	return &mwmsg{}
+}
+
+// recycleMW returns a fully consumed pooled header to the freelist,
+// keeping its slice capacities for reuse.
+func (s *MWSystem) recycleMW(m *mwmsg) {
+	if s.rt.Faulty() {
+		return
+	}
+	for i := range m.Notices {
+		m.Notices[i] = mwCNotice{}
+	}
+	for i := range m.DiffsOut {
+		m.DiffsOut[i] = mwDiffOut{}
+	}
+	*m = mwmsg{VC: m.VC[:0], Notices: m.Notices[:0], Seqs: m.Seqs[:0], DiffsOut: m.DiffsOut[:0]}
+	s.freeMW = append(s.freeMW, m)
+}
+
+// allocBuf returns a byte buffer of length n (twin, minipage snapshot,
+// fetch payload); pass 0 for an empty append target (encoded diffs).
+func (s *MWSystem) allocBuf(n int) []byte {
+	if !s.rt.Faulty() {
+		for i := len(s.freeBuf) - 1; i >= 0; i-- {
+			if cap(s.freeBuf[i]) >= n {
+				b := s.freeBuf[i][:n]
+				s.freeBuf[i] = s.freeBuf[len(s.freeBuf)-1]
+				s.freeBuf = s.freeBuf[:len(s.freeBuf)-1]
+				return b
+			}
+		}
+	}
+	return make([]byte, n)
+}
+
+// recycleBuf returns a fully consumed buffer to the freelist.
+func (s *MWSystem) recycleBuf(b []byte) {
+	if s.rt.Faulty() || cap(b) == 0 {
+		return
+	}
+	s.freeBuf = append(s.freeBuf, b)
+}
+
+// allocIval returns an interval record with an empty diff map.
+func (s *MWSystem) allocIval(n int) *mwInterval {
+	if k := len(s.freeIval); k > 0 && !s.rt.Faulty() {
+		iv := s.freeIval[k-1]
+		s.freeIval = s.freeIval[:k-1]
+		return iv
+	}
+	return &mwInterval{diffs: make(map[int][]byte, n)}
+}
+
+// recycleIval returns a garbage-collected interval to the freelist,
+// recycling its retained diff encodings and notice minipage list. GC
+// runs two barriers after the interval closed, and a barrier drains
+// every in-flight diff reply, home flush and granted notice, so nothing
+// can still alias either here.
+func (s *MWSystem) recycleIval(iv *mwInterval) {
+	if s.rt.Faulty() {
+		return
+	}
+	for id, enc := range iv.diffs { //detlint:ok freelist order is invisible: every pooled buffer is fully overwritten before use
+		s.recycleBuf(enc)
+		delete(iv.diffs, id)
+	}
+	if iv.mps != nil {
+		s.freeMPs = append(s.freeMPs, iv.mps)
+		iv.mps = nil
+	}
+	s.freeIval = append(s.freeIval, iv)
+}
+
+// allocMPs returns an int slice of length n for a notice's minipage
+// list, retained by the creator's interval record until GC.
+func (s *MWSystem) allocMPs(n int) []int {
+	if !s.rt.Faulty() {
+		for i := len(s.freeMPs) - 1; i >= 0; i-- {
+			if cap(s.freeMPs[i]) >= n {
+				b := s.freeMPs[i][:n]
+				s.freeMPs[i] = s.freeMPs[len(s.freeMPs)-1]
+				s.freeMPs = s.freeMPs[:len(s.freeMPs)-1]
+				return b
+			}
+		}
+	}
+	return make([]int, n)
+}
+
+// allocNotice returns a write-notice header; the coordinator recycles it
+// once the notice is logged (the log keeps a value copy).
+func (s *MWSystem) allocNotice() *mwNotice {
+	if n := len(s.freeNotice); n > 0 && !s.rt.Faulty() {
+		nt := s.freeNotice[n-1]
+		s.freeNotice = s.freeNotice[:n-1]
+		return nt
+	}
+	return &mwNotice{}
+}
+
+// recycleNotice returns a logged notice header to the freelist. The MPs
+// backing array stays with the creator's interval record.
+func (s *MWSystem) recycleNotice(n *mwNotice) {
+	if s.rt.Faulty() {
+		return
+	}
+	*n = mwNotice{}
+	s.freeNotice = append(s.freeNotice, n)
 }
 
 // MWHost is one multi-writer LRC process.
@@ -223,7 +372,13 @@ type MWHost struct {
 	// the last lock grant or barrier release, and the last diff reply.
 	acqNotices []mwCNotice
 	acqMaxVC   []uint64
+	acqMsg     *mwmsg // the pooled grant/release header, recycled by acquire
 	diffReply  *mwmsg
+
+	// Steady-state scratch, reused across releases and merges.
+	relDirty   []int
+	relFlush   []mwFlush
+	mergeDiffs []mwFetched
 }
 
 // NewMW builds a multi-writer LRC cluster.
@@ -363,7 +518,12 @@ func (t *MWThread) Malloc(size int) uint64 {
 		return va
 	}
 	fw := t.WaitSlot()
-	h.Send(p, 0, &mwmsg{Type: mwAllocReq, From: h.ID(), AllocSize: size, FW: fw})
+	req := s.allocMW()
+	req.Type = mwAllocReq
+	req.From = h.ID()
+	req.AllocSize = size
+	req.FW = fw
+	h.Send(p, 0, req)
 	t.Block(fw)
 	p.Sleep(h.Costs().ThreadWake)
 	if fw.Home == h.ID() {
@@ -425,11 +585,11 @@ func (h *MWHost) HandleFault(ctx any, f vm.Fault) error {
 	if f.Kind == vm.Write {
 		s.Stats.WriteFault++
 		if !dirty {
-			data, err := h.Region.ReadPriv(info.Base, info.Size)
-			if err != nil {
+			twin := s.allocBuf(info.Size)
+			if err := h.Region.ReadPrivInto(info.Base, twin); err != nil {
 				return err
 			}
-			h.twins[mp.ID] = twindiff.Twin(data)
+			h.twins[mp.ID] = twin
 			h.dirtyInfo[mp.ID] = info
 			s.Stats.TwinsMade++
 			p.Sleep(twindiff.TwinCost(info.Size))
@@ -474,35 +634,33 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 		// copy entry would land here; refetch to be safe.
 		return false
 	}
-	// Group the pending notices by creator, preserving their vector-time
-	// stamps for the merge order.
-	creators := make([]int, 0, 2)
-	byCreator := make(map[int][]uint64)
-	vtOf := make(map[uint64]uint64) // creator<<32|seq is unambiguous: hosts < 64
-	for _, pe := range pend {
-		if _, seenC := byCreator[pe.creator]; !seenC {
-			creators = append(creators, pe.creator)
+	// Sorting by (creator, seq) groups the per-creator requests — creators
+	// ascending, seqs ascending within one — without staging them through
+	// per-call maps. Entries are unique, so the order is deterministic.
+	sortPend(pend)
+	diffs := h.mergeDiffs[:0]
+	for a := 0; a < len(pend); {
+		cr := pend[a].creator
+		b := a
+		for b < len(pend) && pend[b].creator == cr {
+			b++
 		}
-		byCreator[pe.creator] = append(byCreator[pe.creator], pe.seq)
-		vtOf[uint64(pe.creator)<<32|pe.seq] = pe.vtsum
-	}
-	sort.Ints(creators)
-	type fetched struct {
-		vtsum uint64
-		enc   []byte
-	}
-	var diffs []fetched
-	for _, cr := range creators {
-		seqs := byCreator[cr]
-		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 		s.Stats.DiffFetches++
 		fw := t.WaitSlot()
-		h.Send(p, cr, &mwmsg{Type: mwDiffReq, From: h.ID(), MP: id, Seqs: seqs, FW: fw})
+		req := s.allocMW()
+		req.Type = mwDiffReq
+		req.From = h.ID()
+		req.MP = id
+		req.FW = fw
+		for k := a; k < b; k++ {
+			req.Seqs = append(req.Seqs, pend[k].seq)
+		}
+		h.Send(p, cr, req)
 		t.Block(fw)
 		p.Sleep(c.ThreadWake)
 		reply := h.diffReply
 		h.diffReply = nil
-		for _, d := range reply.DiffsOut {
+		for i, d := range reply.DiffsOut {
 			if d.Purged {
 				s.Stats.HomeFallbacks++
 				if _, dirty := h.twins[id]; dirty {
@@ -512,30 +670,33 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 					// here would destroy uncommitted local writes.
 					panic(fmt.Sprintf("lrc-mw: purged interval %d@%d for dirty minipage %d", d.Seq, cr, id))
 				}
+				h.mergeDiffs = diffs[:0]
+				s.recycleMW(reply)
 				return false
 			}
 			s.Stats.DiffsFetched++
-			diffs = append(diffs, fetched{vtsum: vtOf[uint64(cr)<<32|d.Seq], enc: d.Enc})
+			// The reply serves the requested seqs in order, so entry i
+			// carries the diff for pend[a+i]'s notice.
+			diffs = append(diffs, mwFetched{vtsum: pend[a+i].vtsum, enc: d.Enc})
 		}
+		s.recycleMW(reply)
+		a = b
 	}
-	sort.Slice(diffs, func(i, j int) bool { return diffs[i].vtsum < diffs[j].vtsum })
-	cur, err := h.Region.ReadPriv(info.Base, info.Size)
-	if err != nil {
+	sortFetched(diffs)
+	h.mergeDiffs = diffs
+	cur := s.allocBuf(info.Size)
+	if err := h.Region.ReadPrivInto(info.Base, cur); err != nil {
 		panic(err)
 	}
 	twin := h.twins[id]
 	for _, d := range diffs {
-		runs, err := twindiff.Decode(d.enc)
-		if err != nil {
-			panic(err)
-		}
-		if err := twindiff.Apply(cur, runs); err != nil {
+		if err := twindiff.ApplyEncoded(cur, d.enc); err != nil {
 			panic(err)
 		}
 		if twin != nil {
 			// Patch the twin too, so this host's own eventual diff captures
 			// only its own writes.
-			if err := twindiff.Apply(twin, runs); err != nil {
+			if err := twindiff.ApplyEncoded(twin, d.enc); err != nil {
 				panic(err)
 			}
 		}
@@ -544,6 +705,8 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 	if err := h.Region.WritePriv(info.Base, cur); err != nil {
 		panic(err)
 	}
+	s.recycleBuf(cur)
+	h.mergeDiffs = diffs[:0]
 	sn := h.seen[id]
 	if sn == nil {
 		sn = make([]uint64, len(h.vc))
@@ -554,8 +717,36 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 			sn[pe.creator] = pe.seq
 		}
 	}
-	delete(h.pend, id)
+	h.pend[id] = pend[:0] // keep the entry capacity for the next notice
 	return true
+}
+
+// sortPend is an in-place insertion sort by (creator, seq) — pending
+// sets are tiny and the stdlib sorts allocate.
+func sortPend(a []pendEntry) {
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && (a[j].creator > e.creator || (a[j].creator == e.creator && a[j].seq > e.seq)) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
+}
+
+// sortFetched is an in-place insertion sort by vtsum (globally unique:
+// the coordinator stamps each notice with a fresh counter value).
+func sortFetched(a []mwFetched) {
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && a[j].vtsum > e.vtsum {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
 }
 
 // fetchFromHome pulls the minipage's merged contents from its home (the
@@ -568,7 +759,12 @@ func (t *MWThread) fetchFromHome(id int, info core.Info, home int) {
 	p := t.Proc()
 	s.Stats.Fetches++
 	fw := t.WaitSlot()
-	h.Send(p, home, &mwmsg{Type: mwFetchReq, From: h.ID(), Info: info, FW: fw})
+	req := s.allocMW()
+	req.Type = mwFetchReq
+	req.From = h.ID()
+	req.Info = info
+	req.FW = fw
+	h.Send(p, home, req)
 	t.Block(fw)
 	p.Sleep(c.ThreadWake + c.FaultResume)
 	h.copies[id] = info
@@ -578,7 +774,9 @@ func (t *MWThread) fetchFromHome(id int, info core.Info, home int) {
 		h.seen[id] = sn
 	}
 	copy(sn, h.vc)
-	delete(h.pend, id)
+	if pe, ok := h.pend[id]; ok {
+		h.pend[id] = pe[:0]
+	}
 }
 
 // release closes the current interval: diff every dirty minipage against
@@ -596,36 +794,31 @@ func (t *MWThread) release() *mwNotice {
 	if len(h.twins) == 0 {
 		return nil
 	}
-	dirty := make([]int, 0, len(h.twins))
+	dirty := h.relDirty[:0]
 	for id := range h.twins { //detlint:ok sorted below
 		dirty = append(dirty, id)
 	}
-	sort.Ints(dirty)
+	sortInts(dirty)
+	h.relDirty = dirty
 
 	seq := h.vc[h.ID()] + 1
-	iv := &mwInterval{diffs: make(map[int][]byte, len(dirty))}
-	type flush struct {
-		home int
-		info core.Info
-		enc  []byte
-	}
-	var flushes []flush
+	iv := s.allocIval(len(dirty))
+	flushes := h.relFlush[:0]
 	for _, id := range dirty {
 		info := h.dirtyInfo[id]
 		home := s.homes[id]
-		cur, err := h.Region.ReadPriv(info.Base, info.Size)
-		if err != nil {
-			panic(err)
-		}
-		runs, err := twindiff.Diff(h.twins[id], cur)
-		if err != nil {
+		twin := h.twins[id]
+		cur := s.allocBuf(info.Size)
+		if err := h.Region.ReadPrivInto(info.Base, cur); err != nil {
 			panic(err)
 		}
 		p.Sleep(twindiff.CreateCost(info.Size))
-		enc, err := twindiff.Encode(runs)
+		enc, err := twindiff.AppendDiff(s.allocBuf(0), twin, cur)
 		if err != nil {
 			panic(err) // minipages are sub-page: offsets always fit the header
 		}
+		s.recycleBuf(cur)
+		s.recycleBuf(twin)
 		iv.diffs[id] = enc
 		delete(h.twins, id)
 		delete(h.dirtyInfo, id)
@@ -634,23 +827,57 @@ func (t *MWThread) release() *mwNotice {
 			panic(err)
 		}
 		if home != h.ID() {
-			flushes = append(flushes, flush{home: home, info: info, enc: enc})
+			flushes = append(flushes, mwFlush{home: home, info: info, enc: enc})
 		}
 	}
 	h.ivals = append(h.ivals, iv)
 	h.vc[h.ID()] = seq
+	h.relFlush = flushes[:0]
 	if len(flushes) > 0 {
 		h.flushAwait = len(flushes)
-		h.flushDone = sim.NewEvent(s.Eng)
+		if h.flushDone == nil {
+			h.flushDone = sim.NewEvent(s.Eng)
+		} else {
+			h.flushDone.Reset()
+		}
 		for _, f := range flushes {
 			s.Stats.DiffsSent++
 			s.Stats.DiffBytes += uint64(len(f.enc))
-			h.SendSized(p, f.home, &mwmsg{Type: mwDiffFlush, From: h.ID(), Info: f.info, Diff: f.enc}, c.HeaderSize+len(f.enc))
+			fm := s.allocMW()
+			fm.Type = mwDiffFlush
+			fm.From = h.ID()
+			fm.Info = f.info
+			fm.Diff = f.enc
+			h.SendSized(p, f.home, fm, c.HeaderSize+len(f.enc))
 		}
 		t.BlockOn(h.flushDone)
 		p.Sleep(c.ThreadWake)
 	}
-	return &mwNotice{Creator: h.ID(), Seq: seq, MPs: dirty}
+	// The notice's minipage list is retained by the coordinator's log (and
+	// shared by every granted copy) until the next barrier, so it cannot
+	// ride in per-release scratch; it is pooled with the interval record,
+	// whose two-barrier retention outlives every reader.
+	mps := s.allocMPs(len(dirty))
+	copy(mps, dirty)
+	iv.mps = mps
+	n := s.allocNotice()
+	n.Creator = h.ID()
+	n.Seq = seq
+	n.MPs = mps
+	return n
+}
+
+// sortInts is an in-place insertion sort for small id sets.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > e {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
 }
 
 // acquire applies the write notices delivered with the last lock grant
@@ -696,6 +923,10 @@ func (t *MWThread) acquire() {
 	}
 	h.acqNotices = nil
 	h.acqMaxVC = nil
+	if h.acqMsg != nil {
+		s.recycleMW(h.acqMsg)
+		h.acqMsg = nil
+	}
 }
 
 // gcIntervals purges this host's interval records that every other host
@@ -703,20 +934,15 @@ func (t *MWThread) acquire() {
 // epochs old. Runs after each completed barrier.
 func (h *MWHost) gcIntervals() {
 	for h.ivalBase < h.floorPrev && len(h.ivals) > 0 {
+		iv := h.ivals[0]
 		h.ivals[0] = nil
 		h.ivals = h.ivals[1:]
 		h.ivalBase++
 		h.sys.Stats.IntervalsGCed++
+		h.sys.recycleIval(iv)
 	}
 	h.floorPrev = h.floorCur
 	h.floorCur = h.vc[h.ID()]
-}
-
-// vcSnapshot copies the host's vector clock for a message.
-func (h *MWHost) vcSnapshot() []uint64 {
-	vc := make([]uint64, len(h.vc))
-	copy(vc, h.vc)
-	return vc
 }
 
 // Barrier closes the interval (release), rendezvouses with every other
@@ -732,7 +958,13 @@ func (t *MWThread) Barrier() {
 
 	p.Sleep(c.BarrierBase)
 	fw := t.WaitSlot()
-	h.Send(p, 0, &mwmsg{Type: mwBarrierArrive, From: h.ID(), FW: fw, Notice: notice, VC: h.vcSnapshot()})
+	m := h.sys.allocMW()
+	m.Type = mwBarrierArrive
+	m.From = h.ID()
+	m.FW = fw
+	m.Notice = notice
+	m.VC = append(m.VC[:0], h.vc...)
+	h.Send(p, 0, m)
 	t.Block(fw)
 	p.Sleep(c.ThreadWake)
 
@@ -752,7 +984,13 @@ func (t *MWThread) Lock(id int) {
 	p := t.Proc()
 	start := p.Now()
 	fw := t.WaitSlot()
-	h.Send(p, 0, &mwmsg{Type: mwLockReq, From: h.ID(), LockID: id, FW: fw, VC: h.vcSnapshot()})
+	m := h.sys.allocMW()
+	m.Type = mwLockReq
+	m.From = h.ID()
+	m.LockID = id
+	m.FW = fw
+	m.VC = append(m.VC[:0], h.vc...)
+	h.Send(p, 0, m)
 	t.Block(fw)
 	p.Sleep(h.Costs().ThreadWake)
 	t.acquire()
@@ -768,7 +1006,12 @@ func (t *MWThread) Unlock(id int) {
 	p := t.Proc()
 	start := p.Now()
 	notice := t.release()
-	h.Send(p, 0, &mwmsg{Type: mwUnlock, From: h.ID(), LockID: id, Notice: notice})
+	m := h.sys.allocMW()
+	m.Type = mwUnlock
+	m.From = h.ID()
+	m.LockID = id
+	m.Notice = notice
+	h.Send(p, 0, m)
 	t.Stats.SynchTime += p.Now().Sub(start)
 	t.Stats.LockOps++
 }
@@ -782,15 +1025,19 @@ func (s *MWSystem) logNotice(n *mwNotice) {
 }
 
 // grantLock sends m's requester the lock plus every logged notice newer
-// than the requester's vector clock.
+// than the requester's vector clock, then recycles the request header.
 func (s *MWSystem) grantLock(p *sim.Proc, h *MWHost, m *mwmsg) {
-	var unseen []mwCNotice
+	g := s.allocMW()
+	g.Type = mwLockGrant
+	g.LockID = m.LockID
+	g.FW = m.FW
 	for _, n := range s.log {
 		if n.Seq > m.VC[n.Creator] {
-			unseen = append(unseen, n)
+			g.Notices = append(g.Notices, n)
 		}
 	}
-	h.Send(p, m.From, &mwmsg{Type: mwLockGrant, LockID: m.LockID, Notices: unseen, FW: m.FW})
+	h.Send(p, m.From, g)
+	s.recycleMW(m)
 }
 
 // HandleMessage is the multi-writer server-thread dispatcher.
@@ -802,28 +1049,31 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	case mwAllocReq:
 		p.Sleep(c.MallocBase)
 		info, va, home := s.allocLocal(m.From, m.AllocSize)
-		reply := *m
-		reply.Type = mwAllocReply
-		reply.Info = info
-		reply.AllocVA = va
-		reply.Home = home
-		h.Send(p, m.From, &reply)
+		// Request headers turn around in place (the requester is blocked
+		// on FW and holds no other reference); the reply's consumer
+		// recycles them.
+		m.Type = mwAllocReply
+		m.Info = info
+		m.AllocVA = va
+		m.Home = home
+		h.Send(p, m.From, m)
 
 	case mwAllocReply:
 		m.FW.Info = m.Info
 		m.FW.VA = m.AllocVA
 		m.FW.Home = m.Home
 		m.FW.Ev.Set()
+		s.recycleMW(m)
 
 	case mwFetchReq:
-		data, err := h.Region.ReadPriv(m.Info.Base, m.Info.Size)
-		if err != nil {
+		data := s.allocBuf(m.Info.Size)
+		if err := h.Region.ReadPrivInto(m.Info.Base, data); err != nil {
 			panic(err)
 		}
-		reply := *m
-		reply.Type = mwFetchReply
-		h.Send(p, m.From, &reply)
-		h.SendData(p, m.From, data, mwDataMarker)
+		to := m.From
+		m.Type = mwFetchReply
+		h.Send(p, to, m)
+		h.SendData(p, to, data, mwDataMarker)
 
 	case mwFetchReply:
 		h.pendingHdr[fm.From] = m
@@ -837,49 +1087,52 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if err := h.Region.WritePriv(hdr.Info.Base, fm.Data); err != nil {
 			panic(err)
 		}
+		s.recycleBuf(fm.Data)
 		p.Sleep(c.SetProt)
 		if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, vm.ReadOnly); err != nil {
 			panic(err)
 		}
 		hdr.FW.Info = hdr.Info
 		hdr.FW.Ev.Set()
+		s.recycleMW(hdr)
 
 	case mwDiffFlush:
-		runs, err := twindiff.Decode(m.Diff)
-		if err != nil {
+		cur := s.allocBuf(m.Info.Size)
+		if err := h.Region.ReadPrivInto(m.Info.Base, cur); err != nil {
 			panic(err)
 		}
-		cur, err := h.Region.ReadPriv(m.Info.Base, m.Info.Size)
-		if err != nil {
-			panic(err)
-		}
-		if err := twindiff.Apply(cur, runs); err != nil {
+		if err := twindiff.ApplyEncoded(cur, m.Diff); err != nil {
 			panic(err)
 		}
 		if err := h.Region.WritePriv(m.Info.Base, cur); err != nil {
 			panic(err)
 		}
+		s.recycleBuf(cur)
 		if twin, dirty := h.twins[m.Info.ID]; dirty {
 			// The home is itself mid-interval on this minipage: patch the
 			// twin too, so the home's own diff stays writes-only.
-			if err := twindiff.Apply(twin, runs); err != nil {
+			if err := twindiff.ApplyEncoded(twin, m.Diff); err != nil {
 				panic(err)
 			}
 		}
 		p.Sleep(twindiff.ApplyCost(len(m.Diff)))
-		h.Send(p, m.From, &mwmsg{Type: mwDiffAck, From: h.ID(), Info: m.Info})
+		to := m.From
+		m.Type = mwDiffAck
+		m.From = h.ID()
+		m.Diff = nil // the encoding stays with the sender's interval record
+		h.Send(p, to, m)
 
 	case mwDiffAck:
 		if h.flushAwait--; h.flushAwait == 0 {
 			h.flushDone.Set()
 		}
+		s.recycleMW(m)
 
 	case mwDiffReq:
-		reply := &mwmsg{Type: mwDiffReply, From: h.ID(), MP: m.MP, FW: m.FW}
 		size := c.HeaderSize
 		for _, seq := range m.Seqs {
 			if seq <= h.ivalBase {
-				reply.DiffsOut = append(reply.DiffsOut, mwDiffOut{Seq: seq, Purged: true})
+				m.DiffsOut = append(m.DiffsOut, mwDiffOut{Seq: seq, Purged: true})
 				continue
 			}
 			iv := h.ivals[seq-h.ivalBase-1]
@@ -887,10 +1140,14 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			if !ok {
 				panic(fmt.Sprintf("lrc-mw: interval %d at host %d has no diff for noticed minipage %d", seq, h.ID(), m.MP))
 			}
-			reply.DiffsOut = append(reply.DiffsOut, mwDiffOut{Seq: seq, Enc: enc})
+			m.DiffsOut = append(m.DiffsOut, mwDiffOut{Seq: seq, Enc: enc})
 			size += len(enc)
 		}
-		h.SendSized(p, m.From, reply, size)
+		to := m.From
+		m.Type = mwDiffReply
+		m.From = h.ID()
+		m.Seqs = m.Seqs[:0]
+		h.SendSized(p, to, m, size)
 
 	case mwDiffReply:
 		h.diffReply = m
@@ -902,13 +1159,24 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 		if m.Notice != nil {
 			s.logNotice(m.Notice)
+			s.recycleNotice(m.Notice)
+			m.Notice = nil
 		}
 		arrivals, done := s.barrier.Arrive(m, len(s.hosts))
 		if !done {
 			return
 		}
 		s.Stats.Barriers++
-		maxvc := make([]uint64, len(s.hosts))
+		// One converged-clock scratch serves every release message: each
+		// acquirer only reads it, and all of them have consumed it before
+		// the next episode can complete and overwrite it.
+		if s.maxvc == nil {
+			s.maxvc = make([]uint64, len(s.hosts))
+		}
+		maxvc := s.maxvc
+		for i := range maxvc {
+			maxvc[i] = 0
+		}
 		for _, a := range arrivals {
 			for i, v := range a.VC {
 				if v > maxvc[i] {
@@ -922,14 +1190,17 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			}
 		}
 		for _, a := range arrivals {
-			var unseen []mwCNotice
+			rel := s.allocMW()
+			rel.Type = mwBarrierRelease
+			rel.MaxVC = maxvc
+			rel.FW = a.FW
 			for _, n := range s.log {
 				if n.Seq > a.VC[n.Creator] {
-					unseen = append(unseen, n)
+					rel.Notices = append(rel.Notices, n)
 				}
 			}
-			rel := &mwmsg{Type: mwBarrierRelease, Notices: unseen, MaxVC: maxvc, FW: a.FW}
 			h.Send(p, a.From, rel)
+			s.recycleMW(a)
 		}
 		// Every host's clock now converges to maxvc, so nothing in the log
 		// can ever be granted again: clear it.
@@ -938,6 +1209,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	case mwBarrierRelease:
 		h.acqNotices = m.Notices
 		h.acqMaxVC = m.MaxVC
+		h.acqMsg = m
 		m.FW.Ev.Set()
 
 	case mwLockReq:
@@ -952,6 +1224,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	case mwLockGrant:
 		h.acqNotices = m.Notices
 		h.acqMaxVC = nil
+		h.acqMsg = m
 		m.FW.Ev.Set()
 
 	case mwUnlock:
@@ -960,6 +1233,8 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		}
 		if m.Notice != nil {
 			s.logNotice(m.Notice)
+			s.recycleNotice(m.Notice)
+			m.Notice = nil
 		}
 		next, granted, wasHeld := s.locks.Release(m.LockID)
 		if !wasHeld {
@@ -968,6 +1243,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if granted {
 			s.grantLock(p, h, next)
 		}
+		s.recycleMW(m)
 
 	default:
 		panic(fmt.Sprintf("lrc-mw: unexpected message %d", int(m.Type)))

@@ -42,6 +42,17 @@ func FuzzTraverse(f *testing.F) {
 		if c2 := tr.Run(m2); c2 != c1 {
 			t.Fatalf("nondeterministic traversal: %d then %d cycles", c1, c2)
 		}
+		// The MRU fast path must be invisible: cycles and every counter
+		// agree with the full model.
+		slow := New(cfg)
+		slow.NoFastPath = true
+		cs := tr.Run(slow)
+		if cs != c1 {
+			t.Fatalf("fast path changed cycles: %d with, %d without", c1, cs)
+		}
+		if m1.S != slow.S {
+			t.Fatalf("fast path changed statistics: %+v with, %+v without", m1.S, slow.S)
+		}
 		if pte := tr.ActivePTEs(cfg); arrayBytes > 0 && pte <= 0 {
 			t.Fatalf("ActivePTEs = %d for %d bytes", pte, arrayBytes)
 		}

@@ -212,6 +212,19 @@ type Machine struct {
 	// (eight PTEs per 32-byte line).
 	PTBase uint64
 
+	// Last-translation fast path. After any access, the touched vpn is
+	// the most-recently-used entry of its TLB set and the touched data
+	// line is the most-recently-used line of its L1 set (a miss installs
+	// the entry and makes it MRU). A repeat of either is therefore a
+	// guaranteed hit whose LRU re-stamp cannot change any entry's
+	// relative age, so it can be answered without touching the model:
+	// identical cycles, identical statistics, identical future behavior.
+	// NoFastPath disables the shortcut so tests can verify exactly that.
+	lastVPN    uint64
+	lastLine   uint64
+	lastValid  bool
+	NoFastPath bool
+
 	S Stats
 }
 
@@ -258,18 +271,32 @@ func (m *Machine) fetchPTE(addr uint64) uint64 {
 
 // Access models one data reference at virtual address va mapping to
 // physical address pa: TLB lookup, page walk on miss (a cacheable PTE
-// fetch), then the data reference itself.
+// fetch), then the data reference itself. Repeats of the last vpn and
+// the last data line take the MRU fast path (see the Machine fields).
 func (m *Machine) Access(va, pa uint64) {
 	m.S.Accesses++
 	cycles := uint64(m.cfg.LoopCycles)
 	vpn := va / uint64(m.cfg.PageSize)
-	if !m.tlb.access(vpn) {
+	line := pa / m.l1.lineSize
+	if m.lastValid && !m.NoFastPath && vpn == m.lastVPN {
+		if line == m.lastLine {
+			m.S.Cycles += cycles + uint64(m.cfg.L1HitCycles)
+			return
+		}
+	} else if !m.tlb.access(vpn) {
 		m.S.TLBMisses++
 		pteAddr := m.PTBase + vpn*uint64(m.cfg.PTESize)
 		cycles += uint64(m.cfg.TLBWalkBase)
 		cycles += m.fetchPTE(pteAddr)
 	}
-	cycles += m.fetchData(pa)
+	if m.lastValid && !m.NoFastPath && line == m.lastLine {
+		cycles += uint64(m.cfg.L1HitCycles)
+	} else {
+		cycles += m.fetchData(pa)
+	}
+	m.lastVPN = vpn
+	m.lastLine = line
+	m.lastValid = true
 	m.S.Cycles += cycles
 }
 

@@ -151,3 +151,56 @@ func TestLargerL2NeverSlower(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAccessAllocFree pins the MMU model's cost contract: Access never
+// heap-allocates — neither on the MRU fast path (repeated address), nor
+// on TLB/cache misses, nor with the fast path disabled.
+func TestAccessAllocFree(t *testing.T) {
+	m := New(PentiumII())
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.Access(0x2000_0000, 0x1000_0000) // fast-path repeat after the first
+	}); avg != 0 {
+		t.Fatalf("fast-path Access allocates %.2f objects/op, want 0", avg)
+	}
+	var va uint64
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.Access(0x2000_0000+va, 0x1000_0000+va) // new page every call: walk + miss
+		va += 4096
+	}); avg != 0 {
+		t.Fatalf("miss-path Access allocates %.2f objects/op, want 0", avg)
+	}
+	slow := New(PentiumII())
+	slow.NoFastPath = true
+	if avg := testing.AllocsPerRun(1000, func() {
+		slow.Access(0x2000_0000, 0x1000_0000)
+	}); avg != 0 {
+		t.Fatalf("full-model Access allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestAccessFastPathEquivalence walks a mixed stream (repeats, line
+// changes within a page, page changes) through a fast-path machine and a
+// NoFastPath machine and requires identical statistics at every step.
+func TestAccessFastPathEquivalence(t *testing.T) {
+	fast := New(PentiumII())
+	slow := New(PentiumII())
+	slow.NoFastPath = true
+	refs := []struct{ va, pa uint64 }{
+		{0x2000_0000, 0x1000_0000},
+		{0x2000_0000, 0x1000_0000}, // exact repeat: vpn + line fast path
+		{0x2000_0008, 0x1000_0008}, // same line
+		{0x2000_0040, 0x1000_0040}, // same page, new line
+		{0x2000_0000, 0x1000_0000}, // back to the first line
+		{0x2000_1000, 0x1000_1000}, // new page
+		{0x2000_1000, 0x1000_1000},
+		{0x2000_0040, 0x2000_0040}, // old page, different physical line
+	}
+	for i, r := range refs {
+		fast.Access(r.va, r.pa)
+		slow.Access(r.va, r.pa)
+		if fast.S != slow.S {
+			t.Fatalf("stats diverge after ref %d (%#x/%#x):\nfast %+v\nslow %+v",
+				i, r.va, r.pa, fast.S, slow.S)
+		}
+	}
+}

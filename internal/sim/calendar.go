@@ -51,26 +51,36 @@ func (c *calendar) Len() int { return len(c.ev) }
 func (c *calendar) min() *event { return &c.ev[0] }
 
 func (c *calendar) push(ev event) {
+	// Sift up with a hole: shift ancestors down and store ev once,
+	// instead of swapping the 48-byte record at every level. The
+	// comparison sequence (and so the resulting heap layout) is the same
+	// as the swapping version.
 	c.ev = append(c.ev, ev)
-	// Sift up.
 	i := len(c.ev) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !c.ev[i].before(c.ev[parent]) {
+		if !ev.before(c.ev[parent]) {
 			break
 		}
-		c.ev[i], c.ev[parent] = c.ev[parent], c.ev[i]
+		c.ev[i] = c.ev[parent]
 		i = parent
 	}
+	c.ev[i] = ev
 }
 
 func (c *calendar) pop() event {
 	top := c.ev[0]
 	n := len(c.ev) - 1
-	c.ev[0] = c.ev[n]
+	moved := c.ev[n]
 	c.ev[n] = event{} // release the arg/proc references
 	c.ev = c.ev[:n]
-	// Sift down.
+	if n == 0 {
+		return top
+	}
+	// Sift the former last element down with a hole: winners move up
+	// into the hole and moved is stored once at the end. Comparisons
+	// match the swapping version exactly, so the heap layout — and with
+	// it the deterministic pop order — is unchanged.
 	i := 0
 	for {
 		first := 4*i + 1
@@ -87,11 +97,12 @@ func (c *calendar) pop() event {
 				best = j
 			}
 		}
-		if !c.ev[best].before(c.ev[i]) {
+		if !c.ev[best].before(moved) {
 			break
 		}
-		c.ev[i], c.ev[best] = c.ev[best], c.ev[i]
+		c.ev[i] = c.ev[best]
 		i = best
 	}
+	c.ev[i] = moved
 	return top
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 )
 
@@ -28,13 +29,26 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	calQ    calendar
+
+	// ring is the same-instant FIFO: events scheduled for the current
+	// virtual time (wakes, yields, zero-latency callbacks — the majority
+	// of all events) are appended here instead of sifting through the
+	// heap, and popped in O(1). Appends carry strictly increasing seq, so
+	// the ring is seq-sorted by construction; popNext merges it with the
+	// heap on (at, seq), preserving the global deterministic order
+	// exactly. Invariant: every ring entry has at == now (now only
+	// advances by popping a later heap event, possible only when the
+	// ring is drained). Unused under exploration (see SetExplorer).
+	ring     []event
+	ringHead int
 	rng     *rand.Rand
-	parked  chan struct{} // a process signals here when it blocks or finishes
+	parked  chan struct{} // a process signals here when the run is over
 	nextID  int
 	procs   map[int]*Proc
 	liveFG  int // live non-daemon processes
 	stopped bool
 	running bool
+	reaping bool  // Run is over; woken processes must exit, not run
 	current *Proc // process currently executing, nil when engine code runs
 
 	// Exploration state (explore.go); all nil/empty unless SetExplorer
@@ -76,13 +90,52 @@ func (e *Engine) clamp(at Time) Time {
 // scheduleResume inserts a resume record for p at absolute time at.
 func (e *Engine) scheduleResume(at Time, p *Proc) {
 	e.seq++
-	e.calQ.push(event{at: e.clamp(at), seq: e.seq, proc: p})
+	if at = e.clamp(at); at == e.now && e.x == nil {
+		e.ring = append(e.ring, event{at: at, seq: e.seq, proc: p})
+		return
+	}
+	e.calQ.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // scheduleFn inserts a callback record at absolute time at.
 func (e *Engine) scheduleFn(at Time, fn func(any), arg any) {
 	e.seq++
-	e.calQ.push(event{at: e.clamp(at), seq: e.seq, fn: fn, arg: arg})
+	if at = e.clamp(at); at == e.now && e.x == nil {
+		e.ring = append(e.ring, event{at: at, seq: e.seq, fn: fn, arg: arg})
+		return
+	}
+	e.calQ.push(event{at: at, seq: e.seq, fn: fn, arg: arg})
+}
+
+// ringEmpty reports whether the same-instant FIFO is drained.
+func (e *Engine) ringEmpty() bool { return e.ringHead == len(e.ring) }
+
+// popNext removes the globally earliest event, merging the same-instant
+// ring with the calendar heap on (at, seq).
+func (e *Engine) popNext() event {
+	if e.ringHead < len(e.ring) {
+		rh := &e.ring[e.ringHead]
+		// Ring entries sit at the current instant; the heap wins only
+		// with an equal timestamp and an older seq.
+		if e.calQ.Len() == 0 {
+			return e.popRing()
+		}
+		if m := e.calQ.min(); m.at != rh.at || m.seq > rh.seq {
+			return e.popRing()
+		}
+	}
+	return e.calQ.pop()
+}
+
+func (e *Engine) popRing() event {
+	ev := e.ring[e.ringHead]
+	e.ring[e.ringHead] = event{} // release the arg/proc references
+	e.ringHead++
+	if e.ringHead == len(e.ring) {
+		e.ring = e.ring[:0]
+		e.ringHead = 0
+	}
+	return ev
 }
 
 // At schedules fn to run in engine context at absolute virtual time at.
@@ -135,6 +188,9 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 	}
 	go func() {
 		<-p.resume
+		if e.reaping {
+			return // reaped before ever running
+		}
 		if e.x != nil {
 			// Under exploration a panic is a finding, not a crash: record
 			// it, stop the run, and hand control back to the engine.
@@ -155,7 +211,8 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 
 // finish retires the process: it runs on the process's own goroutine as
 // the last thing before it exits (normally or, under exploration, from
-// a recovered panic).
+// a recovered panic). The departing goroutine dispatches the next event
+// itself, so retirement hands control on with a single channel send.
 func (p *Proc) finish() {
 	e := p.e
 	p.state = stateDone
@@ -163,20 +220,57 @@ func (p *Proc) finish() {
 	if !p.daemon {
 		e.liveFG--
 	}
-	e.parked <- struct{}{}
+	e.current = nil
+	if next := e.nextProc(); next != nil {
+		e.handoff(next)
+	} else {
+		e.parked <- struct{}{}
+	}
 }
 
-// resumeProc transfers control to p and waits until p parks again.
-func (e *Engine) resumeProc(p *Proc) {
-	if p.state == stateDone {
-		return
+// nextProc advances the simulation on the calling goroutine: it pops and
+// fires events — running engine callbacks inline — until it reaches a
+// process resume, returned for the caller to hand control to, or an end
+// condition (Stop called, all non-daemon processes finished, or an empty
+// calendar), signalled by returning nil.
+//
+// Centralizing dispatch here is what makes a process switch cost one
+// channel handoff instead of two: the goroutine giving up the processor
+// resumes its successor directly rather than bouncing through a
+// dedicated scheduler goroutine (see park and finish).
+func (e *Engine) nextProc() *Proc {
+	for {
+		if e.stopped || e.liveFG == 0 || (e.calQ.Len() == 0 && e.ringEmpty()) {
+			return nil
+		}
+		var ev event
+		if e.x != nil {
+			ev = e.popTie()
+		} else {
+			ev = e.popNext()
+		}
+		e.now = ev.at
+		switch {
+		case ev.proc != nil:
+			if ev.proc.state == stateDone {
+				continue
+			}
+			return ev.proc
+		case e.x != nil:
+			e.runEventExplored(ev)
+		default:
+			ev.fn(ev.arg)
+		}
 	}
-	p.state = stateRunning
-	prev := e.current
-	e.current = p
-	p.resume <- struct{}{}
-	<-e.parked
-	e.current = prev
+}
+
+// handoff transfers control to next and returns immediately. The calling
+// goroutine must block on its own resume channel (park), wait for the
+// run to end (Run), or exit (finish) right after.
+func (e *Engine) handoff(next *Proc) {
+	next.state = stateRunning
+	e.current = next
+	next.resume <- struct{}{}
 }
 
 // wake moves a blocked process into the calendar at the current time.
@@ -230,33 +324,39 @@ func (e *Engine) Run() error {
 		panic("sim: Engine.Run called twice")
 	}
 	e.running = true
-	for !e.stopped {
-		if e.liveFG == 0 {
-			return nil
-		}
-		if e.calQ.Len() == 0 {
-			return e.deadlockError()
-		}
-		var ev event
-		if e.x != nil {
-			ev = e.popTie()
-		} else {
-			ev = e.calQ.pop()
-		}
-		e.now = ev.at
-		switch {
-		case ev.proc != nil:
-			e.resumeProc(ev.proc)
-		case e.x != nil:
-			e.runEventExplored(ev)
-		default:
-			ev.fn(ev.arg)
-		}
+	defer e.reapProcs()
+	if next := e.nextProc(); next != nil {
+		e.handoff(next)
+		<-e.parked // the final process signals here when the run is over
 	}
-	if e.panicErr != nil {
-		return e.panicErr
+	if e.stopped {
+		if e.panicErr != nil {
+			return e.panicErr
+		}
+		return nil
 	}
-	return nil
+	if e.liveFG == 0 {
+		return nil
+	}
+	return e.deadlockError()
+}
+
+// reapProcs runs when Run returns: every process still parked at that
+// point (abandoned daemons and, after Stop or a deadlock, blocked
+// processes) is woken one last time and exits instead of resuming.
+// Without this the goroutines block on their resume channels forever,
+// and — since each one references the engine — keep the entire
+// simulation heap live; programs that run many simulations (benchmarks,
+// model checkers, parameter sweeps) then accumulate stacks and heaps
+// without bound.
+func (e *Engine) reapProcs() {
+	e.reaping = true
+	for _, p := range e.procs { //detlint:ok post-run teardown, order invisible
+		if p.state == stateDone {
+			continue
+		}
+		p.resume <- struct{}{} // wakes in park or at the spawn gate; exits
+	}
 }
 
 func (e *Engine) deadlockError() error {
@@ -311,13 +411,35 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.now }
 
-// park hands control back to the engine and blocks until resumed. The
-// caller must have arranged a wakeup (calendar event or Signal
-// registration) before calling park, or the process deadlocks.
+// park gives up the processor and blocks until resumed. The caller must
+// have arranged a wakeup (calendar event or Signal registration) before
+// calling park, or the process deadlocks.
+//
+// The parking goroutine dispatches events itself until the next process
+// switch (nextProc). Two outcomes avoid channel traffic entirely: the
+// next resume may be this process's own (sleep across engine callbacks),
+// and engine callbacks between resumes run inline. Otherwise control
+// moves to the successor — or, when the run is over, back to Run — with
+// a single send.
 func (p *Proc) park(st procState) {
+	e := p.e
 	p.state = st
-	p.e.parked <- struct{}{}
+	e.current = nil
+	next := e.nextProc()
+	if next == p {
+		p.state = stateRunning
+		e.current = p
+		return
+	}
+	if next != nil {
+		e.handoff(next)
+	} else {
+		e.parked <- struct{}{} // run over: wake Run, then await the reaper
+	}
 	<-p.resume
+	if e.reaping {
+		runtime.Goexit() // run over: unwind instead of resuming
+	}
 	p.state = stateRunning
 }
 
@@ -338,7 +460,7 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	e := p.e
 	at := e.now.Add(d)
-	if !e.stopped && (e.calQ.Len() == 0 || at < e.calQ.min().at) {
+	if !e.stopped && e.ringEmpty() && (e.calQ.Len() == 0 || at < e.calQ.min().at) {
 		e.now = at
 		return
 	}

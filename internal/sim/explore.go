@@ -54,6 +54,13 @@ func (e *Engine) SetExplorer(x Explorer) {
 	if x != nil && e.yieldSeq == nil {
 		e.yieldSeq = make(map[uint64]struct{})
 	}
+	// Exploration pops through popTie, which consults only the heap, so
+	// flush anything the same-instant ring gathered before the explorer
+	// was installed (events scheduled during setup keep their seq, hence
+	// their deterministic order).
+	for e.ringHead < len(e.ring) {
+		e.calQ.push(e.popRing())
+	}
 }
 
 // popTie is the exploring replacement for calQ.pop: gather every event

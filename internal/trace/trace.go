@@ -87,12 +87,21 @@ type Event struct {
 	Structured bool // typed fields are meaningful; render from them
 
 	What string // free-form detail ("READ_REQUEST mp=12", "write fault @0x2000_0040")
+
+	// what holds the formatted payload of Recordf events while the event
+	// sits in the ring: it aliases the recorder's per-slot arena buffer,
+	// which is reused when the slot is overwritten. Events() materializes
+	// it into What, so snapshots never alias recorder-owned memory.
+	what []byte
 }
 
 // detail renders the event-specific text: What verbatim when set,
 // otherwise the structured fields in the historical format.
 func (e Event) detail() string {
 	if e.What != "" || !e.Structured {
+		if e.What == "" && len(e.what) > 0 {
+			return string(e.what)
+		}
 		return e.What
 	}
 	switch e.Kind {
@@ -130,6 +139,13 @@ type Recorder struct {
 	wrapped bool
 	total   uint64
 
+	// bufs is the payload arena for Recordf events: one reusable byte
+	// buffer per ring slot, created on first use. A slot's buffer is
+	// reformatted in place when the ring wraps over it, so a long traced
+	// run reaches a steady state with no per-event allocation beyond the
+	// formatter's own argument handling.
+	bufs [][]byte
+
 	// Filter, if set, drops events for which it returns false.
 	Filter func(Event) bool
 }
@@ -155,6 +171,12 @@ func (r *Recorder) Record(e Event) {
 	if r.Filter != nil && !r.Filter(e) {
 		return
 	}
+	r.store(e)
+}
+
+// store appends e to the ring unconditionally (the caller has already
+// applied the filter).
+func (r *Recorder) store(e Event) {
 	r.total++
 	r.events[r.next] = e
 	r.next++
@@ -187,9 +209,11 @@ func (r *Recorder) RecordFault(at sim.Time, host int, write bool, addr uint64) {
 		Op: op, Addr: addr, Structured: true})
 }
 
-// Recordf is Record with formatting (no home host attached). Unlike the
-// typed entry points it allocates for the formatted string; it remains
-// for free-form notes and callers without a protocol op code.
+// Recordf is Record with formatting (no home host attached). The
+// formatted payload lands in the recorder's per-slot arena rather than a
+// fresh string, so steady-state recording is allocation-free apart from
+// the formatter's argument boxing; it remains for free-form notes and
+// callers without a protocol op code.
 func (r *Recorder) Recordf(at sim.Time, kind Kind, host, peer int, format string, args ...any) {
 	r.RecordfHome(at, kind, host, peer, -1, format, args...)
 }
@@ -201,7 +225,23 @@ func (r *Recorder) RecordfHome(at sim.Time, kind Kind, host, peer, home int, for
 	if r == nil {
 		return
 	}
-	r.Record(Event{At: at, Kind: kind, Host: host, Peer: peer, Home: home, What: fmt.Sprintf(format, args...)})
+	if r.bufs == nil {
+		r.bufs = make([][]byte, len(r.events))
+	}
+	buf := fmt.Appendf(r.bufs[r.next][:0], format, args...)
+	r.bufs[r.next] = buf // keep grown capacity even if the filter drops the event
+	e := Event{At: at, Kind: kind, Host: host, Peer: peer, Home: home, what: buf}
+	if r.Filter != nil {
+		// The filter sees a materialized copy: handing it the arena slice
+		// would let it retain payload bytes the next wrap rewrites.
+		mat := e
+		mat.What = string(mat.what)
+		mat.what = nil
+		if !r.Filter(mat) {
+			return
+		}
+	}
+	r.store(e)
 }
 
 // Len reports the number of retained events.
@@ -216,17 +256,39 @@ func (r *Recorder) Len() int {
 // that fell off the ring).
 func (r *Recorder) Total() uint64 { return r.total }
 
-// Events returns the retained events in chronological order.
+// Events returns the retained events in chronological order. Arena-held
+// payloads are materialized into What, so the snapshot stays valid after
+// further recording reuses the underlying buffers.
 func (r *Recorder) Events() []Event {
+	var out []Event
 	if !r.wrapped {
-		out := make([]Event, r.next)
+		out = make([]Event, r.next)
 		copy(out, r.events[:r.next])
-		return out
+	} else {
+		out = make([]Event, 0, len(r.events))
+		out = append(out, r.events[r.next:]...)
+		out = append(out, r.events[:r.next]...)
 	}
-	out := make([]Event, 0, len(r.events))
-	out = append(out, r.events[r.next:]...)
-	out = append(out, r.events[:r.next]...)
+	for i := range out {
+		if len(out[i].what) > 0 {
+			out[i].What = string(out[i].what)
+			out[i].what = nil
+		}
+	}
 	return out
+}
+
+// Reset discards all retained events and the total count but keeps the
+// ring and the payload arena, so a recorder can be recycled across runs
+// without re-allocating.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	clear(r.events)
+	r.next = 0
+	r.wrapped = false
+	r.total = 0
 }
 
 // Dump writes the retained events to w, one per line.

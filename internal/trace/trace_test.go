@@ -196,6 +196,76 @@ func TestRecordMsgAllocFree(t *testing.T) {
 	}
 }
 
+// TestRecordfArenaNoAlias pins the arena contract: an Events() snapshot
+// must stay intact while later Recordf calls rewrite the slot buffers the
+// snapshot's events once aliased.
+func TestRecordfArenaNoAlias(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 4; i++ {
+		r.Recordf(sim.Time(i), Note, 0, -1, "first-%d", i)
+	}
+	snap := r.Events()
+	for i := 0; i < 8; i++ {
+		r.Recordf(sim.Time(100+i), Note, 0, -1, "second-%d", i)
+	}
+	for i, e := range snap {
+		want := "first-" + string(rune('0'+i))
+		if e.What != want {
+			t.Fatalf("snapshot[%d].What = %q after wrap, want %q", i, e.What, want)
+		}
+	}
+	// Slot buffers must be distinct: two retained events may never share
+	// payload storage.
+	seen := map[*byte]int{}
+	for i, e := range r.events {
+		if len(e.what) == 0 {
+			continue
+		}
+		p := &e.what[0]
+		if j, dup := seen[p]; dup {
+			t.Fatalf("slots %d and %d share an arena buffer", j, i)
+		}
+		seen[p] = i
+	}
+}
+
+// TestRecordfArenaSteadyAllocs pins the arena payoff: once the ring has
+// wrapped, a no-argument Recordf reuses its slot buffer and performs no
+// heap allocation at all.
+func TestRecordfArenaSteadyAllocs(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 16; i++ { // warm every slot buffer
+		r.Recordf(sim.Time(i), Note, 0, -1, "a reasonably long warmup payload")
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		r.Recordf(1, Note, 0, -1, "steady-state note payload")
+	}); avg != 0 {
+		t.Fatalf("Recordf allocates %.2f objects/event in steady state, want 0", avg)
+	}
+}
+
+// TestResetRecycles checks that a Reset recorder renders a repeated
+// history identically — the recycled arena buffers leave no residue.
+func TestResetRecycles(t *testing.T) {
+	r := NewRecorder(8)
+	run := func() string {
+		r.Recordf(1, Send, 0, 1, "payload %d and %#x", 42, 0xbeef)
+		r.RecordMsg(2, Handle, 1, 0, -1, fixtureBase+2, 5, 0)
+		var buf bytes.Buffer
+		r.Dump(&buf)
+		return buf.String()
+	}
+	first := run()
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("Reset left Len=%d Total=%d", r.Len(), r.Total())
+	}
+	second := run()
+	if first != second {
+		t.Fatalf("recycled recorder rendered differently:\n%s\nvs\n%s", first, second)
+	}
+}
+
 // BenchmarkRecordMsgDisabled measures the instrumentation guard as the
 // DSM hot path uses it: a nil recorder must cost a branch, nothing more.
 func BenchmarkRecordMsgDisabled(b *testing.B) {

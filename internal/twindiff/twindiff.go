@@ -73,6 +73,80 @@ func Apply(page []byte, runs []Run) error {
 	return nil
 }
 
+// AppendDiff computes the run-length diff of cur against twin and
+// appends its wire encoding directly to dst, returning the extended
+// slice. The bytes produced are identical to Encode(Diff(twin, cur)),
+// without materializing the intermediate []Run or copying run data out
+// of cur — the allocation-free form for protocol hot loops that hold a
+// reusable encode buffer.
+func AppendDiff(dst, twin, cur []byte) ([]byte, error) {
+	if len(twin) != len(cur) {
+		return nil, fmt.Errorf("twindiff: twin %d bytes vs page %d bytes", len(twin), len(cur))
+	}
+	const minGap = 8
+	var hdr [4]byte
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i
+		for j := i + 1; j < len(cur) && j-last < minGap; j++ {
+			if twin[j] != cur[j] {
+				last = j
+			}
+		}
+		n := last + 1 - start
+		if start > maxField || n > maxField {
+			return nil, fmt.Errorf("twindiff: run at offset %d length %d outside uint16 range", start, n)
+		}
+		binary.LittleEndian.PutUint16(hdr[0:2], uint16(start))
+		binary.LittleEndian.PutUint16(hdr[2:4], uint16(n))
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, cur[start:last+1]...)
+		i = last + 1
+	}
+	return dst, nil
+}
+
+// ApplyEncoded patches page directly from an encoded diff, equivalent to
+// Apply(page, Decode(enc)) but without materializing runs. Validation is
+// all-or-nothing: the encoding is checked in full (canonical order, no
+// overlap, in-bounds) before the first byte of page is touched, so a
+// corrupt frame never half-applies.
+func ApplyEncoded(page, enc []byte) error {
+	rest := enc
+	end := 0
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return ErrCorrupt
+		}
+		off := int(binary.LittleEndian.Uint16(rest[0:2]))
+		n := int(binary.LittleEndian.Uint16(rest[2:4]))
+		rest = rest[4:]
+		if n == 0 || n > len(rest) {
+			return ErrCorrupt
+		}
+		if off < end {
+			return ErrCorrupt
+		}
+		end = off + n
+		if end > len(page) {
+			return fmt.Errorf("twindiff: run [%d,%d) outside page of %d bytes", off, end, len(page))
+		}
+		rest = rest[n:]
+	}
+	for len(enc) > 0 {
+		off := int(binary.LittleEndian.Uint16(enc[0:2]))
+		n := int(binary.LittleEndian.Uint16(enc[2:4]))
+		copy(page[off:], enc[4:4+n])
+		enc = enc[4+n:]
+	}
+	return nil
+}
+
 // ErrCorrupt reports a malformed encoded diff.
 var ErrCorrupt = errors.New("twindiff: corrupt encoding")
 

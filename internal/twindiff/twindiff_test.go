@@ -184,6 +184,104 @@ func TestDiffApplyProperty(t *testing.T) {
 	}
 }
 
+// TestStreamingFormsMatch checks the zero-alloc entry points against the
+// run-based ones: AppendDiff must emit the exact bytes of Encode(Diff()),
+// and ApplyEncoded must patch identically to Decode+Apply, for random
+// edit patterns.
+func TestStreamingFormsMatch(t *testing.T) {
+	f := func(orig []byte, edits []struct {
+		Off uint16
+		Val byte
+	}) bool {
+		if len(orig) == 0 {
+			orig = []byte{0}
+		}
+		if len(orig) > 4096 {
+			orig = orig[:4096]
+		}
+		twin := Twin(orig)
+		page := append([]byte(nil), orig...)
+		for _, e := range edits {
+			page[int(e.Off)%len(page)] = e.Val
+		}
+		runs, err := Diff(twin, page)
+		if err != nil {
+			return false
+		}
+		want, err := Encode(runs)
+		if err != nil {
+			return false
+		}
+		got, err := AppendDiff(nil, twin, page)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got, want) {
+			return false
+		}
+		restored := Twin(twin)
+		if err := ApplyEncoded(restored, got); err != nil {
+			return false
+		}
+		return bytes.Equal(restored, page)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyEncodedAllOrNothing: a diff whose tail is corrupt must leave
+// the page untouched — validation happens before any byte is written.
+func TestApplyEncodedAllOrNothing(t *testing.T) {
+	page := make([]byte, 256)
+	twin := Twin(page)
+	page[10] = 1
+	page[200] = 2
+	enc, err := AppendDiff(nil, twin, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Twin(twin)
+	bad := append(append([]byte(nil), enc...), 0xff) // truncated trailing header
+	if err := ApplyEncoded(target, bad); err == nil {
+		t.Fatal("corrupt diff accepted")
+	}
+	if !bytes.Equal(target, twin) {
+		t.Fatal("failed apply modified the page")
+	}
+	// Out-of-range runs are also rejected before writing.
+	short := target[:64]
+	if err := ApplyEncoded(short, enc); err == nil {
+		t.Fatal("out-of-range diff accepted")
+	}
+	if !bytes.Equal(short, twin[:64]) {
+		t.Fatal("out-of-range apply modified the page")
+	}
+}
+
+// TestDiffRoundTripAllocFree pins the lrc-mw steady state: with a
+// pre-grown destination buffer, the encode+apply round trip the protocol
+// performs on every release/fetch allocates nothing.
+func TestDiffRoundTripAllocFree(t *testing.T) {
+	page := make([]byte, 4096)
+	twin := Twin(page)
+	for i := 0; i < len(page); i += 97 {
+		page[i] ^= 0x5a
+	}
+	buf := make([]byte, 0, 2*len(page))
+	if avg := testing.AllocsPerRun(100, func() {
+		enc, err := AppendDiff(buf[:0], twin, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplyEncoded(page, enc); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("diff round trip allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 func TestCostsMatchPaper(t *testing.T) {
 	// 250 µs for a 4 KB page, linear in size.
 	if got := CreateCost(4096); got != 250*sim.Microsecond {

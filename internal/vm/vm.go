@@ -208,6 +208,19 @@ func (as *AddressSpace) ensure(lo, hi uint64) {
 	as.base, as.pt = nb, np
 }
 
+// Reserve pre-sizes the page table to cover nPages vpages starting at the
+// page containing va, without mapping anything. Callers that map many
+// views of one layout (core.NewRegion maps n+1 of them back to back)
+// reserve the full span once, so the dense table is allocated a single
+// time instead of being re-allocated and copied on every MapView.
+func (as *AddressSpace) Reserve(va uint64, nPages int) {
+	if nPages <= 0 {
+		return
+	}
+	vpn := va / PageSize
+	as.ensure(vpn, vpn+uint64(nPages))
+}
+
 // SetFaultHandler installs h as the space's fault handler, returning the
 // previous handler.
 func (as *AddressSpace) SetFaultHandler(h FaultHandler) FaultHandler {
