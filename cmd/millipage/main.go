@@ -125,6 +125,7 @@ func usage() {
                          -hosts L      comma list of host counts (default 1,2,4,8)
                          -only A       run a single application
                          -protocol P   coherence protocol: millipage, ivy, lrc, lrc-mw
+                         -engine E     event engine: seq (classic) or par (sharded parallel)
                          -seed N
   chunking [flags]     Figure 7: chunking in WATER (-scale, -seed)
   ablation [flags]     Section 5 / 3.5 ablations: LRC over chunking,
@@ -210,6 +211,7 @@ func runApps(args []string) error {
 	only := fs.String("only", "", "run a single application (SOR, IS, WATER, LU, TSP)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	protocol := fs.String("protocol", "millipage", "coherence protocol (millipage, ivy, lrc, lrc-mw)")
+	engine := fs.String("engine", "seq", "event engine: seq (classic) or par (sharded parallel)")
 	fs.Parse(args)
 
 	cfg := bench.DefaultFigure6()
@@ -217,13 +219,14 @@ func runApps(args []string) error {
 	cfg.Seed = *seed
 	cfg.Only = *only
 	cfg.Protocol = *protocol
+	cfg.Engine = *engine
 	hs, err := parseHosts(*hosts)
 	if err != nil {
 		return err
 	}
 	cfg.Hosts = hs
 
-	fmt.Printf("running application suite under %s at scale %.2f on hosts %v ...\n", *protocol, *scale, hs)
+	fmt.Printf("running application suite under %s (%s engine) at scale %.2f on hosts %v ...\n", *protocol, *engine, *scale, hs)
 	runs, err := bench.Figure6(cfg, os.Stdout)
 	if err != nil {
 		return err

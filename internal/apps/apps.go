@@ -41,6 +41,12 @@ type Params struct {
 	ComposedViews bool // WATER: gang-fetch the read phase (paper Section 5)
 	Seed          int64
 	Scale         float64 // problem scale: 1.0 = the paper's data sets
+
+	// Engine selects the event engine ("seq" default, "par" for the
+	// sharded parallel engine) and ParWorkers bounds its goroutines; see
+	// millipage.Config. Virtual-time results are engine-independent.
+	Engine     string
+	ParWorkers int
 }
 
 func (p Params) withDefaults() Params {
@@ -74,6 +80,23 @@ type Result struct {
 	Timed   sim.Duration // the timed parallel section (excludes setup), for speedups
 	Check   float64      // application checksum; equal across host counts iff SC holds
 	Checked bool         // application-level verification ran and passed
+	Engine  EngineShape  // event-engine execution shape of the run
+}
+
+// EngineShape records how the event engine executed the run (see
+// millipage.Cluster.EngineStats): 1 shard / 0 windows on the sequential
+// engine, hosts+1 shards on the parallel one.
+type EngineShape struct {
+	Shards    int
+	Workers   int
+	Windows   uint64
+	MaxActive int
+}
+
+// engineShape captures a cluster's execution shape after Run.
+func engineShape(c *millipage.Cluster) EngineShape {
+	shards, workers, windows, maxActive := c.EngineStats()
+	return EngineShape{Shards: shards, Workers: workers, Windows: windows, MaxActive: maxActive}
 }
 
 func (r Result) String() string {

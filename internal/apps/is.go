@@ -44,6 +44,8 @@ func RunIS(p Params) (Result, error) {
 		PageGranularity: p.PageGrain,
 		Seed:            p.Seed,
 		PerfectTimers:   p.PerfectTimers,
+		Engine:          p.Engine,
+		ParWorkers:      p.ParWorkers,
 	})
 	if err != nil {
 		return Result{}, err
@@ -135,7 +137,7 @@ func RunIS(p Params) (Result, error) {
 	}
 	// The weighted bucket sum is a deterministic function of the keys, so
 	// it validates coherence exactly (integer arithmetic: no FP ordering).
-	return Result{Name: "IS", Hosts: hosts, Report: report, Timed: timed, Check: check, Checked: check != 0}, nil
+	return Result{Name: "IS", Hosts: hosts, Report: report, Timed: timed, Check: check, Checked: check != 0, Engine: engineShape(cluster)}, nil
 }
 
 // isKeyAt is a splitmix64-style hash of the global key index: a

@@ -42,6 +42,8 @@ func RunLU(p Params) (Result, error) {
 		PageGranularity: p.PageGrain,
 		Seed:            p.Seed,
 		PerfectTimers:   p.PerfectTimers,
+		Engine:          p.Engine,
+		ParWorkers:      p.ParWorkers,
 	})
 	if err != nil {
 		return Result{}, err
@@ -173,7 +175,7 @@ func RunLU(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "LU", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: !math.IsNaN(check) && check != 0}, nil
+	return Result{Name: "LU", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: !math.IsNaN(check) && check != 0, Engine: engineShape(cluster)}, nil
 }
 
 // factorBlock performs an in-place unblocked LU (no pivoting) on a

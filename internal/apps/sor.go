@@ -41,6 +41,8 @@ func RunSOR(p Params) (Result, error) {
 		PageGranularity: p.PageGrain,
 		Seed:            p.Seed,
 		PerfectTimers:   p.PerfectTimers,
+		Engine:          p.Engine,
+		ParWorkers:      p.ParWorkers,
 	})
 	if err != nil {
 		return Result{}, err
@@ -126,7 +128,7 @@ func RunSOR(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "SOR", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: check > 0}, nil
+	return Result{Name: "SOR", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: check > 0, Engine: engineShape(cluster)}, nil
 }
 
 // band returns thread t's contiguous row range out of n threads.

@@ -53,6 +53,8 @@ func RunTSP(p Params) (Result, error) {
 		PageGranularity: p.PageGrain,
 		Seed:            p.Seed,
 		PerfectTimers:   p.PerfectTimers,
+		Engine:          p.Engine,
+		ParWorkers:      p.ParWorkers,
 	})
 	if err != nil {
 		return Result{}, err
@@ -157,7 +159,7 @@ func RunTSP(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "TSP", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: check > 0}, nil
+	return Result{Name: "TSP", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: check > 0, Engine: engineShape(cluster)}, nil
 }
 
 // pushWork pushes a tour slot on the shared work stack. Caller holds (or

@@ -57,6 +57,8 @@ func RunWATER(p Params) (Result, error) {
 		PageGranularity: p.PageGrain,
 		Seed:            p.Seed,
 		PerfectTimers:   p.PerfectTimers,
+		Engine:          p.Engine,
+		ParWorkers:      p.ParWorkers,
 	})
 	if err != nil {
 		return Result{}, err
@@ -212,7 +214,7 @@ func RunWATER(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "WATER", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: check != 0}, nil
+	return Result{Name: "WATER", Hosts: p.Hosts, Report: report, Timed: timed, Check: check, Checked: check != 0, Engine: engineShape(cluster)}, nil
 }
 
 // pairForce is a soft inverse-square interaction — a real (if simplified)

@@ -57,3 +57,39 @@ func TestE2ESOR8AllocsRegression(t *testing.T) {
 		t.Fatalf("E2ESOR8 allocates %d objects/op, more than 2x the pinned %d", got, pinned)
 	}
 }
+
+// TestE2ESOR64ParAllocsRegression extends the allocation gate to the
+// parallel engine's steady state, against the ParSpeedup row pinned in
+// BENCH_sim.json. The sharded path has its own ways to regress that the
+// sequential workload never exercises: goroutines spawned per window
+// instead of pooled, a sorting closure or reflect swapper on the merge
+// barrier, outbox capacity dropped instead of recycled — each one
+// multiplies by the tens of thousands of windows in a run.
+func TestE2ESOR64ParAllocsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	blob, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Skipf("no pinned report: %v", err)
+	}
+	var report struct {
+		Benchmarks []PerfPoint `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_sim.json: %v", err)
+	}
+	var pinned int64
+	for _, p := range report.Benchmarks {
+		if p.Name == "ParSpeedup" {
+			pinned = p.AllocsPerOp
+		}
+	}
+	if pinned <= 0 {
+		t.Fatal("BENCH_sim.json has no ParSpeedup allocs/op pin")
+	}
+	r := testing.Benchmark(benchE2ESOR64Par)
+	if got := r.AllocsPerOp(); got > 2*pinned {
+		t.Fatalf("64-host parallel SOR allocates %d objects/op, more than 2x the pinned %d", got, pinned)
+	}
+}

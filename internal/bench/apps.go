@@ -23,8 +23,9 @@ type Figure6Config struct {
 	Hosts      []int   // cluster sizes (paper: 1..8)
 	Scale      float64 // 1.0 = the paper's data sets
 	Seed       int64
-	ChunkWATER int // chunking level for WATER (paper uses chunking for its results)
+	ChunkWATER int    // chunking level for WATER (paper uses chunking for its results)
 	Only       string
+	Engine     string // event engine: "" / "seq" classic, "par" sharded parallel
 }
 
 // DefaultFigure6 matches the paper's runs: 1, 2, 4, 8 hosts at full scale,
@@ -57,7 +58,7 @@ func Figure6(cfg Figure6Config, progress io.Writer) ([]AppRun, error) {
 	}
 	results, err := sweep(len(grid), func(i int) (apps.Result, error) {
 		c := grid[i]
-		p := apps.Params{Protocol: cfg.Protocol, Hosts: c.hosts, Scale: cfg.Scale, Seed: cfg.Seed}
+		p := apps.Params{Protocol: cfg.Protocol, Hosts: c.hosts, Scale: cfg.Scale, Seed: cfg.Seed, Engine: cfg.Engine}
 		if c.app.Name == "WATER" {
 			p.ChunkLevel = cfg.ChunkWATER
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
 	"millipage/internal/apps"
@@ -58,6 +59,8 @@ var perfSuite = []struct {
 	{"E2ESOR32", PerfBaseline{86816046, 33629, 88812270}, benchE2ESOR32},
 	{"E2EFalseShareMW", PerfBaseline{5552905, 968, 12191948}, benchE2EFalseShareMW},
 	{"E2EWATER8MW", PerfBaseline{34954527, 11433, 28237266}, benchE2EWATER8MW},
+	{"E2ESOR64", PerfBaseline{102808427, 3651, 72700476}, benchE2ESOR64},
+	{"E2ESOR256", PerfBaseline{285312197, 14497, 167084576}, benchE2ESOR256},
 }
 
 // benchEventDispatch: schedule-and-fire throughput of the engine calendar.
@@ -191,6 +194,56 @@ func benchE2ESOR32(b *testing.B) {
 	}
 }
 
+// benchE2ESOR64 / benchE2ESOR256: the cluster-scaling workloads added
+// with the sharded engine, on the classic sequential engine. Their
+// baselines were frozen when the rows were introduced (at the sharded-
+// engine pin), so speedup reads as drift since then. 256 hosts runs at
+// half scale to keep one iteration bounded; its cost is dominated by the
+// 257-way barrier fan-in and per-host protocol state.
+func benchE2ESOR64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.RunSOR(apps.Params{Hosts: 64, Scale: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchE2ESOR256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.RunSOR(apps.Params{Hosts: 256, Scale: 0.05, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// parShape records the engine shape of the last parallel benchmark run,
+// for the report header (shards used alongside the sweep width).
+var parShape apps.EngineShape
+
+// benchE2ESOR64Par: the 64-host SOR workload on the sharded parallel
+// engine. It is not a perfSuite row of its own; RunPerfBench measures it
+// against the sequential E2ESOR64 point from the same invocation and
+// reports the ratio as ParSpeedup — a wall-clock engine-vs-engine
+// comparison, not a drift row. On a single-core host the ratio reads
+// below 1: the shard barriers and merge sort are pure overhead when the
+// windows cannot actually overlap.
+func benchE2ESOR64Par(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := apps.RunSOR(apps.Params{Hosts: 64, Scale: 0.1, Seed: 1, Engine: "par", ParWorkers: parBenchWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parShape = r.Engine
+	}
+}
+
+// parBenchWorkers is the goroutine budget for the ParSpeedup row: 4, the
+// smallest width where window overlap can pay for the barrier cost on
+// real multi-core hardware. The report's note records the cores the
+// measurement actually had — on fewer than 4 the ratio is an
+// oversubscription number, not a speedup.
+const parBenchWorkers = 4
+
 // benchE2EFalseShareMW / benchE2EWATER8MW: the wall-clock cost of
 // simulating the SC-vs-multi-writer comparison kernels under lrc-mw
 // (twins, run-length diffs, write notices). Unlike the rows above,
@@ -214,17 +267,21 @@ func benchE2EWATER8MW(b *testing.B) {
 	}
 }
 
-// RunPerfBench measures the simulator benchmark suite.
+// RunPerfBench measures the simulator benchmark suite, then the
+// ParSpeedup row: the 64-host SOR workload on the parallel engine,
+// whose baseline is the sequential E2ESOR64 measurement from this same
+// invocation (so the Speedup column is seq wall / par wall, apples to
+// apples on this machine, not a frozen pin).
 func RunPerfBench() []PerfPoint {
 	var out []PerfPoint
-	for _, s := range perfSuite {
-		r := testing.Benchmark(s.run)
+	measure := func(name string, run func(b *testing.B), baseline PerfBaseline) PerfPoint {
+		r := testing.Benchmark(run)
 		p := PerfPoint{
-			Name:        s.name,
+			Name:        name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-			Baseline:    s.baseline,
+			Baseline:    baseline,
 		}
 		if p.NsPerOp > 0 {
 			p.Speedup = p.Baseline.NsPerOp / p.NsPerOp
@@ -234,8 +291,17 @@ func RunPerfBench() []PerfPoint {
 		} else if p.Baseline.AllocsPerOp > 0 {
 			p.AllocsFactor = 0 // rendered as "now allocation-free"
 		}
+		return p
+	}
+	var seqSOR64 PerfBaseline
+	for _, s := range perfSuite {
+		p := measure(s.name, s.run, s.baseline)
+		if s.name == "E2ESOR64" {
+			seqSOR64 = PerfBaseline{NsPerOp: p.NsPerOp, AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp}
+		}
 		out = append(out, p)
 	}
+	out = append(out, measure("ParSpeedup", benchE2ESOR64Par, seqSOR64))
 	return out
 }
 
@@ -244,6 +310,8 @@ func RunPerfBench() []PerfPoint {
 func WritePerfBench(w io.Writer, path string) error {
 	pts := RunPerfBench()
 	fmt.Fprintln(w, "Simulator wall-clock benchmarks (before = pre-optimization baseline)")
+	fmt.Fprintf(w, "sweep workers=%d; parallel engine: shards=%d workers=%d (machine cores=%d)\n",
+		Workers(), parShape.Shards, parShape.Workers, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(w, "%-15s %14s %14s %8s %13s %13s %13s\n",
 		"benchmark", "before ns/op", "now ns/op", "speedup", "before allocs", "now allocs", "now B/op")
 	for _, p := range pts {
@@ -257,7 +325,8 @@ func WritePerfBench(w io.Writer, path string) error {
 		Note       string      `json:"note"`
 		Benchmarks []PerfPoint `json:"benchmarks"`
 	}{
-		Note:       "wall-clock simulator performance; baseline = pre-optimization simulator on the same workloads, except the *MW rows whose baseline is the same workload under SC-Millipage (speedup = SC cost / multi-writer-LRC cost)",
+		Note: fmt.Sprintf("wall-clock simulator performance; baseline = pre-optimization simulator on the same workloads, except the *MW rows whose baseline is the same workload under SC-Millipage (speedup = SC cost / multi-writer-LRC cost) and the ParSpeedup row whose baseline is the sequential-engine E2ESOR64 measured in the same invocation (speedup = seq wall / par wall at %d shard workers on %d machine cores — below 1 when cores < workers)",
+			parBenchWorkers, runtime.GOMAXPROCS(0)),
 		Benchmarks: pts,
 	}, "", "  ")
 	if err != nil {

@@ -1,4 +1,4 @@
-// Package check exports the DESIGN.md §7 sharing invariants — the
+// Package check exports the DESIGN.md §8 sharing invariants — the
 // Single-Writer/Multiple-Readers page-table invariant, the sequential-
 // consistency litmus oracles, and the DRF-agreement oracle — as plain
 // functions and portable workload bodies. The conformance and chaos

@@ -7,7 +7,7 @@ import (
 	"millipage/internal/sim"
 )
 
-// The workload bodies below are the DESIGN.md §7 conformance programs
+// The workload bodies below are the DESIGN.md §8 conformance programs
 // in portable form: each is a struct holding the run's shared state
 // (addresses, observed values, first failure) whose Body method every
 // thread executes through the protocol-independent AppThread surface.

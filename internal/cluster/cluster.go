@@ -37,6 +37,19 @@ type Config struct {
 	ThreadsPerHost int
 	Seed           int64
 
+	// Engine selects the event engine: "seq" (default) is the classic
+	// single-calendar engine, bit-identical to every release since the
+	// simulator landed; "par" shards the calendar per host (plus shard 0
+	// for global services) and executes the shards concurrently inside
+	// conservative lookahead windows. The parallel engine is incompatible
+	// with fault injection and tracing, which share state across hosts.
+	Engine string
+
+	// ParWorkers bounds the parallel engine's worker goroutines
+	// (0 = GOMAXPROCS). The simulation's outcome is identical at every
+	// width; only wall-clock time changes.
+	ParWorkers int
+
 	Net   fastmsg.Params
 	Costs Costs
 
@@ -71,8 +84,17 @@ func (c Config) withDefaults() Config {
 	if c.Costs == (Costs{}) {
 		c.Costs = DefaultCosts()
 	}
+	if c.Engine == "" {
+		c.Engine = EngineSeq
+	}
 	return c
 }
+
+// Engine selector values for Config.Engine.
+const (
+	EngineSeq = "seq"
+	EnginePar = "par"
+)
 
 // Runtime is one cluster's substrate: the simulation engine, the network,
 // the hosts and the application threads. Protocol packages wrap it in
@@ -96,7 +118,24 @@ type Runtime struct {
 // afterwards with NewHost, one call per host in id order.
 func New(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
-	eng := sim.NewEngine(cfg.Seed)
+	var eng *sim.Engine
+	switch cfg.Engine {
+	case EngineSeq:
+		eng = sim.NewEngine(cfg.Seed)
+	case EnginePar:
+		if cfg.Faults.Enabled() {
+			panic(cfg.Name + `: Engine "par" is incompatible with fault injection (the reliability layer shares per-link state across hosts); use Engine "seq"`)
+		}
+		if cfg.Trace != nil {
+			panic(cfg.Name + `: Engine "par" is incompatible with tracing (the recorder is a single globally ordered ring); use Engine "seq"`)
+		}
+		eng = sim.NewShardedEngine(cfg.Seed, cfg.Hosts+1)
+		if cfg.ParWorkers > 0 {
+			eng.SetParWorkers(cfg.ParWorkers)
+		}
+	default:
+		panic(fmt.Sprintf("%s: unknown Engine %q (want %q or %q)", cfg.Name, cfg.Engine, EngineSeq, EnginePar))
+	}
 	net := fastmsg.New(eng, cfg.Hosts, cfg.Net)
 	rt := &Runtime{Cfg: cfg, Eng: eng, Net: net, Trace: cfg.Trace}
 	if cfg.Faults.Enabled() {
@@ -128,7 +167,7 @@ type CrashRecoverer interface {
 // in-flight blocking request registered with BlockRetry.
 func (rt *Runtime) onRestart(h int) {
 	host := rt.hosts[h]
-	rt.Eng.SpawnDaemon(fmt.Sprintf("recover-%d", h), func(p *sim.Proc) {
+	host.sh.SpawnDaemon(fmt.Sprintf("recover-%d", h), func(p *sim.Proc) {
 		if cr, ok := host.handler.(CrashRecoverer); ok {
 			cr.RecoverCrash(p)
 		}
@@ -141,7 +180,8 @@ func (rt *Runtime) onRestart(h int) {
 // trace recording layered on top.
 func (rt *Runtime) NewHost(as *vm.AddressSpace, hh HostHandler) *Host {
 	id := len(rt.hosts)
-	h := &Host{rt: rt, id: id, AS: as, EP: rt.Net.Endpoint(id), handler: hh}
+	ep := rt.Net.Endpoint(id)
+	h := &Host{rt: rt, id: id, AS: as, EP: ep, sh: ep.Shard(), handler: hh}
 	as.SetFaultHandler(h.onFault)
 	h.EP.SetHandler(h.onMessage)
 	rt.hosts = append(rt.hosts, h)
@@ -188,7 +228,7 @@ func (rt *Runtime) Run(mk func(t *Thread) func()) error {
 			gid++
 			h := h
 			body := mk(t)
-			rt.Eng.Spawn(fmt.Sprintf("app-%d.%d", h.id, j), func(p *sim.Proc) {
+			h.sh.Spawn(fmt.Sprintf("app-%d.%d", h.id, j), func(p *sim.Proc) {
 				t.p = p
 				h.EP.SetBusy(+1)
 				t.Stats.Start = p.Now()

@@ -1,4 +1,4 @@
-// Conformance tests: the DESIGN.md §7 sharing invariants, run
+// Conformance tests: the DESIGN.md §8 sharing invariants, run
 // generically against every protocol through the cluster substrate and
 // the protocol-independent AppThread surface. The checkers and workload
 // bodies live in internal/check so the model checker (internal/mcheck)
@@ -81,7 +81,7 @@ func protocols() []protoRun {
 
 // TestSWMRInvariant drives a random-ish read/write workload over shared
 // words and asserts SW/MR after every completed operation, for each SC
-// protocol (DESIGN.md §7, first invariant).
+// protocol (DESIGN.md §8, first invariant).
 func TestSWMRInvariant(t *testing.T) {
 	const hosts = 4
 	for _, pr := range protocols() {

@@ -35,6 +35,7 @@ type HostHandler interface {
 type Host struct {
 	rt      *Runtime
 	id      int
+	sh      *sim.Shard // the host's calendar shard (= its endpoint's)
 	handler HostHandler
 
 	AS *vm.AddressSpace
@@ -73,6 +74,11 @@ func (h *Host) ID() int { return h.id }
 // Runtime returns the owning cluster runtime.
 func (h *Host) Runtime() *Runtime { return h.rt }
 
+// Shard returns the calendar shard that owns this host's processes and
+// timers. Protocol code that schedules engine callbacks on behalf of a
+// host must use it instead of the engine-level (shard 0) methods.
+func (h *Host) Shard() *sim.Shard { return h.sh }
+
 // Costs returns the cluster's host-local cost table.
 func (h *Host) Costs() Costs { return h.rt.Cfg.Costs }
 
@@ -82,7 +88,7 @@ func (h *Host) Costs() Costs { return h.rt.Cfg.Costs }
 // around each application thread (Section 3.5.1 of the paper).
 func (h *Host) onFault(ctx any, f vm.Fault) error {
 	if tr := h.rt.Trace; tr.Enabled() {
-		tr.RecordFault(h.rt.Eng.Now(), h.id, f.Kind == vm.Write, f.Addr)
+		tr.RecordFault(h.sh.Now(), h.id, f.Kind == vm.Write, f.Addr)
 	}
 	return h.handler.HandleFault(ctx, f)
 }
@@ -109,7 +115,7 @@ func (h *Host) Send(p *sim.Proc, to int, payload any) {
 func (h *Host) SendSized(p *sim.Proc, to int, payload any, size int) {
 	if tr := h.rt.Trace; tr.Enabled() {
 		op, mp, addr, home := h.handler.DescribeMsg(payload)
-		tr.RecordMsg(h.rt.Eng.Now(), trace.Send, h.id, to, home, op, mp, addr)
+		tr.RecordMsg(h.sh.Now(), trace.Send, h.id, to, home, op, mp, addr)
 	}
 	fm := h.EP.AllocMessage()
 	fm.Size = size

@@ -147,7 +147,7 @@ func (t *Thread) BlockRetry(fw *Wait, base sim.Duration, resend func(p *sim.Proc
 	ent := &retryEntry{fw: fw, gen: fw.gen, resend: resend}
 	h.inflight = append(h.inflight, ent)
 
-	eng := h.rt.Eng
+	sh := h.sh
 	delay := base
 	var fire func()
 	fire = func() {
@@ -161,9 +161,9 @@ func (t *Thread) BlockRetry(fw *Wait, base sim.Duration, resend func(p *sim.Proc
 				delay = retryMax
 			}
 		}
-		eng.After(delay, fire)
+		sh.After(delay, fire)
 	}
-	eng.After(delay, fire)
+	sh.After(delay, fire)
 
 	t.Block(fw)
 

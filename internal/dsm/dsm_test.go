@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"millipage/internal/core"
+	"millipage/internal/hostset"
 	"millipage/internal/sim"
 	"millipage/internal/vm"
 )
@@ -61,8 +62,8 @@ func TestTwoHostReadFetch(t *testing.T) {
 	}
 	// Directory: copyset = {0,1}, owner 0.
 	cs, owner := s.Manager().Directory()[0].Copyset()
-	if cs != 0b11 || owner != 0 {
-		t.Fatalf("copyset=%b owner=%d", cs, owner)
+	if cs != hostset.Of(0, 1) || owner != 0 {
+		t.Fatalf("copyset=%v owner=%d", cs, owner)
 	}
 }
 
@@ -95,8 +96,8 @@ func TestWriteInvalidatesReaders(t *testing.T) {
 	if owner != 3 {
 		t.Fatalf("owner = %d, want 3", owner)
 	}
-	if cs != 0b1111 {
-		t.Fatalf("copyset = %b, want 1111", cs)
+	if cs != hostset.Of(0, 1, 2, 3) {
+		t.Fatalf("copyset = %v, want {0,1,2,3}", cs)
 	}
 	if inv := s.Manager().Stats.Invalidations; inv < 2 {
 		t.Fatalf("invalidations = %d, want >= 2", inv)
@@ -369,8 +370,8 @@ func TestPushReplicatesToAllHosts(t *testing.T) {
 		}
 	}
 	cs, _ := s.Manager().Directory()[0].Copyset()
-	if cs != 0b1111 {
-		t.Fatalf("copyset after push = %b", cs)
+	if cs != hostset.Of(0, 1, 2, 3) {
+		t.Fatalf("copyset after push = %v", cs)
 	}
 }
 
@@ -600,7 +601,7 @@ func TestManyMinipagesStress(t *testing.T) {
 			t.Fatalf("entry %d not quiesced", id)
 		}
 		cs, _ := e.Copyset()
-		if cs == 0 {
+		if cs.Empty() {
 			t.Fatalf("entry %d empty copyset", id)
 		}
 	}

@@ -280,7 +280,7 @@ func runShardInvariantProgram(t *testing.T, seed int64, hosts int) {
 			if perr != nil {
 				t.Fatal(perr)
 			}
-			inSet := cs&hostBit(h) != 0
+			inSet := cs.Has(h)
 			readable := prot >= vm.ReadOnly
 			if inSet != readable {
 				t.Fatalf("minipage %d host %d: copyset bit %v but protection %v", id, h, inSet, prot)

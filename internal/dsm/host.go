@@ -28,6 +28,7 @@ const requestRetryBase = 10 * sim.Millisecond
 type Host struct {
 	*cluster.Host
 	sys    *System
+	pool   *hostPool // the host's shard's freelists (shared on shard 0)
 	Region *core.Region
 
 	// pendingHdr pairs a reply header with the mData message that follows
@@ -43,16 +44,17 @@ type Host struct {
 
 // allocPM returns a protocol header for a message whose consumer will
 // recycle it. The caller must fully initialize the result (*m = pmsg{...});
-// pooled headers are returned dirty. The freelists are system-wide (the
-// engine is single-threaded, so hosts share safely) and stay empty under
+// pooled headers are returned dirty. The freelists belong to the host's
+// calendar shard (every host shares one on the sequential engine; each
+// host owns its own under the parallel engine) and stay empty under
 // fault injection: retries, duplicate drops and late replies can
 // reference a header after its transaction closed, so the faulty path
 // keeps fresh allocations and its existing lifetime rules.
 func (h *Host) allocPM() *pmsg {
-	s := h.sys
-	if n := len(s.freePM); n > 0 && !s.rt.Faulty() {
-		m := s.freePM[n-1]
-		s.freePM = s.freePM[:n-1]
+	pool := h.pool
+	if n := len(pool.freePM); n > 0 && !h.sys.rt.Faulty() {
+		m := pool.freePM[n-1]
+		pool.freePM = pool.freePM[:n-1]
 		return m
 	}
 	return &pmsg{}
@@ -65,20 +67,20 @@ func (h *Host) recyclePM(m *pmsg) {
 	if h.sys.rt.Faulty() {
 		return
 	}
-	h.sys.freePM = append(h.sys.freePM, m)
+	h.pool.freePM = append(h.pool.freePM, m)
 }
 
 // allocBuf returns a byte buffer of length n for a minipage snapshot
 // that travels on a data message; the receiver recycles it after
 // installing the bytes.
 func (h *Host) allocBuf(n int) []byte {
-	s := h.sys
-	if !s.rt.Faulty() {
-		for i := len(s.freeBuf) - 1; i >= 0; i-- {
-			if cap(s.freeBuf[i]) >= n {
-				b := s.freeBuf[i][:n]
-				s.freeBuf[i] = s.freeBuf[len(s.freeBuf)-1]
-				s.freeBuf = s.freeBuf[:len(s.freeBuf)-1]
+	pool := h.pool
+	if !h.sys.rt.Faulty() {
+		for i := len(pool.freeBuf) - 1; i >= 0; i-- {
+			if cap(pool.freeBuf[i]) >= n {
+				b := pool.freeBuf[i][:n]
+				pool.freeBuf[i] = pool.freeBuf[len(pool.freeBuf)-1]
+				pool.freeBuf = pool.freeBuf[:len(pool.freeBuf)-1]
 				return b
 			}
 		}
@@ -93,7 +95,7 @@ func (h *Host) recycleBuf(b []byte) {
 	if h.sys.rt.Faulty() || cap(b) == 0 {
 		return
 	}
-	h.sys.freeBuf = append(h.sys.freeBuf, b)
+	h.pool.freeBuf = append(h.pool.freeBuf, b)
 }
 
 type span struct {

@@ -2,9 +2,9 @@ package dsm
 
 import (
 	"fmt"
-	"math/bits"
 
 	"millipage/internal/cluster"
+	"millipage/internal/hostset"
 	"millipage/internal/core"
 	"millipage/internal/sim"
 )
@@ -14,7 +14,7 @@ import (
 // state. Requests arriving while a transaction is open are queued here —
 // and only here: non-manager hosts never queue (Section 3.3).
 type dirEntry struct {
-	copyset uint64 // bitmask of hosts holding a valid copy
+	copyset hostset.Set // hosts holding a valid copy
 	owner   int    // preferred replica: last writer (or allocator)
 
 	busy  bool
@@ -31,8 +31,6 @@ type dirEntry struct {
 
 	Competing uint64 // requests that found this entry busy (Figure 7's metric)
 }
-
-func hostBit(h int) uint64 { return 1 << uint(h) }
 
 // ManagerStats aggregates the manager's protocol activity.
 type ManagerStats struct {
@@ -112,8 +110,8 @@ func (mg *manager) MPT() *core.MPT { return mg.sys.mpt }
 // host 0's shard has every entry).
 func (mg *manager) Directory() []*dirEntry { return mg.dir }
 
-// Copyset returns the copyset bitmask and owner of minipage id.
-func (e *dirEntry) Copyset() (uint64, int) { return e.copyset, e.owner }
+// Copyset returns the copyset and owner of minipage id.
+func (e *dirEntry) Copyset() (hostset.Set, int) { return e.copyset, e.owner }
 
 // Busy reports whether a transaction is open on the entry.
 func (e *dirEntry) Busy() bool { return e.busy }
@@ -142,7 +140,7 @@ func (mg *manager) setEntry(id int, e *dirEntry) {
 }
 
 // newEntry carves a directory entry out of the shard's slab arena.
-func (mg *manager) newEntry(copyset uint64, owner int) *dirEntry {
+func (mg *manager) newEntry(copyset hostset.Set, owner int) *dirEntry {
 	if len(mg.deArena) == 0 {
 		mg.deArena = make([]dirEntry, 256)
 	}
@@ -255,7 +253,7 @@ func (mg *manager) handleDirInit(p *sim.Proc, m *pmsg) {
 	if mg.entryOrNil(id) != nil {
 		panic(fmt.Sprintf("dsm: duplicate DIR_INIT for minipage %d", id))
 	}
-	mg.setEntry(id, mg.newEntry(hostBit(m.From), m.From))
+	mg.setEntry(id, mg.newEntry(hostset.One(m.From), m.From))
 	mg.host().recyclePM(m) // the DIR_INIT ends here
 	if q := mg.waitInit[id]; len(q) > 0 {
 		delete(mg.waitInit, id)
@@ -305,7 +303,7 @@ func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
 	}
 	e.busy = true
 	src := mg.findReplica(e)
-	e.copyset |= hostBit(m.From)
+	e.copyset = e.copyset.With(m.From)
 	fwd := mg.host().allocPM()
 	*fwd = *m
 	fwd.Type = mReadFwd
@@ -315,13 +313,13 @@ func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
 // findReplica picks the host to source the minipage from: the owner if it
 // still holds a copy, otherwise the lowest-numbered replica.
 func (mg *manager) findReplica(e *dirEntry) int {
-	if e.copyset == 0 {
+	if e.copyset.Empty() {
 		panic("dsm: findReplica on empty copyset")
 	}
-	if e.copyset&hostBit(e.owner) != 0 {
+	if e.copyset.Has(e.owner) {
 		return e.owner
 	}
-	return bits.TrailingZeros64(e.copyset)
+	return e.copyset.First()
 }
 
 // handleWrite is "Manager: Handle Write Request": invalidate every other
@@ -340,12 +338,11 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 		return
 	}
 	e.busy = true
-	reqBit := hostBit(m.From)
-	others := e.copyset &^ reqBit
+	others := e.copyset.Without(m.From)
 
-	if others == 0 {
+	if others.Empty() {
 		// Requester is the sole holder: pure protection upgrade.
-		if e.copyset != reqBit {
+		if e.copyset != hostset.One(m.From) {
 			panic(fmt.Sprintf("dsm: write fault on minipage %d with empty copyset", m.Info.ID))
 		}
 		e.owner = m.From
@@ -356,36 +353,36 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 		return
 	}
 
-	if e.copyset&reqBit != 0 {
+	if e.copyset.Has(m.From) {
 		// Upgrade: the requester has the bytes; invalidate everyone else.
 		e.pendingWrite = m
 		e.upgrade = true
-		e.invAwait = bits.OnesCount64(others)
+		e.invAwait = others.Count()
 		mg.sendInvalidates(p, m, others)
 		return
 	}
 
 	// The requester has nothing: pick a source, invalidate the rest.
 	src := e.owner
-	if e.copyset&hostBit(src) == 0 {
-		src = bits.TrailingZeros64(others)
+	if !e.copyset.Has(src) {
+		src = others.First()
 	}
-	invTargets := others &^ hostBit(src)
-	if invTargets == 0 {
+	invTargets := others.Without(src)
+	if invTargets.Empty() {
 		mg.forwardWrite(p, e, m, src)
 		return
 	}
 	e.pendingWrite = m
 	e.upgrade = false
 	e.writeSrc = src
-	e.invAwait = bits.OnesCount64(invTargets)
+	e.invAwait = invTargets.Count()
 	mg.sendInvalidates(p, m, invTargets)
 }
 
 // sendInvalidates issues INVALIDATE_REQUESTs to every host in mask.
-func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask uint64) {
+func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask hostset.Set) {
 	for h := 0; h < mg.sys.NumHosts(); h++ {
-		if mask&hostBit(h) == 0 {
+		if !mask.Has(h) {
 			continue
 		}
 		mg.Stats.Invalidations++
@@ -398,7 +395,7 @@ func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask uint64) {
 // forwardWrite sends the translated write request to the chosen source,
 // transferring ownership to the requester.
 func (mg *manager) forwardWrite(p *sim.Proc, e *dirEntry, m *pmsg, src int) {
-	e.copyset = hostBit(m.From)
+	e.copyset = hostset.One(m.From)
 	e.owner = m.From
 	fwd := mg.host().allocPM()
 	*fwd = *m
@@ -411,7 +408,7 @@ func (mg *manager) forwardWrite(p *sim.Proc, e *dirEntry, m *pmsg, src int) {
 func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
 	e := mg.entry(m.Info.ID)
 	// The replying host no longer holds a copy.
-	e.copyset &^= hostBit(m.From)
+	e.copyset = e.copyset.Without(m.From)
 	mg.host().recyclePM(m) // the invalidate reply ends here
 	if e.invAwait--; e.invAwait > 0 {
 		return
@@ -420,7 +417,7 @@ func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
 	e.pendingWrite = nil
 	if e.upgrade {
 		e.upgrade = false
-		e.copyset = hostBit(w.From)
+		e.copyset = hostset.One(w.From)
 		e.owner = w.From
 		grant := mg.host().allocPM()
 		*grant = *w
@@ -462,7 +459,7 @@ func (mg *manager) allocLocal(p *sim.Proc, from, size int) (core.Info, uint64, b
 	firstNew := mg.dirInited
 	for id := firstNew; id < mpt.NumMinipages(); id++ {
 		if home := mg.sys.homeOf(id); home == mg.me {
-			mg.setEntry(id, mg.newEntry(hostBit(from), from))
+			mg.setEntry(id, mg.newEntry(hostset.One(from), from))
 		} else {
 			nmp, _ := mpt.ByID(id)
 			init := mg.host().allocPM()
@@ -575,7 +572,7 @@ func (mg *manager) handlePush(p *sim.Proc, m *pmsg) {
 // handlePushAck completes the push once every other host holds a copy.
 func (mg *manager) handlePushAck(p *sim.Proc, m *pmsg) {
 	e := mg.entry(m.Info.ID)
-	e.copyset |= hostBit(m.From)
+	e.copyset = e.copyset.With(m.From)
 	mg.host().recyclePM(m) // the push ack ends here
 	if e.pushAwait--; e.pushAwait > 0 {
 		return

@@ -52,6 +52,12 @@ type Options struct {
 	// a pure function: every host computes homes independently.
 	HomeOf func(id, hosts int) int
 
+	// Engine selects the event engine ("seq" default, "par" for the
+	// sharded parallel engine) and ParWorkers bounds its goroutines; see
+	// cluster.Config.
+	Engine     string
+	ParWorkers int
+
 	Net   fastmsg.Params
 	Costs Costs
 
@@ -113,13 +119,21 @@ type System struct {
 	mpt   *core.MPT  // grown only on host 0; read-only replica elsewhere
 	mgrs  []*manager // one directory shard per host
 
-	// Clean-path freelists, shared by every host (the engine is
-	// single-threaded): recycled protocol headers and minipage-snapshot
-	// buffers. See Host.allocPM / Host.allocBuf.
-	freePM  []*pmsg
-	freeBuf [][]byte
+	// pools holds the clean-path freelists (recycled protocol headers
+	// and minipage-snapshot buffers), one per calendar shard. On the
+	// sequential engine every host shares pools[0] — the historical
+	// system-wide pool; under the parallel engine each host owns its
+	// shard's pool, so the freelists never cross shards. See
+	// Host.allocPM / Host.allocBuf.
+	pools []*hostPool
 
 	threads []*Thread
+}
+
+// hostPool is one calendar shard's clean-path freelists.
+type hostPool struct {
+	freePM  []*pmsg
+	freeBuf [][]byte
 }
 
 // New builds a cluster. The memory object, views and privileged view are
@@ -127,8 +141,8 @@ type System struct {
 // between hosts is ever needed).
 func New(opt Options) (*System, error) {
 	opt = opt.withDefaults()
-	if opt.Hosts < 1 || opt.Hosts > 64 {
-		return nil, fmt.Errorf("dsm: Hosts = %d out of range [1,64]", opt.Hosts)
+	if opt.Hosts < 1 || opt.Hosts > 1024 {
+		return nil, fmt.Errorf("dsm: Hosts = %d out of range [1,1024]", opt.Hosts)
 	}
 	if opt.SharedSize <= 0 {
 		return nil, fmt.Errorf("dsm: SharedSize must be positive")
@@ -147,12 +161,18 @@ func New(opt Options) (*System, error) {
 		Hosts:          opt.Hosts,
 		ThreadsPerHost: opt.ThreadsPerHost,
 		Seed:           opt.Seed,
+		Engine:         opt.Engine,
+		ParWorkers:     opt.ParWorkers,
 		Net:            opt.Net,
 		Costs:          opt.Costs,
 		Faults:         opt.Faults,
 		Trace:          opt.Trace,
 	})
 	s := &System{Opt: opt, Eng: rt.Eng, Net: rt.Net, Layout: layout, rt: rt}
+	s.pools = make([]*hostPool, rt.Eng.NumShards())
+	for i := range s.pools {
+		s.pools[i] = &hostPool{}
+	}
 
 	for i := 0; i < opt.Hosts; i++ {
 		as := vm.NewAddressSpace()
@@ -166,9 +186,16 @@ func New(opt Options) (*System, error) {
 			pendingHdr: make([]*pmsg, opt.Hosts),
 		}
 		h.Host = rt.NewHost(as, h)
+		h.pool = s.pools[h.Shard().ID()]
 		s.hosts = append(s.hosts, h)
 	}
 	s.mpt = core.NewMPT(layout, opt.Grain, opt.ChunkLevel)
+	if rt.Eng.NumShards() > 1 {
+		// Every host routes through the shared MPT replica concurrently
+		// under the parallel engine; host 0's allocation-time growth needs
+		// the replica's reader lock (see core.MPT.SetShared).
+		s.mpt.SetShared(true)
+	}
 	for i := 0; i < opt.Hosts; i++ {
 		s.mgrs = append(s.mgrs, newManager(s, i))
 	}

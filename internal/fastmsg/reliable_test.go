@@ -336,8 +336,8 @@ func TestEnvelopeDoubleRecycle(t *testing.T) {
 	nw := New(eng, 2, DefaultParams())
 	m := nw.Endpoint(0).AllocMessage()
 	m.state = msgDelivered // as serve() marks it before the handler runs
-	nw.recycleMessage(m)
-	expectPanic(t, "double free", func() { nw.recycleMessage(m) })
+	nw.Endpoint(0).recycleMessage(m)
+	expectPanic(t, "double free", func() { nw.Endpoint(0).recycleMessage(m) })
 }
 
 // TestEnvelopeRetainedResend is the regression for the retention hazard:

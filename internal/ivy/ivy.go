@@ -19,11 +19,11 @@ package ivy
 
 import (
 	"fmt"
-	"math/bits"
 
 	"millipage/internal/cluster"
 	"millipage/internal/fastmsg"
 	"millipage/internal/faultnet"
+	"millipage/internal/hostset"
 	"millipage/internal/sim"
 	"millipage/internal/trace"
 	"millipage/internal/vm"
@@ -36,6 +36,12 @@ type Options struct {
 	Seed       int64
 	Net        fastmsg.Params
 	Costs      cluster.Costs
+
+	// Engine selects the event engine ("seq" default, "par" for the
+	// sharded parallel engine) and ParWorkers bounds its goroutines; see
+	// cluster.Config.
+	Engine     string
+	ParWorkers int
 
 	// Faults, when non-nil and enabled, makes the wire lossy per the
 	// plan; the transport's reliability layer restores exactly-once FIFO
@@ -110,7 +116,7 @@ type pmsg struct {
 
 // dirEntry is one page's directory record at its manager host.
 type dirEntry struct {
-	copyset uint64
+	copyset hostset.Set
 	owner   int
 	busy    bool
 	queue   cluster.FIFO[*pmsg]
@@ -165,6 +171,12 @@ type Host struct {
 	dir map[int]*dirEntry // pages this host manages
 
 	pendingHdr map[int]*pmsg
+
+	// stats accumulates this host's share of the cluster counters;
+	// folded into System.Stats after Run. Per-host rather than one
+	// shared struct so the parallel engine's shards never write the same
+	// counter.
+	stats Stats
 }
 
 const base = uint64(0x4000_0000)
@@ -172,7 +184,7 @@ const base = uint64(0x4000_0000)
 // New builds the cluster. The shared region is mapped at the same base
 // address on every host, one view, page protection granularity.
 func New(opt Options) (*System, error) {
-	if opt.Hosts < 1 || opt.Hosts > 64 {
+	if opt.Hosts < 1 || opt.Hosts > 1024 {
 		return nil, fmt.Errorf("ivy: bad host count %d", opt.Hosts)
 	}
 	pages := (opt.SharedSize + vm.PageSize - 1) / vm.PageSize
@@ -185,13 +197,15 @@ func New(opt Options) (*System, error) {
 		}
 	}
 	rt := cluster.New(cluster.Config{
-		Name:   "ivy",
-		Hosts:  opt.Hosts,
-		Seed:   opt.Seed,
-		Net:    opt.Net,
-		Costs:  opt.Costs,
-		Faults: opt.Faults,
-		Trace:  opt.Trace,
+		Name:       "ivy",
+		Hosts:      opt.Hosts,
+		Seed:       opt.Seed,
+		Engine:     opt.Engine,
+		ParWorkers: opt.ParWorkers,
+		Net:        opt.Net,
+		Costs:      opt.Costs,
+		Faults:     opt.Faults,
+		Trace:      opt.Trace,
 	})
 	opt.Seed = rt.Cfg.Seed
 	opt.Net = rt.Cfg.Net
@@ -219,7 +233,7 @@ func New(opt Options) (*System, error) {
 	// Pages start owned by their managers, writable there.
 	for p := 0; p < pages; p++ {
 		mgr := p % opt.Hosts
-		s.hosts[mgr].dir[p] = &dirEntry{copyset: 1 << uint(mgr), owner: mgr}
+		s.hosts[mgr].dir[p] = &dirEntry{copyset: hostset.One(mgr), owner: mgr}
 		va := base + uint64(p*vm.PageSize)
 		if err := s.hosts[mgr].AS.Protect(va, 1, vm.ReadWrite); err != nil {
 			return nil, err
@@ -282,12 +296,19 @@ func (s *System) Run(body func(t *Thread)) error {
 	if body == nil {
 		return fmt.Errorf("ivy: nil thread body")
 	}
-	return s.rt.Run(func(ct *cluster.Thread) func() {
+	err := s.rt.Run(func(ct *cluster.Thread) func() {
 		t := &Thread{Thread: ct, host: s.hosts[ct.Host()]}
 		ct.SetSelf(t)
 		s.threads = append(s.threads, t)
 		return func() { body(t) }
 	})
+	for _, h := range s.hosts {
+		s.Stats.ReadFaults += h.stats.ReadFaults
+		s.Stats.WriteFaults += h.stats.WriteFaults
+		s.Stats.Invalidates += h.stats.Invalidates
+		s.Stats.Competing += h.stats.Competing
+	}
+	return err
 }
 
 // Malloc allocates size bytes of shared memory (8-byte aligned) from the
@@ -397,9 +418,9 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 	typ := mReadReq
 	if f.Kind == vm.Write {
 		typ = mWriteReq
-		h.sys.Stats.WriteFaults++
+		h.stats.WriteFaults++
 	} else {
-		h.sys.Stats.ReadFaults++
+		h.stats.ReadFaults++
 	}
 	fw := t.WaitSlot()
 	h.Send(p, h.sys.managerOf(page), &pmsg{Type: typ, From: h.ID(), Page: page, FW: fw})
@@ -439,7 +460,7 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 
 	case mInvReply:
 		e := h.dir[m.Page]
-		e.copyset &^= 1 << uint(m.From)
+		e.copyset = e.copyset.Without(m.From)
 		if e.invAwait--; e.invAwait > 0 {
 			return
 		}
@@ -447,14 +468,14 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		e.pendingWrite = nil
 		if e.upgrade {
 			e.upgrade = false
-			e.copyset = 1 << uint(wr.From)
+			e.copyset = hostset.One(wr.From)
 			e.owner = wr.From
 			grant := *wr
 			grant.Type = mUpgrade
 			h.Send(p, wr.From, &grant)
 			return
 		}
-		e.copyset = 1 << uint(wr.From)
+		e.copyset = hostset.One(wr.From)
 		e.owner = wr.From
 		fwd := *wr
 		fwd.Type = mWriteFwd
@@ -483,7 +504,7 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	case mInvReq:
 		p.Sleep(c.SetProt)
 		h.AS.Protect(h.pageVA(m.Page), 1, vm.NoAccess)
-		h.sys.Stats.Invalidates++
+		h.stats.Invalidates++
 		h.Send(p, h.sys.managerOf(m.Page), &pmsg{Type: mInvReply, From: h.ID(), Page: m.Page})
 
 	case mReadReply, mWriteReply:
@@ -572,18 +593,17 @@ func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
 	if e.busy {
 		e.queue.Push(m)
 		e.Competing++
-		h.sys.Stats.Competing++
+		h.stats.Competing++
 		return
 	}
 	e.busy = true
-	reqBit := uint64(1) << uint(m.From)
 
 	if m.Type == mReadReq {
 		src := e.owner
-		if e.copyset&(1<<uint(src)) == 0 {
+		if !e.copyset.Has(src) {
 			src = firstBit(e.copyset)
 		}
-		e.copyset |= reqBit
+		e.copyset = e.copyset.With(m.From)
 		fwd := *m
 		fwd.Type = mReadFwd
 		h.Send(p, src, &fwd)
@@ -591,28 +611,28 @@ func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
 	}
 
 	// Write request.
-	others := e.copyset &^ reqBit
-	if others == 0 {
+	others := e.copyset.Without(m.From)
+	if others.Empty() {
 		e.owner = m.From
 		grant := *m
 		grant.Type = mUpgrade
 		h.Send(p, m.From, &grant)
 		return
 	}
-	if e.copyset&reqBit != 0 {
+	if e.copyset.Has(m.From) {
 		e.pendingWrite = m
 		e.upgrade = true
-		e.invAwait = popcount(others)
+		e.invAwait = others.Count()
 		h.sendInvalidates(p, m.Page, others)
 		return
 	}
 	src := e.owner
-	if e.copyset&(1<<uint(src)) == 0 {
+	if !e.copyset.Has(src) {
 		src = firstBit(others)
 	}
-	targets := others &^ (1 << uint(src))
-	if targets == 0 {
-		e.copyset = reqBit
+	targets := others.Without(src)
+	if targets.Empty() {
+		e.copyset = hostset.One(m.From)
 		e.owner = m.From
 		fwd := *m
 		fwd.Type = mWriteFwd
@@ -622,23 +642,22 @@ func (h *Host) managerHandle(p *sim.Proc, m *pmsg) {
 	e.pendingWrite = m
 	e.upgrade = false
 	e.writeSrc = src
-	e.invAwait = popcount(targets)
+	e.invAwait = targets.Count()
 	h.sendInvalidates(p, m.Page, targets)
 }
 
-func (h *Host) sendInvalidates(p *sim.Proc, page int, mask uint64) {
+func (h *Host) sendInvalidates(p *sim.Proc, page int, mask hostset.Set) {
 	for i := 0; i < len(h.sys.hosts); i++ {
-		if mask&(1<<uint(i)) != 0 {
+		if mask.Has(i) {
 			h.Send(p, i, &pmsg{Type: mInvReq, From: h.ID(), Page: page})
 		}
 	}
 }
 
-func firstBit(m uint64) int {
-	if m == 0 {
+func firstBit(s hostset.Set) int {
+	h := s.First()
+	if h < 0 {
 		panic("ivy: empty copyset")
 	}
-	return bits.TrailingZeros64(m)
+	return h
 }
-
-func popcount(m uint64) int { return bits.OnesCount64(m) }

@@ -29,6 +29,7 @@ package lrc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"millipage/internal/cluster"
 	"millipage/internal/core"
@@ -49,6 +50,12 @@ type Options struct {
 	Seed       int64
 	Net        fastmsg.Params
 	Costs      cluster.Costs
+
+	// Engine selects the event engine ("seq" default, "par" for the
+	// sharded parallel engine) and ParWorkers bounds its goroutines; see
+	// cluster.Config.
+	Engine     string
+	ParWorkers int
 
 	// Faults, when non-nil and enabled, makes the wire lossy per the
 	// plan; the transport's reliability layer restores exactly-once FIFO
@@ -127,6 +134,13 @@ type System struct {
 	mpt   *core.MPT
 	homes []int // minipage id -> home host
 
+	// homesMu is non-nil only under the parallel engine: homes grows on
+	// host 0's shard (the allocation authority) while every host's fault
+	// and flush paths index it, and the append's reallocation needs a
+	// fence even though the protocol's messages already order each entry's
+	// write before any remote read of it.
+	homesMu *sync.RWMutex
+
 	hosts   []*Host
 	threads []*Thread
 
@@ -160,11 +174,16 @@ type Host struct {
 
 	flushAwait int
 	flushDone  *sim.Event
+
+	// stats is this host's share of System.Stats, kept per-host so the
+	// parallel engine's shards never race on the counters; Run folds the
+	// shares into System.Stats once the simulation stops.
+	stats Stats
 }
 
 // New builds an LRC cluster.
 func New(opt Options) (*System, error) {
-	if opt.Hosts < 1 || opt.Hosts > 64 {
+	if opt.Hosts < 1 || opt.Hosts > 1024 {
 		return nil, fmt.Errorf("lrc: Hosts = %d out of range", opt.Hosts)
 	}
 	if opt.ChunkLevel < 1 {
@@ -183,13 +202,15 @@ func New(opt Options) (*System, error) {
 		}
 	}
 	rt := cluster.New(cluster.Config{
-		Name:   "lrc",
-		Hosts:  opt.Hosts,
-		Seed:   opt.Seed,
-		Net:    opt.Net,
-		Costs:  opt.Costs,
-		Faults: opt.Faults,
-		Trace:  opt.Trace,
+		Name:       "lrc",
+		Hosts:      opt.Hosts,
+		Seed:       opt.Seed,
+		Engine:     opt.Engine,
+		ParWorkers: opt.ParWorkers,
+		Net:        opt.Net,
+		Costs:      opt.Costs,
+		Faults:     opt.Faults,
+		Trace:      opt.Trace,
 	})
 	opt.Seed = rt.Cfg.Seed
 	opt.Net = rt.Cfg.Net
@@ -219,6 +240,10 @@ func New(opt Options) (*System, error) {
 		}
 		h.Host = rt.NewHost(as, h)
 		s.hosts = append(s.hosts, h)
+	}
+	if rt.Eng.NumShards() > 1 {
+		s.mpt.SetShared(true)
+		s.homesMu = &sync.RWMutex{}
 	}
 	return s, nil
 }
@@ -264,12 +289,23 @@ func (s *System) Run(body func(t *Thread)) error {
 	if body == nil {
 		return fmt.Errorf("lrc: nil thread body")
 	}
-	return s.rt.Run(func(ct *cluster.Thread) func() {
+	err := s.rt.Run(func(ct *cluster.Thread) func() {
 		t := &Thread{Thread: ct, host: s.hosts[ct.Host()]}
 		ct.SetSelf(t)
 		s.threads = append(s.threads, t)
 		return func() { body(t) }
 	})
+	// Fold the per-host counters into the aggregate the callers read.
+	for _, h := range s.hosts {
+		s.Stats.Fetches += h.stats.Fetches
+		s.Stats.DiffsSent += h.stats.DiffsSent
+		s.Stats.DiffBytes += h.stats.DiffBytes
+		s.Stats.TwinsMade += h.stats.TwinsMade
+		s.Stats.Barriers += h.stats.Barriers
+		s.Stats.WriteFault += h.stats.WriteFault
+		s.Stats.ReadFault += h.stats.ReadFault
+	}
+	return err
 }
 
 // Malloc allocates shared memory; the allocating host becomes the
@@ -302,10 +338,27 @@ func (s *System) allocLocal(from, size int) (core.Info, uint64, int) {
 	if err != nil {
 		panic(fmt.Sprintf("lrc: alloc %d: %v", size, err))
 	}
+	if s.homesMu != nil {
+		s.homesMu.Lock()
+	}
 	for id := len(s.homes); id < s.mpt.NumMinipages(); id++ {
 		s.homes = append(s.homes, from)
 	}
-	return mp.Info(s.Layout), va, s.homes[mp.ID]
+	home := s.homes[mp.ID]
+	if s.homesMu != nil {
+		s.homesMu.Unlock()
+	}
+	return mp.Info(s.Layout), va, home
+}
+
+// homeOf returns minipage id's home host, taking the reader lock when the
+// parallel engine shares the homes slice across shards.
+func (s *System) homeOf(id int) int {
+	if s.homesMu != nil {
+		s.homesMu.RLock()
+		defer s.homesMu.RUnlock()
+	}
+	return s.homes[id]
 }
 
 // DescribeMsg extracts the trace fields from a protocol header (the
@@ -344,13 +397,13 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 		return fmt.Errorf("lrc: %#x outside any minipage", f.Addr)
 	}
 	info := mp.Info(s.Layout)
-	home := s.homes[mp.ID]
+	home := s.homeOf(mp.ID)
 
 	if prot, _ := h.Region.ProtOf(info.Base); prot == vm.NoAccess && home != h.ID() {
 		// Fetch current contents from home.
-		s.Stats.Fetches++
+		h.stats.Fetches++
 		if f.Kind == vm.Read {
-			s.Stats.ReadFault++
+			h.stats.ReadFault++
 		}
 		fw := t.WaitSlot()
 		h.Send(p, home, &pmsg{Type: mFetchReq, From: h.ID(), Info: info, FW: fw})
@@ -361,7 +414,7 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 
 	if f.Kind == vm.Write {
 		// Twin and write locally; the diff travels at the next release.
-		s.Stats.WriteFault++
+		h.stats.WriteFault++
 		if _, dirty := h.twins[mp.ID]; !dirty {
 			data, err := h.Region.ReadPriv(info.Base, info.Size)
 			if err != nil {
@@ -369,7 +422,7 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 			}
 			h.twins[mp.ID] = twindiff.Twin(data)
 			h.dirtyInfo[mp.ID] = info
-			s.Stats.TwinsMade++
+			h.stats.TwinsMade++
 			p.Sleep(twindiff.TwinCost(info.Size))
 		}
 		p.Sleep(c.SetProt)
@@ -420,7 +473,7 @@ func (t *Thread) flushDiffs() {
 	var flushes []flush
 	for _, id := range dirty {
 		info := h.dirtyInfo[id]
-		home := s.homes[id]
+		home := s.homeOf(id)
 		cur, err := h.Region.ReadPriv(info.Base, info.Size)
 		if err != nil {
 			panic(err)
@@ -445,8 +498,8 @@ func (t *Thread) flushDiffs() {
 		h.flushAwait = len(flushes)
 		h.flushDone = sim.NewEvent(s.Eng)
 		for _, f := range flushes {
-			s.Stats.DiffsSent++
-			s.Stats.DiffBytes += uint64(len(f.enc))
+			h.stats.DiffsSent++
+			h.stats.DiffBytes += uint64(len(f.enc))
 			h.SendSized(p, f.home, &pmsg{Type: mDiffFlush, From: h.ID(), Info: f.info, Diff: f.enc}, c.HeaderSize+len(f.enc))
 		}
 		t.BlockOn(h.flushDone)
@@ -616,7 +669,7 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if !done {
 			return
 		}
-		s.Stats.Barriers++
+		h.stats.Barriers++
 		for _, a := range arrivals {
 			rel := pmsg{Type: mBarrierRelease, FW: a.FW}
 			h.Send(p, a.From, &rel)

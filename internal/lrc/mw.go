@@ -39,6 +39,7 @@ package lrc
 
 import (
 	"fmt"
+	"sync"
 
 	"millipage/internal/cluster"
 	"millipage/internal/core"
@@ -202,6 +203,13 @@ type MWSystem struct {
 	mpt   *core.MPT
 	homes []int // minipage id -> home host
 
+	// homesMu is non-nil only under the parallel engine: homes grows on
+	// host 0's shard (the allocation authority) while every host's fault,
+	// release and acquire paths index it, and the append's reallocation
+	// needs a fence even though the protocol's messages already order each
+	// entry's write before any remote read of it.
+	homesMu *sync.RWMutex
+
 	hosts   []*MWHost
 	threads []*MWThread
 
@@ -212,35 +220,46 @@ type MWSystem struct {
 	locks   *cluster.LockService[*mwmsg]
 	maxvc   []uint64 // barrier-episode scratch; every release shares it
 
-	// Clean-path freelists, shared by every host (the engine is
-	// single-threaded): recycled protocol headers, twin/snapshot/diff
-	// buffers and interval records. See allocMW / allocBuf / allocIval.
+	// pools holds the clean-path freelists (recycled protocol headers,
+	// twin/snapshot/diff buffers and interval records), one per calendar
+	// shard. On the sequential engine every host shares pools[0] — the
+	// historical system-wide freelists; under the parallel engine each
+	// host owns its shard's pool, so the freelists never cross shards
+	// (objects migrate between pools, which balances because every
+	// request pairs with a reply). See MWHost.allocMW / allocBuf /
+	// allocIval.
+	pools []*mwPool
+
+	Stats MWStats
+}
+
+// mwPool is one calendar shard's clean-path freelists.
+type mwPool struct {
 	freeMW     []*mwmsg
 	freeBuf    [][]byte
 	freeIval   []*mwInterval
 	freeMPs    [][]int
 	freeNotice []*mwNotice
-
-	Stats MWStats
 }
 
 // allocMW returns a protocol header for a message whose consumer will
 // recycle it. The caller must set every field it needs; recycleMW zeroes
 // the rest. Under fault injection the reliability layer may retransmit a
 // payload after its first delivery, so pooling is clean-path only.
-func (s *MWSystem) allocMW() *mwmsg {
-	if n := len(s.freeMW); n > 0 && !s.rt.Faulty() {
-		m := s.freeMW[n-1]
-		s.freeMW = s.freeMW[:n-1]
+func (h *MWHost) allocMW() *mwmsg {
+	po := h.pool
+	if n := len(po.freeMW); n > 0 && !h.sys.rt.Faulty() {
+		m := po.freeMW[n-1]
+		po.freeMW = po.freeMW[:n-1]
 		return m
 	}
 	return &mwmsg{}
 }
 
-// recycleMW returns a fully consumed pooled header to the freelist,
-// keeping its slice capacities for reuse.
-func (s *MWSystem) recycleMW(m *mwmsg) {
-	if s.rt.Faulty() {
+// recycleMW returns a fully consumed pooled header to this host's
+// shard's freelist, keeping its slice capacities for reuse.
+func (h *MWHost) recycleMW(m *mwmsg) {
+	if h.sys.rt.Faulty() {
 		return
 	}
 	for i := range m.Notices {
@@ -250,18 +269,19 @@ func (s *MWSystem) recycleMW(m *mwmsg) {
 		m.DiffsOut[i] = mwDiffOut{}
 	}
 	*m = mwmsg{VC: m.VC[:0], Notices: m.Notices[:0], Seqs: m.Seqs[:0], DiffsOut: m.DiffsOut[:0]}
-	s.freeMW = append(s.freeMW, m)
+	h.pool.freeMW = append(h.pool.freeMW, m)
 }
 
 // allocBuf returns a byte buffer of length n (twin, minipage snapshot,
 // fetch payload); pass 0 for an empty append target (encoded diffs).
-func (s *MWSystem) allocBuf(n int) []byte {
-	if !s.rt.Faulty() {
-		for i := len(s.freeBuf) - 1; i >= 0; i-- {
-			if cap(s.freeBuf[i]) >= n {
-				b := s.freeBuf[i][:n]
-				s.freeBuf[i] = s.freeBuf[len(s.freeBuf)-1]
-				s.freeBuf = s.freeBuf[:len(s.freeBuf)-1]
+func (h *MWHost) allocBuf(n int) []byte {
+	if !h.sys.rt.Faulty() {
+		po := h.pool
+		for i := len(po.freeBuf) - 1; i >= 0; i-- {
+			if cap(po.freeBuf[i]) >= n {
+				b := po.freeBuf[i][:n]
+				po.freeBuf[i] = po.freeBuf[len(po.freeBuf)-1]
+				po.freeBuf = po.freeBuf[:len(po.freeBuf)-1]
 				return b
 			}
 		}
@@ -269,19 +289,21 @@ func (s *MWSystem) allocBuf(n int) []byte {
 	return make([]byte, n)
 }
 
-// recycleBuf returns a fully consumed buffer to the freelist.
-func (s *MWSystem) recycleBuf(b []byte) {
-	if s.rt.Faulty() || cap(b) == 0 {
+// recycleBuf returns a fully consumed buffer to this host's shard's
+// freelist.
+func (h *MWHost) recycleBuf(b []byte) {
+	if h.sys.rt.Faulty() || cap(b) == 0 {
 		return
 	}
-	s.freeBuf = append(s.freeBuf, b)
+	h.pool.freeBuf = append(h.pool.freeBuf, b)
 }
 
 // allocIval returns an interval record with an empty diff map.
-func (s *MWSystem) allocIval(n int) *mwInterval {
-	if k := len(s.freeIval); k > 0 && !s.rt.Faulty() {
-		iv := s.freeIval[k-1]
-		s.freeIval = s.freeIval[:k-1]
+func (h *MWHost) allocIval(n int) *mwInterval {
+	po := h.pool
+	if k := len(po.freeIval); k > 0 && !h.sys.rt.Faulty() {
+		iv := po.freeIval[k-1]
+		po.freeIval = po.freeIval[:k-1]
 		return iv
 	}
 	return &mwInterval{diffs: make(map[int][]byte, n)}
@@ -292,30 +314,31 @@ func (s *MWSystem) allocIval(n int) *mwInterval {
 // runs two barriers after the interval closed, and a barrier drains
 // every in-flight diff reply, home flush and granted notice, so nothing
 // can still alias either here.
-func (s *MWSystem) recycleIval(iv *mwInterval) {
-	if s.rt.Faulty() {
+func (h *MWHost) recycleIval(iv *mwInterval) {
+	if h.sys.rt.Faulty() {
 		return
 	}
 	for id, enc := range iv.diffs { //detlint:ok freelist order is invisible: every pooled buffer is fully overwritten before use
-		s.recycleBuf(enc)
+		h.recycleBuf(enc)
 		delete(iv.diffs, id)
 	}
 	if iv.mps != nil {
-		s.freeMPs = append(s.freeMPs, iv.mps)
+		h.pool.freeMPs = append(h.pool.freeMPs, iv.mps)
 		iv.mps = nil
 	}
-	s.freeIval = append(s.freeIval, iv)
+	h.pool.freeIval = append(h.pool.freeIval, iv)
 }
 
 // allocMPs returns an int slice of length n for a notice's minipage
 // list, retained by the creator's interval record until GC.
-func (s *MWSystem) allocMPs(n int) []int {
-	if !s.rt.Faulty() {
-		for i := len(s.freeMPs) - 1; i >= 0; i-- {
-			if cap(s.freeMPs[i]) >= n {
-				b := s.freeMPs[i][:n]
-				s.freeMPs[i] = s.freeMPs[len(s.freeMPs)-1]
-				s.freeMPs = s.freeMPs[:len(s.freeMPs)-1]
+func (h *MWHost) allocMPs(n int) []int {
+	if !h.sys.rt.Faulty() {
+		po := h.pool
+		for i := len(po.freeMPs) - 1; i >= 0; i-- {
+			if cap(po.freeMPs[i]) >= n {
+				b := po.freeMPs[i][:n]
+				po.freeMPs[i] = po.freeMPs[len(po.freeMPs)-1]
+				po.freeMPs = po.freeMPs[:len(po.freeMPs)-1]
 				return b
 			}
 		}
@@ -325,23 +348,25 @@ func (s *MWSystem) allocMPs(n int) []int {
 
 // allocNotice returns a write-notice header; the coordinator recycles it
 // once the notice is logged (the log keeps a value copy).
-func (s *MWSystem) allocNotice() *mwNotice {
-	if n := len(s.freeNotice); n > 0 && !s.rt.Faulty() {
-		nt := s.freeNotice[n-1]
-		s.freeNotice = s.freeNotice[:n-1]
+func (h *MWHost) allocNotice() *mwNotice {
+	po := h.pool
+	if n := len(po.freeNotice); n > 0 && !h.sys.rt.Faulty() {
+		nt := po.freeNotice[n-1]
+		po.freeNotice = po.freeNotice[:n-1]
 		return nt
 	}
 	return &mwNotice{}
 }
 
-// recycleNotice returns a logged notice header to the freelist. The MPs
-// backing array stays with the creator's interval record.
-func (s *MWSystem) recycleNotice(n *mwNotice) {
-	if s.rt.Faulty() {
+// recycleNotice returns a logged notice header to this host's shard's
+// freelist. The MPs backing array stays with the creator's interval
+// record.
+func (h *MWHost) recycleNotice(n *mwNotice) {
+	if h.sys.rt.Faulty() {
 		return
 	}
 	*n = mwNotice{}
-	s.freeNotice = append(s.freeNotice, n)
+	h.pool.freeNotice = append(h.pool.freeNotice, n)
 }
 
 // MWHost is one multi-writer LRC process.
@@ -379,11 +404,19 @@ type MWHost struct {
 	relDirty   []int
 	relFlush   []mwFlush
 	mergeDiffs []mwFetched
+
+	// pool is this host's shard's clean-path freelists (see MWSystem.pools).
+	pool *mwPool
+
+	// stats is this host's share of MWSystem.Stats, kept per-host so the
+	// parallel engine's shards never race on the counters; Run folds the
+	// shares into MWSystem.Stats once the simulation stops.
+	stats MWStats
 }
 
 // NewMW builds a multi-writer LRC cluster.
 func NewMW(opt Options) (*MWSystem, error) {
-	if opt.Hosts < 1 || opt.Hosts > 64 {
+	if opt.Hosts < 1 || opt.Hosts > 1024 {
 		return nil, fmt.Errorf("lrc-mw: Hosts = %d out of range", opt.Hosts)
 	}
 	if opt.ChunkLevel < 1 {
@@ -402,13 +435,15 @@ func NewMW(opt Options) (*MWSystem, error) {
 		}
 	}
 	rt := cluster.New(cluster.Config{
-		Name:   "lrc-mw",
-		Hosts:  opt.Hosts,
-		Seed:   opt.Seed,
-		Net:    opt.Net,
-		Costs:  opt.Costs,
-		Faults: opt.Faults,
-		Trace:  opt.Trace,
+		Name:       "lrc-mw",
+		Hosts:      opt.Hosts,
+		Seed:       opt.Seed,
+		Engine:     opt.Engine,
+		ParWorkers: opt.ParWorkers,
+		Net:        opt.Net,
+		Costs:      opt.Costs,
+		Faults:     opt.Faults,
+		Trace:      opt.Trace,
 	})
 	opt.Seed = rt.Cfg.Seed
 	opt.Net = rt.Cfg.Net
@@ -421,6 +456,10 @@ func NewMW(opt Options) (*MWSystem, error) {
 		rt:     rt,
 		mpt:    core.NewMPT(layout, core.GrainMinipage, opt.ChunkLevel),
 		locks:  cluster.NewLockService[*mwmsg](),
+	}
+	s.pools = make([]*mwPool, rt.Eng.NumShards())
+	for i := range s.pools {
+		s.pools[i] = &mwPool{}
 	}
 	for i := 0; i < opt.Hosts; i++ {
 		as := vm.NewAddressSpace()
@@ -440,7 +479,12 @@ func NewMW(opt Options) (*MWSystem, error) {
 			pendingHdr: make(map[int]*mwmsg),
 		}
 		h.Host = rt.NewHost(as, h)
+		h.pool = s.pools[h.Shard().ID()]
 		s.hosts = append(s.hosts, h)
+	}
+	if rt.Eng.NumShards() > 1 {
+		s.mpt.SetShared(true)
+		s.homesMu = &sync.RWMutex{}
 	}
 	return s, nil
 }
@@ -480,12 +524,29 @@ func (s *MWSystem) Run(body func(t *MWThread)) error {
 	if body == nil {
 		return fmt.Errorf("lrc-mw: nil thread body")
 	}
-	return s.rt.Run(func(ct *cluster.Thread) func() {
+	err := s.rt.Run(func(ct *cluster.Thread) func() {
 		t := &MWThread{Thread: ct, host: s.hosts[ct.Host()]}
 		ct.SetSelf(t)
 		s.threads = append(s.threads, t)
 		return func() { body(t) }
 	})
+	// Fold the per-host counters into the aggregate the callers read.
+	for _, h := range s.hosts {
+		s.Stats.Fetches += h.stats.Fetches
+		s.Stats.DiffFetches += h.stats.DiffFetches
+		s.Stats.DiffsFetched += h.stats.DiffsFetched
+		s.Stats.HomeFallbacks += h.stats.HomeFallbacks
+		s.Stats.DiffsSent += h.stats.DiffsSent
+		s.Stats.DiffBytes += h.stats.DiffBytes
+		s.Stats.TwinsMade += h.stats.TwinsMade
+		s.Stats.Barriers += h.stats.Barriers
+		s.Stats.WriteFault += h.stats.WriteFault
+		s.Stats.ReadFault += h.stats.ReadFault
+		s.Stats.Invalidations += h.stats.Invalidations
+		s.Stats.Notices += h.stats.Notices
+		s.Stats.IntervalsGCed += h.stats.IntervalsGCed
+	}
+	return err
 }
 
 func (s *MWSystem) allocLocal(from, size int) (core.Info, uint64, int) {
@@ -493,10 +554,27 @@ func (s *MWSystem) allocLocal(from, size int) (core.Info, uint64, int) {
 	if err != nil {
 		panic(fmt.Sprintf("lrc-mw: alloc %d: %v", size, err))
 	}
+	if s.homesMu != nil {
+		s.homesMu.Lock()
+	}
 	for id := len(s.homes); id < s.mpt.NumMinipages(); id++ {
 		s.homes = append(s.homes, from)
 	}
-	return mp.Info(s.Layout), va, s.homes[mp.ID]
+	home := s.homes[mp.ID]
+	if s.homesMu != nil {
+		s.homesMu.Unlock()
+	}
+	return mp.Info(s.Layout), va, home
+}
+
+// homeOf returns minipage id's home host, taking the reader lock when the
+// parallel engine shares the homes slice across shards.
+func (s *MWSystem) homeOf(id int) int {
+	if s.homesMu != nil {
+		s.homesMu.RLock()
+		defer s.homesMu.RUnlock()
+	}
+	return s.homes[id]
 }
 
 // Malloc allocates shared memory; the allocating host becomes the
@@ -518,7 +596,7 @@ func (t *MWThread) Malloc(size int) uint64 {
 		return va
 	}
 	fw := t.WaitSlot()
-	req := s.allocMW()
+	req := h.allocMW()
 	req.Type = mwAllocReq
 	req.From = h.ID()
 	req.AllocSize = size
@@ -566,14 +644,14 @@ func (h *MWHost) HandleFault(ctx any, f vm.Fault) error {
 		return fmt.Errorf("lrc-mw: %#x outside any minipage", f.Addr)
 	}
 	info := mp.Info(s.Layout)
-	home := s.homes[mp.ID]
+	home := s.homeOf(mp.ID)
 
 	if prot, _ := h.Region.ProtOf(info.Base); prot == vm.NoAccess {
 		if home == h.ID() {
 			return fmt.Errorf("lrc-mw: home minipage %d unmapped at its home %d", mp.ID, h.ID())
 		}
 		if f.Kind == vm.Read {
-			s.Stats.ReadFault++
+			h.stats.ReadFault++
 		}
 		_, have := h.copies[mp.ID]
 		if !have || !t.mergePending(mp.ID, info) {
@@ -583,15 +661,15 @@ func (h *MWHost) HandleFault(ctx any, f vm.Fault) error {
 
 	_, dirty := h.twins[mp.ID]
 	if f.Kind == vm.Write {
-		s.Stats.WriteFault++
+		h.stats.WriteFault++
 		if !dirty {
-			twin := s.allocBuf(info.Size)
+			twin := h.allocBuf(info.Size)
 			if err := h.Region.ReadPrivInto(info.Base, twin); err != nil {
 				return err
 			}
 			h.twins[mp.ID] = twin
 			h.dirtyInfo[mp.ID] = info
-			s.Stats.TwinsMade++
+			h.stats.TwinsMade++
 			p.Sleep(twindiff.TwinCost(info.Size))
 		}
 		p.Sleep(c.SetProt)
@@ -624,7 +702,6 @@ func (h *MWHost) HandleFault(ctx any, f vm.Fault) error {
 // from home instead.
 func (t *MWThread) mergePending(id int, info core.Info) bool {
 	h := t.host
-	s := h.sys
 	c := h.Costs()
 	p := t.Proc()
 	pend := h.pend[id]
@@ -645,9 +722,9 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 		for b < len(pend) && pend[b].creator == cr {
 			b++
 		}
-		s.Stats.DiffFetches++
+		h.stats.DiffFetches++
 		fw := t.WaitSlot()
-		req := s.allocMW()
+		req := h.allocMW()
 		req.Type = mwDiffReq
 		req.From = h.ID()
 		req.MP = id
@@ -662,7 +739,7 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 		h.diffReply = nil
 		for i, d := range reply.DiffsOut {
 			if d.Purged {
-				s.Stats.HomeFallbacks++
+				h.stats.HomeFallbacks++
 				if _, dirty := h.twins[id]; dirty {
 					// Purge retention spans two barrier epochs and a dirty twin
 					// cannot survive a barrier, so a dirty minipage's pending
@@ -671,20 +748,20 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 					panic(fmt.Sprintf("lrc-mw: purged interval %d@%d for dirty minipage %d", d.Seq, cr, id))
 				}
 				h.mergeDiffs = diffs[:0]
-				s.recycleMW(reply)
+				h.recycleMW(reply)
 				return false
 			}
-			s.Stats.DiffsFetched++
+			h.stats.DiffsFetched++
 			// The reply serves the requested seqs in order, so entry i
 			// carries the diff for pend[a+i]'s notice.
 			diffs = append(diffs, mwFetched{vtsum: pend[a+i].vtsum, enc: d.Enc})
 		}
-		s.recycleMW(reply)
+		h.recycleMW(reply)
 		a = b
 	}
 	sortFetched(diffs)
 	h.mergeDiffs = diffs
-	cur := s.allocBuf(info.Size)
+	cur := h.allocBuf(info.Size)
 	if err := h.Region.ReadPrivInto(info.Base, cur); err != nil {
 		panic(err)
 	}
@@ -705,7 +782,7 @@ func (t *MWThread) mergePending(id int, info core.Info) bool {
 	if err := h.Region.WritePriv(info.Base, cur); err != nil {
 		panic(err)
 	}
-	s.recycleBuf(cur)
+	h.recycleBuf(cur)
 	h.mergeDiffs = diffs[:0]
 	sn := h.seen[id]
 	if sn == nil {
@@ -754,12 +831,11 @@ func sortFetched(a []mwFetched) {
 // diffs are flushed and acked before any notice circulates).
 func (t *MWThread) fetchFromHome(id int, info core.Info, home int) {
 	h := t.host
-	s := h.sys
 	c := h.Costs()
 	p := t.Proc()
-	s.Stats.Fetches++
+	h.stats.Fetches++
 	fw := t.WaitSlot()
-	req := s.allocMW()
+	req := h.allocMW()
 	req.Type = mwFetchReq
 	req.From = h.ID()
 	req.Info = info
@@ -802,23 +878,23 @@ func (t *MWThread) release() *mwNotice {
 	h.relDirty = dirty
 
 	seq := h.vc[h.ID()] + 1
-	iv := s.allocIval(len(dirty))
+	iv := h.allocIval(len(dirty))
 	flushes := h.relFlush[:0]
 	for _, id := range dirty {
 		info := h.dirtyInfo[id]
-		home := s.homes[id]
+		home := s.homeOf(id)
 		twin := h.twins[id]
-		cur := s.allocBuf(info.Size)
+		cur := h.allocBuf(info.Size)
 		if err := h.Region.ReadPrivInto(info.Base, cur); err != nil {
 			panic(err)
 		}
 		p.Sleep(twindiff.CreateCost(info.Size))
-		enc, err := twindiff.AppendDiff(s.allocBuf(0), twin, cur)
+		enc, err := twindiff.AppendDiff(h.allocBuf(0), twin, cur)
 		if err != nil {
 			panic(err) // minipages are sub-page: offsets always fit the header
 		}
-		s.recycleBuf(cur)
-		s.recycleBuf(twin)
+		h.recycleBuf(cur)
+		h.recycleBuf(twin)
 		iv.diffs[id] = enc
 		delete(h.twins, id)
 		delete(h.dirtyInfo, id)
@@ -841,9 +917,9 @@ func (t *MWThread) release() *mwNotice {
 			h.flushDone.Reset()
 		}
 		for _, f := range flushes {
-			s.Stats.DiffsSent++
-			s.Stats.DiffBytes += uint64(len(f.enc))
-			fm := s.allocMW()
+			h.stats.DiffsSent++
+			h.stats.DiffBytes += uint64(len(f.enc))
+			fm := h.allocMW()
 			fm.Type = mwDiffFlush
 			fm.From = h.ID()
 			fm.Info = f.info
@@ -857,10 +933,10 @@ func (t *MWThread) release() *mwNotice {
 	// shared by every granted copy) until the next barrier, so it cannot
 	// ride in per-release scratch; it is pooled with the interval record,
 	// whose two-barrier retention outlives every reader.
-	mps := s.allocMPs(len(dirty))
+	mps := h.allocMPs(len(dirty))
 	copy(mps, dirty)
 	iv.mps = mps
-	n := s.allocNotice()
+	n := h.allocNotice()
 	n.Creator = h.ID()
 	n.Seq = seq
 	n.MPs = mps
@@ -894,7 +970,7 @@ func (t *MWThread) acquire() {
 			h.vc[n.Creator] = n.Seq
 		}
 		for _, id := range n.MPs {
-			if s.homes[id] == h.ID() {
+			if s.homeOf(id) == h.ID() {
 				continue // the home had this diff applied before the notice could circulate
 			}
 			_, dirty := h.twins[id]
@@ -906,7 +982,7 @@ func (t *MWThread) acquire() {
 			}
 			h.pend[id] = append(h.pend[id], pendEntry{vtsum: n.VTSum, creator: n.Creator, seq: n.Seq})
 			if len(h.pend[id]) == 1 {
-				s.Stats.Invalidations++
+				h.stats.Invalidations++
 				p.Sleep(c.SetProt)
 				if err := h.Region.Protect(info.Base, info.Size, vm.NoAccess); err != nil {
 					panic(err)
@@ -924,7 +1000,7 @@ func (t *MWThread) acquire() {
 	h.acqNotices = nil
 	h.acqMaxVC = nil
 	if h.acqMsg != nil {
-		s.recycleMW(h.acqMsg)
+		h.recycleMW(h.acqMsg)
 		h.acqMsg = nil
 	}
 }
@@ -938,8 +1014,8 @@ func (h *MWHost) gcIntervals() {
 		h.ivals[0] = nil
 		h.ivals = h.ivals[1:]
 		h.ivalBase++
-		h.sys.Stats.IntervalsGCed++
-		h.sys.recycleIval(iv)
+		h.stats.IntervalsGCed++
+		h.recycleIval(iv)
 	}
 	h.floorPrev = h.floorCur
 	h.floorCur = h.vc[h.ID()]
@@ -958,7 +1034,7 @@ func (t *MWThread) Barrier() {
 
 	p.Sleep(c.BarrierBase)
 	fw := t.WaitSlot()
-	m := h.sys.allocMW()
+	m := h.allocMW()
 	m.Type = mwBarrierArrive
 	m.From = h.ID()
 	m.FW = fw
@@ -984,7 +1060,7 @@ func (t *MWThread) Lock(id int) {
 	p := t.Proc()
 	start := p.Now()
 	fw := t.WaitSlot()
-	m := h.sys.allocMW()
+	m := h.allocMW()
 	m.Type = mwLockReq
 	m.From = h.ID()
 	m.LockID = id
@@ -1006,7 +1082,7 @@ func (t *MWThread) Unlock(id int) {
 	p := t.Proc()
 	start := p.Now()
 	notice := t.release()
-	m := h.sys.allocMW()
+	m := h.allocMW()
 	m.Type = mwUnlock
 	m.From = h.ID()
 	m.LockID = id
@@ -1018,16 +1094,17 @@ func (t *MWThread) Unlock(id int) {
 
 // logNotice stamps and appends a release's write notice at the
 // coordinator (host 0 only).
-func (s *MWSystem) logNotice(n *mwNotice) {
+func (h *MWHost) logNotice(n *mwNotice) {
+	s := h.sys
 	s.vtctr++
-	s.Stats.Notices++
+	h.stats.Notices++
 	s.log = append(s.log, mwCNotice{mwNotice: *n, VTSum: s.vtctr})
 }
 
 // grantLock sends m's requester the lock plus every logged notice newer
 // than the requester's vector clock, then recycles the request header.
 func (s *MWSystem) grantLock(p *sim.Proc, h *MWHost, m *mwmsg) {
-	g := s.allocMW()
+	g := h.allocMW()
 	g.Type = mwLockGrant
 	g.LockID = m.LockID
 	g.FW = m.FW
@@ -1037,7 +1114,7 @@ func (s *MWSystem) grantLock(p *sim.Proc, h *MWHost, m *mwmsg) {
 		}
 	}
 	h.Send(p, m.From, g)
-	s.recycleMW(m)
+	h.recycleMW(m)
 }
 
 // HandleMessage is the multi-writer server-thread dispatcher.
@@ -1063,10 +1140,10 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		m.FW.VA = m.AllocVA
 		m.FW.Home = m.Home
 		m.FW.Ev.Set()
-		s.recycleMW(m)
+		h.recycleMW(m)
 
 	case mwFetchReq:
-		data := s.allocBuf(m.Info.Size)
+		data := h.allocBuf(m.Info.Size)
 		if err := h.Region.ReadPrivInto(m.Info.Base, data); err != nil {
 			panic(err)
 		}
@@ -1087,17 +1164,17 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if err := h.Region.WritePriv(hdr.Info.Base, fm.Data); err != nil {
 			panic(err)
 		}
-		s.recycleBuf(fm.Data)
+		h.recycleBuf(fm.Data)
 		p.Sleep(c.SetProt)
 		if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, vm.ReadOnly); err != nil {
 			panic(err)
 		}
 		hdr.FW.Info = hdr.Info
 		hdr.FW.Ev.Set()
-		s.recycleMW(hdr)
+		h.recycleMW(hdr)
 
 	case mwDiffFlush:
-		cur := s.allocBuf(m.Info.Size)
+		cur := h.allocBuf(m.Info.Size)
 		if err := h.Region.ReadPrivInto(m.Info.Base, cur); err != nil {
 			panic(err)
 		}
@@ -1107,7 +1184,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if err := h.Region.WritePriv(m.Info.Base, cur); err != nil {
 			panic(err)
 		}
-		s.recycleBuf(cur)
+		h.recycleBuf(cur)
 		if twin, dirty := h.twins[m.Info.ID]; dirty {
 			// The home is itself mid-interval on this minipage: patch the
 			// twin too, so the home's own diff stays writes-only.
@@ -1126,7 +1203,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if h.flushAwait--; h.flushAwait == 0 {
 			h.flushDone.Set()
 		}
-		s.recycleMW(m)
+		h.recycleMW(m)
 
 	case mwDiffReq:
 		size := c.HeaderSize
@@ -1158,15 +1235,15 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			panic("lrc-mw: barrier arrive at non-coordinator")
 		}
 		if m.Notice != nil {
-			s.logNotice(m.Notice)
-			s.recycleNotice(m.Notice)
+			h.logNotice(m.Notice)
+			h.recycleNotice(m.Notice)
 			m.Notice = nil
 		}
 		arrivals, done := s.barrier.Arrive(m, len(s.hosts))
 		if !done {
 			return
 		}
-		s.Stats.Barriers++
+		h.stats.Barriers++
 		// One converged-clock scratch serves every release message: each
 		// acquirer only reads it, and all of them have consumed it before
 		// the next episode can complete and overwrite it.
@@ -1190,7 +1267,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			}
 		}
 		for _, a := range arrivals {
-			rel := s.allocMW()
+			rel := h.allocMW()
 			rel.Type = mwBarrierRelease
 			rel.MaxVC = maxvc
 			rel.FW = a.FW
@@ -1200,7 +1277,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 				}
 			}
 			h.Send(p, a.From, rel)
-			s.recycleMW(a)
+			h.recycleMW(a)
 		}
 		// Every host's clock now converges to maxvc, so nothing in the log
 		// can ever be granted again: clear it.
@@ -1232,8 +1309,8 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			panic("lrc-mw: unlock at non-coordinator")
 		}
 		if m.Notice != nil {
-			s.logNotice(m.Notice)
-			s.recycleNotice(m.Notice)
+			h.logNotice(m.Notice)
+			h.recycleNotice(m.Notice)
 			m.Notice = nil
 		}
 		next, granted, wasHeld := s.locks.Release(m.LockID)
@@ -1243,7 +1320,7 @@ func (h *MWHost) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 		if granted {
 			s.grantLock(p, h, next)
 		}
-		s.recycleMW(m)
+		h.recycleMW(m)
 
 	default:
 		panic(fmt.Sprintf("lrc-mw: unexpected message %d", int(m.Type)))

@@ -172,7 +172,9 @@ func TestMWLazyDiffFetchNotFullFetch(t *testing.T) {
 		}
 		th.Barrier()
 		if th.Host() == 1 {
-			fullBefore = s.Stats.Fetches
+			// Mid-run, the aggregate Stats are not folded yet: read the
+			// per-host share (host 1 is the only fetcher in this program).
+			fullBefore = s.hosts[1].stats.Fetches
 			got = th.ReadU32(va) // invalidated: lazy diff merge
 		}
 		th.Barrier()

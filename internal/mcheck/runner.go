@@ -1,7 +1,7 @@
 // Package mcheck is the schedule-exploration model checker: it drives
 // the deterministic simulator through many distinct schedules per
 // configuration by perturbing the pop order of same-timestamp calendar
-// events (sim.Explorer), asserts the DESIGN.md §7 invariants from
+// events (sim.Explorer), asserts the DESIGN.md §8 invariants from
 // internal/check after every explored schedule, and when a schedule
 // fails, delta-debugs the recorded decision trace down to a smallest-
 // known failing schedule saved as a replayable repro artifact.

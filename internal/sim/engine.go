@@ -2,9 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 type procState int8
@@ -17,42 +20,69 @@ const (
 	stateDone
 )
 
-// Engine is a deterministic discrete-event simulator. The zero value is not
-// usable; create one with NewEngine.
-//
-// All methods must be called either from the goroutine that calls Run (for
-// setup and engine callbacks) or from a simulated process's own goroutine
-// while that process is the running process. The engine enforces the
-// one-runnable-process-at-a-time discipline itself; callers never need
-// additional locking for simulation state.
-type Engine struct {
-	now     Time
-	seq     uint64
-	calQ    calendar
+// maxTime is the open horizon: no event is ever scheduled at or past it,
+// so a shard whose horizon is maxTime (the single-shard engine) executes
+// its calendar unconditionally.
+const maxTime = Time(math.MaxInt64)
 
-	// ring is the same-instant FIFO: events scheduled for the current
-	// virtual time (wakes, yields, zero-latency callbacks — the majority
-	// of all events) are appended here instead of sifting through the
-	// heap, and popped in O(1). Appends carry strictly increasing seq, so
-	// the ring is seq-sorted by construction; popNext merges it with the
-	// heap on (at, seq), preserving the global deterministic order
-	// exactly. Invariant: every ring entry has at == now (now only
-	// advances by popping a later heap event, possible only when the
-	// ring is drained). Unused under exploration (see SetExplorer).
-	ring     []event
-	ringHead int
-	rng     *rand.Rand
-	parked  chan struct{} // a process signals here when the run is over
-	nextID  int
-	procs   map[int]*Proc
-	liveFG  int // live non-daemon processes
-	stopped bool
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; create one with NewEngine (single calendar) or NewShardedEngine
+// (one calendar shard per simulated host, executable in parallel).
+//
+// In the single-shard engine all methods must be called either from the
+// goroutine that calls Run (for setup and engine callbacks) or from a
+// simulated process's own goroutine while that process is the running
+// process; the engine enforces the one-runnable-process-at-a-time
+// discipline itself. In a sharded engine the same discipline holds per
+// shard: each shard runs at most one of its processes at a time, and all
+// simulation state a shard's processes and callbacks touch must belong to
+// that shard (cross-shard effects travel through Shard.Post, which
+// enforces the lookahead contract). Engine-level convenience methods
+// (Spawn, At, Now, ...) address shard 0.
+type Engine struct {
+	shards []*Shard
+	single bool // exactly one shard: the classic sequential engine
+
+	// lookahead is the minimum cross-shard scheduling distance: every
+	// Shard.Post to another shard must land at least this far after the
+	// posting shard's current time. It is what makes a conservative
+	// window safe (see Run). Declared by the transport via SetLookahead.
+	lookahead Duration
+
+	workers   int  // goroutines executing shard windows; 1 = serial
+	maxActive int  // high-water mark of shards active in one window
+	windows   uint64
+
+	// finalNow is the sharded engine's answer to Now(): the current
+	// window floor while running, and the virtual time the last
+	// non-daemon process finished once Run returns. (Each shard keeps
+	// its own clock; a single global "now" does not exist mid-window.)
+	finalNow Time
+
+	// merge is the scratch buffer window barriers collect outboxes into.
+	merge []xev
+
+	// Persistent window-worker pool (parallel.go). Workers park on
+	// parWork between windows; parActive/parNext describe the current
+	// window's shard list and steal cursor. Lazily started the first
+	// time a window wants more than one goroutine, torn down when
+	// runSharded returns — spawning fresh goroutines per window would
+	// cost an allocation and a scheduler hop each, tens of thousands of
+	// times per run.
+	parWork   chan struct{}
+	parActive []*Shard
+	parNext   atomic.Int64
+	parWG     sync.WaitGroup
+	poolSize  int
+
+	stopped atomic.Bool // Stop was called; may be set from any shard
+	reaping bool        // Run is over; woken processes must exit, not run
 	running bool
-	reaping bool  // Run is over; woken processes must exit, not run
-	current *Proc // process currently executing, nil when engine code runs
 
 	// Exploration state (explore.go); all nil/empty unless SetExplorer
 	// installed a schedule explorer, so the default path is untouched.
+	// Exploration requires the single-shard engine: a strategy must see
+	// one global event order.
 	x         Explorer
 	yieldSeq  map[uint64]struct{} // seqs of resumes scheduled by Yield/Sleep(0)
 	tieEvents []event             // scratch for popTie
@@ -60,131 +90,349 @@ type Engine struct {
 	panicErr  *ErrPanic           // first panic captured under exploration
 }
 
-// NewEngine returns an engine whose random source is seeded with seed.
-// Identical programs run on engines with identical seeds produce identical
-// event traces.
-func NewEngine(seed int64) *Engine {
-	return &Engine{
-		rng:    rand.New(rand.NewSource(seed)),
-		parked: make(chan struct{}),
-		procs:  make(map[int]*Proc),
-	}
+// Shard owns one slice of the simulation: a calendar, a same-instant
+// ring, a clock, a random stream, and the processes bound to it. The
+// single-shard engine is exactly one Shard driven with an open horizon;
+// the sharded engine executes many Shards inside conservative windows
+// (see Engine.Run). A Shard's methods follow the same calling discipline
+// as the classic engine, per shard: at most one of its processes runs at
+// a time, and only that process (or the shard's own engine callbacks)
+// may touch the shard.
+type Shard struct {
+	e  *Engine
+	id int
+
+	now  Time
+	seq  uint64
+	calQ calendar
+
+	// ring is the same-instant FIFO: events scheduled for the current
+	// virtual time (wakes, yields, zero-latency callbacks — the majority
+	// of all events) are appended here instead of sifting through the
+	// heap, and popped in O(1). Appends carry strictly increasing seq, so
+	// the ring is seq-sorted by construction; popNext merges it with the
+	// heap on (at, seq), preserving the shard's deterministic order
+	// exactly. Invariant: every ring entry has at == now (now only
+	// advances by popping a later heap event, possible only when the
+	// ring is drained). Unused under exploration (see SetExplorer).
+	ring     []event
+	ringHead int
+
+	rng     *rand.Rand
+	parked  chan struct{} // signalled when the shard's window is over
+	nextID  int
+	procs   map[int]*Proc
+	liveFG  int // live non-daemon processes on this shard
+	current *Proc // process currently executing, nil when engine code runs
+
+	// horizon is the exclusive upper bound on executable event times for
+	// the current window; maxTime on the single-shard engine. A shard
+	// never pops an event at or past its horizon, and the Sleep fast
+	// path never advances the clock across it.
+	horizon Time
+
+	// fgHalt makes the dispatch loop stop as soon as the shard's last
+	// non-daemon process finishes — the classic single-shard termination
+	// rule. Sharded engines leave it false: a shard with no foreground
+	// processes of its own (a pure server host) must keep serving until
+	// the cluster-wide count drains, which the window loop checks at
+	// barriers.
+	fgHalt bool
+
+	// fgEnd is the shard time at which liveFG last reached zero; the
+	// sharded engine's final Now() is the maximum over shards.
+	fgEnd Time
+
+	// outbox buffers cross-shard events produced during the current
+	// window; the barrier merges all outboxes in (at, src, seq) order.
+	outbox []xev
+	xseq   uint64
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// xev is one cross-shard event in flight between windows.
+type xev struct {
+	at   Time
+	sent Time   // posting shard's clock at Post time
+	src  int    // posting shard id
+	seq  uint64 // posting shard's outbox sequence
+	dst  *Shard
+	fn   func(any)
+	arg  any
+}
 
-// Rand returns the engine's deterministic random source. Simulation code
-// must use this source (never math/rand's global functions or wall-clock
-// entropy) so runs stay reproducible.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// NewEngine returns a single-shard engine whose random source is seeded
+// with seed. Identical programs run on engines with identical seeds
+// produce identical event traces.
+func NewEngine(seed int64) *Engine {
+	return newEngine(seed, 1)
+}
+
+// NewShardedEngine returns an engine with shards calendar shards
+// (shards >= 2: shard 0 for global services plus one per simulated
+// host, by convention). Each shard draws from its own random stream
+// derived from (seed, shard id), so a sharded run is a pure function of
+// (program, seed, shard count) regardless of how many worker goroutines
+// execute the windows — Run produces identical results at every worker
+// count, which is what makes the parallel engine testable against its
+// own serial execution.
+func NewShardedEngine(seed int64, shards int) *Engine {
+	if shards < 2 {
+		panic("sim: NewShardedEngine needs at least 2 shards (use NewEngine for one)")
+	}
+	return newEngine(seed, shards)
+}
+
+func newEngine(seed int64, shards int) *Engine {
+	e := &Engine{
+		shards:  make([]*Shard, shards),
+		single:  shards == 1,
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for i := range e.shards {
+		e.shards[i] = &Shard{
+			e:       e,
+			id:      i,
+			rng:     rand.New(rand.NewSource(shardSeed(seed, i))),
+			parked:  make(chan struct{}),
+			procs:   make(map[int]*Proc),
+			horizon: maxTime,
+			fgHalt:  shards == 1,
+		}
+	}
+	return e
+}
+
+// shardSeed derives shard i's random seed. Shard 0 uses the engine seed
+// itself, so the single-shard engine's stream is exactly the historical
+// one; higher shards mix the id through a splitmix64 round to decorrelate
+// neighboring seeds.
+func shardSeed(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// NumShards returns the number of calendar shards (1 for NewEngine).
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Shard returns shard i. Shard 0 is the engine's default shard: the
+// engine-level Spawn/At/Now methods address it.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// SetLookahead declares the minimum cross-shard latency: every
+// Shard.Post to another shard lands at least d after the posting shard's
+// clock. The transport that owns the latency floor calls this before
+// Run; the sharded Run panics without a positive lookahead, because the
+// conservative window would be empty.
+func (e *Engine) SetLookahead(d Duration) { e.lookahead = d }
+
+// Lookahead returns the declared cross-shard latency floor.
+func (e *Engine) Lookahead() Duration { return e.lookahead }
+
+// SetParWorkers bounds the number of goroutines that execute shard
+// windows concurrently (minimum 1; the default is GOMAXPROCS). The
+// simulation's outcome is identical at every width.
+func (e *Engine) SetParWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// ParWorkers returns the window executor's width.
+func (e *Engine) ParWorkers() int { return e.workers }
+
+// MaxShardsActive reports the high-water mark of shards that were
+// runnable in a single window — the run's effective parallelism bound.
+func (e *Engine) MaxShardsActive() int { return e.maxActive }
+
+// Windows reports how many conservative windows the sharded run executed.
+func (e *Engine) Windows() uint64 { return e.windows }
+
+// Now returns the current virtual time. On a sharded engine the shards'
+// clocks advance independently inside a window, so Now reports the
+// current window floor while running and the finish time of the last
+// non-daemon process after Run; simulation code on a shard uses
+// Proc.Now or Shard.Now.
+func (e *Engine) Now() Time {
+	if e.single {
+		return e.shards[0].now
+	}
+	return e.finalNow
+}
+
+// Rand returns shard 0's deterministic random source. Simulation code
+// must use the owning shard's source (never math/rand's global functions
+// or wall-clock entropy) so runs stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.shards[0].rng }
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Engine returns the owning engine.
+func (s *Shard) Engine() *Engine { return s.e }
+
+// Now returns the shard's current virtual time.
+func (s *Shard) Now() Time { return s.now }
+
+// Rand returns the shard's deterministic random source.
+func (s *Shard) Rand() *rand.Rand { return s.rng }
 
 // clamp bounds at to the present: the past is not addressable.
-func (e *Engine) clamp(at Time) Time {
-	if at < e.now {
-		return e.now
+func (s *Shard) clamp(at Time) Time {
+	if at < s.now {
+		return s.now
 	}
 	return at
 }
 
 // scheduleResume inserts a resume record for p at absolute time at.
-func (e *Engine) scheduleResume(at Time, p *Proc) {
-	e.seq++
-	if at = e.clamp(at); at == e.now && e.x == nil {
-		e.ring = append(e.ring, event{at: at, seq: e.seq, proc: p})
+func (s *Shard) scheduleResume(at Time, p *Proc) {
+	s.seq++
+	if at = s.clamp(at); at == s.now && s.e.x == nil {
+		s.ring = append(s.ring, event{at: at, seq: s.seq, proc: p})
 		return
 	}
-	e.calQ.push(event{at: at, seq: e.seq, proc: p})
+	s.calQ.push(event{at: at, seq: s.seq, proc: p})
 }
 
 // scheduleFn inserts a callback record at absolute time at.
-func (e *Engine) scheduleFn(at Time, fn func(any), arg any) {
-	e.seq++
-	if at = e.clamp(at); at == e.now && e.x == nil {
-		e.ring = append(e.ring, event{at: at, seq: e.seq, fn: fn, arg: arg})
+func (s *Shard) scheduleFn(at Time, fn func(any), arg any) {
+	s.seq++
+	if at = s.clamp(at); at == s.now && s.e.x == nil {
+		s.ring = append(s.ring, event{at: at, seq: s.seq, fn: fn, arg: arg})
 		return
 	}
-	e.calQ.push(event{at: at, seq: e.seq, fn: fn, arg: arg})
+	s.calQ.push(event{at: at, seq: s.seq, fn: fn, arg: arg})
 }
 
 // ringEmpty reports whether the same-instant FIFO is drained.
-func (e *Engine) ringEmpty() bool { return e.ringHead == len(e.ring) }
+func (s *Shard) ringEmpty() bool { return s.ringHead == len(s.ring) }
 
-// popNext removes the globally earliest event, merging the same-instant
+// popNext removes the shard's earliest event, merging the same-instant
 // ring with the calendar heap on (at, seq).
-func (e *Engine) popNext() event {
-	if e.ringHead < len(e.ring) {
-		rh := &e.ring[e.ringHead]
+func (s *Shard) popNext() event {
+	if s.ringHead < len(s.ring) {
+		rh := &s.ring[s.ringHead]
 		// Ring entries sit at the current instant; the heap wins only
 		// with an equal timestamp and an older seq.
-		if e.calQ.Len() == 0 {
-			return e.popRing()
+		if s.calQ.Len() == 0 {
+			return s.popRing()
 		}
-		if m := e.calQ.min(); m.at != rh.at || m.seq > rh.seq {
-			return e.popRing()
+		if m := s.calQ.min(); m.at != rh.at || m.seq > rh.seq {
+			return s.popRing()
 		}
 	}
-	return e.calQ.pop()
+	return s.calQ.pop()
 }
 
-func (e *Engine) popRing() event {
-	ev := e.ring[e.ringHead]
-	e.ring[e.ringHead] = event{} // release the arg/proc references
-	e.ringHead++
-	if e.ringHead == len(e.ring) {
-		e.ring = e.ring[:0]
-		e.ringHead = 0
+func (s *Shard) popRing() event {
+	ev := s.ring[s.ringHead]
+	s.ring[s.ringHead] = event{} // release the arg/proc references
+	s.ringHead++
+	if s.ringHead == len(s.ring) {
+		s.ring = s.ring[:0]
+		s.ringHead = 0
 	}
 	return ev
 }
 
-// At schedules fn to run in engine context at absolute virtual time at.
-// fn must not block on simulation primitives; it may schedule further
-// events, signal conditions, and spawn processes.
-func (e *Engine) At(at Time, fn func()) { e.scheduleFn(at, callFunc0, fn) }
+// At schedules fn to run in engine context at absolute virtual time at
+// on shard 0. fn must not block on simulation primitives; it may
+// schedule further events, signal conditions, and spawn processes.
+func (e *Engine) At(at Time, fn func()) { e.shards[0].At(at, fn) }
 
-// After schedules fn to run in engine context d from now. The same
-// restrictions as At apply.
-func (e *Engine) After(d Duration, fn func()) { e.scheduleFn(e.now.Add(d), callFunc0, fn) }
+// After schedules fn to run in engine context d from now on shard 0.
+func (e *Engine) After(d Duration, fn func()) { e.shards[0].After(d, fn) }
 
-// AtArg schedules fn(arg) to run in engine context at absolute virtual
-// time at. Unlike At it does not force a closure: callers on allocation-
-// sensitive paths keep one fn per receiver and thread the per-event state
-// through arg (boxing a pointer into any does not allocate).
-func (e *Engine) AtArg(at Time, fn func(any), arg any) { e.scheduleFn(at, fn, arg) }
+// AtArg schedules fn(arg) on shard 0 at absolute virtual time at.
+func (e *Engine) AtArg(at Time, fn func(any), arg any) { e.shards[0].AtArg(at, fn, arg) }
 
-// AfterArg schedules fn(arg) to run in engine context d from now.
-func (e *Engine) AfterArg(d Duration, fn func(any), arg any) {
-	e.scheduleFn(e.now.Add(d), fn, arg)
+// AfterArg schedules fn(arg) on shard 0, d from now.
+func (e *Engine) AfterArg(d Duration, fn func(any), arg any) { e.shards[0].AfterArg(d, fn, arg) }
+
+// At schedules fn to run in this shard's engine context at absolute
+// virtual time at. fn must not block on simulation primitives; it may
+// schedule further events, signal conditions, and spawn processes on
+// this shard.
+func (s *Shard) At(at Time, fn func()) { s.scheduleFn(at, callFunc0, fn) }
+
+// After schedules fn to run in this shard's engine context d from now.
+func (s *Shard) After(d Duration, fn func()) { s.scheduleFn(s.now.Add(d), callFunc0, fn) }
+
+// AtArg schedules fn(arg) at absolute virtual time at. Unlike At it does
+// not force a closure: callers on allocation-sensitive paths keep one fn
+// per receiver and thread the per-event state through arg (boxing a
+// pointer into any does not allocate).
+func (s *Shard) AtArg(at Time, fn func(any), arg any) { s.scheduleFn(at, fn, arg) }
+
+// AfterArg schedules fn(arg) d from now.
+func (s *Shard) AfterArg(d Duration, fn func(any), arg any) {
+	s.scheduleFn(s.now.Add(d), fn, arg)
 }
 
-// Spawn creates a process named name running fn and schedules it to start
-// at the current virtual time. The process counts toward Run's completion
-// condition: Run returns once every non-daemon process has finished.
+// Post schedules fn(arg) at absolute time at on shard dst, which may be
+// a different shard. Same-shard posts are ordinary AtArg scheduling. A
+// cross-shard post is buffered in the posting shard's outbox and merged
+// into dst's calendar at the next window barrier, so it must respect the
+// engine's lookahead: at >= the posting shard's current time plus the
+// declared cross-shard latency floor. The barrier panics on a violation
+// — a transport scheduling below its own declared floor is a
+// correctness bug, not a tolerable slowdown.
+func (s *Shard) Post(dst *Shard, at Time, fn func(any), arg any) {
+	if dst == s || s.e.single {
+		dst.scheduleFn(at, fn, arg)
+		return
+	}
+	s.xseq++
+	s.outbox = append(s.outbox, xev{at: at, sent: s.now, src: s.id, seq: s.xseq, dst: dst, fn: fn, arg: arg})
+}
+
+// Spawn creates a process named name running fn on shard 0 and
+// schedules it to start at the current virtual time. The process counts
+// toward Run's completion condition: Run returns once every non-daemon
+// process (across all shards) has finished.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
-	return e.spawn(name, fn, false)
+	return e.shards[0].spawn(name, fn, false)
 }
 
-// SpawnDaemon creates a process that does not keep Run alive: like a
-// daemon thread, it is abandoned once all non-daemon processes finish.
-// DSM server threads, pollers and timers are daemons.
+// SpawnDaemon creates a process on shard 0 that does not keep Run
+// alive: like a daemon thread, it is abandoned once all non-daemon
+// processes finish. DSM server threads, pollers and timers are daemons.
 func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
-	return e.spawn(name, fn, true)
+	return e.shards[0].spawn(name, fn, true)
 }
 
-func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
-	e.nextID++
+// Spawn creates a process on this shard; see Engine.Spawn.
+func (s *Shard) Spawn(name string, fn func(*Proc)) *Proc {
+	return s.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a daemon process on this shard; see
+// Engine.SpawnDaemon.
+func (s *Shard) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	return s.spawn(name, fn, true)
+}
+
+func (s *Shard) spawn(name string, fn func(*Proc), daemon bool) *Proc {
+	e := s.e
+	s.nextID++
 	p := &Proc{
 		e:      e,
-		id:     e.nextID,
+		sh:     s,
+		id:     s.nextID,
 		name:   name,
 		daemon: daemon,
 		resume: make(chan struct{}),
 		state:  stateNew,
 	}
-	e.procs[p.id] = p
+	s.procs[p.id] = p
 	if !daemon {
-		e.liveFG++
+		s.liveFG++
 	}
 	go func() {
 		<-p.resume
@@ -205,51 +453,60 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 		p.finish()
 	}()
 	p.state = stateScheduled
-	e.scheduleResume(e.now, p)
+	s.scheduleResume(s.now, p)
 	return p
 }
 
 // finish retires the process: it runs on the process's own goroutine as
 // the last thing before it exits (normally or, under exploration, from
-// a recovered panic). The departing goroutine dispatches the next event
-// itself, so retirement hands control on with a single channel send.
+// a recovered panic). The departing goroutine dispatches the shard's
+// next event itself, so retirement hands control on with a single
+// channel send.
 func (p *Proc) finish() {
-	e := p.e
+	s := p.sh
 	p.state = stateDone
-	delete(e.procs, p.id)
+	delete(s.procs, p.id)
 	if !p.daemon {
-		e.liveFG--
+		s.liveFG--
+		if s.liveFG == 0 {
+			s.fgEnd = s.now
+		}
 	}
-	e.current = nil
-	if next := e.nextProc(); next != nil {
-		e.handoff(next)
+	s.current = nil
+	if next := s.nextProc(); next != nil {
+		s.handoff(next)
 	} else {
-		e.parked <- struct{}{}
+		s.parked <- struct{}{}
 	}
 }
 
-// nextProc advances the simulation on the calling goroutine: it pops and
-// fires events — running engine callbacks inline — until it reaches a
-// process resume, returned for the caller to hand control to, or an end
-// condition (Stop called, all non-daemon processes finished, or an empty
-// calendar), signalled by returning nil.
+// nextProc advances the shard on the calling goroutine: it pops and
+// fires events below the horizon — running engine callbacks inline —
+// until it reaches a process resume, returned for the caller to hand
+// control to, or an end condition (Stop called, the shard's foreground
+// drained under fgHalt, or no event left below the horizon), signalled
+// by returning nil.
 //
 // Centralizing dispatch here is what makes a process switch cost one
 // channel handoff instead of two: the goroutine giving up the processor
 // resumes its successor directly rather than bouncing through a
 // dedicated scheduler goroutine (see park and finish).
-func (e *Engine) nextProc() *Proc {
+func (s *Shard) nextProc() *Proc {
+	e := s.e
 	for {
-		if e.stopped || e.liveFG == 0 || (e.calQ.Len() == 0 && e.ringEmpty()) {
+		if e.stopped.Load() || (s.fgHalt && s.liveFG == 0) {
+			return nil
+		}
+		if s.ringHead == len(s.ring) && (s.calQ.Len() == 0 || s.calQ.min().at >= s.horizon) {
 			return nil
 		}
 		var ev event
 		if e.x != nil {
 			ev = e.popTie()
 		} else {
-			ev = e.popNext()
+			ev = s.popNext()
 		}
-		e.now = ev.at
+		s.now = ev.at
 		switch {
 		case ev.proc != nil:
 			if ev.proc.state == stateDone {
@@ -266,21 +523,34 @@ func (e *Engine) nextProc() *Proc {
 
 // handoff transfers control to next and returns immediately. The calling
 // goroutine must block on its own resume channel (park), wait for the
-// run to end (Run), or exit (finish) right after.
-func (e *Engine) handoff(next *Proc) {
+// window to end (runWindow), or exit (finish) right after.
+func (s *Shard) handoff(next *Proc) {
 	next.state = stateRunning
-	e.current = next
+	s.current = next
 	next.resume <- struct{}{}
 }
 
-// wake moves a blocked process into the calendar at the current time.
-// It is a no-op if the process is already scheduled, running, or done.
+// wake moves a blocked process into its shard's calendar at the shard's
+// current time. It is a no-op if the process is already scheduled,
+// running, or done. The caller must be executing on the process's own
+// shard (Signals never span shards).
 func (e *Engine) wake(p *Proc) {
 	if p.state != stateBlocked {
 		return
 	}
 	p.state = stateScheduled
-	e.scheduleResume(e.now, p)
+	p.sh.scheduleResume(p.sh.now, p)
+}
+
+// runWindow drives the shard until nextProc finds no more work below
+// the horizon; on return every process of the shard is parked. It is
+// the body of classic Run (horizon = maxTime) and of one shard's turn
+// inside a conservative window.
+func (s *Shard) runWindow() {
+	if next := s.nextProc(); next != nil {
+		s.handoff(next)
+		<-s.parked
+	}
 }
 
 // BlockedProc names one process stuck in a deadlock, together with the
@@ -300,7 +570,10 @@ func (b BlockedProc) String() string {
 }
 
 // ErrDeadlock is returned by Run when no events remain but unfinished
-// non-daemon processes are still blocked.
+// non-daemon processes are still blocked. On a sharded engine the report
+// spans every shard: a deadlock is a global condition (all calendars and
+// outboxes empty), and each blocked process is listed with its wait
+// label no matter which shard owns it.
 type ErrDeadlock struct {
 	At      Time
 	Blocked []string      // names of the blocked processes, sorted
@@ -319,23 +592,36 @@ func (e *ErrDeadlock) Error() string {
 // non-daemon processes remain blocked with an empty calendar, and nil
 // otherwise. Run must be called exactly once, from the goroutine that
 // created the engine.
+//
+// On a sharded engine Run executes conservative windows: each window
+// spans [m, m+L) where m is the earliest pending event across all
+// shards and L the declared lookahead. Within the window every shard
+// executes its own events independently — in parallel across up to
+// ParWorkers goroutines — because no cross-shard effect can land below
+// the window horizon: Shard.Post guarantees a cross-shard event fires
+// at least L after the posting shard's clock, which never trails m.
+// Windows meet at barriers that merge the shards' outboxes in
+// deterministic (at, shard, seq) order, so the run's outcome is a pure
+// function of (program, seed, shard count), independent of worker
+// count and goroutine scheduling.
 func (e *Engine) Run() error {
 	if e.running {
 		panic("sim: Engine.Run called twice")
 	}
 	e.running = true
 	defer e.reapProcs()
-	if next := e.nextProc(); next != nil {
-		e.handoff(next)
-		<-e.parked // the final process signals here when the run is over
+	if !e.single {
+		return e.runSharded()
 	}
-	if e.stopped {
+	s := e.shards[0]
+	s.runWindow()
+	if e.stopped.Load() {
 		if e.panicErr != nil {
 			return e.panicErr
 		}
 		return nil
 	}
-	if e.liveFG == 0 {
+	if s.liveFG == 0 {
 		return nil
 	}
 	return e.deadlockError()
@@ -351,19 +637,23 @@ func (e *Engine) Run() error {
 // without bound.
 func (e *Engine) reapProcs() {
 	e.reaping = true
-	for _, p := range e.procs { //detlint:ok post-run teardown, order invisible
-		if p.state == stateDone {
-			continue
+	for _, s := range e.shards {
+		for _, p := range s.procs { //detlint:ok post-run teardown, order invisible
+			if p.state == stateDone {
+				continue
+			}
+			p.resume <- struct{}{} // wakes in park or at the spawn gate; exits
 		}
-		p.resume <- struct{}{} // wakes in park or at the spawn gate; exits
 	}
 }
 
 func (e *Engine) deadlockError() error {
 	var waits []BlockedProc
-	for _, p := range e.procs { //detlint:ok sorted below
-		if !p.daemon && p.state == stateBlocked {
-			waits = append(waits, BlockedProc{Name: p.name, Waiting: p.waitLabel()})
+	for _, s := range e.shards {
+		for _, p := range s.procs { //detlint:ok sorted below
+			if !p.daemon && p.state == stateBlocked {
+				waits = append(waits, BlockedProc{Name: p.name, Waiting: p.waitLabel()})
+			}
 		}
 	}
 	sort.Slice(waits, func(i, j int) bool { return waits[i].Name < waits[j].Name })
@@ -371,17 +661,20 @@ func (e *Engine) deadlockError() error {
 	for i, w := range waits {
 		blocked[i] = w.Name
 	}
-	return &ErrDeadlock{At: e.now, Blocked: blocked, Waits: waits}
+	return &ErrDeadlock{At: e.Now(), Blocked: blocked, Waits: waits}
 }
 
-// Stop makes Run return after the current event completes. It may be
-// called from process context or an engine callback.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes Run return after the current event completes — on a
+// sharded engine, after every shard finishes its in-progress event and
+// the window unwinds. It may be called from process context or an
+// engine callback on any shard.
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // Proc is a simulated process (thread). All Proc methods must be called
 // from the process's own goroutine while it is the running process.
 type Proc struct {
 	e      *Engine
+	sh     *Shard
 	id     int
 	name   string
 	daemon bool
@@ -408,8 +701,11 @@ func (p *Proc) Name() string { return p.name }
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.e }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.e.now }
+// Shard returns the calendar shard that owns this process.
+func (p *Proc) Shard() *Shard { return p.sh }
+
+// Now returns the current virtual time on the process's shard.
+func (p *Proc) Now() Time { return p.sh.now }
 
 // park gives up the processor and blocks until resumed. The caller must
 // have arranged a wakeup (calendar event or Signal registration) before
@@ -419,25 +715,25 @@ func (p *Proc) Now() Time { return p.e.now }
 // switch (nextProc). Two outcomes avoid channel traffic entirely: the
 // next resume may be this process's own (sleep across engine callbacks),
 // and engine callbacks between resumes run inline. Otherwise control
-// moves to the successor — or, when the run is over, back to Run — with
-// a single send.
+// moves to the successor — or, when the window is over, back to the
+// shard driver — with a single send.
 func (p *Proc) park(st procState) {
-	e := p.e
+	s := p.sh
 	p.state = st
-	e.current = nil
-	next := e.nextProc()
+	s.current = nil
+	next := s.nextProc()
 	if next == p {
 		p.state = stateRunning
-		e.current = p
+		s.current = p
 		return
 	}
 	if next != nil {
-		e.handoff(next)
+		s.handoff(next)
 	} else {
-		e.parked <- struct{}{} // run over: wake Run, then await the reaper
+		s.parked <- struct{}{} // window over: wake the driver, then await resume
 	}
 	<-p.resume
-	if e.reaping {
+	if p.e.reaping {
 		runtime.Goexit() // run over: unwind instead of resuming
 	}
 	p.state = stateRunning
@@ -447,26 +743,29 @@ func (p *Proc) park(st procState) {
 // sleep zero time. Sleep(0) yields: other events at the current timestamp
 // run before the process continues.
 //
-// Fast path: when no calendar event precedes the wakeup, the resume
-// record this Sleep would push is exactly the event the engine would pop
-// next. The process then advances the clock itself and keeps running —
-// same execution order, no heap traffic, and no goroutine handshake.
-// Events already scheduled for the wakeup instant have smaller sequence
-// numbers than the would-be resume, so the fast path requires the
-// calendar minimum to lie strictly after the wakeup time.
+// Fast path: when no calendar event precedes the wakeup and the wakeup
+// lies inside the shard's window, the resume record this Sleep would
+// push is exactly the event the engine would pop next. The process then
+// advances the clock itself and keeps running — same execution order, no
+// heap traffic, and no goroutine handshake. Events already scheduled for
+// the wakeup instant have smaller sequence numbers than the would-be
+// resume, so the fast path requires the calendar minimum to lie strictly
+// after the wakeup time.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
+	s := p.sh
 	e := p.e
-	at := e.now.Add(d)
-	if !e.stopped && e.ringEmpty() && (e.calQ.Len() == 0 || at < e.calQ.min().at) {
-		e.now = at
+	at := s.now.Add(d)
+	if !e.stopped.Load() && s.ringEmpty() && at < s.horizon &&
+		(s.calQ.Len() == 0 || at < s.calQ.min().at) {
+		s.now = at
 		return
 	}
-	e.scheduleResume(at, p)
+	s.scheduleResume(at, p)
 	if d == 0 && e.x != nil {
-		e.yieldSeq[e.seq] = struct{}{} // tag the resume as a yield for the explorer
+		e.yieldSeq[s.seq] = struct{}{} // tag the resume as a yield for the explorer
 	}
 	p.park(stateScheduled)
 }

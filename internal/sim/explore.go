@@ -45,10 +45,15 @@ type Explorer interface {
 }
 
 // SetExplorer installs (or, with nil, removes) the engine's schedule
-// explorer. It must be called before Run.
+// explorer. It must be called before Run. Exploration requires the
+// single-shard engine: a strategy perturbs one global event order, and
+// the sharded executor has no such order until its windows merge.
 func (e *Engine) SetExplorer(x Explorer) {
 	if e.running {
 		panic("sim: SetExplorer after Run")
+	}
+	if x != nil && !e.single {
+		panic("sim: SetExplorer on a sharded engine (exploration needs the single global event order)")
 	}
 	e.x = x
 	if x != nil && e.yieldSeq == nil {
@@ -58,8 +63,9 @@ func (e *Engine) SetExplorer(x Explorer) {
 	// flush anything the same-instant ring gathered before the explorer
 	// was installed (events scheduled during setup keep their seq, hence
 	// their deterministic order).
-	for e.ringHead < len(e.ring) {
-		e.calQ.push(e.popRing())
+	s := e.shards[0]
+	for s.ringHead < len(s.ring) {
+		s.calQ.push(s.popRing())
 	}
 }
 
@@ -68,15 +74,16 @@ func (e *Engine) SetExplorer(x Explorer) {
 // the rest to the calendar with their original sequence numbers (so
 // their relative default order is preserved for the next decision).
 func (e *Engine) popTie() event {
-	first := e.calQ.pop()
-	if e.calQ.Len() == 0 || e.calQ.min().at != first.at {
+	s := e.shards[0]
+	first := s.calQ.pop()
+	if s.calQ.Len() == 0 || s.calQ.min().at != first.at {
 		delete(e.yieldSeq, first.seq)
 		return first // forced move: no decision point
 	}
 	ties := e.tieEvents[:0]
 	ties = append(ties, first)
-	for e.calQ.Len() > 0 && e.calQ.min().at == first.at {
-		ties = append(ties, e.calQ.pop())
+	for s.calQ.Len() > 0 && s.calQ.min().at == first.at {
+		ties = append(ties, s.calQ.pop())
 	}
 	infos := e.tieInfos[:0]
 	for _, ev := range ties {
@@ -94,7 +101,7 @@ func (e *Engine) popTie() event {
 	chosen := ties[k]
 	for i, ev := range ties {
 		if i != k {
-			e.calQ.push(ev)
+			s.calQ.push(ev)
 		}
 	}
 	e.tieEvents, e.tieInfos = ties[:0], infos[:0]
@@ -127,9 +134,9 @@ func (e *ErrPanic) Error() string {
 // unwinds) keep the first message, which is the root cause.
 func (e *Engine) explorePanic(proc string, r any) {
 	if e.panicErr == nil {
-		e.panicErr = &ErrPanic{At: e.now, Proc: proc, Msg: renderPanic(r)}
+		e.panicErr = &ErrPanic{At: e.shards[0].now, Proc: proc, Msg: renderPanic(r)}
 	}
-	e.stopped = true
+	e.stopped.Store(true)
 }
 
 func renderPanic(r any) string { return fmt.Sprint(r) }

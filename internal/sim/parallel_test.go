@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShardedSpawnsRunAtTimeZero — regression guard: initial Spawns sit
+// on the same-instant rings, not the calendars, so the first window's
+// floor computation must consult the rings or it declares a spurious
+// deadlock at t=0.
+func TestShardedSpawnsRunAtTimeZero(t *testing.T) {
+	e := NewShardedEngine(1, 3)
+	e.SetLookahead(100)
+	var ran [3]bool
+	for i := range ran {
+		i := i
+		e.Shard(i).Spawn(fmt.Sprintf("p%d", i), func(p *Proc) { ran[i] = true })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("shard %d's process never ran", i)
+		}
+	}
+}
+
+// TestShardedDeadlockReportsAllShards: a deadlock is a global condition;
+// the report must name every blocked process with its wait label no
+// matter which shard owns it, and date the deadlock at the latest shard
+// clock.
+func TestShardedDeadlockReportsAllShards(t *testing.T) {
+	e := NewShardedEngine(1, 3)
+	e.SetLookahead(100)
+	s1 := NewSignal(e)
+	s1.SetLabel("page 12 reply")
+	s2 := NewSignal(e)
+	s2.SetLabel("barrier episode 3")
+	e.Shard(1).Spawn("host1-worker", func(p *Proc) {
+		p.Sleep(50)
+		s1.Wait(p)
+	})
+	e.Shard(2).Spawn("host2-worker", func(p *Proc) { s2.Wait(p) })
+	err := e.Run()
+	de, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrDeadlock", err)
+	}
+	if de.At != Time(50) {
+		t.Errorf("At = %v, want 50", de.At)
+	}
+	want := map[string]string{
+		"host1-worker": "page 12 reply",
+		"host2-worker": "barrier episode 3",
+	}
+	if len(de.Waits) != len(want) {
+		t.Fatalf("Waits = %v, want %d entries", de.Waits, len(want))
+	}
+	for _, w := range de.Waits {
+		if want[w.Name] != w.Waiting {
+			t.Errorf("%s waiting on %q, want %q", w.Name, w.Waiting, want[w.Name])
+		}
+	}
+	msg := de.Error()
+	if !strings.Contains(msg, "host1-worker (waiting on page 12 reply)") ||
+		!strings.Contains(msg, "host2-worker (waiting on barrier episode 3)") {
+		t.Errorf("deadlock message lacks cross-shard wait reasons: %s", msg)
+	}
+}
+
+// TestShardedStopHaltsCleanly: Stop called from a process on a non-zero
+// shard halts the whole run — including another shard's endless ticker —
+// and Run reports the stopper's finish time.
+func TestShardedStopHaltsCleanly(t *testing.T) {
+	e := NewShardedEngine(1, 4)
+	e.SetLookahead(10)
+	e.Shard(1).SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(5)
+		}
+	})
+	e.Shard(3).Spawn("stopper", func(p *Proc) {
+		p.Sleep(42)
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(42) {
+		t.Errorf("Now = %v, want 42", e.Now())
+	}
+}
+
+// TestCrossShardPostMergeOrder: same-instant cross-shard arrivals merge
+// in canonical (arrival, send time, source shard, source seq) order, at
+// every worker count.
+func TestCrossShardPostMergeOrder(t *testing.T) {
+	var windows uint64
+	for _, workers := range []int{1, 2, 8} {
+		e := NewShardedEngine(1, 3)
+		e.SetLookahead(100)
+		e.SetParWorkers(workers)
+		var got []int
+		// Keep the foreground alive past the arrivals: like the classic
+		// engine, the run ends when the last non-daemon process exits.
+		e.Shard(0).Spawn("keeper", func(p *Proc) { p.Sleep(300) })
+		for s := 1; s <= 2; s++ {
+			s := s
+			sh := e.Shard(s)
+			sh.Spawn("sender", func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					tag := s*10 + i
+					sh.Post(e.Shard(0), p.Now().Add(100), func(a any) { got = append(got, a.(int)) }, tag)
+					p.Sleep(7)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Arrivals collide pairwise at t=100, 107, 114; each tie breaks
+		// to the lower source shard.
+		want := fmt.Sprint([]int{10, 20, 11, 21, 12, 22})
+		if fmt.Sprint(got) != want {
+			t.Errorf("workers=%d: merge order %v, want %v", workers, got, want)
+		}
+		if e.MaxShardsActive() < 2 {
+			t.Errorf("workers=%d: MaxShardsActive = %d, want >= 2", workers, e.MaxShardsActive())
+		}
+		if workers == 1 {
+			windows = e.Windows()
+		} else if e.Windows() != windows {
+			t.Errorf("workers=%d: %d windows, want %d (worker count must not change windowing)", workers, e.Windows(), windows)
+		}
+	}
+}
+
+// TestLookaheadViolationPanics: a cross-shard post below the declared
+// latency floor is a transport correctness bug and must fail loudly at
+// the merge barrier.
+func TestLookaheadViolationPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run returned without panicking")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead violation") {
+			t.Errorf("panic = %v, want a lookahead violation", r)
+		}
+	}()
+	e := NewShardedEngine(1, 3)
+	e.SetLookahead(100)
+	e.Shard(1).Spawn("cheater", func(p *Proc) {
+		e.Shard(1).Post(e.Shard(2), p.Now().Add(50), func(any) {}, nil)
+	})
+	_ = e.Run()
+}
+
+// TestShardedRunNeedsLookahead: a sharded engine without a declared
+// latency floor has an empty conservative window; Run must refuse.
+func TestShardedRunNeedsLookahead(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run returned without panicking")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead") {
+			t.Errorf("panic = %v, want a lookahead complaint", r)
+		}
+	}()
+	e := NewShardedEngine(1, 2)
+	e.Shard(1).Spawn("p", func(p *Proc) {})
+	_ = e.Run()
+}

@@ -92,8 +92,8 @@ type Config struct {
 	// this field.
 	Protocol string
 
-	// Hosts is the number of machines (the paper's cluster has 8).
-	// Default 1.
+	// Hosts is the number of machines (the paper's cluster has 8; the
+	// parallel engine scales to 64/256). Required, in [1, 1024].
 	Hosts int
 
 	// ThreadsPerHost is the number of application threads per host.
@@ -135,6 +135,20 @@ type Config struct {
 	// resolution problems are solved" ablation.
 	PerfectTimers bool
 
+	// Engine selects the event engine: "seq" (or "", the default) runs
+	// the classic sequential calendar; "par" shards the calendar per host
+	// and executes shards concurrently inside conservative windows whose
+	// lookahead is the network's minimum cross-host latency. Observable
+	// results (virtual times, counters, digests) are identical; only
+	// wall-clock time changes. "par" is incompatible with Faults and
+	// tracing.
+	Engine string
+
+	// ParWorkers bounds the parallel engine's worker goroutines; 0 means
+	// GOMAXPROCS. Ignored under the sequential engine. The simulation's
+	// outcome never depends on it.
+	ParWorkers int
+
 	// Faults, when non-nil and enabled, injects deterministic network and
 	// host faults per the plan (drops, duplicates, reordering, delay
 	// jitter, link partitions, host crash/restart), all drawn from the
@@ -172,6 +186,17 @@ func (cfg Config) netParams() fastmsg.Params {
 
 // NewCluster builds a cluster from cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Hosts < 1 || cfg.Hosts > 1024 {
+		return nil, fmt.Errorf("millipage: Config.Hosts = %d out of range [1, 1024]; set Hosts to the cluster size (the paper uses 8, the parallel engine scales to 256)", cfg.Hosts)
+	}
+	switch cfg.Engine {
+	case "", "seq", "par":
+	default:
+		return nil, fmt.Errorf("millipage: Config.Engine = %q unknown (want \"seq\" or \"par\")", cfg.Engine)
+	}
+	if cfg.Engine == "par" && cfg.Faults.Enabled() {
+		return nil, fmt.Errorf("millipage: the parallel engine does not support fault injection; use Engine \"seq\" with Faults")
+	}
 	proto := strings.ToLower(cfg.Protocol)
 	if proto == "" {
 		proto = "millipage"
@@ -185,6 +210,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Views:          cfg.Views,
 			ChunkLevel:     cfg.ChunkLevel,
 			Seed:           cfg.Seed,
+			Engine:         cfg.Engine,
+			ParWorkers:     cfg.ParWorkers,
 			Net:            cfg.netParams(),
 			Faults:         cfg.Faults,
 		}
@@ -210,6 +237,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Hosts:      cfg.Hosts,
 			SharedSize: cfg.SharedMemory,
 			Seed:       cfg.Seed,
+			Engine:     cfg.Engine,
+			ParWorkers: cfg.ParWorkers,
 			Net:        cfg.netParams(),
 			Faults:     cfg.Faults,
 		})
@@ -227,6 +256,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Views:      cfg.Views,
 			ChunkLevel: cfg.ChunkLevel,
 			Seed:       cfg.Seed,
+			Engine:     cfg.Engine,
+			ParWorkers: cfg.ParWorkers,
 			Net:        cfg.netParams(),
 			Faults:     cfg.Faults,
 		})
@@ -244,6 +275,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Views:      cfg.Views,
 			ChunkLevel: cfg.ChunkLevel,
 			Seed:       cfg.Seed,
+			Engine:     cfg.Engine,
+			ParWorkers: cfg.ParWorkers,
 			Net:        cfg.netParams(),
 			Faults:     cfg.Faults,
 		})
@@ -273,6 +306,16 @@ func (c *Cluster) runtime() *cluster.Runtime {
 	default:
 		return c.lrcSys.Runtime()
 	}
+}
+
+// EngineStats reports the event engine's execution shape: calendar
+// shards, worker width, and — after Run, on the parallel engine — the
+// number of conservative windows executed and the high-water mark of
+// shards active in a single window (the run's effective parallelism
+// bound). The sequential engine reports 1 shard and 0 windows.
+func (c *Cluster) EngineStats() (shards, workers int, windows uint64, maxActive int) {
+	eng := c.runtime().Eng
+	return eng.NumShards(), eng.ParWorkers(), eng.Windows(), eng.MaxShardsActive()
 }
 
 // Run executes body on ThreadsPerHost application threads on every host

@@ -11,11 +11,43 @@ func TestNewClusterValidation(t *testing.T) {
 	if _, err := millipage.NewCluster(millipage.Config{Hosts: 2}); err == nil {
 		t.Fatal("zero SharedMemory accepted")
 	}
-	if _, err := millipage.NewCluster(millipage.Config{Hosts: 100, SharedMemory: 4096}); err == nil {
-		t.Fatal("100 hosts accepted")
+	cases := []struct {
+		hosts int
+		ok    bool
+	}{
+		{-1, false},
+		{0, false},
+		{1, true},
+		{2, true},
+		{8, true},
+		{64, true},
+		{100, true},
+		{256, true},
+		{1024, true},
+		{1025, false},
+		{1 << 20, false},
+	}
+	for _, tc := range cases {
+		_, err := millipage.NewCluster(millipage.Config{Hosts: tc.hosts, SharedMemory: 4096})
+		if tc.ok && err != nil {
+			t.Errorf("Hosts = %d rejected: %v", tc.hosts, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("Hosts = %d accepted", tc.hosts)
+			} else if !strings.Contains(err.Error(), "Hosts") {
+				t.Errorf("Hosts = %d error %q does not name Config.Hosts", tc.hosts, err)
+			}
+		}
+	}
+	if _, err := millipage.NewCluster(millipage.Config{Hosts: 2, SharedMemory: 1 << 16, Engine: "warp"}); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 	if _, err := millipage.NewCluster(millipage.Config{Hosts: 2, SharedMemory: 1 << 16}); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := millipage.NewCluster(millipage.Config{Hosts: 2, SharedMemory: 1 << 16, Engine: "par"}); err != nil {
+		t.Fatalf("valid parallel config rejected: %v", err)
 	}
 }
 
