@@ -7,8 +7,11 @@
 //	millipage mvoverhead [-fast]     Figure 5 (MultiView overhead sweep)
 //	millipage apps [flags]           Figure 6 + Table 2 (application suite)
 //	millipage chunking [flags]       Figure 7 (WATER chunking study)
+//	millipage ablation [flags]       Section 5 / 3.5 ablation studies
+//	millipage managerload [flags]    central vs home-based directory management
 //	millipage chaos [flags]          seeded fault injection + convergence check
 //	millipage explore [flags]        schedule-exploration model checking
+//	millipage serve [flags]          DSM-backed KV serving scenarios
 //	millipage bench [-out F]         simulator wall-clock benchmarks
 //	millipage all [flags]            everything above
 //
@@ -105,6 +108,8 @@ func dispatch(cmd string, args []string) error {
 		return runChaos(args)
 	case "explore":
 		return runExplore(args)
+	case "serve":
+		return runServe(args)
 	case "bench":
 		return runBench(args)
 	case "all":
@@ -116,8 +121,11 @@ func dispatch(cmd string, args []string) error {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: millipage [global flags] <costs|mvoverhead|apps|chunking|ablation|managerload|chaos|explore|bench|all> [flags]
+// usageText is the complete subcommand reference. Every dispatch case
+// must appear here with its protocol/engine flags spelled out where it
+// takes them — cmd/millipage's usage golden test walks dispatch and this
+// text to keep the two in lockstep.
+const usageText = `usage: millipage [global flags] <costs|mvoverhead|apps|chunking|ablation|managerload|chaos|explore|serve|bench|all> [flags]
   costs                Table 1 and the Section 4.2 microbenchmarks
   mvoverhead [-fast]   Figure 5: MultiView overhead vs number of views
   apps [flags]         Figure 6 and Table 2: the five-application suite
@@ -154,6 +162,18 @@ func usage() {
                          -seed/-exploreseed/-preempt/-budget   exploration knobs
                          -artifacts D  write shrunk repro traces into D
                          -replay F     re-execute a saved .mchk trace
+  serve [flags]        DSM-backed KV/session-cache serving scenarios: open-loop
+                       Zipfian traffic over minipage-resident buckets, with
+                       per-op-type latency percentiles, throughput, the
+                       fault-service breakdown and a determinism fingerprint
+                         -scenario S   scenario name (default million; see -list)
+                         -list         list the registered scenarios
+                         -check        run twice, fail on fingerprint mismatch
+                         -all          run the default matrix, record serving rows
+                         -out F        with -all: report path (default BENCH_sim.json)
+                         -protocol P   millipage, ivy, lrc or lrc-mw
+                         -engine E     event engine: seq (classic) or par (sharded parallel)
+                         -hosts/-clients/-rate/-ops/-seed/-faults   overrides
   bench [-out F]       simulator wall-clock benchmarks vs the frozen
                        pre-optimization baseline (default -out BENCH_sim.json)
   all [flags]          everything (-scale, -fast, -seed)
@@ -161,7 +181,10 @@ func usage() {
 global flags (before the subcommand):
   -cpuprofile F        write a CPU profile of the run to F
   -memprofile F        write a heap profile at exit to F
-  -workers N           parallel replica-sweep width (default GOMAXPROCS)`)
+  -workers N           parallel replica-sweep width (default GOMAXPROCS)`
+
+func usage() {
+	fmt.Fprintln(os.Stderr, usageText)
 }
 
 func runCosts() error {

@@ -36,10 +36,22 @@ func RunIS(p Params) (Result, error) {
 	perRegion := (isValues + hosts - 1) / hosts
 	regionBytes := perRegion * 4
 
+	// The shared state is per-host (one region + one check slot each) and
+	// every allocation occupies at least one minipage (page/Views = 512
+	// bytes at Views 8), so the arena must scale with the cluster in
+	// minipage units; grow-only past the paper's 64 KB so host counts
+	// <= 8 keep the exact arena the goldens pin.
+	const mini = 4096 / 8
+	alloc := (regionBytes+mini-1)/mini*mini + mini // region + check slot, rounded up
+	shared := 64 << 10
+	if need := hosts*alloc + (64 << 10); need > shared {
+		shared = need
+	}
+
 	cluster, err := millipage.NewCluster(millipage.Config{
 		Protocol:        p.Protocol,
 		Hosts:           hosts,
-		SharedMemory:    64 << 10,
+		SharedMemory:    shared,
 		Views:           8, // Table 2's value
 		PageGranularity: p.PageGrain,
 		Seed:            p.Seed,

@@ -93,3 +93,39 @@ func TestE2ESOR64ParAllocsRegression(t *testing.T) {
 		t.Fatalf("64-host parallel SOR allocates %d objects/op, more than 2x the pinned %d", got, pinned)
 	}
 }
+
+// TestE2EServeAllocsRegression gates the serving path's steady state: it
+// reads the E2EServe8 allocs/op pinned in BENCH_sim.json at the repo
+// root and fails if the current scenario run exceeds twice that value.
+// The pin is setup-dominated (~1.2k allocations for a 20k-op scenario),
+// so per-op garbage on the GET/PUT hot loop — a boxed histogram add, an
+// interface escape in the generator, a per-response oracle allocation —
+// multiplies past the fence immediately.
+func TestE2EServeAllocsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	blob, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Skipf("no pinned report: %v", err)
+	}
+	var report struct {
+		Benchmarks []PerfPoint `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_sim.json: %v", err)
+	}
+	var pinned int64
+	for _, p := range report.Benchmarks {
+		if p.Name == "E2EServe8" {
+			pinned = p.AllocsPerOp
+		}
+	}
+	if pinned <= 0 {
+		t.Fatal("BENCH_sim.json has no E2EServe8 allocs/op pin")
+	}
+	r := testing.Benchmark(benchE2EServe8)
+	if got := r.AllocsPerOp(); got > 2*pinned {
+		t.Fatalf("serving scenario allocates %d objects/op, more than 2x the pinned %d", got, pinned)
+	}
+}

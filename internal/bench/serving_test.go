@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServingWorkersInvariance is the acceptance criterion on the sweep
+// layer: the serving rows — fingerprints included — must be identical
+// whether the scenarios run sequentially or across the full sweep width.
+// Each scenario's stream is a pure function of (seed, thread id), so the
+// sweep may only change wall-clock time, never results.
+func TestServingWorkersInvariance(t *testing.T) {
+	names := []string{"smoke", "smoke-lrc-mw"}
+	prev := SetWorkers(1)
+	seq, err := RunServing(names)
+	SetWorkers(4)
+	par, parErr := RunServing(names)
+	SetWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parErr != nil {
+		t.Fatal(parErr)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("row %d differs across sweep widths:\n seq: %+v\n par: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestWriteServingPreservesBenchmarks checks the BENCH_sim.json contract:
+// writing the serving section must leave the wall-clock benchmarks
+// section byte-for-byte intact, and vice versa the reader must round-trip
+// rows it did not produce.
+func TestWriteServingPreservesBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_sim.json")
+	pre := benchReport{
+		Note:       "pinned",
+		Benchmarks: []PerfPoint{{Name: "E2ESOR8", Baseline: PerfBaseline{NsPerOp: 1, AllocsPerOp: 2, BytesPerOp: 3}, NsPerOp: 4, AllocsPerOp: 5, BytesPerOp: 6, Speedup: 7}},
+	}
+	if err := writeBenchReport(path, pre); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := WriteServing(&out, []string{"smoke"}, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "smoke") {
+		t.Fatalf("table output missing the scenario row:\n%s", out.String())
+	}
+	post, err := readBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Note != "pinned" || len(post.Benchmarks) != 1 || post.Benchmarks[0] != pre.Benchmarks[0] {
+		t.Fatalf("serving write disturbed the benchmarks section: %+v", post)
+	}
+	if len(post.Serving) != 1 || post.Serving[0].Name != "smoke" || post.Serving[0].Fingerprint == "" {
+		t.Fatalf("serving section not written: %+v", post.Serving)
+	}
+	if post.Serving[0].GetP999Us <= 0 || post.Serving[0].ThroughputOpsPerSec <= 0 {
+		t.Fatalf("serving row missing tail latency or throughput: %+v", post.Serving[0])
+	}
+}
+
+// TestServingRowsPinned checks the repo-root BENCH_sim.json against a
+// live run: the recorded fingerprint of each serving row must match what
+// the scenario produces today, so the published latency percentiles are
+// never from a stream the current code no longer generates. Rows for
+// scenarios this build does not know are a failure too — stale names
+// mean the file was not regenerated after a registry change.
+func TestServingRowsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the recorded serving scenarios")
+	}
+	blob, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Skipf("no pinned report: %v", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_sim.json: %v", err)
+	}
+	if len(report.Serving) == 0 {
+		t.Fatal("BENCH_sim.json has no serving rows")
+	}
+	for _, row := range report.Serving {
+		if row.Name == "million" {
+			continue // covered by TestMillion in internal/serve; too big for this gate
+		}
+		pts, err := RunServing([]string{row.Name})
+		if err != nil {
+			t.Errorf("%s: %v", row.Name, err)
+			continue
+		}
+		if pts[0].Fingerprint != row.Fingerprint {
+			t.Errorf("%s: fingerprint %s, recorded %s — regenerate the serving rows",
+				row.Name, pts[0].Fingerprint, row.Fingerprint)
+		}
+	}
+}

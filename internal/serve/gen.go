@@ -1,0 +1,208 @@
+package serve
+
+// gen.go — the deterministic open-loop workload generator. Every draw
+// comes from a per-thread splitmix64 stream seeded from (scenario seed,
+// thread id), so the op sequence a thread issues is a pure function of
+// the scenario — independent of other threads, of the event engine's
+// worker count and of the bench sweep width. Arrivals are a virtual-time
+// Poisson process (exponential inter-arrival gaps at the thread's share
+// of the aggregate rate); key popularity is Zipfian over a seeded
+// permutation of the keyspace, so the hot ranks scatter across buckets.
+
+import (
+	"math"
+
+	"millipage/internal/sim"
+)
+
+// rng is a splitmix64 stream: tiny, fast, and identical everywhere — no
+// dependence on math/rand's algorithm or its global state (the
+// determinism lint bans the latter outright).
+type rng struct{ s uint64 }
+
+// mix64 is the splitmix64 finalizer, also used standalone to derive
+// seeds and payloads.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func newRNG(seed uint64) rng { return rng{s: seed} }
+
+func (r *rng) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return mix64(r.s)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n) via the multiply-shift trick
+// (no modulo bias worth caring about at workload scales, and branch-free).
+func (r *rng) Intn(n int) int {
+	return int((r.Uint64() >> 32) * uint64(n) >> 32)
+}
+
+// zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s via a precomputed CDF and binary search. s = 0 is the
+// uniform distribution (and skips the table entirely).
+type zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i); nil when uniform
+	n   int
+}
+
+func newZipf(n int, s float64) *zipf {
+	z := &zipf{n: n}
+	if s == 0 {
+		return z
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	z.cdf = cdf
+	return z
+}
+
+// sample maps a uniform u in [0,1) to a rank.
+func (z *zipf) sample(u float64) int {
+	if z.cdf == nil {
+		r := int(u * float64(z.n))
+		if r >= z.n {
+			r = z.n - 1
+		}
+		return r
+	}
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// keyPermutation returns a seeded Fisher–Yates shuffle of 0..n-1: the
+// map from popularity rank to key identity. Without it the hottest keys
+// would all be the numerically smallest ones and land in adjacent
+// buckets; with it the hot set scatters across the bucket space like a
+// real cache's does.
+func keyPermutation(n int, seed int64) []uint32 {
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	r := newRNG(mix64(uint64(seed) ^ 0x5eedca5e))
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// threadGen drives one cluster thread's share of the open-loop stream.
+type threadGen struct {
+	rng        rng
+	zipf       *zipf
+	perm       []uint32 // rank -> key (shared, read-only)
+	meanGap    float64  // mean inter-arrival gap, virtual ns
+	readFrac   float64  // P(op is a GET)
+	clients    int      // clients multiplexed on this thread
+	thread     int      // this thread's id
+	numThreads int      // stride of the client id space
+}
+
+// newThreadGen builds thread t's generator for scenario sc. threads is
+// the cluster-wide thread count; the aggregate arrival rate divides
+// evenly so the superposition of the per-thread Poisson streams is a
+// Poisson process at the configured rate.
+func newThreadGen(sc Scenario, t, threads int, z *zipf, perm []uint32) threadGen {
+	return threadGen{
+		rng:        newRNG(mix64(uint64(sc.Seed)) ^ (uint64(t)+1)*0x9e3779b97f4a7c15),
+		zipf:       z,
+		perm:       perm,
+		meanGap:    1e9 * float64(threads) / sc.Rate,
+		readFrac:   sc.ReadFrac,
+		clients:    clientsFor(sc.Clients, threads, t),
+		thread:     t,
+		numThreads: threads,
+	}
+}
+
+// clientsFor splits c simulated clients over threads; thread t owns the
+// ids {t, t+threads, t+2*threads, ...}.
+func clientsFor(c, threads, t int) int {
+	n := c / threads
+	if t < c%threads {
+		n++
+	}
+	return n
+}
+
+// opsFor splits the scenario's total op count over threads.
+func opsFor(ops, threads, t int) int {
+	n := ops / threads
+	if t < ops%threads {
+		n++
+	}
+	return n
+}
+
+// gap draws the next exponential inter-arrival gap (at least 1 ns, so
+// virtual time always advances between arrivals of one thread).
+func (g *threadGen) gap() sim.Duration {
+	u := g.rng.Float64()
+	d := -math.Log1p(-u) * g.meanGap
+	if d < 1 {
+		d = 1
+	}
+	return sim.Duration(d)
+}
+
+// op draws the next operation: the key (Zipf rank through the seeded
+// permutation), the issuing client, and whether it is a GET. The draw
+// order is fixed — gap, key, client, kind — so streams replay exactly.
+func (g *threadGen) op() (key uint32, client uint64, isGet bool) {
+	rank := g.zipf.sample(g.rng.Float64())
+	key = g.perm[rank]
+	idx := 0
+	if g.clients > 1 {
+		idx = g.rng.Intn(g.clients)
+	}
+	client = uint64(g.thread) + uint64(g.numThreads)*uint64(idx)
+	isGet = g.rng.Float64() < g.readFrac
+	return key, client, isGet
+}
+
+// payload derives the oracle value a key must hold after its seq-th PUT
+// (seq counts from 1; an unwritten slot holds 0/0). Stored next to the
+// sequence number in the same 8-byte slot, it lets any reader verify —
+// without global knowledge — that the bytes it got are exactly what some
+// PUT wrote, and the per-client monotonicity check turns the sequence
+// number into a staleness detector.
+func payload(key, seq uint32) uint32 {
+	if seq == 0 {
+		return 0
+	}
+	return uint32(mix64(uint64(key)<<32 | uint64(seq)))
+}
+
+// encodeSlot packs (seq, payload) into the 8-byte slot word.
+func encodeSlot(seq, pay uint32) uint64 { return uint64(seq)<<32 | uint64(pay) }
+
+// decodeSlot unpacks a slot word.
+func decodeSlot(w uint64) (seq, pay uint32) { return uint32(w >> 32), uint32(w) }

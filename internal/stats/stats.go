@@ -131,13 +131,33 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Summary renders count/mean/quantiles on one line.
+// P50, P99 and P999 are the serving-report quantiles, as Quantile
+// shorthands. P999 is the one the bucket layout was sized for: with
+// ~12% resolution buckets the extreme tail still lands in its own
+// bucket instead of saturating a coarse top bin.
+func (h *Histogram) P50() sim.Duration  { return h.Quantile(0.50) }
+func (h *Histogram) P99() sim.Duration  { return h.Quantile(0.99) }
+func (h *Histogram) P999() sim.Duration { return h.Quantile(0.999) }
+
+// Summary renders count/mean/quantiles on one line. It predates the
+// serving reports and deliberately omits p999 — golden outputs pin this
+// exact rendering; String is the extended form.
 func (h *Histogram) Summary() string {
 	if h.count == 0 {
 		return "n=0"
 	}
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
 		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+// String renders the full one-line summary including the p999 tail,
+// implementing fmt.Stringer for the serving reports.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v p999=%v max=%v",
+		h.count, h.Mean(), h.P50(), h.Quantile(0.95), h.P99(), h.P999(), h.max)
 }
 
 // Dump writes an ASCII bar rendering of the non-empty buckets.

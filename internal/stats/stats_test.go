@@ -88,6 +88,69 @@ func TestSummaryAndDump(t *testing.T) {
 	}
 }
 
+// TestP999Tail pins the serving-report tail quantile: with 990 fast
+// observations and 10 slow outliers, p99 stays in the fast band (the
+// 990th-smallest observation is fast) while p999 must cover the
+// outliers' bucket — the tail the mean flattens.
+func TestP999Tail(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 990; i++ {
+		h.Add(50 * sim.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(5 * sim.Millisecond)
+	}
+	if p99 := h.P99(); p99 > 200*sim.Microsecond {
+		t.Fatalf("p99 = %v (990/1000 observations are 50us)", p99)
+	}
+	if p999 := h.P999(); p999 < 5*sim.Millisecond {
+		t.Fatalf("p999 = %v, must cover the 5ms outlier", p999)
+	}
+	if h.P50() != h.Quantile(0.50) {
+		t.Fatal("P50 disagrees with Quantile(0.50)")
+	}
+	if !strings.Contains(h.String(), "p999=") {
+		t.Fatalf("String() = %q, want the p999 field", h.String())
+	}
+	var empty Histogram
+	if empty.String() != "n=0" {
+		t.Fatalf("empty String() = %q", empty.String())
+	}
+}
+
+// TestMergeDeterministic proves what the serving harness relies on:
+// merging per-thread histograms gives identical aggregates whatever the
+// merge order, so the combined quantiles are a pure function of the
+// observations.
+func TestMergeDeterministic(t *testing.T) {
+	parts := make([]Histogram, 4)
+	r := uint64(12345)
+	for i := range parts {
+		for j := 0; j < 500; j++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			parts[i].Add(sim.Duration(r%5_000_000) + 1)
+		}
+	}
+	var fwd, rev Histogram
+	for i := range parts {
+		fwd.Merge(&parts[i])
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.Merge(&parts[i])
+	}
+	if fwd != rev {
+		t.Fatal("merge order changed the histogram state")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		if fwd.Quantile(q) != rev.Quantile(q) {
+			t.Fatalf("quantile %g differs across merge orders", q)
+		}
+	}
+	if fwd.Count() != 2000 || fwd.Min() != rev.Min() || fwd.Max() != rev.Max() {
+		t.Fatalf("aggregates differ: n=%d", fwd.Count())
+	}
+}
+
 // Property: the bucketed quantile is always an upper bound on the exact
 // quantile and within one bucket (2x) of it.
 func TestQuantileProperty(t *testing.T) {
