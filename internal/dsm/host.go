@@ -146,7 +146,7 @@ func (h *Host) route(p *sim.Proc, va uint64) (int, core.Info) {
 	if !ok {
 		panic(fmt.Sprintf("dsm: access violation: %#x is not in any minipage", va))
 	}
-	return h.sys.homeOf(mp.ID), mp.Info(h.sys.Layout)
+	return h.primaryFor(mp.ID), mp.Info(h.sys.Layout)
 }
 
 // readMinipage snapshots a minipage's bytes through the privileged view
@@ -208,10 +208,13 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 			// The home mutates the original request in place (Info fill-in,
 			// Requeued when it pops the queue) — simulator messages travel
 			// by pointer. Re-send a copy with the queue marker cleared, or
-			// the duplicate would bypass the home's dedup check.
+			// the duplicate would bypass the home's dedup check. Under
+			// replicated management the believed primary is recomputed per
+			// retry: that is how a requester finds the promoted backup.
 			cp := *req
 			cp.Requeued = false
-			h.Send(rp, home, &cp)
+			cp.Redrive = false
+			h.Send(rp, h.primaryFor(req.Info.ID), &cp)
 		})
 	} else {
 		h.Send(p, home, req)
@@ -225,7 +228,7 @@ func (h *Host) HandleFault(ctx any, f vm.Fault) error {
 	ack := h.allocPM()
 	*ack = pmsg{Type: mAck, From: h.ID(), Info: fw.Info,
 		Write: f.Kind == vm.Write, TID: t.ID, Txn: fw.Txn}
-	h.Send(p, h.sys.homeOf(fw.Info.ID), ack)
+	h.Send(p, h.primaryFor(fw.Info.ID), ack)
 
 	elapsed := p.Now().Sub(start)
 	switch {
@@ -266,7 +269,12 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 	m := fm.Payload.(*pmsg)
 	switch m.Type {
 	// ---- Directory traffic, handled by the minipage's home ----------
-	case mReadReq, mWriteReq, mAck, mInvalidateReply, mPushReq, mPushAck, mDirInit:
+	case mReadReq, mWriteReq, mAck, mInvalidateReply, mPushReq, mPushAck, mDirInit,
+		mPing, mViewUpdate, mMirror, mMirrorAck, mMirrorNak, mStateXfer, mSyncAck:
+		if rp := h.sys.replAt(h.ID()); rp != nil {
+			rp.dispatchDir(p, m)
+			return
+		}
 		if h.sys.Opt.Management == Central && h.ID() != managerHost {
 			panic(fmt.Sprintf("dsm: host %d received manager message %v", h.ID(), m.Type))
 		}
@@ -323,9 +331,10 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 			panic(err)
 		}
 		h.Stats.Invalidations++
-		// The reply returns to whichever home issued the invalidation.
+		// The reply returns to whichever home issued the invalidation,
+		// echoing the transaction identity (zero off the replicated path).
 		rep := h.allocPM()
-		*rep = pmsg{Type: mInvalidateReply, From: h.ID(), Info: m.Info, FW: m.FW}
+		*rep = pmsg{Type: mInvalidateReply, From: h.ID(), Info: m.Info, FW: m.FW, TID: m.TID, Txn: m.Txn}
 		h.Send(p, fm.From, rep)
 		h.recyclePM(m)
 
@@ -346,7 +355,15 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 
 	case mUpgradeGrant:
 		if m.Txn != 0 && m.FW.Txn != m.Txn {
-			return // late grant for an abandoned transaction: drop it
+			// Late grant for an abandoned transaction: drop it. Under
+			// replication it may be the re-driven twin of a completed
+			// transaction — the re-ack closes it at the new primary.
+			h.replReAck(p, m)
+			return
+		}
+		if h.sys.replAt(h.ID()) != nil && m.FW.Ev.IsSet() {
+			h.replReAck(p, m) // duplicate grant for the same transaction
+			return
 		}
 		c := h.Costs()
 		p.Sleep(c.SetProt)
@@ -386,7 +403,18 @@ func (h *Host) HandleMessage(p *sim.Proc, fm *fastmsg.Message) {
 // This is Figure 3's "Handle Read or Write Reply".
 func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
 	if hdr.Txn != 0 && hdr.FW != nil && hdr.FW.Txn != hdr.Txn {
-		return // late reply for an abandoned transaction: drop before installing
+		// Late reply for an abandoned transaction: drop before installing.
+		// Under replication, re-ack so a re-driven twin closes at the new
+		// primary instead of holding its entry busy forever.
+		h.replReAck(p, hdr)
+		return
+	}
+	if h.sys.replAt(h.ID()) != nil && hdr.FW != nil && hdr.FW.Ev.IsSet() {
+		// Duplicate reply for a transaction this thread already completed
+		// (its re-driven twin): installing again could re-raise protection
+		// over bytes a later writer invalidated. Drop and re-ack.
+		h.replReAck(p, hdr)
+		return
 	}
 	c := h.Costs()
 	if len(data) != hdr.Info.Size {
@@ -404,18 +432,19 @@ func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
 	if err := h.Region.Protect(hdr.Info.Base, hdr.Info.Size, prot); err != nil {
 		panic(err)
 	}
-	home := h.sys.homeOf(hdr.Info.ID)
+	home := h.primaryFor(hdr.Info.ID)
 	switch {
 	case hdr.Type == mPushData:
-		// Pushed replica: ack to the home; nobody is waiting.
+		// Pushed replica: ack to the home; nobody is waiting. TID/Txn
+		// (zero off the replicated path) match the ack to the open push.
 		ack := h.allocPM()
-		*ack = pmsg{Type: mPushAck, From: h.ID(), Info: hdr.Info}
+		*ack = pmsg{Type: mPushAck, From: h.ID(), Info: hdr.Info, TID: hdr.TID, Txn: hdr.Txn}
 		h.Send(p, home, ack)
 	case hdr.Prefetch:
 		// Prefetch completion: the server thread closes the transaction.
 		h.clearPrefetchSpan(hdr.Info)
 		ack := h.allocPM()
-		*ack = pmsg{Type: mAck, From: h.ID(), Info: hdr.Info, Write: false}
+		*ack = pmsg{Type: mAck, From: h.ID(), Info: hdr.Info, Write: false, TID: hdr.TID, Txn: hdr.Txn}
 		h.Send(p, home, ack)
 		if hdr.FW != nil {
 			hdr.FW.Ev.Set()
@@ -424,6 +453,24 @@ func (h *Host) installMinipage(p *sim.Proc, hdr *pmsg, data []byte) {
 		hdr.FW.Info = hdr.Info
 		hdr.FW.Ev.Set()
 	}
+}
+
+// replReAck closes a re-driven transaction whose reply this requester
+// dropped as a duplicate: the twin of a transaction that already
+// completed here. The new primary re-drove it from its mirror and holds
+// the entry busy until an ack arrives — this is that ack. A no-op off
+// the replicated path (the guards' old silent-drop behavior stands) and
+// for unstamped transactions.
+func (h *Host) replReAck(p *sim.Proc, m *pmsg) {
+	rp := h.sys.replAt(h.ID())
+	if rp == nil || m.Txn == 0 {
+		return
+	}
+	rp.Stats.ReAcks++
+	ack := h.allocPM()
+	*ack = pmsg{Type: mAck, From: h.ID(), Info: m.Info,
+		Write: m.Type == mUpgradeGrant || m.Type == mWriteReply, TID: m.TID, Txn: m.Txn}
+	h.Send(p, h.primaryFor(m.Info.ID), ack)
 }
 
 // RecoverCrash runs after this host's network stack restarts (fail-restart

@@ -29,6 +29,20 @@ type dirEntry struct {
 	// In-flight push.
 	pushAwait int
 
+	// Replicated-management state (Options.Replication; zero otherwise).
+	// openTID/openTxn/openMsg identify the open transaction so late or
+	// duplicate acks can be matched exactly; preCopyset/preOwner snapshot
+	// the entry at admission for the intent mirror and state transfers;
+	// invMask/pushMask track which hosts still owe a reply, so replies
+	// forwarded from a deposed primary cannot double-count.
+	openTID    int
+	openTxn    uint64
+	openMsg    pmsg
+	preCopyset hostset.Set
+	preOwner   int
+	invMask    hostset.Set
+	pushMask   hostset.Set
+
 	Competing uint64 // requests that found this entry busy (Figure 7's metric)
 }
 
@@ -161,18 +175,20 @@ func (mg *manager) dropDup(m *pmsg) bool {
 	if m.Txn == 0 {
 		return false
 	}
-	if mg.done[m.TID] >= m.Txn {
+	if mg.done[m.TID] >= m.Txn && !m.Redrive {
 		mg.DupRequests++
 		return true
 	}
 	if m.Requeued {
 		return false
 	}
-	if mg.inflight[m.TID] >= m.Txn {
+	if mg.inflight[m.TID] >= m.Txn && !m.Redrive {
 		mg.DupRequests++
 		return true
 	}
-	mg.inflight[m.TID] = m.Txn
+	if mg.inflight[m.TID] < m.Txn {
+		mg.inflight[m.TID] = m.Txn
+	}
 	return false
 }
 
@@ -229,7 +245,9 @@ func (mg *manager) resolve(p *sim.Proc, m *pmsg) (e *dirEntry, ok bool) {
 		m.Info = mp.Info(mg.sys.Layout)
 	}
 	id := m.Info.ID
-	if home := mg.sys.homeOf(id); home != mg.me {
+	if home := mg.sys.homeOf(id); home != mg.me && mg.sys.replAt(mg.me) == nil {
+		// Under replication a promoted backup legitimately serves shards
+		// homed elsewhere; dispatchDir already gated on serving state.
 		panic(fmt.Sprintf("dsm: host %d got request for minipage %d homed at host %d", mg.me, id, home))
 	}
 	if e := mg.entryOrNil(id); e != nil {
@@ -302,6 +320,17 @@ func (mg *manager) handleRead(p *sim.Proc, m *pmsg) {
 		return
 	}
 	e.busy = true
+	if mg.sys.replAt(mg.me) != nil {
+		mg.commitIntent(p, e, m, func(p *sim.Proc) { mg.readEffect(p, e, m) })
+		return
+	}
+	mg.readEffect(p, e, m)
+}
+
+// readEffect is the directory effect of an admitted read: pick a source,
+// extend the copyset, forward. Under replication it runs only after the
+// admission has been mirrored to the backup.
+func (mg *manager) readEffect(p *sim.Proc, e *dirEntry, m *pmsg) {
 	src := mg.findReplica(e)
 	e.copyset = e.copyset.With(m.From)
 	fwd := mg.host().allocPM()
@@ -338,6 +367,16 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 		return
 	}
 	e.busy = true
+	if mg.sys.replAt(mg.me) != nil {
+		mg.commitIntent(p, e, m, func(p *sim.Proc) { mg.writeEffect(p, e, m) })
+		return
+	}
+	mg.writeEffect(p, e, m)
+}
+
+// writeEffect is the directory effect of an admitted write; under
+// replication it runs only after the admission has been mirrored.
+func (mg *manager) writeEffect(p *sim.Proc, e *dirEntry, m *pmsg) {
 	others := e.copyset.Without(m.From)
 
 	if others.Empty() {
@@ -358,6 +397,7 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 		e.pendingWrite = m
 		e.upgrade = true
 		e.invAwait = others.Count()
+		e.invMask = others
 		mg.sendInvalidates(p, m, others)
 		return
 	}
@@ -376,6 +416,7 @@ func (mg *manager) handleWrite(p *sim.Proc, m *pmsg) {
 	e.upgrade = false
 	e.writeSrc = src
 	e.invAwait = invTargets.Count()
+	e.invMask = invTargets
 	mg.sendInvalidates(p, m, invTargets)
 }
 
@@ -387,7 +428,9 @@ func (mg *manager) sendInvalidates(p *sim.Proc, m *pmsg, mask hostset.Set) {
 		}
 		mg.Stats.Invalidations++
 		inv := mg.host().allocPM()
-		*inv = pmsg{Type: mInvalidateReq, From: m.From, Info: m.Info}
+		// TID/Txn (zero on the clean path) are echoed in the reply so a
+		// replicated home can match it against the open transaction.
+		*inv = pmsg{Type: mInvalidateReq, From: m.From, Info: m.Info, TID: m.TID, Txn: m.Txn}
 		mg.host().Send(p, h, inv)
 	}
 }
@@ -406,6 +449,17 @@ func (mg *manager) forwardWrite(p *sim.Proc, e *dirEntry, m *pmsg, src int) {
 // handleInvReply is "Manager: Handle Invalidate Reply": once every
 // invalidation is confirmed, release the pending write.
 func (mg *manager) handleInvReply(p *sim.Proc, m *pmsg) {
+	if rp := mg.sys.replAt(mg.me); rp != nil {
+		// A reply forwarded from a deposed primary (or re-delivered after a
+		// re-drive) must not double-count: accept one reply per host per
+		// open invalidation round, matched to the open transaction.
+		e := mg.entryOrNil(m.Info.ID)
+		if e == nil || e.pendingWrite == nil || e.invAwait == 0 ||
+			!e.invMask.Has(m.From) || m.TID != e.openTID || m.Txn != e.openTxn {
+			return
+		}
+		e.invMask = e.invMask.Without(m.From)
+	}
 	e := mg.entry(m.Info.ID)
 	// The replying host no longer holds a copy.
 	e.copyset = e.copyset.Without(m.From)
@@ -435,6 +489,25 @@ func (mg *manager) handleAck(p *sim.Proc, m *pmsg) {
 	if m.Txn != 0 && m.Txn > mg.done[m.TID] {
 		mg.done[m.TID] = m.Txn
 	}
+	if mg.sys.replAt(mg.me) != nil {
+		// Replicated path: duplicate re-acks (a requester dropping the
+		// re-driven twin of a completed transaction) and late acks
+		// forwarded across a view change must close only the transaction
+		// they belong to. Unstamped transactions (Txn 0: the fault-free
+		// clean path, where delivery is FIFO and duplicates cannot arise)
+		// carry the thread id in TID but open with TID 0, so they match on
+		// Txn alone.
+		e := mg.entryOrNil(m.Info.ID)
+		if e == nil || !e.busy {
+			return
+		}
+		unstamped := m.Txn == 0 && e.openTxn == 0
+		if !unstamped && (m.TID != e.openTID || m.Txn != e.openTxn) {
+			return
+		}
+		mg.commitClose(p, e, m.Info.ID, m.TID, m.Txn)
+		return
+	}
 	e := mg.entry(m.Info.ID)
 	mg.host().recyclePM(m) // the ack ends here
 	mg.closeTxn(p, e)
@@ -457,7 +530,16 @@ func (mg *manager) allocLocal(p *sim.Proc, from, size int) (core.Info, uint64, b
 		panic(fmt.Sprintf("dsm: allocation of %d bytes failed: %v", size, err))
 	}
 	firstNew := mg.dirInited
+	rp := mg.sys.replAt(mg.me)
 	for id := firstNew; id < mpt.NumMinipages(); id++ {
+		if rp != nil {
+			// Replicated management: seed both the shard's current primary
+			// and its backup (per the authoritative view service on this
+			// host), so neither a failover nor a lost seed can stall the
+			// minipage until restart.
+			mg.seedRepl(p, rp, id, from)
+			continue
+		}
 		if home := mg.sys.homeOf(id); home == mg.me {
 			mg.setEntry(id, mg.newEntry(hostset.One(from), from))
 		} else {
@@ -477,8 +559,14 @@ func (mg *manager) allocLocal(p *sim.Proc, from, size int) (core.Info, uint64, b
 	// faults to the home instead, which keeps SW/MR without another
 	// round-trip from the allocation path.
 	owner := mp.ID >= firstNew
-	if !owner && mg.sys.homeOf(mp.ID) == mg.me {
-		owner = mg.entry(mp.ID).owner == from
+	if !owner {
+		if rp != nil {
+			if _, ok := rp.serving[mg.sys.homeOf(mp.ID)]; ok {
+				owner = mg.entry(mp.ID).owner == from
+			}
+		} else if mg.sys.homeOf(mp.ID) == mg.me {
+			owner = mg.entry(mp.ID).owner == from
+		}
 	}
 	return mp.Info(mg.sys.Layout), va, owner
 }
@@ -561,16 +649,52 @@ func (mg *manager) handlePush(p *sim.Proc, m *pmsg) {
 		return // nothing to replicate to
 	}
 	e.busy = true
+	if mg.sys.replAt(mg.me) != nil {
+		mg.commitIntent(p, e, m, func(p *sim.Proc) { mg.pushEffect(p, e, m) })
+		return
+	}
+	mg.pushEffect(p, e, m)
+}
+
+// pushEffect is the directory effect of an admitted push; under
+// replication it runs only after the admission has been mirrored.
+func (mg *manager) pushEffect(p *sim.Proc, e *dirEntry, m *pmsg) {
 	e.pushAwait = mg.sys.NumHosts() - 1
+	src := mg.findReplica(e)
+	if mg.sys.replAt(mg.me) != nil {
+		// Expect one ack from every host but the pusher; acks forwarded
+		// from a deposed primary must not double-count (see handlePushAck).
+		var mask hostset.Set
+		for h := 0; h < mg.sys.NumHosts(); h++ {
+			if h != src {
+				mask = mask.With(h)
+			}
+		}
+		e.pushMask = mask
+	}
 	order := mg.host().allocPM()
 	*order = *m
 	order.Type = mPushOrder
-	mg.host().Send(p, mg.findReplica(e), order)
+	mg.host().Send(p, src, order)
 	mg.host().recyclePM(m) // the push request ends here
 }
 
 // handlePushAck completes the push once every other host holds a copy.
 func (mg *manager) handlePushAck(p *sim.Proc, m *pmsg) {
+	if rp := mg.sys.replAt(mg.me); rp != nil {
+		e := mg.entryOrNil(m.Info.ID)
+		if e == nil || !e.busy || e.pushAwait == 0 ||
+			!e.pushMask.Has(m.From) || m.TID != e.openTID || m.Txn != e.openTxn {
+			return
+		}
+		e.pushMask = e.pushMask.Without(m.From)
+		e.copyset = e.copyset.With(m.From)
+		if e.pushAwait--; e.pushAwait > 0 {
+			return
+		}
+		mg.commitClose(p, e, m.Info.ID, e.openTID, e.openTxn)
+		return
+	}
 	e := mg.entry(m.Info.ID)
 	e.copyset = e.copyset.With(m.From)
 	mg.host().recyclePM(m) // the push ack ends here

@@ -5,6 +5,7 @@ import (
 
 	"millipage/internal/core"
 	"millipage/internal/trace"
+	"millipage/internal/viewsvc"
 )
 
 // managerHost is the elected manager process (Section 3.3: "one of the
@@ -44,6 +45,15 @@ const (
 	mPushAck
 
 	mDirInit // allocation authority -> home: seed the directory shard entry
+
+	// Replicated-management traffic (Options.Replication).
+	mPing       // host -> view service (host 0): liveness heartbeat
+	mViewUpdate // view service -> all hosts: the published view table
+	mMirror     // shard primary -> backup: one mirrored directory mutation
+	mMirrorAck  // backup -> primary: mirror applied, release the effect
+	mMirrorNak  // backup -> primary: mirror refused (newer view); demote
+	mStateXfer  // primary -> fresh backup: full shard state snapshot
+	mSyncAck    // fresh backup -> view service: state transfer installed
 )
 
 var mtypeNames = [...]string{
@@ -54,6 +64,8 @@ var mtypeNames = [...]string{
 	"BARRIER_ARRIVE", "BARRIER_RELEASE", "LOCK_REQUEST", "LOCK_GRANT", "UNLOCK",
 	"PUSH_REQUEST", "PUSH_ORDER", "PUSH_DATA", "PUSH_ACK",
 	"DIR_INIT",
+	"PING", "VIEW_UPDATE", "MIRROR", "MIRROR_ACK", "MIRROR_NAK",
+	"STATE_XFER", "SYNC_ACK",
 }
 
 // The trace recorder stores message types as raw codes (offset by the
@@ -89,6 +101,13 @@ type pmsg struct {
 	Prefetch bool // request was issued by a prefetch: no thread is waiting
 	Requeued bool // dispatched again from a directory queue (stats count it once)
 
+	// Redrive marks a request re-dispatched from a promoted backup's
+	// mirror (Options.Replication). It bypasses the done-side dedup
+	// check: a re-driven transaction whose original completed converges
+	// to the same directory state, and the requester's reply guards plus
+	// its duplicate re-ack close it. Never set off the replicated path.
+	Redrive bool
+
 	// Retry identity, stamped only under fault injection (zero on the
 	// clean path). TID is the requesting thread's global id and Txn its
 	// per-thread transaction number: together they let the home recognize
@@ -106,4 +125,8 @@ type pmsg struct {
 	Owner     bool   // mAllocReply: requester owns the (new) minipage
 	LockID    int    // mLockReq / mLockGrant / mUnlock
 	Gen       int    // mBarrierArrive / mBarrierRelease generation
+
+	// Replicated-management payloads (nil/empty off the replicated path).
+	Mir   *mirrorRec     // mMirror / mMirrorAck / mMirrorNak / mStateXfer / mSyncAck
+	Views []viewsvc.View // mViewUpdate: the full published view table
 }

@@ -52,6 +52,15 @@ type Options struct {
 	// a pure function: every host computes homes independently.
 	HomeOf func(id, hosts int) int
 
+	// Replication replicates each directory shard as a primary/backup
+	// pair coordinated by a view service on host 0: directory mutations
+	// are mirrored to the backup before their effects escape, and on the
+	// primary's death the synced backup promotes and re-serves, so a
+	// crashed manager no longer stalls the minipages it homes until
+	// restart. Requires HomeBased management and the sequential engine.
+	// See docs/PROTOCOL.md, "Replicated management".
+	Replication bool
+
 	// Engine selects the event engine ("seq" default, "par" for the
 	// sharded parallel engine) and ParWorkers bounds its goroutines; see
 	// cluster.Config.
@@ -118,6 +127,7 @@ type System struct {
 	hosts []*Host
 	mpt   *core.MPT  // grown only on host 0; read-only replica elsewhere
 	mgrs  []*manager // one directory shard per host
+	repl  []*replMgr // per-host replication layer; nil when Replication is off
 
 	// pools holds the clean-path freelists (recycled protocol headers
 	// and minipage-snapshot buffers), one per calendar shard. On the
@@ -154,6 +164,14 @@ func New(opt Options) (*System, error) {
 	if opt.Faults.Enabled() {
 		if err := opt.Faults.Validate(opt.Hosts); err != nil {
 			return nil, fmt.Errorf("dsm: %w", err)
+		}
+	}
+	if opt.Replication {
+		if opt.Management != HomeBased {
+			return nil, fmt.Errorf("dsm: Replication requires HomeBased management")
+		}
+		if opt.Engine == "par" {
+			return nil, fmt.Errorf("dsm: Replication requires the sequential engine")
 		}
 	}
 	rt := cluster.New(cluster.Config{
@@ -198,6 +216,10 @@ func New(opt Options) (*System, error) {
 	}
 	for i := 0; i < opt.Hosts; i++ {
 		s.mgrs = append(s.mgrs, newManager(s, i))
+	}
+	if opt.Replication {
+		s.initRepl()
+		s.startReplDaemons()
 	}
 	return s, nil
 }

@@ -2,6 +2,7 @@ package dsm
 
 import (
 	"millipage/internal/cluster"
+	"millipage/internal/core"
 	"millipage/internal/sim"
 	"millipage/internal/vm"
 )
@@ -20,6 +21,51 @@ type Thread struct {
 	// faulting thread wakes — the home forwards a copy and clears
 	// pendingWrite before granting — so one slot per thread suffices.
 	reqMsg pmsg
+
+	// pfSeq numbers this thread's prefetches for the replicated path's
+	// private prefetch transaction identity (see sendPrefetch).
+	pfSeq int
+}
+
+// prefetchRetryMax caps the doubling prefetch re-send backoff, matching
+// the fault path's retry ceiling.
+const prefetchRetryMax = 200 * sim.Millisecond
+
+// sendPrefetch issues one prefetch request for the minipage backing va.
+// Under replicated management with fault injection the request gets a
+// private transaction identity — TID from a space disjoint from thread
+// ids, so prefetch dedup never interferes with the thread's own txn
+// monotonicity — and is re-sent on a timer (recomputing the believed
+// primary) until satisfied: a prefetch dropped at a deposed primary must
+// not stall a waiting GangFetch.
+func (t *Thread) sendPrefetch(p *sim.Proc, va uint64, home int, info core.Info, fw *cluster.Wait) {
+	h := t.host
+	req := &pmsg{Type: mReadReq, From: h.ID(), Addr: va, Info: info, Prefetch: true, FW: fw}
+	if h.sys.replAt(h.ID()) != nil && h.sys.rt.Faulty() {
+		t.pfSeq++
+		req.TID = h.sys.rt.TotalThreads()*t.pfSeq + t.ID
+		req.Txn = 1
+		fw.Txn = 1
+		sh := h.Shard()
+		delay := requestRetryBase
+		var rearm func()
+		rearm = func() {
+			if fw.Ev.IsSet() {
+				return
+			}
+			cp := *req
+			cp.Requeued = false
+			cp.Redrive = false
+			h.Send(nil, h.primaryFor(info.ID), &cp)
+			if delay *= 2; delay > prefetchRetryMax {
+				delay = prefetchRetryMax
+			}
+			sh.After(delay, rearm)
+		}
+		sh.After(delay, rearm)
+	}
+	h.Send(p, home, req)
+	t.Stats.Prefetches++
 }
 
 // ThreadStats is the per-thread execution-time breakdown reported in
@@ -119,8 +165,7 @@ func (t *Thread) Prefetch(va uint64, size int) {
 	t.host.prefetchSpans = append(t.host.prefetchSpans, span{base: va, size: size})
 	fw := cluster.NewWait(t.host.sys.Eng)
 	home, info := t.host.route(p, va)
-	t.host.Send(p, home, &pmsg{Type: mReadReq, From: t.host.ID(), Addr: va, Info: info, Prefetch: true, FW: fw})
-	t.Stats.Prefetches++
+	t.sendPrefetch(p, va, home, info, fw)
 	t.Stats.PrefetchTime += p.Now().Sub(start)
 }
 
@@ -164,9 +209,8 @@ func (t *Thread) GangFetch(spans []Span) {
 		h.prefetchSpans = append(h.prefetchSpans, span{base: sp.Addr, size: sp.Size})
 		fw := cluster.NewWait(h.sys.Eng)
 		home, info := h.route(p, sp.Addr)
-		h.Send(p, home, &pmsg{Type: mReadReq, From: h.ID(), Addr: sp.Addr, Info: info, Prefetch: true, FW: fw})
+		t.sendPrefetch(p, sp.Addr, home, info, fw)
 		evs = append(evs, fw.Ev)
-		t.Stats.Prefetches++
 	}
 	if len(evs) > 0 {
 		h.EP.SetBusy(-1)

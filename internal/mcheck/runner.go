@@ -28,8 +28,8 @@ const Watchdog = 120 * sim.Second
 
 // Options configures one exploration campaign.
 type Options struct {
-	Protocol string // "millipage", "ivy", "lrc", or "lrc-mw"
-	Workload string // a Workloads key: "swmr", "mp", "dekker", "drf", "merge", "drf-nolock"
+	Protocol string // "millipage", "millipage-repl", "ivy", "lrc", or "lrc-mw"
+	Workload string // a Workloads key: "swmr", "mp", "dekker", "drf", "merge", "failover", "drf-nolock"
 	Faults   string // a fault preset name (FaultPresets), or "" for a clean network
 	Hosts    int    // 0 = the workload's default
 	Seed     int64  // system seed: engine rng and fault plan
@@ -90,6 +90,17 @@ func buildSystem(protocol string, hosts int, seed int64, plan *faultnet.Plan) (*
 	switch protocol {
 	case "millipage":
 		sys, err := dsm.New(dsm.Options{Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: seed, Faults: plan})
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys.Runtime(), func(body func(cluster.AppThread)) error {
+			return sys.Run(func(t *dsm.Thread) { body(t) })
+		}, nil
+	case "millipage-repl":
+		sys, err := dsm.New(dsm.Options{
+			Hosts: hosts, SharedSize: 1 << 16, Views: 8, Seed: seed,
+			Management: dsm.HomeBased, Replication: true, Faults: plan,
+		})
 		if err != nil {
 			return nil, nil, err
 		}

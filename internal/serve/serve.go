@@ -56,6 +56,13 @@ type Scenario struct {
 	Seed   int64
 	Faults string // fault preset name (mcheck.FaultNames), "" or "clean" = clean wire
 
+	// Replicated turns on primary/backup directory-shard replication
+	// (Config.ManagerReplication, which implies home-based management):
+	// the service keeps answering while a shard's primary is dead,
+	// because the synced backup promotes and re-serves. Millipage-only,
+	// sequential engine only.
+	Replicated bool
+
 	// PerfectTimers removes the NT timer pathology from the service
 	// threads. Serving scenarios default to true (scenarios.go) so
 	// latency percentiles reflect protocol behaviour; set false to watch
@@ -105,6 +112,10 @@ func (sc Scenario) validate() error {
 		return fmt.Errorf("serve: scenario %q needs ZipfS >= 0, got %g", sc.Name, sc.ZipfS)
 	case sc.Faults != "" && sc.Engine == "par":
 		return fmt.Errorf("serve: scenario %q combines a fault preset with the parallel engine; faults need Engine \"seq\"", sc.Name)
+	case sc.Replicated && sc.Protocol != "millipage":
+		return fmt.Errorf("serve: scenario %q sets Replicated, which is millipage-only (got protocol %q)", sc.Name, sc.Protocol)
+	case sc.Replicated && sc.Engine == "par":
+		return fmt.Errorf("serve: scenario %q combines Replicated with the parallel engine; replication needs Engine \"seq\"", sc.Name)
 	}
 	return nil
 }
@@ -245,15 +256,17 @@ func Run(sc Scenario) (*Result, error) {
 
 	shared := 8*sc.Keys + 64*sc.Buckets + (256 << 10)
 	cl, err := millipage.NewCluster(millipage.Config{
-		Protocol:      sc.Protocol,
-		Hosts:         sc.Hosts,
-		SharedMemory:  shared,
-		Views:         sc.Views,
-		Seed:          sc.Seed,
-		PerfectTimers: sc.PerfectTimers,
-		Engine:        sc.Engine,
-		ParWorkers:    sc.ParWorkers,
-		Faults:        plan,
+		Protocol:            sc.Protocol,
+		Hosts:               sc.Hosts,
+		SharedMemory:        shared,
+		Views:               sc.Views,
+		Seed:                sc.Seed,
+		PerfectTimers:       sc.PerfectTimers,
+		Engine:              sc.Engine,
+		ParWorkers:          sc.ParWorkers,
+		Faults:              plan,
+		HomeBasedManagement: sc.Replicated,
+		ManagerReplication:  sc.Replicated,
 	})
 	if err != nil {
 		return nil, err

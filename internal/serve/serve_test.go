@@ -230,7 +230,7 @@ func TestMillion(t *testing.T) {
 // goldenScenarios are the rows TestGoldenFingerprints pins: fast enough
 // for every `go test` run, covering both SC and multi-writer protocols
 // and both chaos presets.
-var goldenScenarios = []string{"smoke", "smoke-lrc-mw", "drop-heavy", "crash-restart"}
+var goldenScenarios = []string{"smoke", "smoke-lrc-mw", "drop-heavy", "crash-restart", "manager-kill"}
 
 // TestGoldenFingerprints pins the determinism fingerprint of the golden
 // scenario rows. A diff here means serving behaviour changed — generator

@@ -1,0 +1,114 @@
+package viewsvc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// history remembers every published view so the invariant checks can
+// compare across time: in particular that one (shard, view-number) pair
+// never names two different primaries — the split-brain condition.
+type history struct {
+	prev      []View
+	primaries map[[2]uint64]int // (shard, num) -> primary
+}
+
+func newHistory(s *Service) *history {
+	return &history{prev: s.Views(), primaries: map[[2]uint64]int{}}
+}
+
+func (h *history) check(t *testing.T, s *Service) {
+	t.Helper()
+	cur := s.Views()
+	for k, v := range cur {
+		if v.Num < 1 {
+			t.Fatalf("shard %d: view number %d < 1", k, v.Num)
+		}
+		if v.Primary < 0 || v.Primary >= s.NumHosts() {
+			t.Fatalf("shard %d: primary %d out of range", k, v.Primary)
+		}
+		if v.HasBackup() && v.Backup == v.Primary {
+			t.Fatalf("shard %d: view %+v names one host as both primary and backup", k, v)
+		}
+		p := h.prev[k]
+		if v.Num < p.Num {
+			t.Fatalf("shard %d: view number moved backward: %+v -> %+v", k, p, v)
+		}
+		if v.Num == p.Num && (v.Primary != p.Primary || v.Backup != p.Backup) {
+			t.Fatalf("shard %d: view %d republished with different membership: %+v -> %+v", k, p.Num, p, v)
+		}
+		if v.Num > p.Num {
+			// Successor legitimacy: the new primary must be the old
+			// primary or the old view's synced backup. Anything else
+			// means a host that could not hold the state was elected —
+			// and, transitively, that two hosts could believe they are
+			// primary of the same lineage.
+			if v.Primary != p.Primary && !(p.HasBackup() && p.Synced && v.Primary == p.Backup) {
+				t.Fatalf("shard %d: illegitimate succession %+v -> %+v", k, p, v)
+			}
+		}
+		key := [2]uint64{uint64(k), v.Num}
+		if was, seen := h.primaries[key]; seen && was != v.Primary {
+			t.Fatalf("shard %d view %d: two primaries elected (%d and %d)", k, v.Num, was, v.Primary)
+		}
+		h.primaries[key] = v.Primary
+	}
+	h.prev = cur
+}
+
+// observe refreshes the recorded views after AckSync deliveries, which
+// legitimately flip Synced between ticks without a view change.
+func (h *history) observe(s *Service) { h.prev = s.Views() }
+
+// FuzzViewChange feeds arbitrary heartbeat-loss / ack-loss schedules to
+// the service and asserts the split-brain invariants after every tick.
+// Each input byte is one step: the low bits select which hosts' pings
+// arrive this step (lost beats model both network loss and host death),
+// and one bit decides whether the pending state-transfer ack arrives
+// (ack loss keeps backups unsynced, forcing the frozen-shard path).
+func FuzzViewChange(f *testing.F) {
+	f.Add(3, []byte{})
+	f.Add(4, []byte{0xff, 0xff, 0x00, 0x00, 0xff})
+	f.Add(2, []byte{0x01, 0x01, 0x03, 0x02})
+	f.Add(5, []byte{0x9f, 0x40, 0x07, 0xff, 0x13, 0x00, 0xe1})
+	f.Add(8, []byte{0x80, 0x81, 0xff, 0x00, 0x55, 0xaa, 0x0f, 0xf0, 0x3c})
+	f.Fuzz(func(t *testing.T, hosts int, steps []byte) {
+		if hosts < 1 || hosts > 16 {
+			return
+		}
+		if len(steps) > 256 {
+			steps = steps[:256]
+		}
+		s := New(hosts, dead)
+		hist := newHistory(s)
+		now := int64(0)
+		for _, b := range steps {
+			now += dead / 2
+			for h := 0; h < hosts; h++ {
+				if b&(1<<(h%7)) != 0 {
+					s.Heartbeat(h, now)
+				}
+			}
+			if b&0x80 != 0 {
+				// Deliver pending sync acks for every shard with an
+				// unsynced backup.
+				for k := 0; k < hosts; k++ {
+					if v := s.View(k); v.HasBackup() && !v.Synced {
+						s.AckSync(k, v.Backup, v.Num)
+					}
+				}
+				hist.observe(s)
+			}
+			s.Tick(now)
+			hist.check(t, s)
+		}
+		// Final sanity: every published view still satisfies the point
+		// invariants (redundant with the loop, cheap to keep explicit).
+		for k := 0; k < hosts; k++ {
+			v := s.View(k)
+			if v.HasBackup() && v.Backup == v.Primary {
+				panic(fmt.Sprintf("shard %d: degenerate final view %+v", k, v))
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package viewsvc is the directory-shard view service: a small,
+// deterministic membership monitor in the 6.824 viewservice shape. One
+// instance runs on the allocation authority (dsm host 0) and, for every
+// directory shard, publishes a numbered View naming the shard's primary
+// and backup. Hosts ping it; a host that misses DeadAfter of virtual
+// time is declared dead on the next Tick, its primaryships hand over to
+// the (synced) backups, and restarted hosts rejoin as backups once the
+// primary has re-synced them with a state transfer.
+//
+// The package is a pure state machine over int64 nanosecond timestamps:
+// no simulator, clock or network dependency, so it is directly unit- and
+// fuzz-testable. All transitions happen in Tick (Heartbeat and AckSync
+// only record), which keeps view changes on the caller's deterministic
+// cadence.
+//
+// Safety invariants (checked by the tests and FuzzViewChange):
+//   - per shard, view numbers are strictly monotone;
+//   - a view never names the same host as primary and backup;
+//   - the primary of view n+1 is either the primary or the synced
+//     backup of view n — an unsynced backup is never promoted, so two
+//     hosts can never both have served as primary of one view.
+package viewsvc
+
+// View is one published configuration of a directory shard.
+type View struct {
+	Num     uint64 // strictly monotone per shard, starts at 1
+	Primary int    // host currently serving the shard
+	Backup  int    // mirror target, -1 when none
+	Synced  bool   // backup holds a full copy of the shard state
+}
+
+// HasBackup reports whether the view names a backup.
+func (v View) HasBackup() bool { return v.Backup >= 0 }
+
+// Service tracks host liveness and the per-shard views. Shard i is the
+// directory shard natively homed at host i.
+type Service struct {
+	hosts     int
+	deadAfter int64
+
+	lastBeat []int64
+	views    []View
+
+	// Changes counts Tick calls that moved at least one view (test and
+	// bench observability).
+	Changes uint64
+}
+
+// New builds the service for a cluster of hosts. deadAfter is how long a
+// host may go without a heartbeat before it is declared dead. The
+// initial view of shard k is {1, k, (k+1)%hosts}; with a single host
+// there are no backups and the service is inert. Host 0 runs the
+// service and is treated as always alive (its death takes the view
+// service with it — the documented availability limit).
+func New(hosts int, deadAfter int64) *Service {
+	if hosts < 1 {
+		panic("viewsvc: need at least one host")
+	}
+	if deadAfter <= 0 {
+		panic("viewsvc: DeadAfter must be positive")
+	}
+	s := &Service{hosts: hosts, deadAfter: deadAfter}
+	s.lastBeat = make([]int64, hosts)
+	s.views = make([]View, hosts)
+	for k := range s.views {
+		v := View{Num: 1, Primary: k, Backup: -1}
+		if hosts > 1 {
+			// The initial backup starts with the same (empty) shard state
+			// as the primary, so it is synced by construction.
+			v.Backup = (k + 1) % hosts
+			v.Synced = true
+		}
+		s.views[k] = v
+	}
+	return s
+}
+
+// NumHosts returns the cluster size.
+func (s *Service) NumHosts() int { return s.hosts }
+
+// Heartbeat records a ping from host at virtual time now. Transitions
+// happen only in Tick.
+func (s *Service) Heartbeat(host int, now int64) {
+	if host < 0 || host >= s.hosts {
+		panic("viewsvc: heartbeat from unknown host")
+	}
+	if now > s.lastBeat[host] {
+		s.lastBeat[host] = now
+	}
+}
+
+// AckSync records that backup has installed the state transfer for its
+// shard under view num. Stale acks (older view, or a host that is no
+// longer the backup) are ignored.
+func (s *Service) AckSync(shard, backup int, num uint64) {
+	if shard < 0 || shard >= s.hosts {
+		return
+	}
+	v := &s.views[shard]
+	if v.Num == num && v.Backup == backup {
+		v.Synced = true
+	}
+}
+
+// Alive reports whether host has heartbeated within DeadAfter of now.
+// Host 0 hosts the service and counts as always alive.
+func (s *Service) Alive(host int, now int64) bool {
+	return host == 0 || now-s.lastBeat[host] <= s.deadAfter
+}
+
+// Tick sweeps liveness at virtual time now and advances any view whose
+// primary or backup has died, or that can take on a rejoined host as a
+// new backup. It reports whether any view changed (Synced flips count:
+// primaries act on them).
+func (s *Service) Tick(now int64) bool {
+	changed := false
+	for k := range s.views {
+		v := s.views[k]
+		next := v
+
+		if !s.Alive(v.Primary, now) {
+			if v.HasBackup() && v.Synced && s.Alive(v.Backup, now) {
+				// Promote the synced backup; it serves solo until a new
+				// backup is assigned and synced.
+				next = View{Num: v.Num + 1, Primary: v.Backup, Backup: -1}
+			}
+			// Otherwise the shard is unavailable until the primary
+			// restarts and pings again: promoting an unsynced backup
+			// would serve from partial state, and with no backup there
+			// is nothing to promote. The view does not move.
+		} else if v.HasBackup() && !s.Alive(v.Backup, now) {
+			// Backup died: drop it. The primary releases any mirror-gated
+			// effects when it sees the backup leave the view.
+			next = View{Num: v.Num + 1, Primary: v.Primary, Backup: -1}
+		}
+
+		if !next.HasBackup() {
+			if b := s.pickBackup(k, next.Primary, now); b >= 0 {
+				next = View{Num: next.Num, Primary: next.Primary, Backup: b}
+				if next.Num == v.Num {
+					next.Num++ // assigning a backup is itself a view change
+				}
+			}
+		}
+
+		if next != v {
+			s.views[k] = next
+			changed = true
+		}
+	}
+	if changed {
+		s.Changes++
+	}
+	return changed
+}
+
+// pickBackup chooses a backup for shard k: the shard's native host if it
+// is alive and not the primary (so a restarted home drifts back toward
+// backing — and eventually re-serving — its own shard), else the
+// lowest-numbered other alive host.
+func (s *Service) pickBackup(k, primary int, now int64) int {
+	if k != primary && s.Alive(k, now) {
+		return k
+	}
+	for h := 0; h < s.hosts; h++ {
+		if h != primary && s.Alive(h, now) {
+			return h
+		}
+	}
+	return -1
+}
+
+// View returns the current view of shard k.
+func (s *Service) View(k int) View { return s.views[k] }
+
+// Views returns a copy of every shard's current view, indexed by shard.
+func (s *Service) Views() []View {
+	out := make([]View, len(s.views))
+	copy(out, s.views)
+	return out
+}

@@ -1,0 +1,248 @@
+package viewsvc
+
+import "testing"
+
+const dead = int64(2_000_000) // 2ms in nanoseconds
+
+func beatAll(s *Service, now int64, except ...int) {
+	skip := map[int]bool{}
+	for _, h := range except {
+		skip[h] = true
+	}
+	for h := 0; h < s.NumHosts(); h++ {
+		if !skip[h] {
+			s.Heartbeat(h, now)
+		}
+	}
+}
+
+func TestInitialViews(t *testing.T) {
+	s := New(4, dead)
+	for k := 0; k < 4; k++ {
+		v := s.View(k)
+		if v.Num != 1 || v.Primary != k || v.Backup != (k+1)%4 || !v.Synced {
+			t.Fatalf("shard %d initial view = %+v", k, v)
+		}
+	}
+	if s.Tick(0) {
+		t.Fatal("Tick moved a view with every host alive")
+	}
+}
+
+func TestSingleHostInert(t *testing.T) {
+	s := New(1, dead)
+	if v := s.View(0); v.Backup != -1 || v.Synced {
+		t.Fatalf("single-host view = %+v", v)
+	}
+	if s.Tick(10 * dead) {
+		t.Fatal("single-host service moved a view")
+	}
+}
+
+func TestPrimaryDeathPromotesSyncedBackup(t *testing.T) {
+	s := New(4, dead)
+	beatAll(s, 1000)
+	now := 1000 + dead + 1
+	beatAll(s, now, 2) // host 2 stops pinging
+	if !s.Tick(now) {
+		t.Fatal("no view change after primary death")
+	}
+	v := s.View(2)
+	if v.Num != 2 || v.Primary != 3 {
+		t.Fatalf("shard 2 after promotion = %+v (want primary 3, num 2)", v)
+	}
+	// The replacement backup (lowest alive non-primary: host 0) starts
+	// unsynced.
+	if v.Backup != 0 || v.Synced {
+		t.Fatalf("shard 2 replacement backup = %+v", v)
+	}
+	// Shard 1 lost its backup (host 2) and re-picks one.
+	v1 := s.View(1)
+	if v1.Num != 2 || v1.Primary != 1 || v1.Backup != 0 || v1.Synced {
+		t.Fatalf("shard 1 after backup death = %+v", v1)
+	}
+}
+
+func TestUnsyncedBackupNeverPromoted(t *testing.T) {
+	s := New(3, dead)
+	beatAll(s, 1000)
+	// Kill host 2: shard 2 promotes host 0; shard 1's backup becomes
+	// host 0, unsynced.
+	now := 1000 + dead + 1
+	beatAll(s, now, 2)
+	s.Tick(now)
+	if v := s.View(1); v.Backup != 0 || v.Synced {
+		t.Fatalf("precondition: shard 1 view = %+v", v)
+	}
+	// Now kill host 1 before the backup syncs: shard 1 must freeze.
+	before := s.View(1)
+	now += dead + 1
+	beatAll(s, now, 1, 2)
+	s.Tick(now)
+	if v := s.View(1); v.Num != before.Num || v.Primary != before.Primary {
+		t.Fatalf("unsynced backup promoted: %+v -> %+v", before, v)
+	}
+}
+
+func TestAckSyncEnablesPromotion(t *testing.T) {
+	s := New(3, dead)
+	beatAll(s, 1000)
+	now := 1000 + dead + 1
+	beatAll(s, now, 2)
+	s.Tick(now)
+	v := s.View(1) // {2, 1, 0, unsynced}
+	s.AckSync(1, 0, v.Num)
+	if !s.View(1).Synced {
+		t.Fatal("AckSync did not mark the backup synced")
+	}
+	now += dead + 1
+	beatAll(s, now, 1, 2)
+	s.Tick(now)
+	if got := s.View(1); got.Primary != 0 || got.Num != v.Num+1 {
+		t.Fatalf("synced backup not promoted: %+v", got)
+	}
+}
+
+func TestStaleAckSyncIgnored(t *testing.T) {
+	s := New(3, dead)
+	beatAll(s, 1000)
+	now := 1000 + dead + 1
+	beatAll(s, now, 2)
+	s.Tick(now)
+	v := s.View(1)
+	s.AckSync(1, 0, v.Num-1) // stale view number
+	s.AckSync(1, 2, v.Num)   // wrong host
+	s.AckSync(-1, 0, v.Num)  // out-of-range shard
+	s.AckSync(99, 0, v.Num)
+	if s.View(1).Synced {
+		t.Fatal("stale/mismatched AckSync marked the backup synced")
+	}
+}
+
+func TestRestartRejoinsAsNativeBackup(t *testing.T) {
+	s := New(4, dead)
+	beatAll(s, 1000)
+	now := 1000 + dead + 1
+	beatAll(s, now, 2)
+	s.Tick(now) // shard 2: primary 3, backup 0
+	// Host 2 restarts and pings again; on the next tick nothing changes
+	// on shard 2: replacement only fills empty or dead backup slots.
+	now += 10
+	beatAll(s, now)
+	s.Tick(now)
+	if v := s.View(2); v.Backup != 0 {
+		t.Fatalf("live backup displaced: %+v", v)
+	}
+	s.AckSync(2, 0, s.View(2).Num)
+	// Kill host 3 (shard 2's stand-in primary): the synced backup takes
+	// over and the rejoined native host is re-picked as backup.
+	now += dead + 1
+	beatAll(s, now, 3)
+	s.Tick(now)
+	if v := s.View(2); v.Primary != 0 || v.Backup != 2 || v.Synced {
+		t.Fatalf("shard 2 did not re-pick its native host as backup: %+v", v)
+	}
+}
+
+func TestBackupDeathReleasesAndReassigns(t *testing.T) {
+	s := New(2, dead)
+	beatAll(s, 1000)
+	now := 1000 + dead + 1
+	s.Heartbeat(0, now) // host 1 silent
+	s.Tick(now)
+	if v := s.View(0); v.Num != 2 || v.Primary != 0 || v.Backup != -1 {
+		t.Fatalf("shard 0 after backup death = %+v", v)
+	}
+	// Shard 1's primary died with a synced backup: host 0 takes over.
+	if v := s.View(1); v.Num != 2 || v.Primary != 0 || v.Backup != -1 {
+		t.Fatalf("shard 1 after primary death = %+v", v)
+	}
+	// Restart host 1: both shards take it back as an unsynced backup.
+	now += 10
+	beatAll(s, now)
+	s.Tick(now)
+	for k := 0; k < 2; k++ {
+		if v := s.View(k); v.Num != 3 || v.Backup != 1 || v.Synced {
+			t.Fatalf("shard %d after rejoin = %+v", k, v)
+		}
+	}
+}
+
+func TestHeartbeatMonotone(t *testing.T) {
+	s := New(2, dead)
+	s.Heartbeat(1, 5000)
+	s.Heartbeat(1, 400) // late/reordered beat must not move time backward
+	if !s.Alive(1, 5000+dead) {
+		t.Fatal("reordered heartbeat rewound lastBeat")
+	}
+}
+
+func TestHeartbeatUnknownHostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range host")
+		}
+	}()
+	New(2, dead).Heartbeat(7, 0)
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { New(0, dead) },
+		func() { New(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for invalid New args")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestViewsReturnsCopy(t *testing.T) {
+	s := New(2, dead)
+	vs := s.Views()
+	vs[0].Primary = 99
+	if s.View(0).Primary == 99 {
+		t.Fatal("Views aliases internal state")
+	}
+	if len(vs) != 2 {
+		t.Fatalf("len(Views) = %d", len(vs))
+	}
+}
+
+// TestInvariantsUnderChurn drives a deterministic churn pattern and
+// checks the package invariants after every tick — the same checks the
+// fuzz target applies to arbitrary sequences.
+func TestInvariantsUnderChurn(t *testing.T) {
+	s := New(5, dead)
+	hist := newHistory(s)
+	now := int64(0)
+	for step := 0; step < 400; step++ {
+		now += dead / 3
+		for h := 0; h < 5; h++ {
+			// Host h skips beats on a per-host cadence, producing
+			// overlapping death/rejoin waves.
+			if (step/(3+h))%2 == 0 {
+				s.Heartbeat(h, now)
+			}
+		}
+		if step%7 == 0 {
+			for k := 0; k < 5; k++ {
+				v := s.View(k)
+				if v.HasBackup() && !v.Synced {
+					s.AckSync(k, v.Backup, v.Num)
+				}
+			}
+			hist.observe(s)
+		}
+		s.Tick(now)
+		hist.check(t, s)
+	}
+	if s.Changes == 0 {
+		t.Fatal("churn produced no view changes")
+	}
+}

@@ -126,6 +126,16 @@ type Config struct {
 	// distribution (and hence timing) changes.
 	HomeBasedManagement bool
 
+	// ManagerReplication replicates each home-based directory shard as a
+	// primary/backup pair coordinated by a view service on host 0:
+	// directory mutations are mirrored to the backup before their effects
+	// escape, and when a shard's primary crashes the synced backup
+	// promotes and keeps serving the shard's minipages — no stall until
+	// the dead host restarts. Millipage-only; requires
+	// HomeBasedManagement and the sequential engine. See docs/PROTOCOL.md,
+	// "Replicated management".
+	ManagerReplication bool
+
 	// Seed makes runs reproducible; equal seeds give identical traces.
 	// Default 1.
 	Seed int64
@@ -201,6 +211,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if proto == "" {
 		proto = "millipage"
 	}
+	if cfg.ManagerReplication {
+		if proto != "millipage" {
+			return nil, fmt.Errorf("millipage: Config.ManagerReplication is millipage-only (got protocol %q)", proto)
+		}
+		if !cfg.HomeBasedManagement {
+			return nil, fmt.Errorf("millipage: Config.ManagerReplication requires HomeBasedManagement")
+		}
+		if cfg.Engine == "par" {
+			return nil, fmt.Errorf("millipage: Config.ManagerReplication requires the sequential engine")
+		}
+	}
 	switch proto {
 	case "millipage":
 		opt := dsm.Options{
@@ -218,6 +239,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if cfg.HomeBasedManagement {
 			opt.Management = dsm.HomeBased
 		}
+		opt.Replication = cfg.ManagerReplication
 		if cfg.PageGranularity {
 			opt.Grain = core.GrainPage
 			if opt.Views == 0 {

@@ -37,6 +37,13 @@ type Report struct {
 	OutOfOrder    uint64 // frames buffered across a sequence gap
 	FramesDropped uint64 // frames discarded at down (crashed/partitioned) hosts
 
+	// Replicated-management activity. All zero unless
+	// Config.ManagerReplication: mirrors are the primary->backup
+	// directory-mutation stream, promotions count backups that took a
+	// shard over after its primary died.
+	MirrorsSent uint64
+	Promotions  uint64
+
 	// DSM footprint (Table 2 columns).
 	Minipages  int
 	ViewsUsed  int
@@ -162,6 +169,11 @@ func (c *Cluster) report() *Report {
 		r.Minipages = mpt.NumMinipages()
 		r.ViewsUsed = mpt.ViewsUsed()
 		r.SharedUsed = mpt.BytesAllocated()
+		for i := 0; i < rt.NumHosts(); i++ {
+			rs := c.mp.ReplStatsAt(i)
+			r.MirrorsSent += rs.MirrorsSent
+			r.Promotions += rs.Promotions
+		}
 	case c.ivySys != nil:
 		r.Invalidations = c.ivySys.Stats.Invalidates
 		r.CompetingRequests = c.ivySys.Stats.Competing
@@ -215,6 +227,9 @@ func (r *Report) String() string {
 	if r.Retransmits+r.DupsDropped+r.OutOfOrder+r.FramesDropped > 0 {
 		fmt.Fprintf(&b, "reliability: retransmits=%d dups=%d ooo=%d dropped=%d\n",
 			r.Retransmits, r.DupsDropped, r.OutOfOrder, r.FramesDropped)
+	}
+	if r.MirrorsSent+r.Promotions > 0 {
+		fmt.Fprintf(&b, "replication: mirrors=%d promotions=%d\n", r.MirrorsSent, r.Promotions)
 	}
 	fmt.Fprintf(&b, "dsm: minipages=%d views=%d shared=%dB\n", r.Minipages, r.ViewsUsed, r.SharedUsed)
 	if r.ReadFaultLatency.Count() > 0 {
